@@ -1,0 +1,47 @@
+"""Experiment E1 — Fig. 2 / Fig. 3 / Fig. 4: the six-node example DAG.
+
+Reproduces the three uncomputing strategies of Fig. 3 and the two pebbling
+grids of Fig. 4:
+
+* the Bennett strategy: 6 pebbles, 10 steps;
+* the space-optimised reordering (Fig. 3(b));
+* the 4-pebble strategy with recomputation (Fig. 3(c) / Fig. 4 right,
+  14 single-move steps in the paper; the SAT solver proves 12 suffice).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.pebbling import EncodingOptions, bennett_strategy, eager_bennett_strategy, pebble_dag
+from repro.visualize import render_strategy_grid
+from repro.workloads import example_dag
+
+
+def test_fig3_fig4_example_strategies(benchmark, record):
+    dag = example_dag()
+
+    def experiment():
+        bennett = bennett_strategy(dag)
+        reordered = eager_bennett_strategy(dag)
+        constrained = pebble_dag(
+            dag, 4, options=EncodingOptions(max_moves_per_step=1), time_limit=120
+        )
+        return bennett, reordered, constrained
+
+    bennett, reordered, constrained = run_once(benchmark, experiment)
+
+    assert bennett.max_pebbles == 6 and bennett.num_moves == 10
+    assert constrained.found and constrained.strategy.max_pebbles <= 4
+
+    lines = [
+        "strategy                pebbles  steps(single-move)   paper",
+        f"Bennett (Fig. 3a/4L)    {bennett.max_pebbles:7d}  {bennett.num_moves:19d}   6 pebbles / 10 steps",
+        f"reordered (Fig. 3b)     {reordered.max_pebbles:7d}  {reordered.num_moves:19d}   5 qubits saved by order",
+        f"4-pebble SAT (Fig. 4R)  {constrained.strategy.max_pebbles:7d}  "
+        f"{constrained.num_steps:19d}   4 pebbles / 14 steps",
+        "",
+        "pebbling grid of the constrained strategy (cf. Fig. 4 right):",
+        render_strategy_grid(constrained.strategy),
+    ]
+    record("fig3_fig4_example", lines)

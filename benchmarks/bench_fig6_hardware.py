@@ -1,0 +1,75 @@
+"""Experiment E4 — Fig. 6: mapping a 9-input AND oracle onto 16 qubits.
+
+Three circuits are produced for the oracle of Fig. 6(a) and compared on
+qubit count and gate count:
+
+* Bennett strategy (Fig. 6(b)): 17 qubits, 15 gates — does not fit;
+* Barenco decomposition of the 9-control Toffoli with one ancilla
+  (Fig. 6(d)): 11 qubits, 48 gates;
+* SAT pebbling with 7 pebbles (Fig. 6(c)): 16 qubits, 23 gates in the
+  paper.
+
+Every circuit is additionally verified against the Boolean specification
+(all 512 input patterns) including clean ancillae.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.circuits import barenco_and_oracle, compile_network_oracle
+from repro.circuits.simulator import verify_oracle_circuit
+from repro.pebbling import pebble_dag
+from repro.workloads.registry import and_tree_network
+
+DEVICE_QUBITS = 16  # e.g. ibmqx5
+
+
+def test_fig6_hardware_constrained_mapping(benchmark, record):
+    network = and_tree_network(9)
+    dag = network.to_dag()
+    output = network.outputs[0]
+
+    def experiment():
+        bennett = compile_network_oracle(network)
+        barenco = barenco_and_oracle(9)
+        pebbled_result = pebble_dag(dag, DEVICE_QUBITS - network.num_inputs, time_limit=120)
+        pebbled = compile_network_oracle(network, pebbled_result.strategy)
+        return bennett, barenco, pebbled
+
+    bennett, barenco, pebbled = run_once(benchmark, experiment)
+
+    # Functional verification (Fig. 1's requirement: no garbage left behind).
+    verify_oracle_circuit(
+        bennett.circuit, network,
+        input_map={name: bennett.input_qubits[name] for name in network.inputs},
+        output_map={output: bennett.output_qubits[output]},
+    )
+    verify_oracle_circuit(
+        pebbled.circuit, network,
+        input_map={name: pebbled.input_qubits[name] for name in network.inputs},
+        output_map={output: pebbled.output_qubits[output]},
+    )
+    verify_oracle_circuit(
+        barenco,
+        lambda values: {"h": all(values[f"x{i}"] for i in range(9))},
+        input_map={f"x{i}": f"x{i}" for i in range(9)},
+        output_map={"h": "h"},
+    )
+
+    lines = [
+        "mapping                      qubits  gates   fits 16 qubits   paper (qubits/gates)",
+        f"Bennett (Fig. 6b)            {bennett.num_qubits:6d}  {bennett.num_gates:5d}   "
+        f"{str(bennett.num_qubits <= DEVICE_QUBITS):15s}  17 / 15",
+        f"Barenco (Fig. 6d)            {barenco.num_qubits:6d}  {barenco.num_gates:5d}   "
+        f"{str(barenco.num_qubits <= DEVICE_QUBITS):15s}  11 / 48",
+        f"SAT pebbling (Fig. 6c)       {pebbled.num_qubits:6d}  {pebbled.num_gates:5d}   "
+        f"{str(pebbled.num_qubits <= DEVICE_QUBITS):15s}  16 / 23",
+    ]
+    record("fig6_hardware_mapping", lines)
+
+    assert bennett.num_qubits == 17 and bennett.num_gates == 15
+    assert barenco.num_qubits == 11 and barenco.num_gates == 48
+    assert pebbled.num_qubits <= DEVICE_QUBITS
+    assert pebbled.num_gates <= 23
+    assert barenco.num_gates > pebbled.num_gates > bennett.num_gates

@@ -1,0 +1,40 @@
+"""Shared helpers for the benchmark harnesses.
+
+Every harness regenerates one table or figure of the paper.  Besides the
+timing collected by pytest-benchmark, each harness emits the actual
+rows/series it reproduces through :func:`record_table`, which both prints
+them (visible with ``pytest -s`` or in the captured output on failure) and
+writes them to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can be
+updated from a plain file.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIRECTORY = Path(__file__).parent / "results"
+
+
+def record_table(name: str, lines: list[str]) -> None:
+    """Print and persist a reproduction table."""
+    RESULTS_DIRECTORY.mkdir(exist_ok=True)
+    text = "\n".join(lines)
+    print(f"\n=== {name} ===\n{text}\n")
+    (RESULTS_DIRECTORY / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+@pytest.fixture
+def record():
+    """Fixture handing the recording helper to benchmark functions."""
+    return record_table
+
+
+def run_once(benchmark, function):
+    """Run ``function`` exactly once under pytest-benchmark timing.
+
+    The SAT-based experiments are far too slow to repeat for statistical
+    timing, and the paper reports single-run times as well.
+    """
+    return benchmark.pedantic(function, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The environment used for the reproduction has no network access and no
+``wheel`` package, so PEP 517 editable installs (which build a wheel) fail.
+This shim enables the legacy ``pip install -e . --no-build-isolation
+--no-use-pep517`` / ``python setup.py develop`` path.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,69 @@
+"""Reversible pebbling game for quantum memory management.
+
+A from-scratch reproduction of G. Meuli, M. Soeken, M. Roetteler,
+N. Bjorner and G. De Micheli, *Reversible Pebbling Game for Quantum Memory
+Management*, DATE 2019 (arXiv:1904.02121).
+
+The package is organised in layers (see ``DESIGN.md`` for the full map):
+
+* :mod:`repro.sat` — a CDCL SAT solver with cardinality encodings (the
+  substrate the paper delegates to Z3);
+* :mod:`repro.dag` — dependency DAGs, the board of the pebbling game;
+* :mod:`repro.logic` — logic networks, ``.bench`` parsing, arithmetic and
+  ISCAS-style circuit generators;
+* :mod:`repro.slp` — straight-line cryptographic programs;
+* :mod:`repro.pebbling` — the paper's contribution: baselines, SAT
+  encoding and the pebbling solver;
+* :mod:`repro.circuits` — reversible circuits, compilation of strategies,
+  Barenco decomposition, simulation and cost models;
+* :mod:`repro.visualize` — ASCII strategy grids;
+* :mod:`repro.workloads` — the named evaluation workloads of the paper.
+
+Quick start::
+
+    from repro import load_workload, pebble_dag, bennett_strategy
+
+    dag = load_workload("fig2")
+    baseline = bennett_strategy(dag)
+    result = pebble_dag(dag, max_pebbles=4)
+    print(baseline.max_pebbles, "->", result.strategy.max_pebbles)
+"""
+
+from repro.dag import Dag
+from repro.logic import LogicNetwork
+from repro.pebbling import (
+    EncodingOptions,
+    PebblingResult,
+    PebblingStrategy,
+    ReversiblePebblingSolver,
+    bennett_strategy,
+    eager_bennett_strategy,
+    greedy_pebbling_strategy,
+    minimize_pebbles,
+    pebble_dag,
+)
+from repro.slp import StraightLineProgram
+from repro.visualize import render_strategy_grid, strategy_report
+from repro.workloads import list_workloads, load_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Dag",
+    "EncodingOptions",
+    "LogicNetwork",
+    "PebblingResult",
+    "PebblingStrategy",
+    "ReversiblePebblingSolver",
+    "StraightLineProgram",
+    "__version__",
+    "bennett_strategy",
+    "eager_bennett_strategy",
+    "greedy_pebbling_strategy",
+    "list_workloads",
+    "load_workload",
+    "minimize_pebbles",
+    "pebble_dag",
+    "render_strategy_grid",
+    "strategy_report",
+]

@@ -1,0 +1,47 @@
+"""Reversible-circuit substrate.
+
+The pebbling strategies found by :mod:`repro.pebbling` are abstract; this
+subpackage turns them into reversible circuits over single-target gates
+(Definition 1 of the paper), provides the Barenco decomposition baseline of
+the hardware-constrained show-case (Fig. 6), simulates the resulting
+circuits classically to verify that ancillae are restored and outputs are
+correct, and estimates gate costs.
+
+* :mod:`repro.circuits.gates` -- gate types (single-target gates,
+  multi-controlled Toffoli, NOT/CNOT as special cases);
+* :mod:`repro.circuits.circuit` -- the :class:`ReversibleCircuit` container
+  with qubit roles (input / ancilla / output);
+* :mod:`repro.circuits.compile` -- compilation of pebbling strategies and
+  Bennett baselines into circuits;
+* :mod:`repro.circuits.barenco` -- decomposition of multi-controlled
+  Toffoli gates with few ancillae;
+* :mod:`repro.circuits.simulator` -- classical basis-state simulation;
+* :mod:`repro.circuits.costs` -- qubit / gate / T-count cost model.
+"""
+
+from repro.circuits.barenco import barenco_and_oracle, decompose_mct
+from repro.circuits.circuit import QubitRole, ReversibleCircuit
+from repro.circuits.compile import (
+    compile_bennett,
+    compile_network_oracle,
+    compile_strategy,
+)
+from repro.circuits.costs import CostModel, circuit_cost
+from repro.circuits.gates import SingleTargetGate, ToffoliGate
+from repro.circuits.simulator import simulate_circuit, verify_oracle_circuit
+
+__all__ = [
+    "CostModel",
+    "QubitRole",
+    "ReversibleCircuit",
+    "SingleTargetGate",
+    "ToffoliGate",
+    "barenco_and_oracle",
+    "circuit_cost",
+    "compile_bennett",
+    "compile_network_oracle",
+    "compile_strategy",
+    "decompose_mct",
+    "simulate_circuit",
+    "verify_oracle_circuit",
+]

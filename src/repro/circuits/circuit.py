@@ -1,0 +1,169 @@
+"""The reversible-circuit container.
+
+A :class:`ReversibleCircuit` is an ordered list of gates over named qubits,
+each qubit annotated with a role:
+
+* ``INPUT`` — carries a primary input value ``|x_i>``; never used as a gate
+  target by the compilers in this package;
+* ``ANCILLA`` — starts in ``|0>`` and must be restored to ``|0>`` at the
+  end of the computation (this is exactly the memory-management obligation
+  the paper addresses);
+* ``OUTPUT`` — starts in ``|0>`` and carries a result at the end.
+
+The container is deliberately independent of how gates were produced so the
+pebbling compiler, the Bennett compiler and the Barenco decomposition can
+all emit into it and be compared with the same cost model and simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Iterator
+
+from repro.errors import CircuitError
+from repro.circuits.gates import Gate, SingleTargetGate, ToffoliGate
+
+
+class QubitRole(Enum):
+    """How a qubit is used by the circuit."""
+
+    INPUT = "input"
+    ANCILLA = "ancilla"
+    OUTPUT = "output"
+
+
+@dataclass(frozen=True)
+class Qubit:
+    """A named qubit with a role."""
+
+    name: str
+    role: QubitRole
+
+
+class ReversibleCircuit:
+    """An ordered sequence of reversible gates over named qubits."""
+
+    def __init__(self, name: str = "circuit"):
+        self.name = name
+        self._qubits: dict[str, Qubit] = {}
+        self._gates: list[Gate] = []
+
+    # ------------------------------------------------------------------
+    # qubit management
+    # ------------------------------------------------------------------
+    def add_qubit(self, name: str, role: "QubitRole | str" = QubitRole.ANCILLA) -> Qubit:
+        """Register a qubit; names must be unique."""
+        if name in self._qubits:
+            raise CircuitError(f"qubit {name!r} already exists")
+        resolved = role if isinstance(role, QubitRole) else QubitRole(role)
+        qubit = Qubit(name, resolved)
+        self._qubits[name] = qubit
+        return qubit
+
+    def add_qubits(self, names: Iterable[str], role: "QubitRole | str") -> list[Qubit]:
+        """Register several qubits with the same role."""
+        return [self.add_qubit(name, role) for name in names]
+
+    def has_qubit(self, name: str) -> bool:
+        """Return ``True`` if ``name`` is a registered qubit."""
+        return name in self._qubits
+
+    def qubit(self, name: str) -> Qubit:
+        """Return the qubit record for ``name``."""
+        try:
+            return self._qubits[name]
+        except KeyError as exc:
+            raise CircuitError(f"unknown qubit {name!r}") from exc
+
+    def qubits(self, role: QubitRole | None = None) -> list[str]:
+        """Return qubit names, optionally filtered by role."""
+        return [
+            name for name, qubit in self._qubits.items() if role is None or qubit.role is role
+        ]
+
+    @property
+    def num_qubits(self) -> int:
+        """Total number of qubits (the paper's hardware budget)."""
+        return len(self._qubits)
+
+    @property
+    def num_inputs(self) -> int:
+        """Number of input qubits."""
+        return len(self.qubits(QubitRole.INPUT))
+
+    @property
+    def num_ancillae(self) -> int:
+        """Number of ancilla qubits (must return to zero)."""
+        return len(self.qubits(QubitRole.ANCILLA))
+
+    @property
+    def num_outputs(self) -> int:
+        """Number of output qubits."""
+        return len(self.qubits(QubitRole.OUTPUT))
+
+    # ------------------------------------------------------------------
+    # gates
+    # ------------------------------------------------------------------
+    def append(self, gate: Gate) -> Gate:
+        """Append a gate; every touched qubit must already be registered."""
+        for name in gate.qubits():
+            if name not in self._qubits:
+                raise CircuitError(f"gate {gate} touches unknown qubit {name!r}")
+        self._gates.append(gate)
+        return gate
+
+    def extend(self, gates: Iterable[Gate]) -> None:
+        """Append several gates."""
+        for gate in gates:
+            self.append(gate)
+
+    @property
+    def gates(self) -> list[Gate]:
+        """The gate list, in execution order."""
+        return list(self._gates)
+
+    @property
+    def num_gates(self) -> int:
+        """Number of gates."""
+        return len(self._gates)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self._gates)
+
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    # ------------------------------------------------------------------
+    # reports
+    # ------------------------------------------------------------------
+    def gate_histogram(self) -> dict[str, int]:
+        """Count gates by label / control count (for reports)."""
+        histogram: dict[str, int] = {}
+        for gate in self._gates:
+            if isinstance(gate, ToffoliGate):
+                key = f"toffoli{gate.num_controls}"
+            elif isinstance(gate, SingleTargetGate):
+                key = gate.label or f"stg{gate.num_controls}"
+            else:  # pragma: no cover - defensive
+                key = type(gate).__name__
+            histogram[key] = histogram.get(key, 0) + 1
+        return histogram
+
+    def summary(self) -> dict[str, object]:
+        """Small report dictionary (qubits, gates, histogram)."""
+        return {
+            "name": self.name,
+            "qubits": self.num_qubits,
+            "inputs": self.num_inputs,
+            "ancillae": self.num_ancillae,
+            "outputs": self.num_outputs,
+            "gates": self.num_gates,
+            "histogram": self.gate_histogram(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ReversibleCircuit(name={self.name!r}, qubits={self.num_qubits}, "
+            f"gates={self.num_gates})"
+        )

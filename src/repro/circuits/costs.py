@@ -1,0 +1,87 @@
+"""Cost models for reversible circuits.
+
+The paper evaluates strategies along two axes: the number of qubits and the
+number of operations, and notes that "increasing the number of gates can
+negatively affect the noise in the final result".  This module provides a
+small configurable cost model used by the benchmark harnesses:
+
+* every gate contributes its *gate count* (1 by default);
+* multi-controlled gates can optionally be costed by the number of Toffoli
+  gates of their Barenco decomposition and by an estimated T-count
+  (7 T gates per Toffoli, 0 for NOT/CNOT), which is the standard
+  fault-tolerant cost proxy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.circuit import ReversibleCircuit
+from repro.circuits.gates import SingleTargetGate, ToffoliGate
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Relative costs per gate category.
+
+    ``toffoli_t_count`` is the T-count charged per 2-control Toffoli;
+    ``stg_control_factor`` scales the cost of a ``k``-control single-target
+    gate as ``max(1, stg_control_factor * (k - 1))`` Toffoli equivalents,
+    reflecting that larger control functions decompose into more elementary
+    gates.
+    """
+
+    toffoli_t_count: int = 7
+    stg_control_factor: int = 2
+
+    def toffoli_equivalents(self, gate: "SingleTargetGate | ToffoliGate") -> int:
+        """Estimated number of Toffoli-class gates needed to realise ``gate``."""
+        controls = gate.num_controls
+        if controls <= 2:
+            return 1
+        if isinstance(gate, ToffoliGate):
+            # Barenco Lemma 7.2 count with enough ancillae.
+            return 4 * (controls - 2)
+        return max(1, self.stg_control_factor * (controls - 1))
+
+    def t_count(self, gate: "SingleTargetGate | ToffoliGate") -> int:
+        """Estimated T-count of ``gate``."""
+        controls = gate.num_controls
+        if controls <= 1:
+            return 0
+        return self.toffoli_equivalents(gate) * self.toffoli_t_count
+
+
+@dataclass(frozen=True)
+class CircuitCost:
+    """Aggregate cost report of a circuit."""
+
+    qubits: int
+    gates: int
+    toffoli_equivalents: int
+    t_count: int
+
+    def as_dict(self) -> dict[str, int]:
+        """Return the cost report as a dictionary."""
+        return {
+            "qubits": self.qubits,
+            "gates": self.gates,
+            "toffoli_equivalents": self.toffoli_equivalents,
+            "t_count": self.t_count,
+        }
+
+
+def circuit_cost(circuit: ReversibleCircuit, model: CostModel | None = None) -> CircuitCost:
+    """Compute the aggregate cost of ``circuit`` under ``model``."""
+    model = model or CostModel()
+    toffoli_equivalents = 0
+    t_count = 0
+    for gate in circuit.gates:
+        toffoli_equivalents += model.toffoli_equivalents(gate)
+        t_count += model.t_count(gate)
+    return CircuitCost(
+        qubits=circuit.num_qubits,
+        gates=circuit.num_gates,
+        toffoli_equivalents=toffoli_equivalents,
+        t_count=t_count,
+    )

@@ -1,0 +1,130 @@
+"""Classical simulation of reversible circuits.
+
+All gates produced in this package are classical reversible gates (they
+permute computational basis states), so a circuit can be verified by
+simulating it on basis states: feed every input pattern, check that the
+output qubits carry the specified Boolean function and — crucially for this
+paper — that every ancilla qubit is restored to ``|0>``.  A circuit that
+leaves an ancilla dirty would entangle intermediate values with the result
+on a quantum machine, which is exactly the failure mode quantum memory
+management must prevent (Fig. 1 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.errors import CircuitError
+from repro.circuits.circuit import QubitRole, ReversibleCircuit
+from repro.circuits.gates import SingleTargetGate, ToffoliGate
+from repro.logic.network import LogicNetwork
+
+
+def simulate_circuit(
+    circuit: ReversibleCircuit,
+    input_values: Mapping[str, bool],
+    *,
+    initial_values: Mapping[str, bool] | None = None,
+) -> dict[str, bool]:
+    """Simulate ``circuit`` on a basis state; return the final qubit values.
+
+    ``input_values`` assigns the INPUT-role qubits; ancilla and output
+    qubits start at ``|0>`` unless overridden through ``initial_values``.
+    """
+    values: dict[str, bool] = {}
+    for name in circuit.qubits():
+        role = circuit.qubit(name).role
+        if role is QubitRole.INPUT:
+            if name not in input_values:
+                raise CircuitError(f"missing value for input qubit {name!r}")
+            values[name] = bool(input_values[name])
+        else:
+            values[name] = False
+    if initial_values:
+        for name, value in initial_values.items():
+            if name not in values:
+                raise CircuitError(f"unknown qubit {name!r} in initial_values")
+            values[name] = bool(value)
+
+    for gate in circuit.gates:
+        if isinstance(gate, ToffoliGate):
+            flip = gate.evaluate(values)
+        elif isinstance(gate, SingleTargetGate):
+            flip = gate.evaluate(values)
+        else:  # pragma: no cover - defensive
+            raise CircuitError(f"cannot simulate gate {gate!r}")
+        if flip:
+            values[gate.target] = not values[gate.target]
+    return values
+
+
+def verify_ancillae_clean(
+    circuit: ReversibleCircuit, input_values: Mapping[str, bool]
+) -> bool:
+    """Return ``True`` when every ancilla ends in ``|0>`` for this input."""
+    final = simulate_circuit(circuit, input_values)
+    return all(not final[name] for name in circuit.qubits(QubitRole.ANCILLA))
+
+
+def verify_oracle_circuit(
+    circuit: ReversibleCircuit,
+    reference: "LogicNetwork | Callable[[Mapping[str, bool]], Mapping[str, bool]]",
+    *,
+    input_map: Mapping[str, str],
+    output_map: Mapping[str, str],
+    max_patterns: int | None = None,
+) -> bool:
+    """Exhaustively verify a compiled oracle circuit against a reference.
+
+    ``reference`` is either the :class:`~repro.logic.network.LogicNetwork`
+    the circuit was compiled from or any callable mapping input assignments
+    to output assignments.  ``input_map`` maps reference input names to
+    circuit qubit names, ``output_map`` maps reference output names to the
+    circuit qubits holding them at the end.
+
+    Verifies, for every input pattern (up to ``max_patterns``):
+
+    * every reference output matches the corresponding circuit qubit;
+    * every ancilla qubit is restored to zero;
+    * every input qubit still holds its input value.
+
+    Raises :class:`~repro.errors.CircuitError` with a counter-example on the
+    first mismatch, returns ``True`` otherwise.
+    """
+    reference_inputs = list(input_map.keys())
+    num_inputs = len(reference_inputs)
+    num_patterns = 1 << num_inputs
+    if max_patterns is not None:
+        num_patterns = min(num_patterns, max_patterns)
+
+    if isinstance(reference, LogicNetwork):
+        def evaluate(assignment: Mapping[str, bool]) -> Mapping[str, bool]:
+            return reference.simulate_outputs(assignment)
+    else:
+        evaluate = reference
+
+    for pattern in range(num_patterns):
+        assignment = {
+            name: bool((pattern >> position) & 1)
+            for position, name in enumerate(reference_inputs)
+        }
+        expected = evaluate(assignment)
+        circuit_inputs = {input_map[name]: value for name, value in assignment.items()}
+        final = simulate_circuit(circuit, circuit_inputs)
+        for reference_name, qubit in output_map.items():
+            if bool(expected[reference_name]) != final[qubit]:
+                raise CircuitError(
+                    f"output {reference_name!r} mismatch for input {assignment}: "
+                    f"expected {bool(expected[reference_name])}, circuit produced {final[qubit]}"
+                )
+        for name in circuit.qubits(QubitRole.ANCILLA):
+            if final[name]:
+                raise CircuitError(
+                    f"ancilla {name!r} left dirty for input {assignment}"
+                )
+        for name, value in circuit_inputs.items():
+            if final[name] != value:
+                raise CircuitError(
+                    f"input qubit {name!r} was modified for input {assignment}"
+                )
+    return True

@@ -1,0 +1,162 @@
+"""Command-line interface: ``repro-pebble``.
+
+Sub-commands
+------------
+
+``list``
+    List the named workloads bundled with the library.
+
+``info <workload>``
+    Print structural statistics of a workload DAG.
+
+``bennett <workload>``
+    Print the Bennett and eager-Bennett baselines for a workload.
+
+``pebble <workload> --pebbles P``
+    Run the SAT-based pebbling solver with a pebble budget and print the
+    resulting strategy grid.
+
+``compare <workload>``
+    Reproduce one row of Table I for the workload: eager-Bennett baseline
+    versus the minimum-pebble SAT solution found within a timeout.
+
+Workloads are either names from :mod:`repro.workloads` or paths to ``.bench``
+or DAG-JSON files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.dag.graph import Dag
+from repro.dag.io import dag_from_json
+from repro.errors import ReproError
+from repro.logic.bench import network_from_bench
+from repro.pebbling import (
+    EncodingOptions,
+    ReversiblePebblingSolver,
+    bennett_strategy,
+    eager_bennett_strategy,
+)
+from repro.visualize import strategy_report
+from repro.workloads import list_workloads, load_workload
+
+
+def _load(workload: str, scale: float) -> Dag:
+    path = Path(workload)
+    if path.suffix == ".bench" and path.exists():
+        return network_from_bench(path).to_dag()
+    if path.suffix == ".json" and path.exists():
+        return dag_from_json(path)
+    return load_workload(workload, scale=scale)
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("workload", help="workload name, .bench file or DAG .json file")
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="size scale for generated workloads (default 1.0 = paper-sized)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-pebble",
+        description="SAT-based reversible pebbling for quantum memory management",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list bundled workloads")
+
+    info = subparsers.add_parser("info", help="print DAG statistics")
+    _add_common_arguments(info)
+
+    bennett = subparsers.add_parser("bennett", help="print the Bennett baselines")
+    _add_common_arguments(bennett)
+    bennett.add_argument("--grid", action="store_true", help="print the strategy grid")
+
+    pebble = subparsers.add_parser("pebble", help="run the SAT pebbling solver")
+    _add_common_arguments(pebble)
+    pebble.add_argument("--pebbles", type=int, required=True, help="pebble budget")
+    pebble.add_argument("--timeout", type=float, default=120.0, help="time budget in seconds")
+    pebble.add_argument("--single-move", action="store_true",
+                        help="allow only one pebble move per step (Fig. 4 style)")
+    pebble.add_argument("--grid", action="store_true", help="print the strategy grid")
+
+    compare = subparsers.add_parser("compare", help="Bennett vs minimum-pebble SAT solution")
+    _add_common_arguments(compare)
+    compare.add_argument("--timeout", type=float, default=120.0,
+                         help="time budget per pebble count in seconds")
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    try:
+        return _dispatch(arguments)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+def _dispatch(arguments: argparse.Namespace) -> int:
+    if arguments.command == "list":
+        for name in list_workloads():
+            print(name)
+        return 0
+
+    dag = _load(arguments.workload, arguments.scale)
+
+    if arguments.command == "info":
+        print(json.dumps(dag.statistics().as_dict(), indent=2))
+        return 0
+
+    if arguments.command == "bennett":
+        plain = bennett_strategy(dag)
+        eager = eager_bennett_strategy(dag)
+        print(f"bennett       : pebbles={plain.max_pebbles} moves={plain.num_moves}")
+        print(f"eager bennett : pebbles={eager.max_pebbles} moves={eager.num_moves}")
+        if arguments.grid:
+            print()
+            print(strategy_report(eager))
+        return 0
+
+    if arguments.command == "pebble":
+        options = EncodingOptions(max_moves_per_step=1 if arguments.single_move else None)
+        solver = ReversiblePebblingSolver(dag, options=options)
+        result = solver.solve(arguments.pebbles, time_limit=arguments.timeout)
+        print(json.dumps(result.summary(), indent=2))
+        if result.found and arguments.grid:
+            print()
+            print(strategy_report(result.strategy))
+        return 0 if result.found else 2
+
+    if arguments.command == "compare":
+        eager = eager_bennett_strategy(dag)
+        solver = ReversiblePebblingSolver(dag)
+        best, attempts = solver.minimize_pebbles(timeout_per_budget=arguments.timeout)
+        print(f"nodes                 : {dag.num_nodes}")
+        print(f"bennett pebbles/moves : {eager.max_pebbles} / {eager.num_moves}")
+        if best is not None and best.strategy is not None:
+            reduction = 100.0 * (eager.max_pebbles - best.strategy.max_pebbles) / eager.max_pebbles
+            ratio = best.strategy.num_moves / eager.num_moves
+            print(f"pebbling pebbles/moves: {best.strategy.max_pebbles} / {best.strategy.num_moves}")
+            print(f"pebble reduction      : {reduction:.2f}%")
+            print(f"move ratio            : {ratio:.2f}x")
+            print(f"sat budgets tried     : {len(attempts)}")
+        else:
+            print("pebbling              : no improvement found within the timeout")
+        return 0
+
+    raise ReproError(f"unhandled command {arguments.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

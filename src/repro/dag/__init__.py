@@ -1,0 +1,37 @@
+"""Dependency-DAG substrate.
+
+The reversible pebbling game is played on a directed acyclic graph whose
+nodes are computation steps and whose edges express data dependencies
+(an edge ``v -> w`` means *w needs the value computed by v*, matching the
+paper's definition of children ``C(v) = {w | w -> v}`` read as fan-ins).
+
+* :mod:`repro.dag.graph` -- the :class:`~repro.dag.graph.Dag` container,
+  topological utilities and structural statistics.
+* :mod:`repro.dag.io` -- JSON and Graphviz-DOT import/export.
+* :mod:`repro.dag.generators` -- parameterised synthetic DAG families used
+  by tests and by the scaled ISCAS-like rows of the Table I harness.
+"""
+
+from repro.dag.generators import (
+    layered_random_dag,
+    linear_chain,
+    random_binary_dag,
+    tree_dag,
+)
+from repro.dag.graph import Dag, DagNode, DagStatistics
+from repro.dag.io import dag_from_dict, dag_from_json, dag_to_dict, dag_to_dot, dag_to_json
+
+__all__ = [
+    "Dag",
+    "DagNode",
+    "DagStatistics",
+    "dag_from_dict",
+    "dag_from_json",
+    "dag_to_dict",
+    "dag_to_dot",
+    "dag_to_json",
+    "layered_random_dag",
+    "linear_chain",
+    "random_binary_dag",
+    "tree_dag",
+]

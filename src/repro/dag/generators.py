@@ -1,0 +1,213 @@
+"""Parameterised synthetic DAG families.
+
+These generators serve two purposes:
+
+* property-based tests pebble random DAGs and check strategy validity and
+  baseline invariants on them;
+* the Table I harness needs ISCAS-sized dependency graphs.  The original
+  ISCAS-85 netlists (and the mockturtle XMG extraction used by the paper)
+  are not available offline, so `layered_random_dag` produces deterministic
+  stand-ins with a requested node count, output count, depth and fan-in
+  distribution (see DESIGN.md, substitution table).
+
+All generators are deterministic given their ``seed``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import DagError
+from repro.dag.graph import Dag
+
+
+def linear_chain(length: int, *, operation: str = "op", name: str | None = None) -> Dag:
+    """A chain ``n1 -> n2 -> ... -> n_length`` (worst case for pebble reuse)."""
+    if length < 1:
+        raise DagError("length must be >= 1")
+    dag = Dag(name=name or f"chain_{length}")
+    previous: list[str] = []
+    for index in range(1, length + 1):
+        identifier = f"n{index}"
+        dag.add_node(identifier, previous, operation=operation)
+        previous = [identifier]
+    return dag
+
+
+def tree_dag(
+    num_leaves: int,
+    *,
+    arity: int = 2,
+    operation: str = "op",
+    name: str | None = None,
+) -> Dag:
+    """A reduction tree over ``num_leaves`` leaf nodes (e.g. a wide AND).
+
+    Leaf nodes read only primary inputs; internal nodes combine ``arity``
+    previous results until a single root remains.  The 9-input AND oracle of
+    Fig. 6 is ``tree_dag`` applied to eight 2-input leaf groups — see
+    :mod:`repro.workloads`.
+    """
+    if num_leaves < 1:
+        raise DagError("num_leaves must be >= 1")
+    if arity < 2:
+        raise DagError("arity must be >= 2")
+    dag = Dag(name=name or f"tree_{num_leaves}_{arity}")
+    current = []
+    for index in range(num_leaves):
+        identifier = f"leaf{index}"
+        dag.add_node(identifier, [], operation=operation)
+        current.append(identifier)
+    level = 0
+    counter = 0
+    while len(current) > 1:
+        level += 1
+        next_level = []
+        for start in range(0, len(current), arity):
+            group = current[start : start + arity]
+            if len(group) == 1:
+                next_level.append(group[0])
+                continue
+            identifier = f"n{level}_{counter}"
+            counter += 1
+            dag.add_node(identifier, group, operation=operation)
+            next_level.append(identifier)
+        current = next_level
+    return dag
+
+
+def random_binary_dag(
+    num_nodes: int,
+    *,
+    seed: int = 0,
+    source_fraction: float = 0.25,
+    operation: str = "op",
+    name: str | None = None,
+) -> Dag:
+    """A random DAG in which every non-source node has exactly two fan-ins.
+
+    This mimics the structure of two-input gate networks (the paper's
+    single-target-gate decompositions).  Roughly ``source_fraction`` of the
+    nodes are sources.
+    """
+    if num_nodes < 1:
+        raise DagError("num_nodes must be >= 1")
+    if not 0.0 < source_fraction <= 1.0:
+        raise DagError("source_fraction must be in (0, 1]")
+    rng = random.Random(seed)
+    dag = Dag(name=name or f"random_binary_{num_nodes}_{seed}")
+    num_sources = max(1, int(round(num_nodes * source_fraction)))
+    identifiers: list[str] = []
+    for index in range(num_nodes):
+        identifier = f"n{index}"
+        if index < num_sources or index < 2:
+            dag.add_node(identifier, [], operation=operation)
+        else:
+            left, right = rng.sample(identifiers, 2)
+            dag.add_node(identifier, [left, right], operation=operation)
+        identifiers.append(identifier)
+    return dag
+
+
+def layered_random_dag(
+    num_nodes: int,
+    num_outputs: int,
+    *,
+    depth: int = 8,
+    max_fanin: int = 2,
+    seed: int = 0,
+    operation: str = "op",
+    name: str | None = None,
+) -> Dag:
+    """A layered random DAG with a prescribed node count, output count and depth.
+
+    Nodes are distributed over ``depth`` layers; a node in layer ``l > 1``
+    draws between one and ``max_fanin`` dependencies from earlier layers
+    (biased towards the immediately preceding layer, which mirrors gate-level
+    netlists).  Exactly ``num_outputs`` nodes are designated outputs, chosen
+    from the deepest layers.  Every non-output node is guaranteed at least
+    one dependent so the DAG has no irrelevant dangling work.
+    """
+    if num_nodes < 1:
+        raise DagError("num_nodes must be >= 1")
+    if not 1 <= num_outputs <= num_nodes:
+        raise DagError("num_outputs must be between 1 and num_nodes")
+    if depth < 1:
+        raise DagError("depth must be >= 1")
+    if max_fanin < 1:
+        raise DagError("max_fanin must be >= 1")
+    depth = min(depth, num_nodes)
+    rng = random.Random(seed)
+    dag = Dag(name=name or f"layered_{num_nodes}_{num_outputs}_{seed}")
+
+    # Spread nodes across layers (every layer gets at least one node).
+    layer_sizes = [1] * depth
+    for _ in range(num_nodes - depth):
+        layer_sizes[rng.randrange(depth)] += 1
+
+    layers: list[list[str]] = []
+    counter = 0
+    for layer_index, size in enumerate(layer_sizes):
+        layer: list[str] = []
+        for _ in range(size):
+            identifier = f"n{counter}"
+            counter += 1
+            if layer_index == 0:
+                dag.add_node(identifier, [], operation=operation)
+            else:
+                fanin_count = rng.randint(1, max_fanin)
+                pool_layer = layer_index - 1
+                dependencies: list[str] = []
+                for _ in range(fanin_count):
+                    if rng.random() < 0.7 or pool_layer == 0:
+                        source_layer = pool_layer
+                    else:
+                        source_layer = rng.randrange(pool_layer)
+                    dependencies.append(rng.choice(layers[source_layer]))
+                dag.add_node(identifier, list(dict.fromkeys(dependencies)), operation=operation)
+            layer.append(identifier)
+        layers.append(layer)
+
+    # Choose outputs from the deepest layers first.
+    outputs: list[str] = []
+    for layer in reversed(layers):
+        for identifier in reversed(layer):
+            if len(outputs) < num_outputs:
+                outputs.append(identifier)
+    dag.set_outputs(outputs)
+
+    # Give every dangling non-output node a consumer so that all nodes matter:
+    # rebuild the DAG once, appending each dangling node to the dependency
+    # list of a random node in a later layer.
+    output_set = set(outputs)
+    layer_of = {identifier: index for index, layer in enumerate(layers) for identifier in layer}
+    extra_dependencies: dict[str, list[str]] = {}
+    for identifier in dag.nodes():
+        if identifier in output_set or dag.dependents(identifier):
+            continue
+        later = [other for other, other_layer in layer_of.items() if other_layer > layer_of[identifier]]
+        if not later:
+            outputs.append(identifier)
+            output_set.add(identifier)
+            continue
+        consumer = rng.choice(later)
+        extra_dependencies.setdefault(consumer, []).append(identifier)
+
+    if extra_dependencies:
+        # Rebuild in layer order: every edge (original or extra) goes from an
+        # earlier layer to a later one, so this order is always valid.
+        rewired = Dag(name=dag.name)
+        for layer in layers:
+            for identifier in layer:
+                dependencies = list(dag.dependencies(identifier))
+                dependencies.extend(extra_dependencies.get(identifier, []))
+                rewired.add_node(
+                    identifier,
+                    list(dict.fromkeys(dependencies)),
+                    operation=dag.node(identifier).operation,
+                )
+        rewired.set_outputs(outputs)
+        return rewired
+
+    dag.set_outputs(outputs)
+    return dag

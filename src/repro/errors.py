@@ -1,0 +1,59 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every exception raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the repro library."""
+
+
+class CnfError(ReproError):
+    """Raised for malformed CNF formulas, clauses or literals."""
+
+
+class SolverError(ReproError):
+    """Raised when the SAT solver is used incorrectly (e.g. bad literal)."""
+
+
+class ResourceLimitError(ReproError):
+    """Raised when a solver exhausts a conflict/time budget and the caller
+    asked for limit violations to be raised instead of reported."""
+
+
+class DagError(ReproError):
+    """Raised for structural problems in dependency graphs (cycles,
+    unknown nodes, duplicate identifiers)."""
+
+
+class LogicNetworkError(ReproError):
+    """Raised for malformed logic networks or parse errors in ``.bench``."""
+
+
+class BenchParseError(LogicNetworkError):
+    """Raised when an ISCAS-89 ``.bench`` file cannot be parsed."""
+
+
+class SlpError(ReproError):
+    """Raised for malformed straight-line programs."""
+
+
+class PebblingError(ReproError):
+    """Raised for invalid pebbling strategies or unsatisfiable requests
+    detected before/without calling the solver."""
+
+
+class InvalidStrategyError(PebblingError):
+    """Raised when a pebbling strategy violates the rules of the game."""
+
+
+class CircuitError(ReproError):
+    """Raised for malformed reversible circuits or qubit bookkeeping bugs."""
+
+
+class WorkloadError(ReproError):
+    """Raised when an unknown benchmark workload is requested."""

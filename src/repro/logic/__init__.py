@@ -1,0 +1,42 @@
+"""Logic-network substrate.
+
+The paper derives its pebbling DAGs from logic networks: XOR-majority
+graphs extracted with mockturtle for the ISCAS benchmarks, and gate-level
+decompositions of modular arithmetic for the ``H`` operator designs.  This
+subpackage provides a self-contained replacement:
+
+* :mod:`repro.logic.network` -- a multi-gate logic network (PI/PO,
+  AND/OR/XOR/MAJ/NAND/NOR/XNOR/NOT/BUF nodes), bit-parallel simulation and
+  conversion to a pebbling :class:`~repro.dag.graph.Dag`;
+* :mod:`repro.logic.bench` -- reader/writer for the ISCAS-89 ``.bench``
+  netlist format;
+* :mod:`repro.logic.arithmetic` -- gate-level generators for ripple-carry
+  adders/subtractors, comparators and modular adders/subtractors used to
+  expand the paper's ``H`` operator to the gate level;
+* :mod:`repro.logic.iscas` -- the real ``c17`` netlist plus deterministic
+  ISCAS-like stand-ins for the larger ISCAS-85 circuits (see DESIGN.md).
+"""
+
+from repro.logic.arithmetic import (
+    modular_adder_network,
+    modular_subtractor_network,
+    ripple_carry_adder_network,
+    ripple_carry_subtractor_network,
+)
+from repro.logic.bench import network_from_bench, network_to_bench, parse_bench
+from repro.logic.iscas import iscas_like_network, list_iscas_names
+from repro.logic.network import GateType, LogicNetwork
+
+__all__ = [
+    "GateType",
+    "LogicNetwork",
+    "iscas_like_network",
+    "list_iscas_names",
+    "modular_adder_network",
+    "modular_subtractor_network",
+    "network_from_bench",
+    "network_to_bench",
+    "parse_bench",
+    "ripple_carry_adder_network",
+    "ripple_carry_subtractor_network",
+]

@@ -1,0 +1,139 @@
+"""Reader and writer for the ISCAS-89 ``.bench`` netlist format.
+
+The paper's Table I uses ISCAS benchmark circuits.  The ``.bench`` format is
+the de-facto plain-text exchange format for those netlists::
+
+    # c17
+    INPUT(1)
+    INPUT(2)
+    ...
+    OUTPUT(22)
+    10 = NAND(1, 3)
+    22 = NAND(10, 16)
+
+This module parses combinational ``.bench`` files into
+:class:`~repro.logic.network.LogicNetwork` objects (sequential ``DFF``
+elements are rejected with a clear error — the pebbling game is defined on
+combinational dependency DAGs) and writes networks back out, so users with
+access to the original ISCAS files can reproduce Table I on the real
+circuits rather than on the bundled synthetic stand-ins.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.errors import BenchParseError
+from repro.logic.network import GateType, LogicNetwork
+
+_LINE_RE = re.compile(
+    r"^\s*(?P<output>[^\s=]+)\s*=\s*(?P<gate>[A-Za-z01]+)\s*\((?P<fanins>[^)]*)\)\s*$"
+)
+_IO_RE = re.compile(r"^\s*(?P<kind>INPUT|OUTPUT)\s*\(\s*(?P<name>[^)\s]+)\s*\)\s*$", re.IGNORECASE)
+
+_GATE_ALIASES = {
+    "AND": GateType.AND,
+    "OR": GateType.OR,
+    "NAND": GateType.NAND,
+    "NOR": GateType.NOR,
+    "XOR": GateType.XOR,
+    "XNOR": GateType.XNOR,
+    "NOT": GateType.NOT,
+    "INV": GateType.NOT,
+    "BUF": GateType.BUF,
+    "BUFF": GateType.BUF,
+    "MAJ": GateType.MAJ,
+    "CONST0": GateType.CONST0,
+    "CONST1": GateType.CONST1,
+    "GND": GateType.CONST0,
+    "VDD": GateType.CONST1,
+}
+
+
+def parse_bench(text: str, *, name: str = "bench") -> LogicNetwork:
+    """Parse ``.bench`` content (as a string) into a :class:`LogicNetwork`."""
+    network = LogicNetwork(name=name)
+    pending_outputs: list[str] = []
+    gate_lines: list[tuple[int, str, GateType, list[str]]] = []
+
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        io_match = _IO_RE.match(line)
+        if io_match:
+            signal = io_match.group("name")
+            if io_match.group("kind").upper() == "INPUT":
+                network.add_input(signal)
+            else:
+                pending_outputs.append(signal)
+            continue
+        gate_match = _LINE_RE.match(line)
+        if gate_match:
+            gate_name = gate_match.group("gate").upper()
+            if gate_name == "DFF":
+                raise BenchParseError(
+                    f"line {line_number}: sequential element DFF is not supported; "
+                    "extract the combinational core first"
+                )
+            if gate_name not in _GATE_ALIASES:
+                raise BenchParseError(f"line {line_number}: unknown gate type {gate_name!r}")
+            fanins = [token.strip() for token in gate_match.group("fanins").split(",") if token.strip()]
+            gate_lines.append((line_number, gate_match.group("output"), _GATE_ALIASES[gate_name], fanins))
+            continue
+        raise BenchParseError(f"line {line_number}: cannot parse {raw_line!r}")
+
+    # Gates may be listed in any order in a .bench file; add them in
+    # dependency order.
+    remaining = list(gate_lines)
+    defined = set(network.inputs)
+    progress = True
+    while remaining and progress:
+        progress = False
+        still_remaining = []
+        for entry in remaining:
+            line_number, output, gate_type, fanins = entry
+            if all(fanin in defined for fanin in fanins):
+                network.add_gate(output, gate_type, fanins)
+                defined.add(output)
+                progress = True
+            else:
+                still_remaining.append(entry)
+        remaining = still_remaining
+    if remaining:
+        missing = sorted({fanin for _, _, _, fanins in remaining for fanin in fanins if fanin not in defined})
+        raise BenchParseError(
+            f"undriven signals or combinational loop; unresolved signals: {missing[:10]}"
+        )
+
+    for signal in pending_outputs:
+        if not network.has_signal(signal):
+            raise BenchParseError(f"OUTPUT({signal}) does not match any input or gate")
+        network.add_output(signal)
+    network.validate()
+    return network
+
+
+def network_from_bench(path: str | Path, *, name: str | None = None) -> LogicNetwork:
+    """Read a ``.bench`` file from disk."""
+    path = Path(path)
+    return parse_bench(path.read_text(encoding="utf-8"), name=name or path.stem)
+
+
+def network_to_bench(network: LogicNetwork) -> str:
+    """Serialise ``network`` to ``.bench`` text."""
+    lines = [f"# {network.name}"]
+    for signal in network.inputs:
+        lines.append(f"INPUT({signal})")
+    for signal in network.outputs:
+        lines.append(f"OUTPUT({signal})")
+    for gate in network.gates():
+        fanins = ", ".join(gate.fanins)
+        lines.append(f"{gate.output} = {gate.gate_type.value}({fanins})")
+    return "\n".join(lines) + "\n"
+
+
+def write_bench(network: LogicNetwork, path: str | Path) -> None:
+    """Write ``network`` to a ``.bench`` file."""
+    Path(path).write_text(network_to_bench(network), encoding="utf-8")

@@ -1,0 +1,164 @@
+"""SAT encoding of the bounded-step reversible pebbling game (Problem 2).
+
+Given a DAG ``G = (V, E)``, a pebble budget ``P`` and a number of steps
+``K``, the encoding introduces one Boolean variable ``p[v, i]`` per node
+``v`` and time point ``0 <= i <= K`` (``K + 1`` configurations, ``K``
+transitions) and the three clause groups of Section III-B of the paper:
+
+* **initial and final clauses** — at time 0 nothing is pebbled; at time K
+  exactly the outputs are pebbled;
+* **move clauses** — if ``v`` changes between ``i`` and ``i+1``, then every
+  dependency ``w`` of ``v`` is pebbled at both ``i`` and ``i+1``:
+  ``(p[v,i] xor p[v,i+1]) -> (p[w,i] and p[w,i+1])``;
+* **cardinality clauses** — at every time point at most ``P`` pebbles are in
+  use (compiled with a selectable cardinality encoding, see
+  :class:`~repro.sat.cards.CardinalityEncoding`).
+
+Optional extras beyond the paper's plain encoding (all off by default or
+clearly flagged):
+
+* ``max_moves_per_step`` limits how many nodes may change per transition
+  (1 reproduces the single-move grids of Fig. 4);
+* ``forbid_idle_steps`` forces at least one change per transition, which
+  makes the reported K tight when a solution with fewer steps exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PebblingError
+from repro.dag.graph import Dag, NodeId
+from repro.sat.cards import CardinalityEncoding, at_most_k
+from repro.sat.cnf import Cnf
+
+
+@dataclass(frozen=True)
+class EncodingOptions:
+    """Tuning knobs of the pebbling encoding."""
+
+    cardinality: CardinalityEncoding = CardinalityEncoding.SEQUENTIAL
+    max_moves_per_step: int | None = None
+    forbid_idle_steps: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_moves_per_step is not None and self.max_moves_per_step < 1:
+            raise PebblingError("max_moves_per_step must be >= 1 (or None)")
+
+
+@dataclass
+class PebblingEncoding:
+    """The result of encoding one (DAG, pebbles, steps) instance."""
+
+    dag: Dag
+    num_steps: int
+    max_pebbles: int
+    cnf: Cnf
+    pebble_variables: dict[tuple[NodeId, int], int] = field(default_factory=dict)
+
+    def variable(self, node: NodeId, step: int) -> int:
+        """Return the CNF variable of ``p[node, step]``."""
+        try:
+            return self.pebble_variables[(node, step)]
+        except KeyError as exc:
+            raise PebblingError(f"no pebble variable for ({node!r}, {step})") from exc
+
+    def configurations_from_model(self, model: dict[int, bool]) -> list[set[NodeId]]:
+        """Decode a SAT model into the sequence of pebbling configurations."""
+        configurations: list[set[NodeId]] = []
+        for step in range(self.num_steps + 1):
+            configurations.append(
+                {
+                    node
+                    for node in self.dag.nodes()
+                    if model.get(self.pebble_variables[(node, step)], False)
+                }
+            )
+        return configurations
+
+
+class PebblingEncoder:
+    """Builds :class:`PebblingEncoding` instances for a fixed DAG."""
+
+    def __init__(self, dag: Dag, *, options: EncodingOptions | None = None):
+        dag.validate()
+        self.dag = dag
+        self.options = options or EncodingOptions()
+
+    def encode(self, *, max_pebbles: int, num_steps: int) -> PebblingEncoding:
+        """Encode Problem 2 for ``max_pebbles`` pebbles and ``num_steps`` steps."""
+        if max_pebbles < 1:
+            raise PebblingError("max_pebbles must be >= 1")
+        if num_steps < 1:
+            raise PebblingError("num_steps must be >= 1")
+        dag = self.dag
+        nodes = dag.topological_order()
+        outputs = set(dag.outputs())
+        cnf = Cnf()
+        cnf.add_comment(
+            f"reversible pebbling: dag={dag.name} nodes={len(nodes)} "
+            f"pebbles={max_pebbles} steps={num_steps}"
+        )
+        variables: dict[tuple[NodeId, int], int] = {}
+        for step in range(num_steps + 1):
+            for node in nodes:
+                variables[(node, step)] = cnf.new_variable(f"p[{node},{step}]")
+
+        # Initial and final clauses.
+        for node in nodes:
+            cnf.add_unit(-variables[(node, 0)])
+        for node in nodes:
+            literal = variables[(node, num_steps)]
+            cnf.add_unit(literal if node in outputs else -literal)
+
+        # Move clauses.
+        for step in range(num_steps):
+            for node in nodes:
+                now = variables[(node, step)]
+                then = variables[(node, step + 1)]
+                for dependency in dag.dependencies(node):
+                    dep_now = variables[(dependency, step)]
+                    dep_then = variables[(dependency, step + 1)]
+                    # (now xor then) -> dep_now  and  (now xor then) -> dep_then
+                    cnf.add_clause([-now, then, dep_now])
+                    cnf.add_clause([now, -then, dep_now])
+                    cnf.add_clause([-now, then, dep_then])
+                    cnf.add_clause([now, -then, dep_then])
+
+        # Cardinality clauses: at most ``max_pebbles`` pebbles per time point.
+        if max_pebbles < len(nodes):
+            for step in range(num_steps + 1):
+                step_literals = [variables[(node, step)] for node in nodes]
+                at_most_k(cnf, step_literals, max_pebbles, encoding=self.options.cardinality)
+
+        # Optional per-transition move variables and their constraints.
+        if self.options.max_moves_per_step is not None or self.options.forbid_idle_steps:
+            for step in range(num_steps):
+                move_literals = []
+                for node in nodes:
+                    move = cnf.new_variable(f"m[{node},{step}]")
+                    now = variables[(node, step)]
+                    then = variables[(node, step + 1)]
+                    # move <-> (now xor then)
+                    cnf.add_clause([-move, now, then])
+                    cnf.add_clause([-move, -now, -then])
+                    cnf.add_clause([move, -now, then])
+                    cnf.add_clause([move, now, -then])
+                    move_literals.append(move)
+                if self.options.max_moves_per_step is not None:
+                    at_most_k(
+                        cnf,
+                        move_literals,
+                        self.options.max_moves_per_step,
+                        encoding=self.options.cardinality,
+                    )
+                if self.options.forbid_idle_steps:
+                    cnf.add_clause(move_literals)
+
+        return PebblingEncoding(
+            dag=dag,
+            num_steps=num_steps,
+            max_pebbles=max_pebbles,
+            cnf=cnf,
+            pebble_variables=variables,
+        )

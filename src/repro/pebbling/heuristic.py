@@ -1,0 +1,179 @@
+"""Greedy heuristic pebblers for DAGs beyond the reach of the SAT engine.
+
+The SAT-based solver gives the best space/time trade-offs but its encoding
+grows with ``|V| * K``; for very large DAGs (thousands of nodes) a designer
+still needs *some* valid clean-up strategy.  Two heuristics are provided,
+selected with ``mode``:
+
+``"cone"``
+    Compute each output's cone in topological order and uncompute the
+    helper nodes right after the output is finished.  Every node is
+    computed at most a couple of times, so the move count stays close to
+    Bennett's, but the peak pebble count is only reduced when the DAG has
+    several outputs with small overlapping cones.
+
+``"recursive"``
+    The classic recursive compute/uncompute strategy (compute the
+    dependencies, pebble the node, immediately uncompute the helper
+    dependencies — and recursively recompute whatever an uncomputation
+    needs).  On balanced, tree-like DAGs the peak pebble count drops to
+    roughly twice the depth; on narrow chains it degenerates to Bennett's
+    pebble count while paying heavy recomputation (placing checkpoints
+    optimally is exactly the job of the SAT engine), so a ``max_moves``
+    guard protects against pathological blow-ups.
+
+Nodes whose fan-out reaches ``keep_fanout_threshold`` are kept pebbled
+until a final clean-up phase in both modes, which avoids recomputing
+heavily shared values.
+
+The resulting strategies are always legal (they are returned as
+:class:`~repro.pebbling.strategy.PebblingStrategy`, which validates), and
+they trade pebbles for recomputation, mirroring the qualitative behaviour
+of the SAT solutions.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PebblingError
+from repro.dag.graph import Dag, NodeId
+from repro.pebbling.strategy import PebbleMove, PebblingStrategy
+
+
+def greedy_pebbling_strategy(
+    dag: Dag,
+    *,
+    mode: str = "recursive",
+    keep_fanout_threshold: int = 2,
+    max_pebbles: int | None = None,
+    max_moves: int = 1_000_000,
+) -> PebblingStrategy:
+    """Pebble ``dag`` with a greedy strategy (no SAT solver involved).
+
+    Parameters
+    ----------
+    dag:
+        The dependency DAG to pebble.
+    mode:
+        ``"recursive"`` (default, saves pebbles) or ``"cone"`` (saves moves);
+        see the module docstring.
+    keep_fanout_threshold:
+        Nodes with at least this many dependents are kept pebbled until the
+        final clean-up phase instead of being uncomputed eagerly.
+    max_pebbles:
+        Optional hard limit; a :class:`~repro.errors.PebblingError` is raised
+        if the heuristic would exceed it (the heuristic does not backtrack).
+    max_moves:
+        Guard against recomputation blow-ups of the recursive mode.
+    """
+    dag.validate()
+    if mode not in ("recursive", "cone"):
+        raise PebblingError(f"unknown heuristic mode {mode!r} (use 'recursive' or 'cone')")
+    if keep_fanout_threshold < 1:
+        raise PebblingError("keep_fanout_threshold must be >= 1")
+
+    outputs = set(dag.outputs())
+    keep: set[NodeId] = {
+        node for node in dag.nodes() if len(dag.dependents(node)) >= keep_fanout_threshold
+    }
+
+    moves: list[PebbleMove] = []
+    pebbled: set[NodeId] = set()
+    peak = 0
+
+    def place(node: NodeId) -> None:
+        nonlocal peak
+        moves.append(PebbleMove(node, pebble=True))
+        pebbled.add(node)
+        peak = max(peak, len(pebbled))
+        if max_pebbles is not None and peak > max_pebbles:
+            raise PebblingError(f"greedy heuristic exceeded the pebble budget of {max_pebbles}")
+        if len(moves) > max_moves:
+            raise PebblingError(f"greedy heuristic exceeded the move budget of {max_moves}")
+
+    def remove(node: NodeId) -> None:
+        moves.append(PebbleMove(node, pebble=False))
+        pebbled.discard(node)
+        if len(moves) > max_moves:
+            raise PebblingError(f"greedy heuristic exceeded the move budget of {max_moves}")
+
+    def releasable(node: NodeId) -> bool:
+        return node not in outputs and node not in keep
+
+    # -- recursive mode helpers -----------------------------------------
+    def compute_clean(node: NodeId) -> None:
+        """Pebble ``node``, leaving no extra helper pebbles behind."""
+        helpers = _ensure_dependencies(node)
+        place(node)
+        for helper in reversed(helpers):
+            if releasable(helper):
+                uncompute_clean(helper)
+
+    def uncompute_clean(node: NodeId) -> None:
+        """Remove the pebble from ``node``, restoring dependencies as needed."""
+        helpers = _ensure_dependencies(node)
+        remove(node)
+        for helper in reversed(helpers):
+            if releasable(helper):
+                uncompute_clean(helper)
+
+    def _ensure_dependencies(node: NodeId) -> list[NodeId]:
+        helpers: list[NodeId] = []
+        for dependency in dag.dependencies(node):
+            if dependency not in pebbled:
+                compute_clean(dependency)
+                helpers.append(dependency)
+        return helpers
+
+    # -- cone mode helpers -----------------------------------------------
+    def compute_cone(node: NodeId) -> list[NodeId]:
+        """Pebble ``node`` and its missing fan-in; return the helpers used."""
+        helpers: list[NodeId] = []
+        for dependency in dag.dependencies(node):
+            if dependency not in pebbled:
+                helpers.extend(compute_cone(dependency))
+                helpers.append(dependency)
+        place(node)
+        return helpers
+
+    def uncompute_cone_helpers(helpers: list[NodeId]) -> None:
+        for helper in reversed(helpers):
+            if helper not in pebbled or not releasable(helper):
+                continue
+            extra: list[NodeId] = []
+            for dependency in dag.dependencies(helper):
+                if dependency not in pebbled:
+                    extra.extend(compute_cone(dependency))
+                    extra.append(dependency)
+            remove(helper)
+            uncompute_cone_helpers(extra)
+
+    # -- main phase -------------------------------------------------------
+    if mode == "recursive":
+        for output in dag.outputs():
+            if output not in pebbled:
+                compute_clean(output)
+    else:
+        for output in dag.outputs():
+            if output not in pebbled:
+                helpers = compute_cone(output)
+                uncompute_cone_helpers(helpers)
+
+    # -- final clean-up of kept (high fan-out) nodes ----------------------
+    for node in dag.reverse_topological_order():
+        if node in outputs or node not in pebbled:
+            continue
+        if mode == "recursive":
+            # Temporarily treat the node as releasable so uncompute_clean
+            # actually removes it.
+            keep.discard(node)
+            uncompute_clean(node)
+        else:
+            extra: list[NodeId] = []
+            for dependency in dag.dependencies(node):
+                if dependency not in pebbled:
+                    extra.extend(compute_cone(dependency))
+                    extra.append(dependency)
+            remove(node)
+            uncompute_cone_helpers(extra)
+
+    return PebblingStrategy.from_moves(dag, moves)

@@ -1,0 +1,518 @@
+"""SAT-driven reversible pebbling (Problems 1 and 2 of the paper).
+
+:class:`ReversiblePebblingSolver` wraps the encoding of
+:mod:`repro.pebbling.encoding` with the two search loops used in the
+paper's evaluation:
+
+* :meth:`ReversiblePebblingSolver.solve` — Problem 1: given a pebble budget
+  ``P``, find a strategy with the minimum number of steps by asking the SAT
+  oracle for ``K, K+1, K+2, ...`` steps until a solution appears (or a time
+  budget runs out);
+* :meth:`ReversiblePebblingSolver.minimize_pebbles` — the outer loop used
+  for Table I: find the smallest ``P`` for which a strategy can be found
+  within a per-budget timeout.
+
+Both loops support the incremental mode, which keeps a single
+:class:`~repro.sat.solver.CdclSolver` alive across step bounds: the
+final-configuration constraint of each bound is guarded by an activation
+literal and selected with assumptions, so learned clauses are reused when
+moving from ``K`` to ``K + 1``.  The non-incremental mode re-encodes from
+scratch for every ``K`` (the paper's plain approach) and is kept for the
+ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import PebblingError
+from repro.dag.graph import Dag, NodeId
+from repro.pebbling.bennett import eager_bennett_strategy
+from repro.pebbling.encoding import EncodingOptions, PebblingEncoder
+from repro.pebbling.strategy import PebblingStrategy
+from repro.sat.cards import at_most_k
+from repro.sat.cnf import Cnf
+from repro.sat.solver import CdclSolver, Status
+
+
+class PebblingOutcome(Enum):
+    """Outcome of a pebbling search."""
+
+    SOLUTION = "solution"
+    INFEASIBLE = "infeasible"
+    STEP_LIMIT = "step-limit"
+    TIMEOUT = "timeout"
+
+
+@dataclass
+class AttemptRecord:
+    """One SAT query issued during the search (for reporting/debugging)."""
+
+    max_pebbles: int
+    num_steps: int
+    status: Status
+    runtime: float
+    conflicts: int
+
+
+@dataclass
+class PebblingResult:
+    """Result of a pebbling search.
+
+    ``strategy`` is ``None`` unless ``outcome`` is
+    :attr:`PebblingOutcome.SOLUTION`.
+    """
+
+    dag_name: str
+    max_pebbles: int
+    outcome: PebblingOutcome
+    strategy: PebblingStrategy | None = None
+    runtime: float = 0.0
+    attempts: list[AttemptRecord] = field(default_factory=list)
+
+    @property
+    def found(self) -> bool:
+        """``True`` when a valid strategy was found."""
+        return self.outcome is PebblingOutcome.SOLUTION and self.strategy is not None
+
+    @property
+    def num_steps(self) -> int | None:
+        """Number of transitions of the found strategy (None if not found)."""
+        return self.strategy.num_steps if self.strategy is not None else None
+
+    @property
+    def num_moves(self) -> int | None:
+        """Number of pebble moves / gates of the found strategy."""
+        return self.strategy.num_moves if self.strategy is not None else None
+
+    def summary(self) -> dict[str, object]:
+        """Plain-dictionary summary used by the CLI and benchmark tables."""
+        return {
+            "dag": self.dag_name,
+            "max_pebbles": self.max_pebbles,
+            "outcome": self.outcome.value,
+            "pebbles_used": self.strategy.max_pebbles if self.strategy else None,
+            "steps": self.num_steps,
+            "moves": self.num_moves,
+            "runtime": round(self.runtime, 3),
+            "sat_calls": len(self.attempts),
+        }
+
+
+class ReversiblePebblingSolver:
+    """Finds reversible pebbling strategies for one DAG via SAT."""
+
+    def __init__(
+        self,
+        dag: Dag,
+        *,
+        options: EncodingOptions | None = None,
+        incremental: bool = True,
+        conflict_limit: int | None = None,
+    ) -> None:
+        dag.validate()
+        self.dag = dag
+        self.options = options or EncodingOptions()
+        self.incremental = incremental
+        self.conflict_limit = conflict_limit
+        self._encoder = PebblingEncoder(dag, options=self.options)
+
+    # ------------------------------------------------------------------
+    # feasibility bounds
+    # ------------------------------------------------------------------
+    def minimum_pebbles_lower_bound(self) -> int:
+        """A cheap lower bound on the number of pebbles of any strategy.
+
+        Any node must be pebbled with all its dependencies pebbled, hence at
+        least ``max_fanin + 1`` pebbles; the final configuration holds all
+        outputs, hence at least ``|O|`` pebbles; and for a non-output DAG
+        node to be cleaned up while an output stays pebbled the bound
+        ``|O| + 1`` applies whenever some non-output node remains to be
+        unpebbled after the last output is computed.
+        """
+        stats = self.dag.statistics()
+        bound = max(stats.max_fanin + 1, stats.num_outputs)
+        if stats.num_nodes > stats.num_outputs:
+            bound = max(bound, 2)
+        return bound
+
+    def default_initial_steps(self, *, max_pebbles: int) -> int:
+        """A safe lower bound on the number of transitions.
+
+        With several moves allowed per transition, reaching the deepest
+        output still needs at least ``depth`` transitions; with single-move
+        transitions every node must be pebbled once and every non-output
+        unpebbled once, giving ``2 |V| - |O|``.
+        """
+        stats = self.dag.statistics()
+        if self.options.max_moves_per_step == 1:
+            lower = 2 * stats.num_nodes - stats.num_outputs
+        else:
+            lower = stats.depth + (1 if stats.num_nodes > stats.num_outputs else 0)
+        return max(1, lower)
+
+    # ------------------------------------------------------------------
+    # Problem 2: fixed number of steps
+    # ------------------------------------------------------------------
+    def solve_fixed(
+        self,
+        *,
+        max_pebbles: int,
+        num_steps: int,
+        time_limit: float | None = None,
+    ) -> tuple[Status, PebblingStrategy | None, AttemptRecord]:
+        """Ask the SAT oracle whether a ``num_steps``-step strategy exists."""
+        encoding = self._encoder.encode(max_pebbles=max_pebbles, num_steps=num_steps)
+        solver = CdclSolver(encoding.cnf, conflict_limit=self.conflict_limit)
+        started = time.monotonic()
+        result = solver.solve(time_limit=time_limit, conflict_limit=self.conflict_limit)
+        elapsed = time.monotonic() - started
+        record = AttemptRecord(
+            max_pebbles=max_pebbles,
+            num_steps=num_steps,
+            status=result.status,
+            runtime=elapsed,
+            conflicts=result.stats.conflicts,
+        )
+        if not result.is_sat:
+            return result.status, None, record
+        assert result.model is not None
+        configurations = encoding.configurations_from_model(result.model)
+        strategy = PebblingStrategy(
+            self.dag,
+            configurations,
+            max_moves_per_step=self.options.max_moves_per_step,
+        )
+        return result.status, strategy, record
+
+    # ------------------------------------------------------------------
+    # Problem 1: minimum steps for a pebble budget
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        max_pebbles: int,
+        *,
+        initial_steps: int | None = None,
+        step_increment: int = 1,
+        step_schedule: str = "linear",
+        max_steps: int | None = None,
+        time_limit: float | None = None,
+    ) -> PebblingResult:
+        """Find a strategy with at most ``max_pebbles`` pebbles.
+
+        The number of steps starts at ``initial_steps`` (default: a structural
+        lower bound) and grows after every UNSAT answer until a solution is
+        found, ``max_steps`` is exceeded, or the time budget runs out.
+
+        ``step_schedule`` controls how the bound grows:
+
+        * ``"linear"`` (the paper's Problem 1 loop) — add ``step_increment``
+          after each UNSAT answer, which yields a step-minimal solution;
+        * ``"geometric"`` — multiply the bound by 1.5 after each UNSAT
+          answer, which gives up step minimality in exchange for far fewer
+          SAT calls on tightly constrained instances (used by the Fig. 5
+          budget sweeps on larger programs).
+        """
+        if max_pebbles < 1:
+            raise PebblingError("max_pebbles must be >= 1")
+        if step_increment < 1:
+            raise PebblingError("step_increment must be >= 1")
+        if step_schedule not in ("linear", "geometric"):
+            raise PebblingError("step_schedule must be 'linear' or 'geometric'")
+        started = time.monotonic()
+        result = PebblingResult(self.dag.name, max_pebbles, PebblingOutcome.TIMEOUT)
+
+        if max_pebbles < self.minimum_pebbles_lower_bound():
+            result.outcome = PebblingOutcome.INFEASIBLE
+            result.runtime = time.monotonic() - started
+            return result
+
+        if max_steps is None:
+            # 4 |V|^2 is far beyond any minimal strategy we can extract and
+            # only acts as a runaway guard.
+            max_steps = max(16, 4 * self.dag.num_nodes * self.dag.num_nodes)
+        num_steps = initial_steps or self.default_initial_steps(max_pebbles=max_pebbles)
+
+        if self.incremental:
+            outcome = self._solve_incremental(
+                result, max_pebbles, num_steps, step_increment, step_schedule,
+                max_steps, time_limit, started,
+            )
+        else:
+            outcome = self._solve_monolithic(
+                result, max_pebbles, num_steps, step_increment, step_schedule,
+                max_steps, time_limit, started,
+            )
+        result.outcome = outcome
+        result.runtime = time.monotonic() - started
+        return result
+
+    def _remaining(self, time_limit: float | None, started: float) -> float | None:
+        if time_limit is None:
+            return None
+        return time_limit - (time.monotonic() - started)
+
+    @staticmethod
+    def _next_steps(num_steps: int, step_increment: int, step_schedule: str) -> int:
+        if step_schedule == "geometric":
+            return max(num_steps + 1, int(num_steps * 3 / 2))
+        return num_steps + step_increment
+
+    def _solve_monolithic(
+        self,
+        result: PebblingResult,
+        max_pebbles: int,
+        num_steps: int,
+        step_increment: int,
+        step_schedule: str,
+        max_steps: int,
+        time_limit: float | None,
+        started: float,
+    ) -> PebblingOutcome:
+        while num_steps <= max_steps:
+            remaining = self._remaining(time_limit, started)
+            if remaining is not None and remaining <= 0:
+                return PebblingOutcome.TIMEOUT
+            status, strategy, record = self.solve_fixed(
+                max_pebbles=max_pebbles, num_steps=num_steps, time_limit=remaining
+            )
+            result.attempts.append(record)
+            if status is Status.SATISFIABLE and strategy is not None:
+                result.strategy = strategy
+                return PebblingOutcome.SOLUTION
+            if status is Status.UNKNOWN:
+                return PebblingOutcome.TIMEOUT
+            num_steps = self._next_steps(num_steps, step_increment, step_schedule)
+        return PebblingOutcome.STEP_LIMIT
+
+    # -- incremental engine ------------------------------------------------
+    def _solve_incremental(
+        self,
+        result: PebblingResult,
+        max_pebbles: int,
+        initial_steps: int,
+        step_increment: int,
+        step_schedule: str,
+        max_steps: int,
+        time_limit: float | None,
+        started: float,
+    ) -> PebblingOutcome:
+        dag = self.dag
+        nodes = dag.topological_order()
+        outputs = set(dag.outputs())
+        cnf = Cnf()
+        variables: dict[tuple[NodeId, int], int] = {}
+        solver = CdclSolver(conflict_limit=self.conflict_limit)
+
+        def add_configuration(step: int) -> None:
+            for node in nodes:
+                variables[(node, step)] = cnf.new_variable(f"p[{node},{step}]")
+            if max_pebbles < len(nodes):
+                at_most_k(
+                    cnf,
+                    [variables[(node, step)] for node in nodes],
+                    max_pebbles,
+                    encoding=self.options.cardinality,
+                )
+
+        def add_transition(step: int) -> None:
+            move_literals: list[int] = []
+            for node in nodes:
+                now = variables[(node, step)]
+                then = variables[(node, step + 1)]
+                for dependency in dag.dependencies(node):
+                    dep_now = variables[(dependency, step)]
+                    dep_then = variables[(dependency, step + 1)]
+                    cnf.add_clause([-now, then, dep_now])
+                    cnf.add_clause([now, -then, dep_now])
+                    cnf.add_clause([-now, then, dep_then])
+                    cnf.add_clause([now, -then, dep_then])
+                if self.options.max_moves_per_step is not None or self.options.forbid_idle_steps:
+                    move = cnf.new_variable(f"m[{node},{step}]")
+                    cnf.add_clause([-move, now, then])
+                    cnf.add_clause([-move, -now, -then])
+                    cnf.add_clause([move, -now, then])
+                    cnf.add_clause([move, now, -then])
+                    move_literals.append(move)
+            if self.options.max_moves_per_step is not None:
+                at_most_k(
+                    cnf, move_literals, self.options.max_moves_per_step,
+                    encoding=self.options.cardinality,
+                )
+            if self.options.forbid_idle_steps:
+                cnf.add_clause(move_literals)
+
+        def add_final_guard(step: int) -> int:
+            guard = cnf.new_variable(f"final[{step}]")
+            for node in nodes:
+                literal = variables[(node, step)]
+                cnf.add_clause([-guard, literal if node in outputs else -literal])
+            return guard
+
+        pushed_clauses = 0
+
+        def flush_new_clauses() -> None:
+            # Push the clauses added to ``cnf`` since the last flush into the
+            # incremental solver.
+            nonlocal pushed_clauses
+            while pushed_clauses < len(cnf.clauses):
+                solver.add_clause(cnf.clauses[pushed_clauses].literals)
+                pushed_clauses += 1
+
+        # Build configurations 0 .. initial_steps.
+        add_configuration(0)
+        for node in nodes:
+            cnf.add_unit(-variables[(node, 0)])
+        current_steps = 0
+        num_steps = initial_steps
+        while current_steps < num_steps:
+            add_configuration(current_steps + 1)
+            add_transition(current_steps)
+            current_steps += 1
+
+        while num_steps <= max_steps:
+            remaining = self._remaining(time_limit, started)
+            if remaining is not None and remaining <= 0:
+                return PebblingOutcome.TIMEOUT
+            while current_steps < num_steps:
+                add_configuration(current_steps + 1)
+                add_transition(current_steps)
+                current_steps += 1
+            guard = add_final_guard(num_steps)
+            flush_new_clauses()
+            call_started = time.monotonic()
+            sat_result = solver.solve(
+                [guard], time_limit=remaining, conflict_limit=self.conflict_limit
+            )
+            elapsed = time.monotonic() - call_started
+            result.attempts.append(
+                AttemptRecord(
+                    max_pebbles=max_pebbles,
+                    num_steps=num_steps,
+                    status=sat_result.status,
+                    runtime=elapsed,
+                    conflicts=sat_result.stats.conflicts,
+                )
+            )
+            if sat_result.is_sat:
+                assert sat_result.model is not None
+                configurations = [
+                    {
+                        node
+                        for node in nodes
+                        if sat_result.model.get(variables[(node, step)], False)
+                    }
+                    for step in range(num_steps + 1)
+                ]
+                result.strategy = PebblingStrategy(
+                    dag, configurations, max_moves_per_step=self.options.max_moves_per_step
+                )
+                return PebblingOutcome.SOLUTION
+            if sat_result.is_unknown:
+                return PebblingOutcome.TIMEOUT
+            num_steps = self._next_steps(num_steps, step_increment, step_schedule)
+        return PebblingOutcome.STEP_LIMIT
+
+    # ------------------------------------------------------------------
+    # Table I outer loop: minimise the number of pebbles
+    # ------------------------------------------------------------------
+    def minimize_pebbles(
+        self,
+        *,
+        upper_bound: int | None = None,
+        lower_bound: int | None = None,
+        timeout_per_budget: float | None = 120.0,
+        max_steps: int | None = None,
+        step_increment: int = 1,
+        step_schedule: str = "linear",
+        stop_after_failures: int = 1,
+        warm_start: bool = True,
+    ) -> tuple[PebblingResult | None, list[PebblingResult]]:
+        """Find the smallest pebble budget solvable within a per-budget timeout.
+
+        Mirrors the paper's Table I methodology: "the number of pebbles
+        corresponds to the minimum one for which the solver could find a
+        solution within 2 minutes".  Budgets are tried in descending order
+        starting just below ``upper_bound`` (default: the peak of the eager
+        Bennett baseline, whose strategy also seeds the result so the scan
+        never returns empty-handed); the scan stops after
+        ``stop_after_failures`` consecutive budgets without a solution.
+
+        With ``warm_start`` (default) each budget starts its step search at
+        the step count of the previously found strategy — the minimum step
+        count can only grow as the budget shrinks, so this skips provably
+        fruitless SAT calls; disable it to obtain step-minimal answers per
+        budget with the linear schedule.
+
+        Returns ``(best_result, all_results)``.
+        """
+        baseline = eager_bennett_strategy(self.dag)
+        if upper_bound is None:
+            upper_bound = baseline.max_pebbles
+        if lower_bound is None:
+            lower_bound = self.minimum_pebbles_lower_bound()
+        if upper_bound < lower_bound:
+            upper_bound = lower_bound
+        all_results: list[PebblingResult] = []
+        best: PebblingResult | None = None
+        steps_hint: int | None = None
+        first_budget = upper_bound
+        if upper_bound >= baseline.max_pebbles:
+            # The eager Bennett strategy is already a witness for the loosest
+            # budget; no SAT call needed for it.
+            best = PebblingResult(
+                self.dag.name, upper_bound, PebblingOutcome.SOLUTION, strategy=baseline
+            )
+            steps_hint = baseline.num_steps
+            first_budget = baseline.max_pebbles - 1
+        failures = 0
+        for budget in range(first_budget, lower_bound - 1, -1):
+            outcome = self.solve(
+                budget,
+                time_limit=timeout_per_budget,
+                max_steps=max_steps,
+                step_increment=step_increment,
+                step_schedule=step_schedule,
+                initial_steps=steps_hint if warm_start else None,
+            )
+            all_results.append(outcome)
+            if outcome.found:
+                best = outcome
+                failures = 0
+                if warm_start and outcome.num_steps is not None:
+                    steps_hint = max(steps_hint or 1, outcome.num_steps)
+            else:
+                failures += 1
+                if failures >= stop_after_failures:
+                    break
+        return best, all_results
+
+
+# ---------------------------------------------------------------------------
+# module-level conveniences
+# ---------------------------------------------------------------------------
+def pebble_dag(
+    dag: Dag,
+    max_pebbles: int,
+    *,
+    options: EncodingOptions | None = None,
+    time_limit: float | None = None,
+    **solve_kwargs,
+) -> PebblingResult:
+    """One-shot helper: pebble ``dag`` with at most ``max_pebbles`` pebbles."""
+    solver = ReversiblePebblingSolver(dag, options=options)
+    return solver.solve(max_pebbles, time_limit=time_limit, **solve_kwargs)
+
+
+def minimize_pebbles(
+    dag: Dag,
+    *,
+    options: EncodingOptions | None = None,
+    timeout_per_budget: float | None = 120.0,
+    **kwargs,
+) -> tuple[PebblingResult | None, list[PebblingResult]]:
+    """One-shot helper mirroring the Table I methodology."""
+    solver = ReversiblePebblingSolver(dag, options=options)
+    return solver.minimize_pebbles(timeout_per_budget=timeout_per_budget, **kwargs)

@@ -1,0 +1,220 @@
+"""Cardinality-constraint encodings.
+
+The pebbling encoding needs, for every time step ``i``, the constraint
+
+.. math::  \\sum_{v \\in V} p_{v,i} \\le P
+
+i.e. an *at-most-k* constraint over the pebble variables of that step.  Z3
+handles such pseudo-Boolean constraints natively; a plain CNF SAT solver
+needs them compiled to clauses.  This module implements the classic
+encodings and lets the pebbling encoder (and the ablation benchmark) choose
+among them:
+
+``pairwise``
+    The naive binomial encoding.  No auxiliary variables, but
+    :math:`\\binom{n}{k+1}` clauses — only usable for tiny ``k`` or ``n``.
+
+``sequential``
+    Sinz's sequential-counter encoding (LTSeq).  ``O(n k)`` auxiliary
+    variables and clauses, supports incremental strengthening and is the
+    default used by the pebbling encoder.
+
+``totalizer``
+    Bailleux–Boufkhad totalizer.  ``O(n \\log n)`` variables, ``O(n k)``
+    clauses, good unit-propagation behaviour.
+
+All functions append clauses to a caller-provided :class:`~repro.sat.cnf.Cnf`
+and work on DIMACS literals (so they can constrain negated variables too).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from itertools import combinations
+from typing import Sequence
+
+from repro.errors import CnfError
+from repro.sat.cnf import Cnf
+from repro.sat.literals import check_literal
+
+
+class CardinalityEncoding(Enum):
+    """Which at-most-k compilation strategy to use."""
+
+    PAIRWISE = "pairwise"
+    SEQUENTIAL = "sequential"
+    TOTALIZER = "totalizer"
+
+    @classmethod
+    def from_name(cls, name: "str | CardinalityEncoding") -> "CardinalityEncoding":
+        """Accept either an enum member or its string value."""
+        if isinstance(name, cls):
+            return name
+        try:
+            return cls(name)
+        except ValueError as exc:
+            valid = ", ".join(member.value for member in cls)
+            raise CnfError(f"unknown cardinality encoding {name!r} (valid: {valid})") from exc
+
+
+def at_most_one(cnf: Cnf, literals: Sequence[int]) -> None:
+    """Add clauses stating that at most one of ``literals`` is true."""
+    at_most_k(cnf, literals, 1, encoding=CardinalityEncoding.PAIRWISE)
+
+
+def exactly_one(cnf: Cnf, literals: Sequence[int]) -> None:
+    """Add clauses stating that exactly one of ``literals`` is true."""
+    if not literals:
+        raise CnfError("exactly_one over an empty literal list is unsatisfiable")
+    cnf.add_clause(list(literals))
+    at_most_one(cnf, literals)
+
+
+def at_least_k(cnf: Cnf, literals: Sequence[int], bound: int) -> None:
+    """Add clauses stating that at least ``bound`` of ``literals`` are true.
+
+    Encoded as *at most* ``n - bound`` of the negated literals.
+    """
+    literals = [check_literal(literal) for literal in literals]
+    if bound <= 0:
+        return
+    if bound > len(literals):
+        cnf.add_clause([])  # unsatisfiable
+        return
+    at_most_k(cnf, [-literal for literal in literals], len(literals) - bound)
+
+
+def exactly_k(
+    cnf: Cnf,
+    literals: Sequence[int],
+    bound: int,
+    *,
+    encoding: "str | CardinalityEncoding" = CardinalityEncoding.SEQUENTIAL,
+) -> None:
+    """Add clauses stating that exactly ``bound`` of ``literals`` are true."""
+    at_most_k(cnf, literals, bound, encoding=encoding)
+    at_least_k(cnf, literals, bound)
+
+
+def at_most_k(
+    cnf: Cnf,
+    literals: Sequence[int],
+    bound: int,
+    *,
+    encoding: "str | CardinalityEncoding" = CardinalityEncoding.SEQUENTIAL,
+) -> None:
+    """Add clauses stating that at most ``bound`` of ``literals`` are true."""
+    literals = [check_literal(literal) for literal in literals]
+    if bound < 0:
+        cnf.add_clause([])  # nothing can satisfy a negative bound
+        return
+    if bound == 0:
+        for literal in literals:
+            cnf.add_unit(-literal)
+        return
+    if bound >= len(literals):
+        return  # trivially satisfied
+    strategy = CardinalityEncoding.from_name(encoding)
+    if strategy is CardinalityEncoding.PAIRWISE:
+        _pairwise(cnf, literals, bound)
+    elif strategy is CardinalityEncoding.SEQUENTIAL:
+        _sequential_counter(cnf, literals, bound)
+    else:
+        _totalizer(cnf, literals, bound)
+
+
+# ---------------------------------------------------------------------------
+# pairwise / binomial
+# ---------------------------------------------------------------------------
+def _pairwise(cnf: Cnf, literals: Sequence[int], bound: int) -> None:
+    # Guard against clause-count explosions: the binomial encoding emits
+    # C(n, k+1) clauses which is only reasonable for small instances.
+    import math
+
+    clause_count = math.comb(len(literals), bound + 1)
+    if clause_count > 2_000_000:
+        raise CnfError(
+            f"pairwise at-most-{bound} over {len(literals)} literals would emit "
+            f"{clause_count} clauses; use the sequential or totalizer encoding"
+        )
+    for subset in combinations(literals, bound + 1):
+        cnf.add_clause([-literal for literal in subset])
+
+
+# ---------------------------------------------------------------------------
+# sequential counter (Sinz 2005)
+# ---------------------------------------------------------------------------
+def _sequential_counter(cnf: Cnf, literals: Sequence[int], bound: int) -> None:
+    count = len(literals)
+    # registers[i][j] is true when at least j+1 of the first i+1 literals
+    # are true.
+    registers = [
+        [cnf.new_variable() for _ in range(bound)]
+        for _ in range(count)
+    ]
+    first = literals[0]
+    cnf.add_clause([-first, registers[0][0]])
+    for j in range(1, bound):
+        cnf.add_unit(-registers[0][j])
+    for i in range(1, count):
+        literal = literals[i]
+        cnf.add_clause([-literal, registers[i][0]])
+        cnf.add_clause([-registers[i - 1][0], registers[i][0]])
+        for j in range(1, bound):
+            cnf.add_clause([-literal, -registers[i - 1][j - 1], registers[i][j]])
+            cnf.add_clause([-registers[i - 1][j], registers[i][j]])
+        cnf.add_clause([-literal, -registers[i - 1][bound - 1]])
+
+
+# ---------------------------------------------------------------------------
+# totalizer (Bailleux & Boufkhad 2003)
+# ---------------------------------------------------------------------------
+def _totalizer(cnf: Cnf, literals: Sequence[int], bound: int) -> None:
+    output = _totalizer_tree(cnf, list(literals), bound)
+    # Forbid the (bound+1)-th output from being true.
+    if len(output) > bound:
+        cnf.add_unit(-output[bound])
+
+
+def _totalizer_tree(cnf: Cnf, literals: list[int], bound: int) -> list[int]:
+    """Build a totalizer over ``literals``; return its sorted output literals.
+
+    Outputs are truncated at ``bound + 1`` since larger counts are never
+    distinguished by an at-most-``bound`` constraint.
+    """
+    if len(literals) == 1:
+        return [literals[0]]
+    middle = len(literals) // 2
+    left = _totalizer_tree(cnf, literals[:middle], bound)
+    right = _totalizer_tree(cnf, literals[middle:], bound)
+    width = min(len(left) + len(right), bound + 1)
+    output = [cnf.new_variable() for _ in range(width)]
+    # sum semantics: output[k] is true when at least k+1 inputs are true.
+    for alpha in range(len(left) + 1):
+        for beta in range(len(right) + 1):
+            sigma = alpha + beta
+            if sigma == 0 or sigma > width:
+                continue
+            clause: list[int] = []
+            if alpha > 0:
+                clause.append(-left[alpha - 1])
+            if beta > 0:
+                clause.append(-right[beta - 1])
+            clause.append(output[sigma - 1])
+            cnf.add_clause(clause)
+    return output
+
+
+def count_true(model: dict[int, bool], literals: Sequence[int]) -> int:
+    """Count how many of ``literals`` are satisfied by ``model``.
+
+    Helper shared by tests and by the pebbling strategy extractor to verify
+    cardinality constraints on returned models.
+    """
+    total = 0
+    for literal in literals:
+        variable = abs(literal)
+        value = model.get(variable, False)
+        if value == (literal > 0):
+            total += 1
+    return total

@@ -1,0 +1,238 @@
+"""CNF formula containers.
+
+A :class:`Cnf` is a list of clauses over DIMACS literals together with a
+variable pool.  Encoders (Tseitin, cardinality constraints, the pebbling
+encoding) build a :class:`Cnf` incrementally through :meth:`Cnf.add_clause`
+and :meth:`Cnf.new_variable`, and hand the result to a solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import CnfError
+from repro.sat.literals import check_literal, lit_to_var
+
+
+@dataclass(frozen=True)
+class Clause:
+    """An immutable disjunction of literals.
+
+    Duplicate literals are removed on construction; a clause containing both
+    a literal and its negation is a *tautology* (see :meth:`is_tautology`).
+    """
+
+    literals: tuple[int, ...]
+
+    def __init__(self, literals: Iterable[int]):
+        seen: dict[int, None] = {}
+        for literal in literals:
+            check_literal(literal)
+            seen.setdefault(literal, None)
+        object.__setattr__(self, "literals", tuple(seen))
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.literals)
+
+    def __len__(self) -> int:
+        return len(self.literals)
+
+    def __contains__(self, literal: int) -> bool:
+        return literal in self.literals
+
+    def is_tautology(self) -> bool:
+        """Return ``True`` when the clause contains ``x`` and ``-x``."""
+        literal_set = set(self.literals)
+        return any(-literal in literal_set for literal in literal_set)
+
+    def is_empty(self) -> bool:
+        """Return ``True`` for the empty (unsatisfiable) clause."""
+        return not self.literals
+
+    def variables(self) -> set[int]:
+        """Return the set of variables mentioned by the clause."""
+        return {lit_to_var(literal) for literal in self.literals}
+
+    def evaluate(self, assignment: Mapping[int, bool]) -> bool:
+        """Evaluate the clause under a complete ``{variable: bool}`` map.
+
+        Raises :class:`~repro.errors.CnfError` if a variable is missing.
+        """
+        for literal in self.literals:
+            variable = lit_to_var(literal)
+            if variable not in assignment:
+                raise CnfError(f"assignment is missing variable {variable}")
+            if assignment[variable] == (literal > 0):
+                return True
+        return False
+
+
+class VariablePool:
+    """Allocates fresh DIMACS variables and optionally names them.
+
+    Encoders frequently need auxiliary variables (Tseitin outputs,
+    cardinality-counter bits).  The pool hands out consecutive integers and
+    remembers an optional human-readable name per variable, which makes
+    debugging encodings and pretty-printing models considerably easier.
+    """
+
+    def __init__(self, first_variable: int = 1):
+        if first_variable < 1:
+            raise CnfError("first_variable must be >= 1")
+        self._next = first_variable
+        self._names: dict[int, str] = {}
+        self._by_name: dict[str, int] = {}
+
+    @property
+    def num_variables(self) -> int:
+        """Number of variables allocated so far (highest index)."""
+        return self._next - 1
+
+    def new(self, name: str | None = None) -> int:
+        """Allocate and return a fresh variable, optionally named."""
+        variable = self._next
+        self._next += 1
+        if name is not None:
+            self.set_name(variable, name)
+        return variable
+
+    def new_many(self, count: int, prefix: str | None = None) -> list[int]:
+        """Allocate ``count`` fresh variables, named ``prefix[i]`` if given."""
+        if count < 0:
+            raise CnfError("count must be non-negative")
+        names = [None if prefix is None else f"{prefix}[{i}]" for i in range(count)]
+        return [self.new(name) for name in names]
+
+    def set_name(self, variable: int, name: str) -> None:
+        """Attach ``name`` to ``variable`` (names must be unique)."""
+        if name in self._by_name and self._by_name[name] != variable:
+            raise CnfError(f"variable name {name!r} already used")
+        self._names[variable] = name
+        self._by_name[name] = variable
+
+    def name_of(self, variable: int) -> str | None:
+        """Return the name of ``variable`` or ``None``."""
+        return self._names.get(variable)
+
+    def by_name(self, name: str) -> int:
+        """Return the variable registered under ``name``."""
+        try:
+            return self._by_name[name]
+        except KeyError as exc:
+            raise CnfError(f"no variable named {name!r}") from exc
+
+    def reserve_through(self, variable: int) -> None:
+        """Make sure the pool will not reuse indices up to ``variable``."""
+        if variable >= self._next:
+            self._next = variable + 1
+
+
+@dataclass
+class Cnf:
+    """A CNF formula: a clause list plus a variable pool.
+
+    The class is deliberately simple — encoders append clauses, solvers read
+    ``clauses`` and ``num_variables``.  Convenience helpers cover the common
+    logical gadgets used by the pebbling encoding (implications,
+    equivalences).
+    """
+
+    pool: VariablePool = field(default_factory=VariablePool)
+    clauses: list[Clause] = field(default_factory=list)
+    comments: list[str] = field(default_factory=list)
+
+    @property
+    def num_variables(self) -> int:
+        """Highest variable index used by the formula."""
+        return self.pool.num_variables
+
+    @property
+    def num_clauses(self) -> int:
+        """Number of clauses currently in the formula."""
+        return len(self.clauses)
+
+    def new_variable(self, name: str | None = None) -> int:
+        """Allocate a fresh variable through the pool."""
+        return self.pool.new(name)
+
+    def new_variables(self, count: int, prefix: str | None = None) -> list[int]:
+        """Allocate ``count`` fresh variables through the pool."""
+        return self.pool.new_many(count, prefix)
+
+    def add_clause(self, literals: Iterable[int]) -> Clause:
+        """Add a clause (a disjunction of DIMACS literals) and return it."""
+        clause = literals if isinstance(literals, Clause) else Clause(literals)
+        for literal in clause:
+            self.pool.reserve_through(lit_to_var(literal))
+        self.clauses.append(clause)
+        return clause
+
+    def add_clauses(self, clause_list: Iterable[Iterable[int]]) -> None:
+        """Add every clause in ``clause_list``."""
+        for literals in clause_list:
+            self.add_clause(literals)
+
+    def add_unit(self, literal: int) -> Clause:
+        """Force ``literal`` to be true."""
+        return self.add_clause([literal])
+
+    def add_implication(self, antecedent: int, consequent: int) -> Clause:
+        """Add ``antecedent -> consequent``."""
+        return self.add_clause([-antecedent, consequent])
+
+    def add_equivalence(self, left: int, right: int) -> None:
+        """Add ``left <-> right``."""
+        self.add_clause([-left, right])
+        self.add_clause([left, -right])
+
+    def add_comment(self, text: str) -> None:
+        """Record a human-readable comment (written out to DIMACS)."""
+        self.comments.append(text)
+
+    def variables(self) -> set[int]:
+        """Return all variables mentioned in clauses."""
+        result: set[int] = set()
+        for clause in self.clauses:
+            result.update(clause.variables())
+        return result
+
+    def evaluate(self, assignment: Mapping[int, bool]) -> bool:
+        """Evaluate the whole formula under a complete assignment."""
+        return all(clause.evaluate(assignment) for clause in self.clauses)
+
+    def copy(self) -> "Cnf":
+        """Return a shallow copy sharing no mutable state with ``self``."""
+        fresh = Cnf()
+        fresh.pool.reserve_through(self.num_variables)
+        for variable in range(1, self.num_variables + 1):
+            name = self.pool.name_of(variable)
+            if name is not None:
+                fresh.pool.set_name(variable, name)
+        fresh.clauses = list(self.clauses)
+        fresh.comments = list(self.comments)
+        return fresh
+
+    def as_lists(self) -> list[list[int]]:
+        """Return clauses as plain lists of ints (handy for solvers/tests)."""
+        return [list(clause.literals) for clause in self.clauses]
+
+    def __iter__(self) -> Iterator[Clause]:
+        return iter(self.clauses)
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def stats(self) -> dict[str, int]:
+        """Return a small dictionary of size statistics."""
+        literal_count = sum(len(clause) for clause in self.clauses)
+        return {
+            "variables": self.num_variables,
+            "clauses": self.num_clauses,
+            "literals": literal_count,
+        }
+
+
+def clauses_from_lists(clause_lists: Sequence[Sequence[int]]) -> list[Clause]:
+    """Convert raw literal lists into :class:`Clause` objects."""
+    return [Clause(literals) for literals in clause_lists]

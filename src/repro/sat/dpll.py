@@ -1,0 +1,138 @@
+"""A tiny DPLL solver used as a reference implementation.
+
+The CDCL solver in :mod:`repro.sat.solver` is the production engine.  This
+module provides a deliberately simple, obviously-correct Davis–Putnam–
+Logemann–Loveland solver.  The property-based tests solve the same random
+formulas with both engines and require the SAT/UNSAT verdicts to agree,
+which is by far the most effective way of catching propagation or conflict-
+analysis bugs in the fast solver.
+
+It is exponential-time and recursion-free (explicit stack) and should only
+be used on formulas with at most a few dozen variables.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import SolverError
+from repro.sat.cnf import Cnf
+from repro.sat.solver import SolveResult, SolverStats, Status
+
+
+class DpllSolver:
+    """A straightforward DPLL solver with unit propagation.
+
+    Only intended for small formulas (test oracle); the interface mirrors a
+    subset of :class:`~repro.sat.solver.CdclSolver`.
+    """
+
+    def __init__(self, cnf: Cnf | None = None, *, max_variables: int = 64):
+        self._clauses: list[list[int]] = []
+        self._num_vars = 0
+        self._max_variables = max_variables
+        if cnf is not None:
+            self.add_cnf(cnf)
+
+    @property
+    def num_variables(self) -> int:
+        """Highest variable index seen so far."""
+        return self._num_vars
+
+    def add_cnf(self, cnf: Cnf) -> None:
+        """Add every clause of ``cnf``."""
+        for clause in cnf.clauses:
+            self.add_clause(clause.literals)
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        """Add one clause given as DIMACS literals."""
+        clause = sorted(set(literals))
+        for literal in clause:
+            if literal == 0:
+                raise SolverError("literal 0 is invalid")
+            self._num_vars = max(self._num_vars, abs(literal))
+        if self._num_vars > self._max_variables:
+            raise SolverError(
+                f"DpllSolver is a test oracle limited to {self._max_variables} variables"
+            )
+        if any(-literal in clause for literal in clause):
+            return
+        self._clauses.append(clause)
+
+    def solve(self, assumptions: Sequence[int] = ()) -> SolveResult:
+        """Solve by exhaustive DPLL search; always conclusive."""
+        stats = SolverStats()
+        assignment: dict[int, bool] = {}
+        clauses = [list(clause) for clause in self._clauses]
+        for literal in assumptions:
+            clauses.append([literal])
+        result = self._search(clauses, assignment, stats)
+        if result is None:
+            return SolveResult(Status.UNSATISFIABLE, None, stats)
+        model = {
+            variable: result.get(variable, False)
+            for variable in range(1, self._num_vars + 1)
+        }
+        return SolveResult(Status.SATISFIABLE, model, stats)
+
+    def _search(
+        self,
+        clauses: list[list[int]],
+        assignment: dict[int, bool],
+        stats: SolverStats,
+    ) -> dict[int, bool] | None:
+        clauses, assignment, consistent = self._propagate(clauses, dict(assignment), stats)
+        if not consistent:
+            return None
+        if not clauses:
+            return assignment
+        variable = abs(clauses[0][0])
+        for value in (True, False):
+            stats.decisions += 1
+            extended = dict(assignment)
+            extended[variable] = value
+            literal = variable if value else -variable
+            reduced = self._reduce(clauses, literal)
+            if reduced is None:
+                continue
+            result = self._search(reduced, extended, stats)
+            if result is not None:
+                return result
+        return None
+
+    @staticmethod
+    def _reduce(clauses: list[list[int]], literal: int) -> list[list[int]] | None:
+        reduced: list[list[int]] = []
+        for clause in clauses:
+            if literal in clause:
+                continue
+            if -literal in clause:
+                shrunk = [other for other in clause if other != -literal]
+                if not shrunk:
+                    return None
+                reduced.append(shrunk)
+            else:
+                reduced.append(clause)
+        return reduced
+
+    def _propagate(
+        self,
+        clauses: list[list[int]],
+        assignment: dict[int, bool],
+        stats: SolverStats,
+    ) -> tuple[list[list[int]], dict[int, bool], bool]:
+        changed = True
+        while changed:
+            changed = False
+            for clause in clauses:
+                if len(clause) == 1:
+                    literal = clause[0]
+                    assignment[abs(literal)] = literal > 0
+                    stats.propagations += 1
+                    reduced = self._reduce(clauses, literal)
+                    if reduced is None:
+                        return clauses, assignment, False
+                    clauses = reduced
+                    changed = True
+                    break
+        return clauses, assignment, True

@@ -1,0 +1,48 @@
+"""Helpers for DIMACS-style literals.
+
+A *variable* is a positive integer ``1, 2, 3, ...``.  A *literal* is a
+non-zero integer whose absolute value is the variable and whose sign gives
+the polarity: ``3`` means "variable 3 is true", ``-3`` means "variable 3 is
+false".  This is the convention used by the DIMACS CNF format and by most
+SAT solvers, and it is the convention used throughout :mod:`repro`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CnfError
+
+
+def check_literal(literal: int) -> int:
+    """Validate ``literal`` and return it.
+
+    Raises :class:`~repro.errors.CnfError` if the literal is zero or not an
+    integer (booleans are rejected explicitly because ``True`` would silently
+    behave like variable 1).
+    """
+    if isinstance(literal, bool) or not isinstance(literal, int):
+        raise CnfError(f"literal must be an int, got {literal!r}")
+    if literal == 0:
+        raise CnfError("literal 0 is reserved as the DIMACS clause terminator")
+    return literal
+
+
+def negate(literal: int) -> int:
+    """Return the negation of ``literal``."""
+    return -check_literal(literal)
+
+
+def lit_to_var(literal: int) -> int:
+    """Return the variable (a positive integer) underlying ``literal``."""
+    return abs(check_literal(literal))
+
+
+def lit_is_positive(literal: int) -> bool:
+    """Return ``True`` when ``literal`` has positive polarity."""
+    return check_literal(literal) > 0
+
+
+def var_to_lit(variable: int, *, positive: bool = True) -> int:
+    """Return the literal of ``variable`` with the requested polarity."""
+    if isinstance(variable, bool) or not isinstance(variable, int) or variable <= 0:
+        raise CnfError(f"variable must be a positive int, got {variable!r}")
+    return variable if positive else -variable

@@ -1,0 +1,227 @@
+"""Boolean expressions and their Tseitin transformation to CNF.
+
+The pebbling encoding is written directly in clauses, but the logic-network
+substrate (``repro.logic``) needs to convert arbitrary gate-level formulas
+(AND/OR/XOR/MAJ/NOT over named inputs) into CNF — for example when checking
+the functional equivalence of a synthesised reversible circuit against its
+specification.  This module provides a small expression IR plus the
+standard Tseitin encoding, which introduces one auxiliary variable per gate
+and a constant number of clauses per gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.errors import CnfError
+from repro.sat.cnf import Cnf
+
+
+@dataclass(frozen=True)
+class BoolExpr:
+    """A node of a Boolean expression tree.
+
+    ``kind`` is one of ``"var"``, ``"const"``, ``"not"``, ``"and"``,
+    ``"or"``, ``"xor"``, ``"maj"``.  Use the module-level constructors
+    (:func:`var`, :func:`and_`, ...) rather than building nodes by hand.
+    """
+
+    kind: str
+    children: tuple["BoolExpr", ...] = ()
+    name: str | None = None
+    value: bool | None = None
+
+    def __post_init__(self) -> None:
+        valid = {"var", "const", "not", "and", "or", "xor", "maj"}
+        if self.kind not in valid:
+            raise CnfError(f"unknown expression kind {self.kind!r}")
+        if self.kind == "var" and not self.name:
+            raise CnfError("variable expressions need a name")
+        if self.kind == "const" and self.value is None:
+            raise CnfError("constant expressions need a value")
+        if self.kind == "not" and len(self.children) != 1:
+            raise CnfError("not takes exactly one child")
+        if self.kind == "maj" and len(self.children) != 3:
+            raise CnfError("maj takes exactly three children")
+        if self.kind in {"and", "or", "xor"} and len(self.children) < 1:
+            raise CnfError(f"{self.kind} needs at least one child")
+
+    # -- evaluation ----------------------------------------------------
+    def evaluate(self, env: Mapping[str, bool]) -> bool:
+        """Evaluate the expression under a ``{name: bool}`` environment."""
+        if self.kind == "var":
+            assert self.name is not None
+            if self.name not in env:
+                raise CnfError(f"environment is missing variable {self.name!r}")
+            return bool(env[self.name])
+        if self.kind == "const":
+            return bool(self.value)
+        values = [child.evaluate(env) for child in self.children]
+        if self.kind == "not":
+            return not values[0]
+        if self.kind == "and":
+            return all(values)
+        if self.kind == "or":
+            return any(values)
+        if self.kind == "xor":
+            result = False
+            for value in values:
+                result ^= value
+            return result
+        # maj
+        return sum(values) >= 2
+
+    def variables(self) -> set[str]:
+        """Return the names of all input variables of the expression."""
+        if self.kind == "var":
+            assert self.name is not None
+            return {self.name}
+        names: set[str] = set()
+        for child in self.children:
+            names |= child.variables()
+        return names
+
+
+# ---------------------------------------------------------------------------
+# constructors
+# ---------------------------------------------------------------------------
+def var(name: str) -> BoolExpr:
+    """An input variable."""
+    return BoolExpr("var", name=name)
+
+
+def const(value: bool) -> BoolExpr:
+    """A Boolean constant."""
+    return BoolExpr("const", value=bool(value))
+
+
+def not_(child: BoolExpr) -> BoolExpr:
+    """Logical negation."""
+    return BoolExpr("not", (child,))
+
+
+def and_(*children: BoolExpr) -> BoolExpr:
+    """Logical conjunction of one or more children."""
+    return BoolExpr("and", tuple(children))
+
+
+def or_(*children: BoolExpr) -> BoolExpr:
+    """Logical disjunction of one or more children."""
+    return BoolExpr("or", tuple(children))
+
+
+def xor_(*children: BoolExpr) -> BoolExpr:
+    """Logical exclusive-or of one or more children."""
+    return BoolExpr("xor", tuple(children))
+
+
+def maj(a: BoolExpr, b: BoolExpr, c: BoolExpr) -> BoolExpr:
+    """Three-input majority."""
+    return BoolExpr("maj", (a, b, c))
+
+
+def implies(antecedent: BoolExpr, consequent: BoolExpr) -> BoolExpr:
+    """``antecedent -> consequent``."""
+    return or_(not_(antecedent), consequent)
+
+
+def iff(left: BoolExpr, right: BoolExpr) -> BoolExpr:
+    """``left <-> right``."""
+    return not_(xor_(left, right))
+
+
+# ---------------------------------------------------------------------------
+# Tseitin encoding
+# ---------------------------------------------------------------------------
+class TseitinEncoder:
+    """Encodes :class:`BoolExpr` trees into a shared :class:`Cnf`.
+
+    Every named input variable gets (and keeps) one CNF variable; every
+    internal gate gets a fresh auxiliary variable constrained to equal the
+    gate's function of its children.  :meth:`assert_true` adds a unit clause
+    forcing an expression to hold.
+    """
+
+    def __init__(self, cnf: Cnf | None = None):
+        self.cnf = cnf if cnf is not None else Cnf()
+        self._input_literals: dict[str, int] = {}
+
+    def input_literal(self, name: str) -> int:
+        """Return (allocating if needed) the CNF variable of input ``name``."""
+        if name not in self._input_literals:
+            self._input_literals[name] = self.cnf.new_variable(name)
+        return self._input_literals[name]
+
+    @property
+    def inputs(self) -> dict[str, int]:
+        """Mapping from input name to CNF variable."""
+        return dict(self._input_literals)
+
+    def encode(self, expression: BoolExpr) -> int:
+        """Encode ``expression`` and return a literal equivalent to it."""
+        if expression.kind == "var":
+            assert expression.name is not None
+            return self.input_literal(expression.name)
+        if expression.kind == "const":
+            literal = self.cnf.new_variable()
+            self.cnf.add_unit(literal if expression.value else -literal)
+            return literal
+        if expression.kind == "not":
+            return -self.encode(expression.children[0])
+        child_literals = [self.encode(child) for child in expression.children]
+        output = self.cnf.new_variable()
+        if expression.kind == "and":
+            self._encode_and(output, child_literals)
+        elif expression.kind == "or":
+            self._encode_and(-output, [-literal for literal in child_literals])
+        elif expression.kind == "xor":
+            self._encode_xor(output, child_literals)
+        else:  # maj
+            self._encode_maj(output, child_literals)
+        return output
+
+    def assert_true(self, expression: BoolExpr) -> int:
+        """Encode ``expression`` and force it to be true; return its literal."""
+        literal = self.encode(expression)
+        self.cnf.add_unit(literal)
+        return literal
+
+    def assert_false(self, expression: BoolExpr) -> int:
+        """Encode ``expression`` and force it to be false; return its literal."""
+        literal = self.encode(expression)
+        self.cnf.add_unit(-literal)
+        return literal
+
+    # -- gate encodings -------------------------------------------------
+    def _encode_and(self, output: int, children: Sequence[int]) -> None:
+        # output -> child_i  and  (all children) -> output
+        for child in children:
+            self.cnf.add_clause([-output, child])
+        self.cnf.add_clause([output] + [-child for child in children])
+
+    def _encode_xor(self, output: int, children: Sequence[int]) -> None:
+        if len(children) == 1:
+            self.cnf.add_equivalence(output, children[0])
+            return
+        current = children[0]
+        for index in range(1, len(children)):
+            target = output if index == len(children) - 1 else self.cnf.new_variable()
+            self._encode_xor2(target, current, children[index])
+            current = target
+
+    def _encode_xor2(self, output: int, a: int, b: int) -> None:
+        self.cnf.add_clause([-output, a, b])
+        self.cnf.add_clause([-output, -a, -b])
+        self.cnf.add_clause([output, -a, b])
+        self.cnf.add_clause([output, a, -b])
+
+    def _encode_maj(self, output: int, children: Sequence[int]) -> None:
+        a, b, c = children
+        # output is true iff at least two of a, b, c are true.
+        self.cnf.add_clause([-output, a, b])
+        self.cnf.add_clause([-output, a, c])
+        self.cnf.add_clause([-output, b, c])
+        self.cnf.add_clause([output, -a, -b])
+        self.cnf.add_clause([output, -a, -c])
+        self.cnf.add_clause([output, -b, -c])

@@ -1,0 +1,38 @@
+"""Straight-line program (SLP) substrate.
+
+Straight-line programs over modular arithmetic are the paper's first
+show-case: cryptographic computations (elliptic-curve / Kummer-surface
+point operations) expressed as a fixed sequence of additions, subtractions,
+multiplications and squarings.  Each operation becomes one node of the
+pebbling DAG.
+
+* :mod:`repro.slp.program` -- the SLP intermediate representation, a
+  modular-arithmetic interpreter and the conversion to a pebbling DAG;
+* :mod:`repro.slp.crypto` -- the concrete programs used in the paper's
+  evaluation: the Hadamard ``H`` operator (Section IV-B), Kummer-surface
+  point addition/doubling in the style of Bos et al. (Fig. 5) and projective
+  twisted-Edwards point addition;
+* :mod:`repro.slp.expand` -- expansion of word-level SLPs into gate-level
+  logic networks (modular adders/subtractors), which produces the
+  ``b<bits>_m<modulus>`` rows of Table I.
+"""
+
+from repro.slp.crypto import (
+    edwards_point_addition_slp,
+    hadamard_operator_slp,
+    kummer_doubling_slp,
+    kummer_point_addition_slp,
+)
+from repro.slp.expand import expand_slp_to_network
+from repro.slp.program import Instruction, Operation, StraightLineProgram
+
+__all__ = [
+    "Instruction",
+    "Operation",
+    "StraightLineProgram",
+    "edwards_point_addition_slp",
+    "expand_slp_to_network",
+    "hadamard_operator_slp",
+    "kummer_doubling_slp",
+    "kummer_point_addition_slp",
+]

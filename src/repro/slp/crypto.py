@@ -1,0 +1,206 @@
+"""Cryptographic straight-line programs used in the paper's evaluation.
+
+Three workloads appear in the paper:
+
+* the Hadamard ``H`` operator (Section IV-B): four modular additions and
+  four modular subtractions arranged as a butterfly — used, expanded to the
+  gate level, for the ``b<bits>_m<modulus>`` rows of Table I;
+* the point addition of Bos, Costello, Hisil and Lauter's fast genus-2
+  Kummer-surface arithmetic (Fig. 5): a ladder-style differential addition
+  built from Hadamard transforms, multiplications and squarings;
+* projective twisted-Edwards point addition, a smaller curve-arithmetic
+  program used as an extra example.
+
+The exact field constants are irrelevant to the pebbling problem (only the
+dependency structure matters), but the programs below are real formulas:
+the test-suite checks the ``H`` operator against its defining equations, the
+Edwards addition against the affine addition formulas over a prime field,
+and the Kummer-style programs against a direct composition of their
+building blocks (Hadamard transforms, scalings, squarings).
+"""
+
+from __future__ import annotations
+
+from repro.slp.program import StraightLineProgram
+
+
+def hadamard_operator_slp(*, name: str = "hadamard_H") -> StraightLineProgram:
+    """The paper's ``H`` operator (Section IV-B).
+
+    Inputs ``a, b, c, d``; outputs ``x, y, z, t`` with::
+
+        t1 = a + b    t2 = c + d    t3 = a - b    t4 = c - d
+        x  = t1 + t2  y  = t1 - t2  z  = t3 + t4  t  = t3 - t4
+    """
+    program = StraightLineProgram(name=name)
+    a, b, c, d = program.add_inputs(["a", "b", "c", "d"])
+    program.add("t1", a, b)
+    program.add("t2", c, d)
+    program.sub("t3", a, b)
+    program.sub("t4", c, d)
+    program.add("x", "t1", "t2")
+    program.sub("y", "t1", "t2")
+    program.add("z", "t3", "t4")
+    program.sub("t", "t3", "t4")
+    program.set_outputs(["x", "y", "z", "t"])
+    return program
+
+
+def _hadamard_block(
+    program: StraightLineProgram,
+    prefix: str,
+    a: str,
+    b: str,
+    c: str,
+    d: str,
+) -> tuple[str, str, str, str]:
+    """Append one Hadamard butterfly to ``program``; return its outputs."""
+    program.add(f"{prefix}_t1", a, b)
+    program.add(f"{prefix}_t2", c, d)
+    program.sub(f"{prefix}_t3", a, b)
+    program.sub(f"{prefix}_t4", c, d)
+    program.add(f"{prefix}_x", f"{prefix}_t1", f"{prefix}_t2")
+    program.sub(f"{prefix}_y", f"{prefix}_t1", f"{prefix}_t2")
+    program.add(f"{prefix}_z", f"{prefix}_t3", f"{prefix}_t4")
+    program.sub(f"{prefix}_t", f"{prefix}_t3", f"{prefix}_t4")
+    return (f"{prefix}_x", f"{prefix}_y", f"{prefix}_z", f"{prefix}_t")
+
+
+def kummer_point_addition_slp(
+    *,
+    curve_constants: tuple[int, int, int, int] = (11, 13, 17, 19),
+    name: str = "kummer_point_addition",
+) -> StraightLineProgram:
+    """Differential point addition on a fast Kummer surface.
+
+    This follows the structure of the genus-2 arithmetic of Bos et al.
+    (EUROCRYPT 2013) used by the paper for Fig. 5: given the Kummer
+    coordinates of ``P`` (``xp, yp, zp, tp``), of ``Q`` (``xq, yq, zq, tq``)
+    and of the difference ``P - Q`` (``xd, yd, zd, td``), compute ``P + Q``.
+
+    The program consists of two input Hadamard transforms, two rounds of
+    four coordinate-wise multiplications (the second against the curve
+    constants), a third Hadamard transform, four squarings and a final round
+    of multiplications by the inverted difference coordinates — 44
+    operations in total, in the same size class as the Fig. 5 workload
+    (whose pebbled implementations range from 74 to 110 executed
+    operations).
+    """
+    program = StraightLineProgram(name=name)
+    xp, yp, zp, tp = program.add_inputs(["xp", "yp", "zp", "tp"])
+    xq, yq, zq, tq = program.add_inputs(["xq", "yq", "zq", "tq"])
+    # Coordinates of P - Q (projective inverses precomputed, as is standard
+    # for ladder implementations).
+    ixd, iyd, izd, itd = program.add_inputs(["ixd", "iyd", "izd", "itd"])
+    k1, k2, k3, k4 = curve_constants
+
+    # Hadamard transform of both operands.
+    hp = _hadamard_block(program, "hp", xp, yp, zp, tp)
+    hq = _hadamard_block(program, "hq", xq, yq, zq, tq)
+
+    # Coordinate-wise products of the transformed operands.
+    for index, (left, right) in enumerate(zip(hp, hq), start=1):
+        program.mul(f"m{index}", left, right)
+
+    # Scale by the (inverted squared theta) curve constants.
+    program.cmul("c1", "m1", k1)
+    program.cmul("c2", "m2", k2)
+    program.cmul("c3", "m3", k3)
+    program.cmul("c4", "m4", k4)
+
+    # Second Hadamard transform.
+    hh = _hadamard_block(program, "hh", "c1", "c2", "c3", "c4")
+
+    # Square each coordinate.
+    for index, signal in enumerate(hh, start=1):
+        program.sqr(f"q{index}", signal)
+
+    # Multiply by the inverted coordinates of the difference point.
+    program.mul("xr", "q1", ixd)
+    program.mul("yr", "q2", iyd)
+    program.mul("zr", "q3", izd)
+    program.mul("tr", "q4", itd)
+    program.set_outputs(["xr", "yr", "zr", "tr"])
+    return program
+
+
+def kummer_doubling_slp(
+    *,
+    curve_constants: tuple[int, int, int, int] = (11, 13, 17, 19),
+    inverse_base_constants: tuple[int, int, int, int] = (3, 5, 7, 9),
+    name: str = "kummer_doubling",
+) -> StraightLineProgram:
+    """Point doubling on a fast Kummer surface (uses the ``H`` operator twice).
+
+    The paper's Section IV-B explains that the ``H`` operator is "used
+    internally to the algorithm that computes the doubling of two points";
+    this program is that algorithm: Hadamard, squarings, constant scaling,
+    Hadamard, squarings, and a final scaling by the base-point constants.
+    """
+    program = StraightLineProgram(name=name)
+    x, y, z, t = program.add_inputs(["x", "y", "z", "t"])
+    k1, k2, k3, k4 = curve_constants
+    j1, j2, j3, j4 = inverse_base_constants
+
+    h1 = _hadamard_block(program, "h1", x, y, z, t)
+    for index, signal in enumerate(h1, start=1):
+        program.sqr(f"s{index}", signal)
+    program.cmul("e1", "s1", k1)
+    program.cmul("e2", "s2", k2)
+    program.cmul("e3", "s3", k3)
+    program.cmul("e4", "s4", k4)
+    h2 = _hadamard_block(program, "h2", "e1", "e2", "e3", "e4")
+    for index, signal in enumerate(h2, start=1):
+        program.sqr(f"r{index}", signal)
+    program.cmul("x2", "r1", j1)
+    program.cmul("y2", "r2", j2)
+    program.cmul("z2", "r3", j3)
+    program.cmul("t2", "r4", j4)
+    program.set_outputs(["x2", "y2", "z2", "t2"])
+    return program
+
+
+def edwards_point_addition_slp(
+    *,
+    coefficient_a: int = -1,
+    coefficient_d: int = 121665,
+    name: str = "edwards_point_addition",
+) -> StraightLineProgram:
+    """Projective twisted-Edwards point addition (add-2008-bbjlp).
+
+    Given ``(X1 : Y1 : Z1)`` and ``(X2 : Y2 : Z2)`` on the curve
+    ``a x^2 + y^2 = 1 + d x^2 y^2``, computes ``(X3 : Y3 : Z3)`` using the
+    standard 10M + 1S + 2D formula::
+
+        A = Z1*Z2;  B = A^2;  C = X1*X2;  D = Y1*Y2;  E = d*C*D
+        F = B - E;  G = B + E
+        X3 = A*F*((X1+Y1)*(X2+Y2) - C - D)
+        Y3 = A*G*(D - a*C)
+        Z3 = F*G
+    """
+    program = StraightLineProgram(name=name)
+    x1, y1, z1 = program.add_inputs(["x1", "y1", "z1"])
+    x2, y2, z2 = program.add_inputs(["x2", "y2", "z2"])
+
+    program.mul("A", z1, z2)
+    program.sqr("B", "A")
+    program.mul("C", x1, x2)
+    program.mul("D", y1, y2)
+    program.mul("CD", "C", "D")
+    program.cmul("E", "CD", coefficient_d)
+    program.sub("F", "B", "E")
+    program.add("G", "B", "E")
+    program.add("U1", x1, y1)
+    program.add("U2", x2, y2)
+    program.mul("U", "U1", "U2")
+    program.sub("V", "U", "C")
+    program.sub("W", "V", "D")
+    program.mul("AF", "A", "F")
+    program.mul("X3", "AF", "W")
+    program.cmul("aC", "C", coefficient_a)
+    program.sub("DaC", "D", "aC")
+    program.mul("AG", "A", "G")
+    program.mul("Y3", "AG", "DaC")
+    program.mul("Z3", "F", "G")
+    program.set_outputs(["X3", "Y3", "Z3"])
+    return program

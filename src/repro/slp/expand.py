@@ -1,0 +1,165 @@
+"""Expansion of word-level straight-line programs to gate-level networks.
+
+Table I's ``b<bits>_m<modulus>`` designs are the Hadamard ``H`` operator
+with different bit widths and moduli, expanded to the gate level.  This
+module performs that expansion: every SLP value becomes a ``bits``-wide bus
+of signals, every ``add``/``sub`` instruction instantiates a modular
+adder/subtractor (from :mod:`repro.logic.arithmetic`), and ``mul``/``sqr``
+instructions instantiate a shift-and-add modular multiplier.  The result is
+one flat :class:`~repro.logic.network.LogicNetwork` whose dependency DAG is
+what the paper pebbles.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SlpError
+from repro.logic.arithmetic import modular_adder_network, modular_subtractor_network
+from repro.logic.network import LogicNetwork
+from repro.slp.program import Operation, StraightLineProgram
+
+
+def expand_slp_to_network(
+    program: StraightLineProgram,
+    *,
+    bits: int,
+    modulus: int,
+    use_majority: bool = True,
+    name: str | None = None,
+) -> LogicNetwork:
+    """Expand ``program`` into a gate-level network over ``bits``-bit buses.
+
+    Every program input becomes ``bits`` primary inputs ``<name>_<i>``;
+    every program output exposes its bus as primary outputs.  Arithmetic is
+    performed modulo ``modulus``.
+
+    Supported word-level operations: ``add``, ``sub``, ``neg`` (as ``0 - x``),
+    ``mul``, ``sqr`` and ``cmul`` (via shift-and-add over the binary
+    expansion of the constant).
+    """
+    program.validate()
+    if not 2 <= modulus <= (1 << bits):
+        raise SlpError("modulus must satisfy 2 <= modulus <= 2**bits")
+    network = LogicNetwork(name or f"{program.name}_b{bits}_m{modulus}")
+    buses: dict[str, list[str]] = {}
+    for input_name in program.inputs:
+        buses[input_name] = [network.add_input(f"{input_name}_{i}") for i in range(bits)]
+
+    counter = 0
+    for instruction in program.instructions:
+        counter += 1
+        prefix = f"i{counter}_{instruction.target}"
+        if instruction.operation is Operation.ADD:
+            result = _instantiate_binary(
+                network, modular_adder_network(bits, modulus, use_majority=use_majority),
+                buses[instruction.arguments[0]], buses[instruction.arguments[1]], prefix,
+            )
+        elif instruction.operation is Operation.SUB:
+            result = _instantiate_binary(
+                network, modular_subtractor_network(bits, modulus, use_majority=use_majority),
+                buses[instruction.arguments[0]], buses[instruction.arguments[1]], prefix,
+            )
+        elif instruction.operation is Operation.NEG:
+            zero_bus = _constant_bus(network, 0, bits, f"{prefix}_zero")
+            result = _instantiate_binary(
+                network, modular_subtractor_network(bits, modulus, use_majority=use_majority),
+                zero_bus, buses[instruction.arguments[0]], prefix,
+            )
+        elif instruction.operation is Operation.MUL:
+            result = _modular_multiply(
+                network, buses[instruction.arguments[0]], buses[instruction.arguments[1]],
+                bits, modulus, prefix, use_majority,
+            )
+        elif instruction.operation is Operation.SQR:
+            bus = buses[instruction.arguments[0]]
+            result = _modular_multiply(network, bus, bus, bits, modulus, prefix, use_majority)
+        elif instruction.operation is Operation.CONST_MUL:
+            assert instruction.constant is not None
+            constant_bus = _constant_bus(
+                network, instruction.constant % modulus, bits, f"{prefix}_const"
+            )
+            result = _modular_multiply(
+                network, buses[instruction.arguments[0]], constant_bus,
+                bits, modulus, prefix, use_majority,
+            )
+        else:  # pragma: no cover - all operations handled above
+            raise SlpError(f"unsupported operation {instruction.operation}")
+        buses[instruction.target] = result
+
+    for output in program.outputs:
+        for signal in buses[output]:
+            if network.has_signal(signal):
+                network.add_output(signal)
+    network.validate()
+    return network
+
+
+def _constant_bus(network: LogicNetwork, value: int, bits: int, prefix: str) -> list[str]:
+    """Create a bus of constant signals for ``value``."""
+    bus = []
+    for i in range(bits):
+        signal = f"{prefix}_{i}"
+        network.add_gate(signal, "CONST1" if (value >> i) & 1 else "CONST0", [])
+        bus.append(signal)
+    return bus
+
+
+def _instantiate_binary(
+    network: LogicNetwork,
+    template: LogicNetwork,
+    bus_a: list[str],
+    bus_b: list[str],
+    prefix: str,
+) -> list[str]:
+    """Inline ``template`` (a two-operand circuit) into ``network``.
+
+    The template's inputs ``a<i>``/``b<i>`` are bound to ``bus_a``/``bus_b``
+    and every internal signal is prefixed to keep names unique.  Returns the
+    signals bound to the template's outputs.
+    """
+    bits = len(bus_a)
+    binding: dict[str, str] = {}
+    for i in range(bits):
+        binding[f"a{i}"] = bus_a[i]
+        binding[f"b{i}"] = bus_b[i]
+    for gate in template.gates():
+        new_name = f"{prefix}_{gate.output}"
+        fanins = [binding[fanin] for fanin in gate.fanins]
+        network.add_gate(new_name, gate.gate_type, fanins)
+        binding[gate.output] = new_name
+    return [binding[output] for output in template.outputs]
+
+
+def _modular_multiply(
+    network: LogicNetwork,
+    bus_a: list[str],
+    bus_b: list[str],
+    bits: int,
+    modulus: int,
+    prefix: str,
+    use_majority: bool,
+) -> list[str]:
+    """Shift-and-add modular multiplication of two buses.
+
+    ``result = sum_i b_i * (a << i)  (mod modulus)`` where each doubled
+    partial ``(a << i) mod modulus`` is obtained by a modular addition of the
+    previous partial with itself, each conditional accumulation is an AND
+    mask followed by a modular addition.
+    """
+    adder = modular_adder_network(bits, modulus, use_majority=use_majority)
+    accumulator = _constant_bus(network, 0, bits, f"{prefix}_acc0")
+    shifted = list(bus_a)
+    for i in range(bits):
+        # masked = shifted AND b_i (bitwise mask by the multiplier bit)
+        masked = []
+        for j in range(bits):
+            signal = f"{prefix}_mask{i}_{j}"
+            network.add_gate(signal, "AND", [shifted[j], bus_b[i]])
+            masked.append(signal)
+        accumulator = _instantiate_binary(
+            network, adder, accumulator, masked, f"{prefix}_accadd{i}"
+        )
+        if i + 1 < bits:
+            shifted = _instantiate_binary(
+                network, adder, shifted, shifted, f"{prefix}_double{i}"
+            )
+    return accumulator

@@ -1,0 +1,292 @@
+"""Straight-line programs over modular arithmetic.
+
+A straight-line program (SLP) is a branch-free sequence of assignments
+
+.. code-block:: text
+
+    t1 = add(a, b)
+    t2 = mul(t1, c)
+    out = sqr(t2)
+
+over a set of named inputs.  The paper uses SLPs from cryptographic point
+arithmetic as pebbling workloads: every instruction becomes one node of the
+dependency DAG, every use of an earlier result becomes an edge, and the
+program outputs become the DAG outputs.
+
+The interpreter evaluates programs over the ring of integers modulo ``m``
+(or over plain integers), which the test-suite uses to check that the
+bundled cryptographic programs compute what they claim, and that DAG
+conversion preserves dependency structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import SlpError
+from repro.dag.graph import Dag
+
+
+class Operation(Enum):
+    """Arithmetic operations supported in straight-line programs."""
+
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    SQR = "sqr"
+    NEG = "neg"
+    CONST_MUL = "cmul"
+
+    @classmethod
+    def from_name(cls, name: "str | Operation") -> "Operation":
+        """Accept an enum member or its lower-case name."""
+        if isinstance(name, cls):
+            return name
+        try:
+            return cls(name.lower())
+        except (ValueError, AttributeError) as exc:
+            valid = ", ".join(member.value for member in cls)
+            raise SlpError(f"unknown operation {name!r} (valid: {valid})") from exc
+
+
+_ARITY = {
+    Operation.ADD: 2,
+    Operation.SUB: 2,
+    Operation.MUL: 2,
+    Operation.SQR: 1,
+    Operation.NEG: 1,
+    Operation.CONST_MUL: 1,
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One SLP assignment: ``target = operation(*arguments)``.
+
+    ``constant`` is only used by :attr:`Operation.CONST_MUL` (multiplication
+    by a program constant, e.g. a curve coefficient).
+    """
+
+    target: str
+    operation: Operation
+    arguments: tuple[str, ...]
+    constant: int | None = None
+
+    def __post_init__(self) -> None:
+        expected = _ARITY[self.operation]
+        if len(self.arguments) != expected:
+            raise SlpError(
+                f"{self.operation.value} expects {expected} arguments, "
+                f"got {len(self.arguments)} for target {self.target!r}"
+            )
+        if self.operation is Operation.CONST_MUL and self.constant is None:
+            raise SlpError(f"cmul instruction {self.target!r} needs a constant")
+
+
+@dataclass
+class StraightLineProgram:
+    """A named straight-line program.
+
+    Build programs through :meth:`add`, :meth:`sub`, :meth:`mul`,
+    :meth:`sqr`, :meth:`neg` and :meth:`cmul`, then mark outputs with
+    :meth:`set_outputs`.
+    """
+
+    name: str = "slp"
+    inputs: list[str] = field(default_factory=list)
+    instructions: list[Instruction] = field(default_factory=list)
+    outputs: list[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_input(self, name: str) -> str:
+        """Declare an input value."""
+        self._check_fresh(name)
+        self.inputs.append(name)
+        return name
+
+    def add_inputs(self, names: Iterable[str]) -> list[str]:
+        """Declare several inputs at once."""
+        return [self.add_input(name) for name in names]
+
+    def _check_fresh(self, name: str) -> None:
+        if not name:
+            raise SlpError("value names must be non-empty")
+        if self.defines(name):
+            raise SlpError(f"value {name!r} already defined")
+
+    def _check_known(self, name: str) -> None:
+        if not self.defines(name):
+            raise SlpError(f"value {name!r} is not defined at this point")
+
+    def defines(self, name: str) -> bool:
+        """Return ``True`` if ``name`` is an input or an instruction target."""
+        return name in self.inputs or any(ins.target == name for ins in self.instructions)
+
+    def _emit(self, target: str, operation: Operation, arguments: Sequence[str],
+              constant: int | None = None) -> str:
+        self._check_fresh(target)
+        for argument in arguments:
+            self._check_known(argument)
+        self.instructions.append(Instruction(target, operation, tuple(arguments), constant))
+        return target
+
+    def add(self, target: str, left: str, right: str) -> str:
+        """Emit ``target = left + right``."""
+        return self._emit(target, Operation.ADD, [left, right])
+
+    def sub(self, target: str, left: str, right: str) -> str:
+        """Emit ``target = left - right``."""
+        return self._emit(target, Operation.SUB, [left, right])
+
+    def mul(self, target: str, left: str, right: str) -> str:
+        """Emit ``target = left * right``."""
+        return self._emit(target, Operation.MUL, [left, right])
+
+    def sqr(self, target: str, argument: str) -> str:
+        """Emit ``target = argument ** 2``."""
+        return self._emit(target, Operation.SQR, [argument])
+
+    def neg(self, target: str, argument: str) -> str:
+        """Emit ``target = -argument``."""
+        return self._emit(target, Operation.NEG, [argument])
+
+    def cmul(self, target: str, argument: str, constant: int) -> str:
+        """Emit ``target = constant * argument``."""
+        return self._emit(target, Operation.CONST_MUL, [argument], constant)
+
+    def set_outputs(self, names: Iterable[str]) -> None:
+        """Designate program outputs (each must be a defined value)."""
+        names = list(names)
+        if not names:
+            raise SlpError("a program needs at least one output")
+        for name in names:
+            self._check_known(name)
+        self.outputs = list(dict.fromkeys(names))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def num_instructions(self) -> int:
+        """Number of instructions (DAG nodes after conversion)."""
+        return len(self.instructions)
+
+    def operation_counts(self) -> dict[str, int]:
+        """Return ``{operation name: count}`` over the instructions."""
+        counts: dict[str, int] = {}
+        for instruction in self.instructions:
+            key = instruction.operation.value
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def validate(self) -> None:
+        """Raise :class:`~repro.errors.SlpError` if the program is malformed."""
+        if not self.inputs:
+            raise SlpError("program has no inputs")
+        if not self.outputs:
+            raise SlpError("program has no outputs")
+        defined = set(self.inputs)
+        for instruction in self.instructions:
+            for argument in instruction.arguments:
+                if argument not in defined:
+                    raise SlpError(
+                        f"instruction {instruction.target!r} uses {argument!r} before definition"
+                    )
+            if instruction.target in defined:
+                raise SlpError(f"value {instruction.target!r} defined twice")
+            defined.add(instruction.target)
+        for output in self.outputs:
+            if output not in defined:
+                raise SlpError(f"output {output!r} is never defined")
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        assignment: Mapping[str, int],
+        *,
+        modulus: int | None = None,
+    ) -> dict[str, int]:
+        """Run the program; return the value of every defined name.
+
+        With ``modulus`` set, arithmetic is performed modulo that value
+        (inputs are reduced first).
+        """
+        self.validate()
+        values: dict[str, int] = {}
+        for name in self.inputs:
+            if name not in assignment:
+                raise SlpError(f"assignment is missing input {name!r}")
+            value = int(assignment[name])
+            values[name] = value % modulus if modulus else value
+        for instruction in self.instructions:
+            arguments = [values[name] for name in instruction.arguments]
+            result = _apply(instruction, arguments)
+            values[instruction.target] = result % modulus if modulus else result
+        return values
+
+    def evaluate_outputs(
+        self,
+        assignment: Mapping[str, int],
+        *,
+        modulus: int | None = None,
+    ) -> dict[str, int]:
+        """Run the program and return only the outputs."""
+        values = self.evaluate(assignment, modulus=modulus)
+        return {name: values[name] for name in self.outputs}
+
+    # ------------------------------------------------------------------
+    # conversion
+    # ------------------------------------------------------------------
+    def to_dag(self) -> Dag:
+        """Return the pebbling dependency DAG of the program.
+
+        Each instruction is a node labelled with its operation; program
+        inputs are not nodes (they are always available); the DAG outputs
+        are the instructions producing program outputs.  An output that is
+        simply an input is dropped (no computation required).
+        """
+        self.validate()
+        dag = Dag(name=self.name)
+        input_set = set(self.inputs)
+        for instruction in self.instructions:
+            dependencies = [
+                argument for argument in instruction.arguments if argument not in input_set
+            ]
+            dag.add_node(
+                instruction.target,
+                list(dict.fromkeys(dependencies)),
+                operation=instruction.operation.value,
+            )
+        outputs = [name for name in self.outputs if name not in input_set]
+        if not outputs:
+            raise SlpError("program outputs are all inputs; nothing to pebble")
+        dag.set_outputs(outputs)
+        return dag
+
+    def __repr__(self) -> str:
+        return (
+            f"StraightLineProgram(name={self.name!r}, inputs={len(self.inputs)}, "
+            f"instructions={self.num_instructions}, outputs={len(self.outputs)})"
+        )
+
+
+def _apply(instruction: Instruction, arguments: list[int]) -> int:
+    operation = instruction.operation
+    if operation is Operation.ADD:
+        return arguments[0] + arguments[1]
+    if operation is Operation.SUB:
+        return arguments[0] - arguments[1]
+    if operation is Operation.MUL:
+        return arguments[0] * arguments[1]
+    if operation is Operation.SQR:
+        return arguments[0] * arguments[0]
+    if operation is Operation.NEG:
+        return -arguments[0]
+    assert instruction.constant is not None
+    return instruction.constant * arguments[0]

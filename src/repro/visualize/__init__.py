@@ -1,0 +1,12 @@
+"""Text rendering of pebbling strategies.
+
+The paper visualises strategies as grids (Fig. 4 and Fig. 5): one row per
+DAG node, one column per step, with a filled cell when the node is pebbled
+at that step, plus a memory-usage curve on top.  :mod:`repro.visualize.grid`
+renders the same pictures as plain text so they can be printed from the CLI
+and embedded in EXPERIMENTS.md.
+"""
+
+from repro.visualize.grid import memory_profile_chart, render_strategy_grid, strategy_report
+
+__all__ = ["memory_profile_chart", "render_strategy_grid", "strategy_report"]

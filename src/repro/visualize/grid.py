@@ -1,0 +1,66 @@
+"""ASCII rendering of pebbling strategies (Fig. 4 / Fig. 5 style)."""
+
+from __future__ import annotations
+
+from repro.pebbling.strategy import PebblingStrategy
+
+
+def render_strategy_grid(
+    strategy: PebblingStrategy,
+    *,
+    pebbled_char: str = "█",
+    empty_char: str = "·",
+    show_header: bool = True,
+) -> str:
+    """Render the strategy as a node × step grid.
+
+    Each row is one DAG node (top row = first node in topological order);
+    each column is one configuration, from the initial empty one on the left
+    to the final outputs-only one on the right.  A filled cell means the
+    node is pebbled in that configuration — the same picture as Fig. 4.
+    """
+    nodes = strategy.dag.topological_order()
+    configurations = strategy.configurations
+    width = len(configurations)
+    name_width = max(len(str(node)) for node in nodes)
+    lines: list[str] = []
+    if show_header:
+        lines.append(
+            f"{strategy.dag.name}: {strategy.max_pebbles} pebbles, "
+            f"{strategy.num_steps} steps, {strategy.num_moves} moves"
+        )
+        lines.append(memory_profile_chart(strategy, indent=name_width + 1))
+    for node in nodes:
+        cells = [
+            pebbled_char if node in config else empty_char for config in configurations
+        ]
+        lines.append(f"{str(node).rjust(name_width)} {''.join(cells)}")
+    footer_digits = [str((step // 10) % 10) if step % 10 == 0 and step > 0 else " "
+                     for step in range(width)]
+    footer_units = [str(step % 10) for step in range(width)]
+    lines.append(f"{' ' * name_width} {''.join(footer_digits)}")
+    lines.append(f"{' ' * name_width} {''.join(footer_units)}")
+    return "\n".join(lines)
+
+
+def memory_profile_chart(strategy: PebblingStrategy, *, indent: int = 0) -> str:
+    """One-line sparkline of the pebble count over time (Fig. 5 top curves)."""
+    blocks = " ▁▂▃▄▅▆▇█"
+    profile = strategy.pebble_profile()
+    peak = max(profile) or 1
+    chars = [blocks[round(count / peak * (len(blocks) - 1))] for count in profile]
+    return f"{' ' * indent}{''.join(chars)}  (peak {peak})"
+
+
+def strategy_report(strategy: PebblingStrategy) -> str:
+    """A textual report: grid, operation counts and headline metrics."""
+    counts = strategy.operation_counts()
+    count_text = ", ".join(f"{operation}: {count}" for operation, count in sorted(counts.items()))
+    lines = [
+        render_strategy_grid(strategy),
+        "",
+        f"operations executed: {strategy.num_moves} ({count_text})",
+        f"peak pebbles (ancillae): {strategy.max_pebbles}",
+        f"steps (transitions): {strategy.num_steps}",
+    ]
+    return "\n".join(lines)

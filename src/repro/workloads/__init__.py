@@ -1,0 +1,33 @@
+"""Registry of the evaluation workloads used in the paper.
+
+Every DAG that appears in the paper's figures and tables can be obtained
+from this package by name, which keeps the examples, the tests and the
+benchmark harnesses consistent:
+
+* ``fig2``                    — the six-node example DAG of Fig. 2/3/4;
+* ``and9``                    — the 9-input AND oracle DAG of Fig. 6(a);
+* ``hadamard``                — the word-level ``H`` operator (8 nodes);
+* ``kummer-add``              — Kummer-surface point addition (Fig. 5);
+* ``kummer-double``           — Kummer-surface doubling;
+* ``edwards-add``             — projective Edwards point addition;
+* ``b<bits>_m<modulus>``      — gate-level expansions of ``H`` (Table I);
+* ``c17``, ``c432`` ...       — ISCAS circuits (real c17, synthetic stand-ins).
+"""
+
+from repro.workloads.registry import (
+    and_tree_dag,
+    example_dag,
+    hadamard_gate_level_dag,
+    list_workloads,
+    load_workload,
+    table1_rows,
+)
+
+__all__ = [
+    "and_tree_dag",
+    "example_dag",
+    "hadamard_gate_level_dag",
+    "list_workloads",
+    "load_workload",
+    "table1_rows",
+]

@@ -1,0 +1,202 @@
+"""Construction and registry of the paper's evaluation workloads."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.dag.graph import Dag
+from repro.logic.iscas import ISCAS_PROFILES, iscas_like_network
+from repro.logic.network import LogicNetwork
+from repro.slp.crypto import (
+    edwards_point_addition_slp,
+    hadamard_operator_slp,
+    kummer_doubling_slp,
+    kummer_point_addition_slp,
+)
+from repro.slp.expand import expand_slp_to_network
+
+
+# ---------------------------------------------------------------------------
+# individual workload builders
+# ---------------------------------------------------------------------------
+def example_dag() -> Dag:
+    """The six-node example DAG of Fig. 2 (nodes A–F, outputs E and F).
+
+    Dependencies: ``C`` reads ``A``, ``D`` reads ``B``, ``E`` reads ``C`` and
+    ``D``, ``F`` reads ``A``; ``A`` and ``B`` read only primary inputs.
+    """
+    dag = Dag("fig2_example")
+    dag.add_node("A", [], operation="A")
+    dag.add_node("B", [], operation="B")
+    dag.add_node("C", ["A"], operation="C")
+    dag.add_node("D", ["B"], operation="D")
+    dag.add_node("E", ["C", "D"], operation="E")
+    dag.add_node("F", ["A"], operation="F")
+    dag.set_outputs(["E", "F"])
+    return dag
+
+
+def and_tree_network(num_inputs: int = 9) -> LogicNetwork:
+    """The ``num_inputs``-input AND oracle of Fig. 6 as a logic network.
+
+    The paper's Fig. 6(a) DAG combines the nine inputs with eight 2-input
+    AND nodes: four leaves pairing ``(x0,x1) ... (x6,x7)``, a binary tree on
+    top of them, and a final AND with ``x8``.
+    """
+    if num_inputs < 2:
+        raise WorkloadError("an AND oracle needs at least 2 inputs")
+    network = LogicNetwork(f"and{num_inputs}")
+    inputs = [network.add_input(f"x{i}") for i in range(num_inputs)]
+    level = list(inputs)
+    counter = 0
+    while len(level) > 1:
+        next_level = []
+        index = 0
+        while index + 1 < len(level):
+            name = f"n{counter}"
+            counter += 1
+            network.add_gate(name, "AND", [level[index], level[index + 1]])
+            next_level.append(name)
+            index += 2
+        if index < len(level):
+            next_level.append(level[index])
+        level = next_level
+    network.add_output(level[0])
+    return network
+
+
+def and_tree_dag(num_inputs: int = 9) -> Dag:
+    """The Fig. 6(a) DAG (eight AND nodes for nine inputs)."""
+    return and_tree_network(num_inputs).to_dag()
+
+
+def hadamard_gate_level_network(bits: int, modulus: int) -> LogicNetwork:
+    """Gate-level ``H`` operator for the given bit width and modulus.
+
+    This is the generator behind the ``b<bits>_m<modulus>`` rows of Table I.
+    """
+    program = hadamard_operator_slp(name=f"H_b{bits}_m{modulus}")
+    return expand_slp_to_network(program, bits=bits, modulus=modulus)
+
+
+def hadamard_gate_level_dag(bits: int, modulus: int) -> Dag:
+    """Pebbling DAG of the gate-level ``H`` operator.
+
+    Gates outside every output cone (for example the discarded top carry of
+    the final modular comparison) are swept away, as any synthesis flow
+    would do before mapping.
+    """
+    dag = hadamard_gate_level_network(bits, modulus).to_dag()
+    return dag.cone(dag.outputs())
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of the Table I harness: a named workload plus paper numbers.
+
+    ``paper_*`` fields hold the values printed in the paper (for the
+    EXPERIMENTS.md comparison); ``scale`` is the size reduction applied to
+    the synthetic ISCAS stand-ins so the pure-Python SAT engine can process
+    them in reasonable time (1.0 = paper-sized).
+    """
+
+    name: str
+    kind: str  # "hadamard" or "iscas"
+    paper_nodes: int | None = None
+    paper_bennett_pebbles: int | None = None
+    paper_bennett_steps: int | None = None
+    paper_pebbles: int | None = None
+    paper_steps: int | None = None
+    bits: int | None = None
+    modulus: int | None = None
+    scale: float = 1.0
+
+
+#: Paper Table I rows.  The Hadamard rows record (bits, modulus) parsed from
+#: the design name; the ISCAS rows reference the profiles in
+#: :mod:`repro.logic.iscas`.
+TABLE1_ROWS: list[Table1Row] = [
+    Table1Row("b2_m3", "hadamard", 74, 66, 124, 30, 186, bits=2, modulus=3),
+    Table1Row("b3_m4", "hadamard", 59, 47, 82, 20, 117, bits=3, modulus=4),
+    Table1Row("b4_m5", "hadamard", 203, 187, 358, 83, 778, bits=4, modulus=5),
+    Table1Row("b5_m7", "hadamard", 256, 236, 452, 106, 888, bits=5, modulus=7),
+    Table1Row("b6_m7", "hadamard", 310, 286, 548, 130, 1132, bits=6, modulus=7),
+    Table1Row("b8_m7", "hadamard", 422, 390, 748, 187, 1884, bits=8, modulus=7),
+    Table1Row("b10_m7", "hadamard", 535, 495, 950, 264, 2938, bits=10, modulus=7),
+    Table1Row("b12_m7", "hadamard", 646, 598, 1148, 331, 4228, bits=12, modulus=7),
+    Table1Row("b16_m23", "hadamard", 881, 817, 1570, 480, 6218, bits=16, modulus=23),
+    Table1Row("c17", "iscas", 12, 7, 12, 4, 12),
+    Table1Row("c432", "iscas", 208, 172, 337, 60, 685),
+    Table1Row("c499", "iscas", 219, 178, 324, 77, 610),
+    Table1Row("c880", "iscas", 334, 274, 522, 82, 1280),
+    Table1Row("c1355", "iscas", 219, 178, 324, 77, 594),
+    Table1Row("c1908", "iscas", 220, 187, 349, 70, 875),
+    Table1Row("c2670", "iscas", 554, 397, 731, 160, 1948),
+    Table1Row("c3540", "iscas", 856, 806, 1590, 416, 5434),
+    Table1Row("c5315", "iscas", 1257, 1079, 2035, 498, 7635),
+    Table1Row("c6288", "iscas", 1011, 979, 1926, 640, 10232),
+    Table1Row("c7552", "iscas", 1151, 944, 1780, 540, 7757),
+]
+
+
+def table1_rows() -> list[Table1Row]:
+    """Return the Table I rows (paper reference values included)."""
+    return list(TABLE1_ROWS)
+
+
+def list_workloads() -> list[str]:
+    """Names accepted by :func:`load_workload`."""
+    names = ["fig2", "and9", "hadamard", "kummer-add", "kummer-double", "edwards-add"]
+    names.extend(row.name for row in TABLE1_ROWS)
+    return names
+
+
+def load_workload(name: str, *, scale: float = 1.0) -> Dag:
+    """Load a workload DAG by name.
+
+    ``scale`` only affects the ISCAS stand-ins and the Hadamard gate-level
+    designs: values below 1 shrink the instance (smaller bit width /
+    fewer gates) so the pure-Python SAT solver can handle it; 1.0 builds the
+    paper-sized instance.
+    """
+    if scale <= 0:
+        raise WorkloadError("scale must be positive")
+    key = name.lower()
+    if key == "fig2":
+        return example_dag()
+    if key == "and9":
+        return and_tree_dag(9)
+    if key == "hadamard":
+        return hadamard_operator_slp().to_dag()
+    if key == "kummer-add":
+        return kummer_point_addition_slp().to_dag()
+    if key == "kummer-double":
+        return kummer_doubling_slp().to_dag()
+    if key == "edwards-add":
+        return edwards_point_addition_slp().to_dag()
+    for row in TABLE1_ROWS:
+        if row.name == key:
+            if row.kind == "hadamard":
+                assert row.bits is not None and row.modulus is not None
+                bits = max(1, int(round(row.bits * scale)))
+                modulus = min(row.modulus, 1 << bits)
+                return hadamard_gate_level_dag(bits, modulus)
+            return _iscas_dag(row.name, scale)
+    if key in ISCAS_PROFILES:
+        return _iscas_dag(key, scale)
+    raise WorkloadError(f"unknown workload {name!r}; valid names: {list_workloads()}")
+
+
+def _iscas_dag(name: str, scale: float) -> Dag:
+    """ISCAS stand-in as a pebbling DAG, with dangling logic swept away.
+
+    Real netlists contain no dangling gates; the synthetic generator can
+    leave a few, so the DAG is restricted to the cones of the primary
+    outputs (the same sweep every synthesis tool performs).
+    """
+    dag = iscas_like_network(name, scale=scale).to_dag()
+    return dag.cone(dag.outputs())

@@ -1,0 +1,107 @@
+"""Tests for the Barenco multi-controlled Toffoli decomposition."""
+
+import itertools
+
+import pytest
+
+from repro.errors import CircuitError
+from repro.circuits import QubitRole, ReversibleCircuit, barenco_and_oracle, decompose_mct
+from repro.circuits.simulator import simulate_circuit, verify_oracle_circuit
+
+
+def _simulate_decomposition(controls, target, ancillae, gates, control_values, ancilla_values):
+    """Simulate a Toffoli gate list on one basis state; return final values."""
+    circuit = ReversibleCircuit("decomposition")
+    circuit.add_qubits(controls, QubitRole.INPUT)
+    circuit.add_qubits(ancillae, QubitRole.ANCILLA)
+    circuit.add_qubit(target, QubitRole.OUTPUT)
+    for gate in gates:
+        circuit.append(gate)
+    initial = dict(zip(ancillae, ancilla_values))
+    return simulate_circuit(circuit, dict(zip(controls, control_values)), initial_values=initial)
+
+
+class TestDecomposeMct:
+    def test_small_gates_are_returned_unchanged(self):
+        assert len(decompose_mct(["a"], "t", [])) == 1
+        assert len(decompose_mct(["a", "b"], "t", [])) == 1
+        assert decompose_mct([], "t", [])[0].num_controls == 0
+
+    @pytest.mark.parametrize("num_controls", [3, 4, 5])
+    def test_lemma_7_2_gate_count(self, num_controls):
+        controls = [f"c{i}" for i in range(num_controls)]
+        ancillae = [f"a{i}" for i in range(num_controls - 2)]
+        gates = decompose_mct(controls, "t", ancillae)
+        assert len(gates) == 4 * (num_controls - 2)
+        assert all(gate.num_controls <= 2 for gate in gates)
+
+    @pytest.mark.parametrize("num_controls", [3, 4, 5])
+    def test_lemma_7_2_functional_with_dirty_ancillae(self, num_controls):
+        """The decomposition must compute AND of all controls and restore the
+        borrowed ancillae for every initial ancilla value."""
+        controls = [f"c{i}" for i in range(num_controls)]
+        ancillae = [f"a{i}" for i in range(num_controls - 2)]
+        gates = decompose_mct(controls, "t", ancillae)
+        for control_values in itertools.product([False, True], repeat=num_controls):
+            for ancilla_values in itertools.product([False, True], repeat=len(ancillae)):
+                final = _simulate_decomposition(
+                    controls, "t", ancillae, gates, control_values, ancilla_values
+                )
+                assert final["t"] == all(control_values)
+                for name, initial in zip(ancillae, ancilla_values):
+                    assert final[name] == initial, "borrowed ancilla not restored"
+
+    @pytest.mark.parametrize("num_controls", [4, 5, 6, 7])
+    def test_lemma_7_3_functional_with_single_dirty_ancilla(self, num_controls):
+        controls = [f"c{i}" for i in range(num_controls)]
+        gates = decompose_mct(controls, "t", ["anc"])
+        assert all(gate.num_controls <= 2 for gate in gates)
+        for control_values in itertools.product([False, True], repeat=num_controls):
+            for ancilla_value in (False, True):
+                final = _simulate_decomposition(
+                    controls, "t", ["anc"], gates, control_values, [ancilla_value]
+                )
+                assert final["t"] == all(control_values)
+                assert final["anc"] == ancilla_value
+
+    def test_no_ancilla_for_large_gate_rejected(self):
+        with pytest.raises(CircuitError):
+            decompose_mct(["a", "b", "c"], "t", [])
+
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(CircuitError):
+            decompose_mct(["a", "b"], "a", [])
+        with pytest.raises(CircuitError):
+            decompose_mct(["a", "b", "c"], "t", ["a"])
+
+
+class TestBarencoAndOracle:
+    def test_nine_input_oracle_matches_fig6_numbers(self):
+        """Fig. 6(d): 11 qubits in total and 48 gates."""
+        circuit = barenco_and_oracle(9)
+        assert circuit.num_qubits == 11
+        assert circuit.num_gates == 48
+        assert circuit.num_ancillae == 1
+
+    def test_nine_input_oracle_is_functionally_correct(self):
+        circuit = barenco_and_oracle(9)
+        verify_oracle_circuit(
+            circuit,
+            lambda values: {"h": all(values[f"x{i}"] for i in range(9))},
+            input_map={f"x{i}": f"x{i}" for i in range(9)},
+            output_map={"h": "h"},
+        )
+
+    @pytest.mark.parametrize("num_inputs", [2, 3, 5])
+    def test_small_oracles(self, num_inputs):
+        circuit = barenco_and_oracle(num_inputs)
+        verify_oracle_circuit(
+            circuit,
+            lambda values: {"h": all(values[f"x{i}"] for i in range(num_inputs))},
+            input_map={f"x{i}": f"x{i}" for i in range(num_inputs)},
+            output_map={"h": "h"},
+        )
+
+    def test_rejects_single_input(self):
+        with pytest.raises(CircuitError):
+            barenco_and_oracle(1)

@@ -1,0 +1,90 @@
+"""Unit tests for the reversible circuit container."""
+
+import pytest
+
+from repro.errors import CircuitError
+from repro.circuits import QubitRole, ReversibleCircuit, SingleTargetGate, ToffoliGate
+
+
+def _small_circuit() -> ReversibleCircuit:
+    circuit = ReversibleCircuit("demo")
+    circuit.add_qubits(["x0", "x1"], QubitRole.INPUT)
+    circuit.add_qubit("a0", QubitRole.ANCILLA)
+    circuit.add_qubit("y", QubitRole.OUTPUT)
+    circuit.append(ToffoliGate.from_names("a0", ["x0", "x1"]))
+    circuit.append(ToffoliGate.from_names("y", ["a0"]))
+    circuit.append(ToffoliGate.from_names("a0", ["x0", "x1"]))
+    return circuit
+
+
+class TestQubits:
+    def test_roles_and_counts(self):
+        circuit = _small_circuit()
+        assert circuit.num_qubits == 4
+        assert circuit.num_inputs == 2
+        assert circuit.num_ancillae == 1
+        assert circuit.num_outputs == 1
+        assert circuit.qubits(QubitRole.INPUT) == ["x0", "x1"]
+
+    def test_role_accepts_strings(self):
+        circuit = ReversibleCircuit()
+        circuit.add_qubit("q", "input")
+        assert circuit.qubit("q").role is QubitRole.INPUT
+
+    def test_duplicate_qubit_rejected(self):
+        circuit = ReversibleCircuit()
+        circuit.add_qubit("q")
+        with pytest.raises(CircuitError):
+            circuit.add_qubit("q")
+
+    def test_unknown_qubit_lookup(self):
+        with pytest.raises(CircuitError):
+            ReversibleCircuit().qubit("nope")
+
+    def test_has_qubit(self):
+        circuit = _small_circuit()
+        assert circuit.has_qubit("x0")
+        assert not circuit.has_qubit("zz")
+
+
+class TestGates:
+    def test_append_and_iterate(self):
+        circuit = _small_circuit()
+        assert circuit.num_gates == 3
+        assert len(list(circuit)) == 3
+        assert len(circuit) == 3
+
+    def test_gate_with_unknown_qubit_rejected(self):
+        circuit = ReversibleCircuit()
+        circuit.add_qubit("a")
+        with pytest.raises(CircuitError):
+            circuit.append(ToffoliGate.from_names("a", ["ghost"]))
+
+    def test_extend(self):
+        circuit = ReversibleCircuit()
+        circuit.add_qubits(["a", "b"], QubitRole.INPUT)
+        circuit.add_qubit("t", QubitRole.OUTPUT)
+        circuit.extend([
+            ToffoliGate.from_names("t", ["a"]),
+            ToffoliGate.from_names("t", ["b"]),
+        ])
+        assert circuit.num_gates == 2
+
+
+class TestReports:
+    def test_gate_histogram(self):
+        circuit = _small_circuit()
+        circuit.append(SingleTargetGate("y", ("x0", "x1"), None, label="xor2"))
+        histogram = circuit.gate_histogram()
+        assert histogram["toffoli2"] == 2
+        assert histogram["toffoli1"] == 1
+        assert histogram["xor2"] == 1
+
+    def test_summary(self):
+        summary = _small_circuit().summary()
+        assert summary["qubits"] == 4
+        assert summary["gates"] == 3
+        assert summary["ancillae"] == 1
+
+    def test_repr(self):
+        assert "demo" in repr(_small_circuit())

@@ -1,0 +1,159 @@
+"""Tests for the strategy-to-circuit compiler."""
+
+import itertools
+
+import pytest
+
+from repro.errors import CircuitError
+from repro.circuits import compile_bennett, compile_network_oracle, compile_strategy
+from repro.circuits.compile import dag_controls, network_controls
+from repro.circuits.simulator import verify_oracle_circuit
+from repro.logic import LogicNetwork
+from repro.logic.iscas import c17_network
+from repro.pebbling import bennett_strategy, eager_bennett_strategy, pebble_dag
+from repro.workloads import load_workload
+from repro.workloads.registry import and_tree_network
+
+
+class TestQubitAccounting:
+    def test_bennett_compilation_uses_inputs_plus_pebbles(self):
+        network = and_tree_network(9)
+        compiled = compile_network_oracle(network)
+        strategy = bennett_strategy(network.to_dag())
+        assert compiled.num_qubits == 9 + strategy.max_pebbles  # 17 qubits (Fig. 6(b))
+        assert compiled.num_gates == strategy.num_moves         # 15 gates
+
+    def test_pebbled_compilation_respects_budget(self):
+        network = and_tree_network(9)
+        dag = network.to_dag()
+        result = pebble_dag(dag, 7, time_limit=60)
+        compiled = compile_network_oracle(network, result.strategy)
+        assert compiled.num_qubits == 9 + result.strategy.max_pebbles
+        assert compiled.num_qubits <= 16                          # Fig. 6(c) budget
+        assert compiled.num_gates == result.strategy.num_moves
+
+    def test_structural_compilation_counts_only_work_qubits(self, and9_dag):
+        """With the structural provider (no logic network) there are no
+        primary-input qubits, only one work qubit per pebble."""
+        compiled = compile_bennett(and9_dag)
+        assert compiled.num_qubits == bennett_strategy(and9_dag).max_pebbles
+        assert compiled.num_gates == bennett_strategy(and9_dag).num_moves
+
+    def test_output_qubits_reported(self, fig2_dag):
+        compiled = compile_bennett(fig2_dag)
+        assert set(compiled.output_qubits) == {"E", "F"}
+        for qubit in compiled.output_qubits.values():
+            assert compiled.circuit.qubit(qubit).role.value == "output"
+
+    def test_each_move_becomes_one_gate(self, fig2_dag):
+        strategy = eager_bennett_strategy(fig2_dag)
+        compiled = compile_strategy(fig2_dag, strategy)
+        assert compiled.num_gates == strategy.num_moves
+
+    def test_strategy_for_different_dag_rejected(self, fig2_dag, and9_dag):
+        strategy = bennett_strategy(and9_dag)
+        with pytest.raises(CircuitError):
+            compile_strategy(fig2_dag, strategy)
+
+
+class TestControlProviders:
+    def test_dag_controls_provider(self, fig2_dag):
+        provider = dag_controls(fig2_dag)
+        controls = provider("E")
+        assert controls.controls == ("C", "D")
+        assert controls.function is None
+        assert controls.label == "E"
+
+    def test_network_controls_resolves_inverters(self):
+        network = LogicNetwork("inv")
+        network.add_inputs(["a", "b"])
+        network.add_gate("na", "NOT", ["a"])
+        network.add_gate("g", "AND", ["na", "b"])
+        network.add_output("g")
+        provider = network_controls(network)
+        controls = provider("g")
+        # The inverter collapses: the gate reads primary input 'a' directly.
+        assert set(controls.controls) == {"a", "b"}
+        assert controls.function({"a": False, "b": True}) is True
+        assert controls.function({"a": True, "b": True}) is False
+
+    def test_network_controls_folds_constants(self):
+        network = LogicNetwork("const")
+        network.add_input("a")
+        network.add_gate("one", "CONST1", [])
+        network.add_gate("g", "XOR", ["a", "one"])
+        network.add_output("g")
+        provider = network_controls(network)
+        controls = provider("g")
+        assert controls.controls == ("a",)
+        assert controls.function({"a": False}) is True
+
+
+class TestEndToEndOracles:
+    def test_and9_bennett_oracle(self):
+        network = and_tree_network(9)
+        compiled = compile_network_oracle(network)
+        output = network.outputs[0]
+        verify_oracle_circuit(
+            compiled.circuit,
+            network,
+            input_map={name: compiled.input_qubits[name] for name in network.inputs},
+            output_map={output: compiled.output_qubits[output]},
+        )
+
+    def test_and9_pebbled_oracle_with_16_qubit_budget(self):
+        network = and_tree_network(9)
+        dag = network.to_dag()
+        result = pebble_dag(dag, 7, time_limit=60)
+        compiled = compile_network_oracle(network, result.strategy)
+        assert compiled.num_qubits <= 16
+        output = network.outputs[0]
+        verify_oracle_circuit(
+            compiled.circuit,
+            network,
+            input_map={name: compiled.input_qubits[name] for name in network.inputs},
+            output_map={output: compiled.output_qubits[output]},
+        )
+
+    def test_c17_bennett_oracle_is_correct_on_all_patterns(self):
+        network = c17_network()
+        compiled = compile_network_oracle(network)
+        verify_oracle_circuit(
+            compiled.circuit,
+            network,
+            input_map={name: compiled.input_qubits[name] for name in network.inputs},
+            output_map={name: compiled.output_qubits[name] for name in network.outputs},
+        )
+
+    def test_c17_pebbled_oracle_is_correct(self):
+        network = c17_network()
+        dag = network.to_dag()
+        result = pebble_dag(dag, 4, time_limit=60)
+        assert result.found
+        compiled = compile_network_oracle(network, result.strategy)
+        verify_oracle_circuit(
+            compiled.circuit,
+            network,
+            input_map={name: compiled.input_qubits[name] for name in network.inputs},
+            output_map={name: compiled.output_qubits[name] for name in network.outputs},
+        )
+
+    def test_half_adder_oracle(self, half_adder_network):
+        compiled = compile_network_oracle(half_adder_network)
+        verify_oracle_circuit(
+            compiled.circuit,
+            half_adder_network,
+            input_map={name: compiled.input_qubits[name]
+                       for name in half_adder_network.inputs},
+            output_map={name: compiled.output_qubits[name]
+                        for name in half_adder_network.outputs},
+        )
+
+    def test_structural_compilation_of_slp_dag(self):
+        """SLP DAGs have no Boolean functions; compilation still works and
+        produces one gate per move with the dependency structure as controls."""
+        dag = load_workload("hadamard")
+        compiled = compile_bennett(dag)
+        assert compiled.num_gates == bennett_strategy(dag).num_moves
+        gate = compiled.circuit.gates[0]
+        assert gate.function is None

@@ -1,0 +1,64 @@
+"""Tests for the circuit cost model."""
+
+from repro.circuits import (
+    CostModel,
+    QubitRole,
+    ReversibleCircuit,
+    SingleTargetGate,
+    ToffoliGate,
+    barenco_and_oracle,
+    circuit_cost,
+)
+
+
+class TestCostModel:
+    def test_elementary_gates_cost_one(self):
+        model = CostModel()
+        assert model.toffoli_equivalents(ToffoliGate("t")) == 1
+        assert model.toffoli_equivalents(ToffoliGate.from_names("t", ["a"])) == 1
+        assert model.toffoli_equivalents(ToffoliGate.from_names("t", ["a", "b"])) == 1
+
+    def test_large_toffoli_uses_barenco_count(self):
+        model = CostModel()
+        gate = ToffoliGate.from_names("t", ["a", "b", "c", "d", "e"])
+        assert model.toffoli_equivalents(gate) == 4 * (5 - 2)
+
+    def test_single_target_gate_scaling(self):
+        model = CostModel(stg_control_factor=3)
+        gate = SingleTargetGate("t", ("a", "b", "c", "d"), None)
+        assert model.toffoli_equivalents(gate) == 3 * 3
+
+    def test_t_count(self):
+        model = CostModel()
+        assert model.t_count(ToffoliGate.from_names("t", ["a"])) == 0
+        assert model.t_count(ToffoliGate.from_names("t", ["a", "b"])) == 7
+        assert model.t_count(ToffoliGate.from_names("t", ["a", "b", "c"])) == 4 * 7
+
+
+class TestCircuitCost:
+    def test_aggregation(self):
+        circuit = ReversibleCircuit()
+        circuit.add_qubits(["a", "b"], QubitRole.INPUT)
+        circuit.add_qubit("t", QubitRole.OUTPUT)
+        circuit.append(ToffoliGate.from_names("t", ["a", "b"]))
+        circuit.append(ToffoliGate.from_names("t", ["a"]))
+        cost = circuit_cost(circuit)
+        assert cost.qubits == 3
+        assert cost.gates == 2
+        assert cost.toffoli_equivalents == 2
+        assert cost.t_count == 7
+        assert cost.as_dict()["gates"] == 2
+
+    def test_barenco_oracle_cost(self):
+        cost = circuit_cost(barenco_and_oracle(9))
+        assert cost.gates == 48
+        assert cost.toffoli_equivalents == 48
+        assert cost.t_count == 48 * 7
+
+    def test_custom_model(self):
+        circuit = ReversibleCircuit()
+        circuit.add_qubits(["a", "b"], QubitRole.INPUT)
+        circuit.add_qubit("t", QubitRole.OUTPUT)
+        circuit.append(ToffoliGate.from_names("t", ["a", "b"]))
+        cost = circuit_cost(circuit, CostModel(toffoli_t_count=4))
+        assert cost.t_count == 4

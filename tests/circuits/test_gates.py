@@ -1,0 +1,80 @@
+"""Unit tests for the reversible gate types."""
+
+import pytest
+
+from repro.errors import CircuitError
+from repro.circuits import SingleTargetGate, ToffoliGate
+
+
+class TestSingleTargetGate:
+    def test_basic_properties(self):
+        gate = SingleTargetGate("t", ("a", "b"), lambda v: v["a"] and v["b"], label="and2")
+        assert gate.num_controls == 2
+        assert gate.qubits() == ("a", "b", "t")
+        assert "and2" in str(gate)
+
+    def test_evaluate(self):
+        gate = SingleTargetGate("t", ("a", "b"), lambda v: v["a"] ^ v["b"])
+        assert gate.evaluate({"a": True, "b": False}) is True
+        assert gate.evaluate({"a": True, "b": True}) is False
+
+    def test_evaluate_without_function_raises(self):
+        gate = SingleTargetGate("t", ("a",), None, label="opaque")
+        with pytest.raises(CircuitError):
+            gate.evaluate({"a": True})
+
+    def test_target_cannot_be_control(self):
+        with pytest.raises(CircuitError):
+            SingleTargetGate("t", ("t", "a"), None)
+
+    def test_duplicate_controls_rejected(self):
+        with pytest.raises(CircuitError):
+            SingleTargetGate("t", ("a", "a"), None)
+
+
+class TestToffoliGate:
+    def test_from_names_and_polarities(self):
+        gate = ToffoliGate.from_names("t", ["a", "b", "c"], negated=["b"])
+        assert gate.num_controls == 3
+        assert dict(gate.controls) == {"a": True, "b": False, "c": True}
+        assert gate.control_names() == ("a", "b", "c")
+        assert gate.qubits() == ("a", "b", "c", "t")
+
+    def test_evaluate_with_mixed_polarities(self):
+        gate = ToffoliGate.from_names("t", ["a", "b"], negated=["b"])
+        assert gate.evaluate({"a": True, "b": False}) is True
+        assert gate.evaluate({"a": True, "b": True}) is False
+        assert gate.evaluate({"a": False, "b": False}) is False
+
+    def test_not_and_cnot_special_cases(self):
+        x_gate = ToffoliGate("t")
+        assert x_gate.num_controls == 0
+        assert x_gate.evaluate({}) is True
+        assert str(x_gate) == "X(t)"
+        cnot = ToffoliGate.from_names("t", ["c"])
+        assert cnot.evaluate({"c": True}) is True
+        assert cnot.evaluate({"c": False}) is False
+
+    def test_negated_controls_shown_in_str(self):
+        gate = ToffoliGate.from_names("t", ["a", "b"], negated=["a"])
+        assert "!a" in str(gate)
+
+    def test_unknown_negated_control_rejected(self):
+        with pytest.raises(CircuitError):
+            ToffoliGate.from_names("t", ["a"], negated=["z"])
+
+    def test_target_cannot_be_control(self):
+        with pytest.raises(CircuitError):
+            ToffoliGate.from_names("t", ["t"])
+
+    def test_duplicate_controls_rejected(self):
+        with pytest.raises(CircuitError):
+            ToffoliGate("t", (("a", True), ("a", False)))
+
+    def test_as_single_target_gate(self):
+        gate = ToffoliGate.from_names("t", ["a", "b"], negated=["b"])
+        stg = gate.as_single_target_gate()
+        assert stg.target == "t"
+        assert stg.controls == ("a", "b")
+        assert stg.evaluate({"a": True, "b": False}) is True
+        assert stg.evaluate({"a": True, "b": True}) is False

@@ -1,0 +1,150 @@
+"""Tests for the classical reversible-circuit simulator."""
+
+import pytest
+
+from repro.errors import CircuitError
+from repro.circuits import (
+    QubitRole,
+    ReversibleCircuit,
+    SingleTargetGate,
+    ToffoliGate,
+    compile_network_oracle,
+)
+from repro.circuits.simulator import (
+    simulate_circuit,
+    verify_ancillae_clean,
+    verify_oracle_circuit,
+)
+from repro.logic import LogicNetwork
+
+
+def _toffoli_circuit() -> ReversibleCircuit:
+    circuit = ReversibleCircuit("toffoli")
+    circuit.add_qubits(["a", "b"], QubitRole.INPUT)
+    circuit.add_qubit("t", QubitRole.OUTPUT)
+    circuit.append(ToffoliGate.from_names("t", ["a", "b"]))
+    return circuit
+
+
+class TestSimulateCircuit:
+    def test_toffoli_truth_table(self):
+        circuit = _toffoli_circuit()
+        for a in (False, True):
+            for b in (False, True):
+                final = simulate_circuit(circuit, {"a": a, "b": b})
+                assert final["t"] == (a and b)
+                assert final["a"] == a and final["b"] == b
+
+    def test_single_target_gate_semantics(self):
+        circuit = ReversibleCircuit()
+        circuit.add_qubits(["a", "b"], QubitRole.INPUT)
+        circuit.add_qubit("t", QubitRole.OUTPUT)
+        circuit.append(SingleTargetGate("t", ("a", "b"), lambda v: v["a"] ^ v["b"], label="xor"))
+        assert simulate_circuit(circuit, {"a": True, "b": False})["t"] is True
+        assert simulate_circuit(circuit, {"a": True, "b": True})["t"] is False
+
+    def test_double_application_uncomputes(self):
+        circuit = _toffoli_circuit()
+        circuit.append(ToffoliGate.from_names("t", ["a", "b"]))
+        final = simulate_circuit(circuit, {"a": True, "b": True})
+        assert final["t"] is False
+
+    def test_missing_input_value_raises(self):
+        with pytest.raises(CircuitError):
+            simulate_circuit(_toffoli_circuit(), {"a": True})
+
+    def test_initial_values_override(self):
+        circuit = _toffoli_circuit()
+        final = simulate_circuit(circuit, {"a": False, "b": False}, initial_values={"t": True})
+        assert final["t"] is True
+
+    def test_initial_values_unknown_qubit(self):
+        with pytest.raises(CircuitError):
+            simulate_circuit(_toffoli_circuit(), {"a": False, "b": False},
+                             initial_values={"zz": True})
+
+
+class TestAncillaChecks:
+    def test_clean_circuit_passes(self):
+        circuit = ReversibleCircuit()
+        circuit.add_qubit("x", QubitRole.INPUT)
+        circuit.add_qubit("a", QubitRole.ANCILLA)
+        circuit.add_qubit("y", QubitRole.OUTPUT)
+        circuit.append(ToffoliGate.from_names("a", ["x"]))
+        circuit.append(ToffoliGate.from_names("y", ["a"]))
+        circuit.append(ToffoliGate.from_names("a", ["x"]))
+        assert verify_ancillae_clean(circuit, {"x": True})
+        assert verify_ancillae_clean(circuit, {"x": False})
+
+    def test_dirty_circuit_detected(self):
+        """Forgetting the uncompute gate (Fig. 1(a)) leaves the ancilla dirty."""
+        circuit = ReversibleCircuit()
+        circuit.add_qubit("x", QubitRole.INPUT)
+        circuit.add_qubit("a", QubitRole.ANCILLA)
+        circuit.add_qubit("y", QubitRole.OUTPUT)
+        circuit.append(ToffoliGate.from_names("a", ["x"]))
+        circuit.append(ToffoliGate.from_names("y", ["a"]))
+        assert not verify_ancillae_clean(circuit, {"x": True})
+
+
+class TestVerifyOracle:
+    def _xor_network(self) -> LogicNetwork:
+        network = LogicNetwork("xor3")
+        network.add_inputs(["a", "b", "c"])
+        network.add_gate("t", "XOR", ["a", "b"])
+        network.add_gate("y", "XOR", ["t", "c"])
+        network.add_output("y")
+        return network
+
+    def test_verifies_correct_oracle(self):
+        network = self._xor_network()
+        compiled = compile_network_oracle(network)
+        assert verify_oracle_circuit(
+            compiled.circuit,
+            network,
+            input_map={n: compiled.input_qubits[n] for n in network.inputs},
+            output_map={"y": compiled.output_qubits["y"]},
+        )
+
+    def test_detects_wrong_output(self):
+        network = self._xor_network()
+        compiled = compile_network_oracle(network)
+        wrong_reference = LogicNetwork("and3")
+        wrong_reference.add_inputs(["a", "b", "c"])
+        wrong_reference.add_gate("t", "AND", ["a", "b"])
+        wrong_reference.add_gate("y", "AND", ["t", "c"])
+        wrong_reference.add_output("y")
+        with pytest.raises(CircuitError):
+            verify_oracle_circuit(
+                compiled.circuit,
+                wrong_reference,
+                input_map={n: compiled.input_qubits[n] for n in network.inputs},
+                output_map={"y": compiled.output_qubits["y"]},
+            )
+
+    def test_detects_dirty_ancilla(self):
+        network = self._xor_network()
+        compiled = compile_network_oracle(network)
+        # Remove the final uncompute gate to leave the ancilla dirty.
+        broken = ReversibleCircuit("broken")
+        for name in compiled.circuit.qubits():
+            broken.add_qubit(name, compiled.circuit.qubit(name).role)
+        for gate in compiled.circuit.gates[:-1]:
+            broken.append(gate)
+        with pytest.raises(CircuitError):
+            verify_oracle_circuit(
+                broken,
+                network,
+                input_map={n: compiled.input_qubits[n] for n in network.inputs},
+                output_map={"y": compiled.output_qubits["y"]},
+            )
+
+    def test_callable_reference_and_pattern_limit(self):
+        circuit = _toffoli_circuit()
+        assert verify_oracle_circuit(
+            circuit,
+            lambda values: {"t": values["a"] and values["b"]},
+            input_map={"a": "a", "b": "b"},
+            output_map={"t": "t"},
+            max_patterns=2,
+        )

@@ -1,0 +1,56 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dag import Dag
+from repro.logic import LogicNetwork
+from repro.workloads import and_tree_dag, example_dag
+
+
+@pytest.fixture
+def fig2_dag() -> Dag:
+    """The paper's Fig. 2 example DAG (6 nodes, outputs E and F)."""
+    return example_dag()
+
+
+@pytest.fixture
+def and9_dag() -> Dag:
+    """The Fig. 6(a) 9-input AND DAG (8 nodes, one output)."""
+    return and_tree_dag(9)
+
+
+@pytest.fixture
+def chain_dag() -> Dag:
+    """A 5-node chain: the worst case for pebble reuse."""
+    dag = Dag("chain5")
+    previous: list[str] = []
+    for index in range(1, 6):
+        dag.add_node(f"n{index}", previous)
+        previous = [f"n{index}"]
+    return dag
+
+
+@pytest.fixture
+def diamond_dag() -> Dag:
+    """A diamond: one source feeding two middle nodes joined by a sink."""
+    dag = Dag("diamond")
+    dag.add_node("s", [])
+    dag.add_node("l", ["s"])
+    dag.add_node("r", ["s"])
+    dag.add_node("t", ["l", "r"])
+    return dag
+
+
+@pytest.fixture
+def half_adder_network() -> LogicNetwork:
+    """A two-gate half adder used across logic/circuit tests."""
+    network = LogicNetwork("half_adder")
+    network.add_input("a")
+    network.add_input("b")
+    network.add_gate("sum", "XOR", ["a", "b"])
+    network.add_gate("carry", "AND", ["a", "b"])
+    network.add_output("sum")
+    network.add_output("carry")
+    return network

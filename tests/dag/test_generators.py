@@ -1,0 +1,136 @@
+"""Unit and property-based tests for the synthetic DAG generators."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DagError
+from repro.dag import layered_random_dag, linear_chain, random_binary_dag, tree_dag
+
+
+class TestLinearChain:
+    def test_structure(self):
+        dag = linear_chain(5)
+        assert dag.num_nodes == 5
+        assert dag.num_edges == 4
+        assert dag.depth() == 5
+        assert dag.outputs() == ["n5"]
+
+    def test_single_node(self):
+        dag = linear_chain(1)
+        assert dag.num_nodes == 1
+        assert dag.outputs() == ["n1"]
+
+    def test_rejects_non_positive_length(self):
+        with pytest.raises(DagError):
+            linear_chain(0)
+
+
+class TestTreeDag:
+    def test_binary_tree_over_nine_leaves(self):
+        dag = tree_dag(9)
+        # 9 leaves reduce with 8 internal nodes in a binary tree.
+        assert dag.num_nodes == 9 + 8
+        assert len(dag.outputs()) == 1
+        dag.validate()
+
+    def test_ternary_tree(self):
+        dag = tree_dag(9, arity=3)
+        assert len(dag.outputs()) == 1
+        assert dag.statistics().max_fanin == 3
+
+    def test_single_leaf(self):
+        dag = tree_dag(1)
+        assert dag.num_nodes == 1
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(DagError):
+            tree_dag(0)
+        with pytest.raises(DagError):
+            tree_dag(4, arity=1)
+
+
+class TestRandomBinaryDag:
+    def test_deterministic_for_seed(self):
+        first = random_binary_dag(30, seed=7)
+        second = random_binary_dag(30, seed=7)
+        assert first.nodes() == second.nodes()
+        assert first.edges() == second.edges()
+
+    def test_different_seeds_differ(self):
+        first = random_binary_dag(30, seed=1)
+        second = random_binary_dag(30, seed=2)
+        assert first.edges() != second.edges()
+
+    def test_fanin_bounded_by_two(self):
+        dag = random_binary_dag(50, seed=3)
+        assert dag.statistics().max_fanin <= 2
+        dag.validate()
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(DagError):
+            random_binary_dag(0)
+        with pytest.raises(DagError):
+            random_binary_dag(5, source_fraction=0.0)
+
+
+class TestLayeredRandomDag:
+    def test_requested_sizes(self):
+        dag = layered_random_dag(60, 5, depth=10, seed=11)
+        assert dag.num_nodes == 60
+        assert len(dag.outputs()) >= 5
+        dag.validate()
+
+    def test_every_non_output_node_has_a_consumer(self):
+        dag = layered_random_dag(80, 8, depth=12, seed=5)
+        outputs = set(dag.outputs())
+        for node in dag.nodes():
+            assert node in outputs or dag.dependents(node), node
+
+    def test_deterministic_for_seed(self):
+        first = layered_random_dag(40, 4, seed=9)
+        second = layered_random_dag(40, 4, seed=9)
+        assert first.edges() == second.edges()
+        assert first.outputs() == second.outputs()
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(DagError):
+            layered_random_dag(0, 1)
+        with pytest.raises(DagError):
+            layered_random_dag(10, 0)
+        with pytest.raises(DagError):
+            layered_random_dag(10, 11)
+        with pytest.raises(DagError):
+            layered_random_dag(10, 2, depth=0)
+        with pytest.raises(DagError):
+            layered_random_dag(10, 2, max_fanin=0)
+
+
+@given(
+    num_nodes=st.integers(min_value=1, max_value=40),
+    num_outputs_fraction=st.floats(min_value=0.05, max_value=1.0),
+    depth=st.integers(min_value=1, max_value=12),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=60, deadline=None)
+def test_layered_random_dag_is_always_valid(num_nodes, num_outputs_fraction, depth, seed):
+    """Generated DAGs are acyclic, sized as requested, and fully useful."""
+    num_outputs = max(1, int(num_nodes * num_outputs_fraction))
+    dag = layered_random_dag(num_nodes, num_outputs, depth=depth, seed=seed)
+    dag.validate()
+    assert dag.num_nodes == num_nodes
+    outputs = set(dag.outputs())
+    assert len(outputs) >= num_outputs
+    # Every node either is an output or feeds some other node.
+    for node in dag.nodes():
+        assert node in outputs or dag.dependents(node)
+
+
+@given(
+    num_leaves=st.integers(min_value=1, max_value=40),
+    arity=st.integers(min_value=2, max_value=4),
+)
+@settings(max_examples=40, deadline=None)
+def test_tree_dag_single_output_and_acyclic(num_leaves, arity):
+    dag = tree_dag(num_leaves, arity=arity)
+    dag.validate()
+    assert len(dag.outputs()) == 1

@@ -1,0 +1,114 @@
+"""Functional verification of the gate-level arithmetic generators."""
+
+import itertools
+
+import pytest
+
+from repro.errors import LogicNetworkError
+from repro.logic import (
+    modular_adder_network,
+    modular_subtractor_network,
+    ripple_carry_adder_network,
+    ripple_carry_subtractor_network,
+)
+
+
+def _bus_assignment(prefix: str, value: int, bits: int) -> dict[str, bool]:
+    return {f"{prefix}{i}": bool((value >> i) & 1) for i in range(bits)}
+
+
+def _bus_value(outputs: dict[str, bool], names: list[str]) -> int:
+    return sum(1 << index for index, name in enumerate(names) if outputs[name])
+
+
+class TestRippleCarryAdder:
+    @pytest.mark.parametrize("bits", [1, 2, 3, 4])
+    @pytest.mark.parametrize("use_majority", [True, False])
+    def test_exhaustive_addition(self, bits, use_majority):
+        network = ripple_carry_adder_network(bits, use_majority=use_majority)
+        sum_names = network.outputs[:-1]
+        carry_name = network.outputs[-1]
+        for a, b in itertools.product(range(1 << bits), repeat=2):
+            assignment = {**_bus_assignment("a", a, bits), **_bus_assignment("b", b, bits)}
+            outputs = network.simulate_outputs(assignment)
+            value = _bus_value(outputs, sum_names) | (int(outputs[carry_name]) << bits)
+            assert value == a + b, (bits, a, b)
+
+    def test_without_carry_out(self):
+        network = ripple_carry_adder_network(3, with_carry_out=False)
+        assert len(network.outputs) == 3
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(LogicNetworkError):
+            ripple_carry_adder_network(0)
+
+
+class TestRippleCarrySubtractor:
+    @pytest.mark.parametrize("bits", [1, 2, 3, 4])
+    def test_exhaustive_subtraction_modulo_power_of_two(self, bits):
+        network = ripple_carry_subtractor_network(bits, with_borrow_out=False)
+        names = network.outputs
+        for a, b in itertools.product(range(1 << bits), repeat=2):
+            assignment = {**_bus_assignment("a", a, bits), **_bus_assignment("b", b, bits)}
+            outputs = network.simulate_outputs(assignment)
+            assert _bus_value(outputs, names) == (a - b) % (1 << bits), (bits, a, b)
+
+    def test_no_borrow_flag_semantics(self):
+        bits = 3
+        network = ripple_carry_subtractor_network(bits, with_borrow_out=True)
+        no_borrow = network.outputs[-1]
+        for a, b in itertools.product(range(1 << bits), repeat=2):
+            assignment = {**_bus_assignment("a", a, bits), **_bus_assignment("b", b, bits)}
+            outputs = network.simulate_outputs(assignment)
+            assert outputs[no_borrow] == (a >= b), (a, b)
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(LogicNetworkError):
+            ripple_carry_subtractor_network(0)
+
+
+class TestModularAdder:
+    @pytest.mark.parametrize("bits,modulus", [(2, 3), (2, 4), (3, 5), (3, 7), (3, 8), (4, 11)])
+    @pytest.mark.parametrize("use_majority", [True, False])
+    def test_exhaustive_modular_addition(self, bits, modulus, use_majority):
+        network = modular_adder_network(bits, modulus, use_majority=use_majority)
+        names = network.outputs
+        for a, b in itertools.product(range(modulus), repeat=2):
+            assignment = {**_bus_assignment("a", a, bits), **_bus_assignment("b", b, bits)}
+            outputs = network.simulate_outputs(assignment)
+            assert _bus_value(outputs, names) == (a + b) % modulus, (bits, modulus, a, b)
+
+    def test_rejects_bad_modulus(self):
+        with pytest.raises(LogicNetworkError):
+            modular_adder_network(2, 5)
+        with pytest.raises(LogicNetworkError):
+            modular_adder_network(2, 1)
+        with pytest.raises(LogicNetworkError):
+            modular_adder_network(0, 2)
+
+    def test_to_dag_produces_valid_pebbling_dag(self):
+        dag = modular_adder_network(2, 3).to_dag()
+        dag.validate()
+        assert dag.num_nodes > 0
+
+
+class TestModularSubtractor:
+    @pytest.mark.parametrize("bits,modulus", [(2, 3), (2, 4), (3, 5), (3, 7), (4, 11)])
+    def test_exhaustive_modular_subtraction(self, bits, modulus):
+        network = modular_subtractor_network(bits, modulus)
+        names = network.outputs
+        for a, b in itertools.product(range(modulus), repeat=2):
+            assignment = {**_bus_assignment("a", a, bits), **_bus_assignment("b", b, bits)}
+            outputs = network.simulate_outputs(assignment)
+            assert _bus_value(outputs, names) == (a - b) % modulus, (bits, modulus, a, b)
+
+    def test_without_majority_gates(self):
+        network = modular_subtractor_network(3, 7, use_majority=False)
+        outputs = network.simulate_outputs(
+            {**_bus_assignment("a", 2, 3), **_bus_assignment("b", 5, 3)}
+        )
+        assert _bus_value(outputs, network.outputs) == (2 - 5) % 7
+
+    def test_rejects_bad_modulus(self):
+        with pytest.raises(LogicNetworkError):
+            modular_subtractor_network(2, 8)

@@ -1,0 +1,115 @@
+"""Unit tests for the ISCAS-89 .bench parser and writer."""
+
+import itertools
+
+import pytest
+
+from repro.errors import BenchParseError
+from repro.logic.bench import network_from_bench, network_to_bench, parse_bench, write_bench
+from repro.logic.iscas import C17_BENCH, c17_network
+
+
+class TestParse:
+    def test_c17_parses_with_expected_sizes(self):
+        network = c17_network()
+        assert network.num_inputs == 5
+        assert network.num_outputs == 2
+        assert network.num_gates == 6
+
+    def test_c17_functionality_spot_checks(self):
+        network = c17_network()
+        # c17 outputs: 22 = NAND(10, 16), 23 = NAND(16, 19)
+        def reference(values):
+            g10 = not (values["1"] and values["3"])
+            g11 = not (values["3"] and values["6"])
+            g16 = not (values["2"] and g11)
+            g19 = not (g11 and values["7"])
+            return {"22": not (g10 and g16), "23": not (g16 and g19)}
+
+        for bits in itertools.product([False, True], repeat=5):
+            values = dict(zip(["1", "2", "3", "6", "7"], bits))
+            assert network.simulate_outputs(values) == reference(values)
+
+    def test_gates_listed_out_of_order(self):
+        text = """
+        INPUT(a)
+        INPUT(b)
+        OUTPUT(z)
+        z = AND(y, b)
+        y = NOT(a)
+        """
+        network = parse_bench(text)
+        assert network.num_gates == 2
+        assert network.simulate_outputs({"a": False, "b": True})["z"] is True
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# header\n\nINPUT(a)\nOUTPUT(y)\n y = BUF(a)  # trailing\n"
+        network = parse_bench(text)
+        assert network.num_gates == 1
+
+    def test_case_insensitive_keywords(self):
+        text = "input(a)\noutput(y)\ny = nand(a, a)\n"
+        network = parse_bench(text)
+        assert network.simulate_outputs({"a": True})["y"] is False
+
+    def test_output_driven_by_input(self):
+        text = "INPUT(a)\nINPUT(b)\nOUTPUT(a)\nOUTPUT(g)\ng = AND(a, b)\n"
+        network = parse_bench(text)
+        assert network.outputs == ["a", "g"]
+
+    def test_dff_rejected(self):
+        with pytest.raises(BenchParseError):
+            parse_bench("INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n")
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(BenchParseError):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n")
+
+    def test_undriven_signal_rejected(self):
+        with pytest.raises(BenchParseError):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n")
+
+    def test_unknown_output_rejected(self):
+        with pytest.raises(BenchParseError):
+            parse_bench("INPUT(a)\nOUTPUT(z)\ny = NOT(a)\n")
+
+    def test_garbage_line_rejected(self):
+        with pytest.raises(BenchParseError):
+            parse_bench("INPUT(a)\nthis is not bench\n")
+
+    def test_combinational_loop_rejected(self):
+        text = "INPUT(a)\nOUTPUT(x)\nx = AND(a, y)\ny = AND(a, x)\n"
+        with pytest.raises(BenchParseError):
+            parse_bench(text)
+
+
+class TestWrite:
+    def test_round_trip_preserves_function(self, half_adder_network):
+        text = network_to_bench(half_adder_network)
+        rebuilt = parse_bench(text, name="rebuilt")
+        for a, b in itertools.product([False, True], repeat=2):
+            assert rebuilt.simulate_outputs({"a": a, "b": b}) == \
+                half_adder_network.simulate_outputs({"a": a, "b": b})
+
+    def test_c17_round_trip(self):
+        original = c17_network()
+        rebuilt = parse_bench(network_to_bench(original))
+        for bits in itertools.product([False, True], repeat=5):
+            values = dict(zip(original.inputs, bits))
+            assert rebuilt.simulate_outputs(values) == original.simulate_outputs(values)
+
+    def test_file_round_trip(self, tmp_path, half_adder_network):
+        path = tmp_path / "ha.bench"
+        write_bench(half_adder_network, path)
+        network = network_from_bench(path)
+        assert network.name == "ha"
+        assert network.num_gates == 2
+
+    def test_bench_text_contains_declarations(self):
+        text = network_to_bench(c17_network())
+        assert "INPUT(1)" in text
+        assert "OUTPUT(22)" in text
+        assert "22 = NAND(10, 16)" in text
+
+    def test_bundled_c17_text_is_parseable(self):
+        assert parse_bench(C17_BENCH).num_gates == 6

@@ -1,0 +1,196 @@
+"""Unit tests for the logic-network container."""
+
+import itertools
+
+import pytest
+
+from repro.errors import LogicNetworkError
+from repro.logic import GateType, LogicNetwork
+
+
+class TestConstruction:
+    def test_half_adder_structure(self, half_adder_network):
+        network = half_adder_network
+        assert network.num_inputs == 2
+        assert network.num_outputs == 2
+        assert network.num_gates == 2
+        assert network.gate("sum").gate_type is GateType.XOR
+
+    def test_duplicate_signal_rejected(self):
+        network = LogicNetwork()
+        network.add_input("a")
+        with pytest.raises(LogicNetworkError):
+            network.add_input("a")
+        with pytest.raises(LogicNetworkError):
+            network.add_gate("a", "NOT", ["a"])
+
+    def test_empty_signal_name_rejected(self):
+        with pytest.raises(LogicNetworkError):
+            LogicNetwork().add_input("")
+
+    def test_unknown_fanin_rejected(self):
+        network = LogicNetwork()
+        network.add_input("a")
+        with pytest.raises(LogicNetworkError):
+            network.add_gate("g", "AND", ["a", "missing"])
+
+    def test_unknown_output_rejected(self):
+        with pytest.raises(LogicNetworkError):
+            LogicNetwork().add_output("nope")
+
+    def test_gate_arity_validation(self):
+        network = LogicNetwork()
+        network.add_inputs(["a", "b"])
+        with pytest.raises(LogicNetworkError):
+            network.add_gate("g", "NOT", ["a", "b"])
+        with pytest.raises(LogicNetworkError):
+            network.add_gate("g", "MAJ", ["a", "b"])
+
+    def test_unknown_gate_type_rejected(self):
+        network = LogicNetwork()
+        network.add_input("a")
+        with pytest.raises(LogicNetworkError):
+            network.add_gate("g", "FOO", ["a"])
+
+    def test_gate_type_from_name_case_insensitive(self):
+        assert GateType.from_name("xor") is GateType.XOR
+        assert GateType.from_name(GateType.AND) is GateType.AND
+
+    def test_validate_requires_inputs_and_outputs(self):
+        network = LogicNetwork()
+        with pytest.raises(LogicNetworkError):
+            network.validate()
+        network.add_input("a")
+        with pytest.raises(LogicNetworkError):
+            network.validate()
+        network.add_output("a")
+        network.validate()
+
+
+class TestSimulation:
+    def test_half_adder_truth_table(self, half_adder_network):
+        for a, b in itertools.product([False, True], repeat=2):
+            outputs = half_adder_network.simulate_outputs({"a": a, "b": b})
+            assert outputs["sum"] == (a ^ b)
+            assert outputs["carry"] == (a and b)
+
+    def test_simulation_missing_input_raises(self, half_adder_network):
+        with pytest.raises(LogicNetworkError):
+            half_adder_network.simulate({"a": True})
+
+    def test_all_gate_types(self):
+        network = LogicNetwork("gates")
+        network.add_inputs(["a", "b", "c"])
+        network.add_gate("and_", "AND", ["a", "b"])
+        network.add_gate("or_", "OR", ["a", "b"])
+        network.add_gate("nand_", "NAND", ["a", "b"])
+        network.add_gate("nor_", "NOR", ["a", "b"])
+        network.add_gate("xor_", "XOR", ["a", "b"])
+        network.add_gate("xnor_", "XNOR", ["a", "b"])
+        network.add_gate("not_", "NOT", ["a"])
+        network.add_gate("buf_", "BUF", ["a"])
+        network.add_gate("maj_", "MAJ", ["a", "b", "c"])
+        network.add_gate("zero", "CONST0", [])
+        network.add_gate("one", "CONST1", [])
+        for name in ["and_", "or_", "nand_", "nor_", "xor_", "xnor_", "not_", "buf_", "maj_",
+                     "zero", "one"]:
+            network.add_output(name)
+        for a, b, c in itertools.product([False, True], repeat=3):
+            outputs = network.simulate_outputs({"a": a, "b": b, "c": c})
+            assert outputs["and_"] == (a and b)
+            assert outputs["or_"] == (a or b)
+            assert outputs["nand_"] == (not (a and b))
+            assert outputs["nor_"] == (not (a or b))
+            assert outputs["xor_"] == (a ^ b)
+            assert outputs["xnor_"] == (not (a ^ b))
+            assert outputs["not_"] == (not a)
+            assert outputs["buf_"] == a
+            assert outputs["maj_"] == (int(a) + int(b) + int(c) >= 2)
+            assert outputs["zero"] is False
+            assert outputs["one"] is True
+
+    def test_truth_tables_match_simulation(self, half_adder_network):
+        tables = half_adder_network.truth_tables()
+        for index, (a, b) in enumerate(itertools.product([False, True], repeat=2)):
+            # Pattern index bit 0 is input 'a', bit 1 is input 'b'.
+            pattern = (int(a)) | (int(b) << 1)
+            outputs = half_adder_network.simulate_outputs({"a": a, "b": b})
+            assert bool((tables["sum"] >> pattern) & 1) == outputs["sum"]
+            assert bool((tables["carry"] >> pattern) & 1) == outputs["carry"]
+
+    def test_truth_tables_input_limit(self):
+        network = LogicNetwork()
+        for index in range(17):
+            network.add_input(f"i{index}")
+        network.add_gate("g", "AND", ["i0", "i1"])
+        network.add_output("g")
+        with pytest.raises(LogicNetworkError):
+            network.truth_tables()
+
+
+class TestTopologyAndStatistics:
+    def test_topological_order_handles_out_of_order_insertion(self):
+        network = LogicNetwork()
+        network.add_input("a")
+        network.add_gate("g1", "NOT", ["a"])
+        network.add_gate("g2", "AND", ["a", "g1"])
+        network.add_output("g2")
+        order = network.topological_order()
+        assert order.index("g1") < order.index("g2")
+
+    def test_statistics(self, half_adder_network):
+        stats = half_adder_network.statistics()
+        assert stats == {"inputs": 2, "outputs": 2, "gates": 2, "depth": 1}
+
+    def test_repr(self, half_adder_network):
+        assert "half_adder" in repr(half_adder_network)
+
+
+class TestToDag:
+    def test_half_adder_dag(self, half_adder_network):
+        dag = half_adder_network.to_dag()
+        assert set(dag.nodes()) == {"sum", "carry"}
+        assert set(dag.outputs()) == {"sum", "carry"}
+        assert dag.dependencies("sum") == ()
+
+    def test_inverters_collapse_out_of_the_dag(self):
+        network = LogicNetwork("inv")
+        network.add_inputs(["a", "b"])
+        network.add_gate("na", "NOT", ["a"])
+        network.add_gate("g", "AND", ["na", "b"])
+        network.add_gate("ng", "NOT", ["g"])
+        network.add_output("ng")
+        dag = network.to_dag(collapse_inverters=True)
+        assert set(dag.nodes()) == {"g"}
+        assert dag.outputs() == ["g"]
+
+    def test_inverters_kept_when_requested(self):
+        network = LogicNetwork("inv")
+        network.add_inputs(["a", "b"])
+        network.add_gate("na", "NOT", ["a"])
+        network.add_gate("g", "AND", ["na", "b"])
+        network.add_output("g")
+        dag = network.to_dag(collapse_inverters=False)
+        assert set(dag.nodes()) == {"na", "g"}
+
+    def test_constant_fanins_are_dropped(self):
+        network = LogicNetwork("const")
+        network.add_input("a")
+        network.add_gate("one", "CONST1", [])
+        network.add_gate("g", "AND", ["a", "one"])
+        network.add_output("g")
+        dag = network.to_dag()
+        assert dag.dependencies("g") == ()
+
+    def test_network_reducing_to_inputs_raises(self):
+        network = LogicNetwork("wire")
+        network.add_input("a")
+        network.add_gate("b", "BUF", ["a"])
+        network.add_output("b")
+        with pytest.raises(LogicNetworkError):
+            network.to_dag()
+
+    def test_dag_operations_carry_gate_types(self, half_adder_network):
+        dag = half_adder_network.to_dag()
+        assert dag.node("sum").operation == "XOR"
+        assert dag.node("carry").operation == "AND"

@@ -1,0 +1,111 @@
+"""Tests for the SAT encoding of the bounded pebbling game."""
+
+import pytest
+
+from repro.errors import PebblingError
+from repro.pebbling import EncodingOptions, PebblingEncoder, PebblingStrategy
+from repro.pebbling.bennett import bennett_strategy
+from repro.sat.cards import CardinalityEncoding
+from repro.sat.solver import CdclSolver
+
+
+class TestEncodingStructure:
+    def test_variable_count(self, fig2_dag):
+        encoder = PebblingEncoder(fig2_dag)
+        encoding = encoder.encode(max_pebbles=4, num_steps=5)
+        # One pebble variable per node and time point, plus cardinality
+        # auxiliaries; the named pebble variables must all be distinct.
+        assert len(encoding.pebble_variables) == 6 * 6
+        assert len(set(encoding.pebble_variables.values())) == 6 * 6
+        assert encoding.cnf.num_variables >= 6 * 6
+
+    def test_variable_lookup(self, fig2_dag):
+        encoding = PebblingEncoder(fig2_dag).encode(max_pebbles=4, num_steps=3)
+        assert encoding.variable("A", 0) == encoding.pebble_variables[("A", 0)]
+        with pytest.raises(PebblingError):
+            encoding.variable("A", 99)
+
+    def test_no_cardinality_clauses_when_budget_covers_all_nodes(self, fig2_dag):
+        loose = PebblingEncoder(fig2_dag).encode(max_pebbles=6, num_steps=3)
+        tight = PebblingEncoder(fig2_dag).encode(max_pebbles=3, num_steps=3)
+        assert tight.cnf.num_clauses > loose.cnf.num_clauses
+
+    def test_invalid_parameters_rejected(self, fig2_dag):
+        encoder = PebblingEncoder(fig2_dag)
+        with pytest.raises(PebblingError):
+            encoder.encode(max_pebbles=0, num_steps=3)
+        with pytest.raises(PebblingError):
+            encoder.encode(max_pebbles=3, num_steps=0)
+
+    def test_options_validation(self):
+        with pytest.raises(PebblingError):
+            EncodingOptions(max_moves_per_step=0)
+
+
+class TestEncodingSemantics:
+    def _solve(self, dag, max_pebbles, num_steps, options=None):
+        encoder = PebblingEncoder(dag, options=options)
+        encoding = encoder.encode(max_pebbles=max_pebbles, num_steps=num_steps)
+        result = CdclSolver(encoding.cnf).solve()
+        return encoding, result
+
+    def test_bennett_number_of_steps_is_satisfiable(self, fig2_dag):
+        options = EncodingOptions(max_moves_per_step=1)
+        encoding, result = self._solve(fig2_dag, 6, 10, options)
+        assert result.is_sat
+        strategy = PebblingStrategy(
+            fig2_dag, encoding.configurations_from_model(result.model), max_moves_per_step=1
+        )
+        assert strategy.max_pebbles <= 6
+
+    def test_too_few_steps_is_unsatisfiable(self, fig2_dag):
+        # With one move per step, fewer than 2|V| - |O| = 10 steps cannot work.
+        options = EncodingOptions(max_moves_per_step=1)
+        _, result = self._solve(fig2_dag, 6, 9, options)
+        assert result.is_unsat
+
+    def test_too_few_pebbles_is_unsatisfiable(self, fig2_dag):
+        _, result = self._solve(fig2_dag, 2, 20)
+        assert result.is_unsat
+
+    def test_extracted_model_is_a_valid_strategy(self, fig2_dag):
+        encoding, result = self._solve(fig2_dag, 4, 8)
+        assert result.is_sat
+        strategy = PebblingStrategy(fig2_dag, encoding.configurations_from_model(result.model))
+        assert strategy.max_pebbles <= 4
+
+    def test_multi_move_needs_fewer_transitions(self, fig2_dag):
+        # Multi-move: depth 3 + cleanup fits in far fewer than 10 transitions.
+        _, result = self._solve(fig2_dag, 6, 5)
+        assert result.is_sat
+
+    @pytest.mark.parametrize("encoding_kind", list(CardinalityEncoding))
+    def test_all_cardinality_encodings_agree(self, fig2_dag, encoding_kind):
+        options = EncodingOptions(cardinality=encoding_kind)
+        _, sat_result = self._solve(fig2_dag, 4, 8, options)
+        assert sat_result.is_sat
+        _, unsat_result = self._solve(fig2_dag, 3, 30, options)
+        assert unsat_result.is_unsat
+
+    def test_forbid_idle_steps(self, fig2_dag):
+        options = EncodingOptions(forbid_idle_steps=True, max_moves_per_step=1)
+        # Exactly 10 steps with no idling: satisfiable.
+        _, result = self._solve(fig2_dag, 6, 10, options)
+        assert result.is_sat
+        # 11 steps with exactly one move each and no idling cannot end in the
+        # required final configuration (parity argument).
+        _, result_odd = self._solve(fig2_dag, 6, 11, options)
+        assert result_odd.is_unsat
+
+    def test_strategy_from_bennett_satisfies_encoding(self, fig2_dag):
+        """Injecting the Bennett strategy as assumptions must be satisfiable."""
+        strategy = bennett_strategy(fig2_dag)
+        encoder = PebblingEncoder(fig2_dag)
+        encoding = encoder.encode(max_pebbles=6, num_steps=strategy.num_steps)
+        assumptions = []
+        for step, config in enumerate(strategy.configurations):
+            for node in fig2_dag.nodes():
+                variable = encoding.variable(node, step)
+                assumptions.append(variable if node in config else -variable)
+        solver = CdclSolver(encoding.cnf)
+        assert solver.solve(assumptions).is_sat

@@ -1,0 +1,102 @@
+"""Tests for the greedy heuristic pebblers."""
+
+import pytest
+
+from repro.errors import PebblingError
+from repro.dag import linear_chain, tree_dag
+from repro.pebbling import (
+    bennett_strategy,
+    eager_bennett_strategy,
+    greedy_pebbling_strategy,
+)
+from repro.workloads import load_workload
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize("mode", ["recursive", "cone"])
+    def test_produces_valid_strategies(self, mode, fig2_dag, and9_dag, diamond_dag, chain_dag):
+        # PebblingStrategy validates on construction, so reaching here is the test.
+        for dag in (fig2_dag, and9_dag, diamond_dag, chain_dag):
+            strategy = greedy_pebbling_strategy(dag, mode=mode)
+            assert strategy.configurations[-1] == frozenset(dag.outputs())
+
+    def test_unknown_mode_rejected(self, fig2_dag):
+        with pytest.raises(PebblingError):
+            greedy_pebbling_strategy(fig2_dag, mode="magic")
+
+    def test_invalid_threshold_rejected(self, fig2_dag):
+        with pytest.raises(PebblingError):
+            greedy_pebbling_strategy(fig2_dag, keep_fanout_threshold=0)
+
+    @pytest.mark.parametrize("mode", ["recursive", "cone"])
+    def test_handles_multi_output_dags(self, mode, fig2_dag):
+        strategy = greedy_pebbling_strategy(fig2_dag, mode=mode)
+        assert strategy.configurations[-1] == frozenset({"E", "F"})
+
+
+class TestRecursiveMode:
+    def test_trees_use_depth_proportional_pebbles(self):
+        """On a balanced binary AND tree the recursive heuristic needs a
+        number of pebbles proportional to the depth, far fewer than
+        Bennett's node count."""
+        dag = tree_dag(32)
+        strategy = greedy_pebbling_strategy(dag, keep_fanout_threshold=2)
+        assert strategy.max_pebbles <= 2 * dag.depth() + 2
+        assert strategy.max_pebbles < bennett_strategy(dag).max_pebbles
+
+    def test_aggressive_uncompute_trades_moves_for_pebbles(self):
+        dag = load_workload("kummer-add")
+        conservative = greedy_pebbling_strategy(dag, keep_fanout_threshold=1)
+        aggressive = greedy_pebbling_strategy(dag, keep_fanout_threshold=100)
+        assert aggressive.max_pebbles <= conservative.max_pebbles
+        assert aggressive.num_moves >= conservative.num_moves
+
+    def test_keep_everything_matches_bennett_move_count(self, and9_dag):
+        strategy = greedy_pebbling_strategy(and9_dag, keep_fanout_threshold=1)
+        assert strategy.num_moves == eager_bennett_strategy(and9_dag).num_moves
+
+    def test_max_pebbles_guard(self, chain_dag):
+        with pytest.raises(PebblingError):
+            greedy_pebbling_strategy(chain_dag, max_pebbles=2)
+
+    def test_max_pebbles_satisfiable_budget(self, and9_dag):
+        strategy = greedy_pebbling_strategy(and9_dag, max_pebbles=8)
+        assert strategy.max_pebbles <= 8
+
+    def test_move_budget_guard(self):
+        dag = linear_chain(40)
+        with pytest.raises(PebblingError):
+            greedy_pebbling_strategy(dag, max_moves=200)
+
+    def test_chains_are_the_worst_case(self):
+        """On a pure chain the naive recursive strategy cannot save pebbles
+        (checkpoint placement would be needed, which is exactly what the SAT
+        engine figures out); it must still stay legal and within Bennett's
+        pebble count while paying heavy recomputation."""
+        dag = linear_chain(8)
+        recursive = greedy_pebbling_strategy(dag, mode="recursive")
+        bennett = bennett_strategy(dag)
+        assert recursive.max_pebbles <= bennett.max_pebbles
+        assert recursive.num_moves > bennett.num_moves
+
+
+class TestConeMode:
+    def test_chain_behaves_like_bennett(self):
+        dag = linear_chain(6)
+        strategy = greedy_pebbling_strategy(dag, mode="cone")
+        # A chain offers no sharing: the cone strategy pebbles straight up
+        # and then cleans up, just like Bennett.
+        assert strategy.max_pebbles == 6
+        assert strategy.num_moves == 11
+
+    def test_multi_output_cone_cleanup_saves_pebbles(self):
+        """Separate output cones are cleaned before the next one starts, so
+        the peak stays near the size of the largest cone."""
+        dag = load_workload("hadamard")
+        cone = greedy_pebbling_strategy(dag, mode="cone", keep_fanout_threshold=10)
+        assert cone.max_pebbles <= bennett_strategy(dag).max_pebbles
+
+    def test_move_count_stays_close_to_bennett(self, and9_dag):
+        cone = greedy_pebbling_strategy(and9_dag, mode="cone")
+        bennett = bennett_strategy(and9_dag)
+        assert cone.num_moves <= 2 * bennett.num_moves

@@ -1,0 +1,98 @@
+"""Property-based tests on the pebbling engines.
+
+Hypothesis generates random DAGs; every engine (Bennett, eager Bennett,
+greedy heuristic, SAT solver) must return strategies that the
+:class:`~repro.pebbling.strategy.PebblingStrategy` validator accepts, and
+the engines must respect their documented invariants relative to each
+other.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dag.generators import layered_random_dag
+from repro.pebbling import (
+    bennett_strategy,
+    eager_bennett_strategy,
+    greedy_pebbling_strategy,
+    pebble_dag,
+)
+
+
+@st.composite
+def small_dags(draw):
+    """Random layered DAGs small enough for the SAT engine."""
+    num_nodes = draw(st.integers(min_value=2, max_value=14))
+    num_outputs = draw(st.integers(min_value=1, max_value=max(1, num_nodes // 3)))
+    depth = draw(st.integers(min_value=1, max_value=6))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return layered_random_dag(num_nodes, num_outputs, depth=depth, seed=seed)
+
+
+@st.composite
+def medium_dags(draw):
+    """Random DAGs for the polynomial-time engines only."""
+    num_nodes = draw(st.integers(min_value=2, max_value=60))
+    num_outputs = draw(st.integers(min_value=1, max_value=max(1, num_nodes // 4)))
+    depth = draw(st.integers(min_value=1, max_value=8))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return layered_random_dag(num_nodes, num_outputs, depth=depth, seed=seed)
+
+
+@given(medium_dags())
+@settings(max_examples=60, deadline=None)
+def test_bennett_invariants(dag):
+    strategy = bennett_strategy(dag)
+    assert strategy.max_pebbles == dag.num_nodes
+    assert strategy.num_moves == 2 * dag.num_nodes - len(dag.outputs())
+    assert all(count == 1 for count in strategy.compute_counts().values())
+
+
+@given(medium_dags())
+@settings(max_examples=60, deadline=None)
+def test_eager_bennett_dominates_bennett_on_space(dag):
+    plain = bennett_strategy(dag)
+    eager = eager_bennett_strategy(dag)
+    assert eager.num_moves == plain.num_moves
+    assert eager.max_pebbles <= plain.max_pebbles
+    assert eager.configurations[-1] == frozenset(dag.outputs())
+
+
+@given(medium_dags())
+@settings(max_examples=40, deadline=None)
+def test_greedy_heuristics_always_produce_valid_strategies(dag):
+    # Construction validates legality; additionally the final configuration
+    # must be exactly the outputs and the pebble budget must never be beaten
+    # by the trivial lower bound.
+    for mode in ("recursive", "cone"):
+        strategy = greedy_pebbling_strategy(dag, mode=mode, max_moves=200_000)
+        assert strategy.configurations[-1] == frozenset(dag.outputs())
+        assert strategy.max_pebbles >= 1
+
+
+@given(small_dags(), st.integers(min_value=0, max_value=3))
+@settings(max_examples=25, deadline=None)
+def test_sat_solver_respects_budget_and_validity(dag, slack):
+    """The SAT engine must stay within the requested pebble budget and emit
+    legal strategies (legality is enforced by the strategy constructor)."""
+    budget = min(dag.num_nodes, eager_bennett_strategy(dag).max_pebbles) + slack
+    result = pebble_dag(dag, budget, time_limit=20)
+    assert result.found, (dag.name, budget, result.outcome)
+    assert result.strategy.max_pebbles <= budget
+    assert result.strategy.configurations[-1] == frozenset(dag.outputs())
+
+
+@given(small_dags())
+@settings(max_examples=15, deadline=None)
+def test_sat_solver_never_beats_the_bennett_move_lower_bound(dag):
+    """No valid strategy can use fewer moves than 2|V| - |O|: every node
+    feeds some output, so it is pebbled at least once, and every non-output
+    node must additionally be unpebbled before the game ends.  Bennett's
+    strategy meets the bound, the SAT solutions may only match or exceed it."""
+    budget = dag.num_nodes
+    result = pebble_dag(dag, budget, time_limit=20)
+    assert result.found
+    lower_bound = 2 * dag.num_nodes - len(dag.outputs())
+    assert result.num_moves >= lower_bound
+    assert bennett_strategy(dag).num_moves == lower_bound

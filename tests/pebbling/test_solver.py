@@ -1,0 +1,156 @@
+"""Tests for the SAT-driven reversible pebbling solver."""
+
+import pytest
+
+from repro.errors import PebblingError
+from repro.dag import Dag, linear_chain
+from repro.pebbling import (
+    EncodingOptions,
+    PebblingOutcome,
+    ReversiblePebblingSolver,
+    bennett_strategy,
+    minimize_pebbles,
+    pebble_dag,
+)
+
+
+class TestProblemOne:
+    def test_fig2_with_four_pebbles(self, fig2_dag):
+        result = pebble_dag(fig2_dag, 4, time_limit=60)
+        assert result.found
+        assert result.outcome is PebblingOutcome.SOLUTION
+        assert result.strategy.max_pebbles <= 4
+        # The paper's example needs recomputation below 5 pebbles.
+        assert result.num_moves > bennett_strategy(fig2_dag).num_moves
+
+    def test_fig2_with_enough_pebbles_matches_bennett_moves(self, fig2_dag):
+        result = pebble_dag(fig2_dag, 6, time_limit=60)
+        assert result.found
+        assert result.num_moves == bennett_strategy(fig2_dag).num_moves
+
+    def test_single_move_mode_reproduces_fig4_step_count(self, fig2_dag):
+        options = EncodingOptions(max_moves_per_step=1)
+        result = pebble_dag(fig2_dag, 6, options=options, time_limit=120)
+        assert result.found
+        # Fig. 4 (left): the Bennett strategy needs 10 single-move steps, and
+        # that is also the minimum.
+        assert result.num_steps == 10
+
+    def test_single_move_mode_with_four_pebbles(self, fig2_dag):
+        options = EncodingOptions(max_moves_per_step=1)
+        result = pebble_dag(fig2_dag, 4, options=options, time_limit=120)
+        assert result.found
+        assert result.strategy.max_pebbles <= 4
+        # The paper's Fig. 4 (right) example uses 14 steps; the solver may do
+        # better but can never beat the Bennett lower bound of 10.
+        assert 10 <= result.num_steps <= 14
+
+    def test_and9_with_seven_pebbles_matches_fig6(self, and9_dag):
+        result = pebble_dag(and9_dag, 7, time_limit=120)
+        assert result.found
+        # Fig. 6(c): 16 qubits = 9 inputs + 7 ancillae, 23 gates.
+        assert result.strategy.max_pebbles <= 7
+        assert result.num_moves <= 23
+
+    def test_infeasible_budget_detected_without_sat_call(self, fig2_dag):
+        result = pebble_dag(fig2_dag, 1)
+        assert result.outcome is PebblingOutcome.INFEASIBLE
+        assert result.attempts == []
+
+    def test_impossible_budget_hits_step_limit(self, fig2_dag):
+        # Three pebbles satisfy the structural lower bound but no strategy
+        # exists; the solver must exhaust its step budget and say so.
+        result = pebble_dag(fig2_dag, 3, max_steps=12, time_limit=60)
+        assert result.outcome is PebblingOutcome.STEP_LIMIT
+        assert not result.found
+
+    def test_timeout_is_respected(self):
+        dag = linear_chain(30, name="slow_chain")
+        result = pebble_dag(dag, 4, time_limit=0.2)
+        assert result.outcome in (PebblingOutcome.TIMEOUT, PebblingOutcome.STEP_LIMIT,
+                                  PebblingOutcome.SOLUTION)
+        assert result.runtime < 10
+
+    def test_attempt_records_are_kept(self, fig2_dag):
+        result = pebble_dag(fig2_dag, 4, time_limit=60)
+        assert result.attempts
+        assert all(record.max_pebbles == 4 for record in result.attempts)
+        # The last attempt is the satisfiable one.
+        assert result.attempts[-1].status.value == "sat"
+
+    def test_summary_fields(self, fig2_dag):
+        summary = pebble_dag(fig2_dag, 4, time_limit=60).summary()
+        assert summary["dag"] == fig2_dag.name
+        assert summary["max_pebbles"] == 4
+        assert summary["outcome"] == "solution"
+        assert summary["moves"] >= 10
+
+    def test_invalid_arguments_rejected(self, fig2_dag):
+        solver = ReversiblePebblingSolver(fig2_dag)
+        with pytest.raises(PebblingError):
+            solver.solve(0)
+        with pytest.raises(PebblingError):
+            solver.solve(4, step_increment=0)
+        with pytest.raises(PebblingError):
+            solver.solve(4, step_schedule="sideways")
+
+    def test_geometric_schedule_finds_solutions(self, fig2_dag):
+        result = pebble_dag(fig2_dag, 4, time_limit=60, step_schedule="geometric")
+        assert result.found
+        assert result.strategy.max_pebbles <= 4
+
+    def test_geometric_schedule_uses_fewer_sat_calls(self, and9_dag):
+        linear = pebble_dag(and9_dag, 7, time_limit=60)
+        geometric = pebble_dag(and9_dag, 7, time_limit=60, step_schedule="geometric")
+        assert linear.found and geometric.found
+        assert len(geometric.attempts) <= len(linear.attempts)
+
+    def test_non_incremental_agrees_with_incremental(self, fig2_dag):
+        incremental = ReversiblePebblingSolver(fig2_dag, incremental=True).solve(
+            4, time_limit=60
+        )
+        monolithic = ReversiblePebblingSolver(fig2_dag, incremental=False).solve(
+            4, time_limit=60
+        )
+        assert incremental.found and monolithic.found
+        assert incremental.strategy.max_pebbles <= 4
+        assert monolithic.strategy.max_pebbles <= 4
+        assert incremental.num_steps == monolithic.num_steps
+
+
+class TestBounds:
+    def test_minimum_pebbles_lower_bound(self, fig2_dag, and9_dag):
+        assert ReversiblePebblingSolver(fig2_dag).minimum_pebbles_lower_bound() >= 3
+        assert ReversiblePebblingSolver(and9_dag).minimum_pebbles_lower_bound() >= 3
+
+    def test_default_initial_steps_single_move(self, fig2_dag):
+        solver = ReversiblePebblingSolver(
+            fig2_dag, options=EncodingOptions(max_moves_per_step=1)
+        )
+        assert solver.default_initial_steps(max_pebbles=6) == 10
+
+    def test_default_initial_steps_multi_move(self, fig2_dag):
+        solver = ReversiblePebblingSolver(fig2_dag)
+        assert solver.default_initial_steps(max_pebbles=6) == fig2_dag.depth() + 1
+
+
+class TestMinimizePebbles:
+    def test_fig2_minimum_is_four(self, fig2_dag):
+        best, attempts = minimize_pebbles(fig2_dag, timeout_per_budget=30)
+        assert best is not None
+        assert best.strategy.max_pebbles == 4
+        # The scan tried at least budgets 6, 5, 4 and the failing 3.
+        assert len(attempts) >= 3
+
+    def test_and9_minimum_within_small_budget(self, and9_dag):
+        solver = ReversiblePebblingSolver(and9_dag)
+        best, _ = solver.minimize_pebbles(timeout_per_budget=20, lower_bound=3)
+        assert best is not None
+        assert best.strategy.max_pebbles <= 5
+
+    def test_upper_bound_respected(self, fig2_dag):
+        solver = ReversiblePebblingSolver(fig2_dag)
+        best, attempts = solver.minimize_pebbles(upper_bound=4, timeout_per_budget=30)
+        assert best is not None
+        assert best.strategy.max_pebbles <= 4
+        assert all(result.max_pebbles <= 4 for result in attempts)

@@ -1,0 +1,217 @@
+"""Unit tests for pebbling configurations, moves and strategies."""
+
+import pytest
+
+from repro.errors import InvalidStrategyError
+from repro.pebbling import PebbleMove, PebblingStrategy
+
+
+def _bennett_configs_fig2():
+    """The paper's first Fig. 4 strategy (Bennett) as explicit configurations."""
+    return [
+        set(),
+        {"A"},
+        {"A", "B"},
+        {"A", "B", "C"},
+        {"A", "B", "C", "D"},
+        {"A", "B", "C", "D", "E"},
+        {"A", "B", "C", "D", "E", "F"},
+        {"A", "B", "C", "E", "F"},
+        {"A", "B", "E", "F"},
+        {"A", "E", "F"},
+        {"E", "F"},
+    ]
+
+
+def _four_pebble_configs_fig2():
+    """The paper's second Fig. 4 strategy (4 pebbles, 14 steps)."""
+    return [
+        set(),
+        {"A"},
+        {"A", "C"},
+        {"C"},
+        {"B", "C"},
+        {"B", "C", "D"},
+        {"C", "D"},
+        {"C", "D", "E"},
+        {"A", "C", "D", "E"},
+        {"A", "D", "E"},
+        {"A", "D", "E", "F"},
+        {"D", "E", "F"},
+        {"B", "D", "E", "F"},
+        {"B", "E", "F"},
+        {"E", "F"},
+    ]
+
+
+class TestValidation:
+    def test_bennett_example_from_paper_is_valid(self, fig2_dag):
+        strategy = PebblingStrategy(fig2_dag, _bennett_configs_fig2())
+        assert strategy.num_steps == 10
+        assert strategy.max_pebbles == 6
+
+    def test_four_pebble_example_from_paper_is_valid(self, fig2_dag):
+        strategy = PebblingStrategy(fig2_dag, _four_pebble_configs_fig2())
+        assert strategy.num_steps == 14
+        assert strategy.max_pebbles == 4
+
+    def test_initial_configuration_must_be_empty(self, fig2_dag):
+        configs = _bennett_configs_fig2()
+        configs[0] = {"A"}
+        with pytest.raises(InvalidStrategyError):
+            PebblingStrategy(fig2_dag, configs)
+
+    def test_final_configuration_must_be_exactly_the_outputs(self, fig2_dag):
+        configs = _bennett_configs_fig2()
+        configs[-1] = {"E"}
+        with pytest.raises(InvalidStrategyError):
+            PebblingStrategy(fig2_dag, configs)
+        configs[-1] = {"E", "F", "A"}
+        with pytest.raises(InvalidStrategyError):
+            PebblingStrategy(fig2_dag, configs)
+
+    def test_pebbling_without_dependencies_rejected(self, fig2_dag):
+        # E cannot be pebbled while D is missing.
+        configs = [set(), {"A"}, {"A", "C"}, {"A", "C", "E"}]
+        with pytest.raises(InvalidStrategyError):
+            PebblingStrategy(fig2_dag, configs)
+
+    def test_unpebbling_without_dependencies_rejected(self, fig2_dag):
+        # Removing C after A has been removed is illegal.
+        configs = _bennett_configs_fig2()
+        # Build an explicitly bad tail: remove A before removing C.
+        bad = [
+            set(),
+            {"A"},
+            {"A", "B"},
+            {"A", "B", "C"},
+            {"A", "B", "C", "D"},
+            {"A", "B", "C", "D", "E"},
+            {"A", "B", "C", "D", "E", "F"},
+            {"B", "C", "D", "E", "F"},   # remove A (legal, A has no deps)
+            {"B", "D", "E", "F"},        # remove C without A: illegal
+        ]
+        with pytest.raises(InvalidStrategyError):
+            PebblingStrategy(fig2_dag, bad)
+        assert configs  # silence unused warning
+
+    def test_unknown_node_rejected(self, fig2_dag):
+        with pytest.raises(InvalidStrategyError):
+            PebblingStrategy(fig2_dag, [set(), {"Z"}])
+
+    def test_empty_strategy_rejected(self, fig2_dag):
+        with pytest.raises(InvalidStrategyError):
+            PebblingStrategy(fig2_dag, [])
+
+    def test_max_moves_per_step_enforced(self, fig2_dag):
+        configs = [set(), {"A", "B"}]
+        # Two moves in one transition is fine without a limit...
+        with pytest.raises(InvalidStrategyError):
+            # ...but the final configuration is wrong here, so use a valid
+            # multi-move strategy below instead.
+            PebblingStrategy(fig2_dag, configs)
+
+    def test_single_move_limit_rejects_parallel_moves(self, fig2_dag):
+        configs = [
+            set(), {"A", "B"}, {"A", "B", "C", "D"}, {"A", "B", "C", "D", "E"},
+            {"A", "B", "C", "D", "E", "F"}, {"A", "B", "E", "F"}, {"E", "F"},
+        ]
+        PebblingStrategy(fig2_dag, configs)  # unrestricted: fine
+        with pytest.raises(InvalidStrategyError):
+            PebblingStrategy(fig2_dag, configs, max_moves_per_step=1)
+
+
+class TestMetricsAndConversion:
+    def test_moves_and_steps_counts(self, fig2_dag):
+        strategy = PebblingStrategy(fig2_dag, _four_pebble_configs_fig2())
+        assert strategy.num_moves == 14
+        assert strategy.num_steps == 14
+        assert len(strategy.moves()) == 14
+
+    def test_pebble_profile(self, fig2_dag):
+        strategy = PebblingStrategy(fig2_dag, _bennett_configs_fig2())
+        profile = strategy.pebble_profile()
+        assert profile[0] == 0
+        assert max(profile) == 6
+        assert profile[-1] == 2
+
+    def test_compute_counts_capture_recomputation(self, fig2_dag):
+        strategy = PebblingStrategy(fig2_dag, _four_pebble_configs_fig2())
+        counts = strategy.compute_counts()
+        assert counts["A"] == 2     # A is computed twice in the paper's example
+        assert counts["B"] == 2
+        assert counts["E"] == 1
+
+    def test_operation_counts_count_moves(self, fig2_dag):
+        strategy = PebblingStrategy(fig2_dag, _bennett_configs_fig2())
+        counts = strategy.operation_counts()
+        # Every non-output node is computed and uncomputed; outputs only computed.
+        assert counts == {"A": 2, "B": 2, "C": 2, "D": 2, "E": 1, "F": 1}
+
+    def test_weighted_cost(self, fig2_dag):
+        fig2_dag.node("A").weight = 10.0
+        strategy = PebblingStrategy(fig2_dag, _bennett_configs_fig2())
+        assert strategy.weighted_cost() == 8 * 1.0 + 2 * 10.0
+
+    def test_from_moves_round_trip(self, fig2_dag):
+        strategy = PebblingStrategy(fig2_dag, _four_pebble_configs_fig2())
+        rebuilt = PebblingStrategy.from_moves(fig2_dag, strategy.moves())
+        assert rebuilt.configurations[-1] == strategy.configurations[-1]
+        assert rebuilt.num_moves == strategy.num_moves
+
+    def test_from_moves_rejects_double_pebble(self, fig2_dag):
+        with pytest.raises(InvalidStrategyError):
+            PebblingStrategy.from_moves(
+                fig2_dag, [PebbleMove("A", True), PebbleMove("A", True)]
+            )
+
+    def test_from_moves_rejects_unpebbling_unpebbled(self, fig2_dag):
+        with pytest.raises(InvalidStrategyError):
+            PebblingStrategy.from_moves(fig2_dag, [PebbleMove("A", False)])
+
+    def test_as_single_move_strategy(self, fig2_dag):
+        configs = [
+            set(), {"A", "B"}, {"A", "B", "C", "D"}, {"A", "B", "C", "D", "E"},
+            {"A", "B", "C", "D", "E", "F"}, {"A", "B", "E", "F"}, {"E", "F"},
+        ]
+        multi = PebblingStrategy(fig2_dag, configs)
+        single = multi.as_single_move_strategy()
+        assert single.num_steps == multi.num_moves
+        assert single.max_pebbles <= multi.max_pebbles
+
+    def test_stuttering_configurations_are_compressed(self, fig2_dag):
+        configs = _bennett_configs_fig2()
+        configs.insert(3, configs[3])  # duplicate a configuration
+        strategy = PebblingStrategy(fig2_dag, configs)
+        assert strategy.num_steps == 10
+
+    def test_remove_redundant_moves_drops_useless_pairs(self, fig2_dag):
+        # Pebble B early, never use it, remove it again: a useless pair.
+        configs = [
+            set(), {"A"}, {"A", "B"}, {"A"}, {"A", "C"}, {"A", "C", "B"},
+            {"A", "C", "B", "D"}, {"A", "C", "B", "D", "E"},
+            {"A", "C", "B", "D", "E", "F"}, {"A", "B", "D", "E", "F"},
+            {"A", "B", "E", "F"}, {"A", "E", "F"}, {"E", "F"},
+        ]
+        strategy = PebblingStrategy(fig2_dag, configs)
+        cleaned = strategy.remove_redundant_moves()
+        assert cleaned.num_moves == strategy.num_moves - 2
+        assert cleaned.compute_counts()["B"] == 1
+        assert cleaned.max_pebbles <= strategy.max_pebbles
+
+    def test_remove_redundant_moves_keeps_minimal_strategies(self, fig2_dag):
+        strategy = PebblingStrategy(fig2_dag, _bennett_configs_fig2())
+        cleaned = strategy.remove_redundant_moves()
+        assert cleaned.num_moves == strategy.num_moves
+        assert cleaned.max_pebbles == strategy.max_pebbles
+
+    def test_summary_and_repr(self, fig2_dag):
+        strategy = PebblingStrategy(fig2_dag, _bennett_configs_fig2())
+        summary = strategy.summary()
+        assert summary["pebbles"] == 6
+        assert summary["moves"] == 10
+        assert "steps=10" in repr(strategy)
+
+    def test_move_str(self):
+        assert str(PebbleMove("A", True)) == "pebble(A)"
+        assert str(PebbleMove("A", False)) == "unpebble(A)"

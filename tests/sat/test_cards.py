@@ -1,0 +1,154 @@
+"""Unit and exhaustive tests for the cardinality-constraint encodings."""
+
+import itertools
+import math
+
+import pytest
+
+from repro.errors import CnfError
+from repro.sat.cards import (
+    CardinalityEncoding,
+    at_least_k,
+    at_most_k,
+    at_most_one,
+    count_true,
+    exactly_k,
+    exactly_one,
+)
+from repro.sat.cnf import Cnf
+from repro.sat.solver import CdclSolver
+
+ALL_ENCODINGS = list(CardinalityEncoding)
+
+
+def _count_satisfying_patterns(cnf: Cnf, literals: list[int]) -> int:
+    """Count input patterns over ``literals`` consistent with ``cnf``."""
+    count = 0
+    for bits in itertools.product([False, True], repeat=len(literals)):
+        solver = CdclSolver()
+        solver.add_cnf(cnf)
+        assumptions = [lit if value else -lit for lit, value in zip(literals, bits)]
+        if solver.solve(assumptions).is_sat:
+            count += 1
+    return count
+
+
+class TestEncodingSelection:
+    def test_from_name_accepts_enum_and_string(self):
+        assert CardinalityEncoding.from_name("totalizer") is CardinalityEncoding.TOTALIZER
+        assert (
+            CardinalityEncoding.from_name(CardinalityEncoding.PAIRWISE)
+            is CardinalityEncoding.PAIRWISE
+        )
+
+    def test_from_name_rejects_unknown(self):
+        with pytest.raises(CnfError):
+            CardinalityEncoding.from_name("bitonic")
+
+
+@pytest.mark.parametrize("encoding", ALL_ENCODINGS)
+@pytest.mark.parametrize("n,k", [(4, 1), (5, 2), (6, 3), (5, 4)])
+class TestAtMostKExhaustive:
+    def test_counts_match_binomial_sum(self, encoding, n, k):
+        cnf = Cnf()
+        literals = cnf.new_variables(n)
+        at_most_k(cnf, literals, k, encoding=encoding)
+        expected = sum(math.comb(n, i) for i in range(k + 1))
+        assert _count_satisfying_patterns(cnf, literals) == expected
+
+
+@pytest.mark.parametrize("encoding", ALL_ENCODINGS)
+class TestAtMostKEdgeCases:
+    def test_bound_zero_forces_all_false(self, encoding):
+        cnf = Cnf()
+        literals = cnf.new_variables(3)
+        at_most_k(cnf, literals, 0, encoding=encoding)
+        solver = CdclSolver(cnf)
+        assert solver.solve([literals[0]]).is_unsat
+        assert solver.solve([-l for l in literals]).is_sat
+
+    def test_bound_at_least_n_is_trivial(self, encoding):
+        cnf = Cnf()
+        literals = cnf.new_variables(3)
+        at_most_k(cnf, literals, 3, encoding=encoding)
+        assert cnf.num_clauses == 0
+
+    def test_negative_bound_is_unsatisfiable(self, encoding):
+        cnf = Cnf()
+        literals = cnf.new_variables(2)
+        at_most_k(cnf, literals, -1, encoding=encoding)
+        assert CdclSolver(cnf).solve().is_unsat
+
+    def test_works_on_negated_literals(self, encoding):
+        cnf = Cnf()
+        variables = cnf.new_variables(4)
+        at_most_k(cnf, [-v for v in variables], 1, encoding=encoding)
+        solver = CdclSolver(cnf)
+        # Three variables false means two negated literals true: forbidden.
+        assert solver.solve([-variables[0], -variables[1], variables[2], variables[3]]).is_unsat
+        assert solver.solve([variables[0], variables[1], variables[2], -variables[3]]).is_sat
+
+
+class TestAtLeastAndExactly:
+    @pytest.mark.parametrize("n,k", [(4, 2), (5, 3)])
+    def test_at_least_k_counts(self, n, k):
+        cnf = Cnf()
+        literals = cnf.new_variables(n)
+        at_least_k(cnf, literals, k)
+        expected = sum(math.comb(n, i) for i in range(k, n + 1))
+        assert _count_satisfying_patterns(cnf, literals) == expected
+
+    def test_at_least_zero_is_trivial(self):
+        cnf = Cnf()
+        literals = cnf.new_variables(3)
+        at_least_k(cnf, literals, 0)
+        assert cnf.num_clauses == 0
+
+    def test_at_least_more_than_n_is_unsat(self):
+        cnf = Cnf()
+        literals = cnf.new_variables(2)
+        at_least_k(cnf, literals, 3)
+        assert CdclSolver(cnf).solve().is_unsat
+
+    @pytest.mark.parametrize("encoding", ALL_ENCODINGS)
+    def test_exactly_k_counts(self, encoding):
+        n, k = 5, 2
+        cnf = Cnf()
+        literals = cnf.new_variables(n)
+        exactly_k(cnf, literals, k, encoding=encoding)
+        assert _count_satisfying_patterns(cnf, literals) == math.comb(n, k)
+
+    def test_exactly_one(self):
+        cnf = Cnf()
+        literals = cnf.new_variables(4)
+        exactly_one(cnf, literals)
+        assert _count_satisfying_patterns(cnf, literals) == 4
+
+    def test_exactly_one_empty_raises(self):
+        with pytest.raises(CnfError):
+            exactly_one(Cnf(), [])
+
+    def test_at_most_one(self):
+        cnf = Cnf()
+        literals = cnf.new_variables(4)
+        at_most_one(cnf, literals)
+        assert _count_satisfying_patterns(cnf, literals) == 5
+
+
+class TestPairwiseGuard:
+    def test_explosion_is_rejected(self):
+        cnf = Cnf()
+        literals = cnf.new_variables(60)
+        with pytest.raises(CnfError):
+            at_most_k(cnf, literals, 30, encoding=CardinalityEncoding.PAIRWISE)
+
+
+class TestCountTrue:
+    def test_counts_positive_and_negative_literals(self):
+        model = {1: True, 2: False, 3: True}
+        assert count_true(model, [1, 2, 3]) == 2
+        assert count_true(model, [-1, -2, -3]) == 1
+        assert count_true(model, []) == 0
+
+    def test_missing_variables_count_as_false(self):
+        assert count_true({}, [5, -5]) == 1

@@ -1,0 +1,148 @@
+"""Unit tests for CNF containers (Clause, VariablePool, Cnf)."""
+
+import pytest
+
+from repro.errors import CnfError
+from repro.sat.cnf import Clause, Cnf, VariablePool, clauses_from_lists
+
+
+class TestClause:
+    def test_deduplicates_literals(self):
+        clause = Clause([1, 2, 1, 2])
+        assert sorted(clause.literals) == [1, 2]
+
+    def test_tautology_detection(self):
+        assert Clause([1, -1]).is_tautology()
+        assert not Clause([1, 2]).is_tautology()
+
+    def test_empty_clause(self):
+        assert Clause([]).is_empty()
+        assert not Clause([3]).is_empty()
+
+    def test_variables(self):
+        assert Clause([1, -2, 3]).variables() == {1, 2, 3}
+
+    def test_contains_and_len(self):
+        clause = Clause([4, -5])
+        assert 4 in clause and -5 in clause and 5 not in clause
+        assert len(clause) == 2
+
+    def test_evaluate_true_and_false(self):
+        clause = Clause([1, -2])
+        assert clause.evaluate({1: True, 2: True}) is True
+        assert clause.evaluate({1: False, 2: False}) is True
+        assert clause.evaluate({1: False, 2: True}) is False
+
+    def test_evaluate_missing_variable_raises(self):
+        with pytest.raises(CnfError):
+            Clause([1, 2]).evaluate({1: False})
+
+    def test_rejects_zero_literal(self):
+        with pytest.raises(CnfError):
+            Clause([0])
+
+
+class TestVariablePool:
+    def test_allocates_consecutive_variables(self):
+        pool = VariablePool()
+        assert [pool.new() for _ in range(4)] == [1, 2, 3, 4]
+        assert pool.num_variables == 4
+
+    def test_first_variable_offset(self):
+        pool = VariablePool(first_variable=10)
+        assert pool.new() == 10
+
+    def test_rejects_bad_first_variable(self):
+        with pytest.raises(CnfError):
+            VariablePool(first_variable=0)
+
+    def test_names_round_trip(self):
+        pool = VariablePool()
+        variable = pool.new("p[A,0]")
+        assert pool.name_of(variable) == "p[A,0]"
+        assert pool.by_name("p[A,0]") == variable
+
+    def test_duplicate_name_rejected(self):
+        pool = VariablePool()
+        pool.new("x")
+        with pytest.raises(CnfError):
+            pool.set_name(pool.new(), "x")
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(CnfError):
+            VariablePool().by_name("nope")
+
+    def test_new_many_with_prefix(self):
+        pool = VariablePool()
+        variables = pool.new_many(3, prefix="q")
+        assert variables == [1, 2, 3]
+        assert pool.name_of(2) == "q[1]"
+
+    def test_new_many_negative_count(self):
+        with pytest.raises(CnfError):
+            VariablePool().new_many(-1)
+
+    def test_reserve_through(self):
+        pool = VariablePool()
+        pool.reserve_through(7)
+        assert pool.new() == 8
+
+
+class TestCnf:
+    def test_add_clause_tracks_variables(self):
+        cnf = Cnf()
+        cnf.add_clause([1, -4])
+        assert cnf.num_variables == 4
+        assert cnf.num_clauses == 1
+
+    def test_add_clauses_and_iteration(self):
+        cnf = Cnf()
+        cnf.add_clauses([[1, 2], [-1, 3]])
+        assert len(cnf) == 2
+        assert [list(clause) for clause in cnf] == [[1, 2], [-1, 3]]
+
+    def test_add_unit_and_implication(self):
+        cnf = Cnf()
+        cnf.add_unit(5)
+        cnf.add_implication(1, 2)
+        assert cnf.as_lists() == [[5], [-1, 2]]
+
+    def test_add_equivalence(self):
+        cnf = Cnf()
+        cnf.add_equivalence(1, 2)
+        assert sorted(map(sorted, cnf.as_lists())) == [[-2, 1], [-1, 2]]
+
+    def test_evaluate(self):
+        cnf = Cnf()
+        cnf.add_clause([1, 2])
+        cnf.add_clause([-1, 2])
+        assert cnf.evaluate({1: True, 2: True}) is True
+        assert cnf.evaluate({1: True, 2: False}) is False
+
+    def test_copy_is_independent(self):
+        cnf = Cnf()
+        cnf.new_variable("a")
+        cnf.add_clause([1])
+        other = cnf.copy()
+        other.add_clause([2])
+        assert cnf.num_clauses == 1
+        assert other.num_clauses == 2
+        assert other.pool.name_of(1) == "a"
+
+    def test_variables_and_stats(self):
+        cnf = Cnf()
+        cnf.add_clause([1, -3])
+        cnf.add_clause([2])
+        assert cnf.variables() == {1, 2, 3}
+        assert cnf.stats() == {"variables": 3, "clauses": 2, "literals": 3}
+
+    def test_comments_recorded(self):
+        cnf = Cnf()
+        cnf.add_comment("hello")
+        assert cnf.comments == ["hello"]
+
+
+def test_clauses_from_lists():
+    clauses = clauses_from_lists([[1, 2], [-3]])
+    assert all(isinstance(clause, Clause) for clause in clauses)
+    assert [list(clause) for clause in clauses] == [[1, 2], [-3]]

@@ -1,0 +1,72 @@
+"""Unit tests for DIMACS literal helpers."""
+
+import pytest
+
+from repro.errors import CnfError
+from repro.sat.literals import (
+    check_literal,
+    lit_is_positive,
+    lit_to_var,
+    negate,
+    var_to_lit,
+)
+
+
+class TestCheckLiteral:
+    def test_accepts_positive_and_negative_integers(self):
+        assert check_literal(5) == 5
+        assert check_literal(-3) == -3
+
+    def test_rejects_zero(self):
+        with pytest.raises(CnfError):
+            check_literal(0)
+
+    def test_rejects_booleans(self):
+        with pytest.raises(CnfError):
+            check_literal(True)
+
+    def test_rejects_non_integers(self):
+        with pytest.raises(CnfError):
+            check_literal("x1")
+
+
+class TestNegate:
+    def test_negates_positive(self):
+        assert negate(7) == -7
+
+    def test_negates_negative(self):
+        assert negate(-7) == 7
+
+    def test_double_negation_is_identity(self):
+        assert negate(negate(11)) == 11
+
+
+class TestLitToVar:
+    def test_strips_sign(self):
+        assert lit_to_var(9) == 9
+        assert lit_to_var(-9) == 9
+
+
+class TestLitIsPositive:
+    def test_polarity(self):
+        assert lit_is_positive(4) is True
+        assert lit_is_positive(-4) is False
+
+
+class TestVarToLit:
+    def test_positive_polarity(self):
+        assert var_to_lit(6) == 6
+        assert var_to_lit(6, positive=True) == 6
+
+    def test_negative_polarity(self):
+        assert var_to_lit(6, positive=False) == -6
+
+    def test_rejects_non_positive_variables(self):
+        with pytest.raises(CnfError):
+            var_to_lit(0)
+        with pytest.raises(CnfError):
+            var_to_lit(-2)
+
+    def test_rejects_boolean_variable(self):
+        with pytest.raises(CnfError):
+            var_to_lit(True)

@@ -1,0 +1,203 @@
+"""Unit tests for the CDCL solver."""
+
+import pytest
+
+from repro.errors import SolverError
+from repro.sat.cnf import Cnf
+from repro.sat.solver import CdclSolver, Status, luby, solve_cnf
+
+
+def _pigeonhole(pigeons: int, holes: int) -> Cnf:
+    """The classic unsatisfiable (for pigeons > holes) pigeonhole formula."""
+    cnf = Cnf()
+    slot = {
+        (pigeon, hole): cnf.new_variable()
+        for pigeon in range(pigeons)
+        for hole in range(holes)
+    }
+    for pigeon in range(pigeons):
+        cnf.add_clause([slot[(pigeon, hole)] for hole in range(holes)])
+    for hole in range(holes):
+        for first in range(pigeons):
+            for second in range(first + 1, pigeons):
+                cnf.add_clause([-slot[(first, hole)], -slot[(second, hole)]])
+    return cnf
+
+
+class TestBasicSolving:
+    def test_empty_formula_is_sat(self):
+        assert CdclSolver().solve().is_sat
+
+    def test_single_unit(self):
+        solver = CdclSolver()
+        solver.add_clause([3])
+        result = solver.solve()
+        assert result.is_sat
+        assert result.model[3] is True
+
+    def test_conflicting_units_unsat(self):
+        solver = CdclSolver()
+        solver.add_clause([1])
+        solver.add_clause([-1])
+        assert solver.solve().is_unsat
+
+    def test_simple_implication_chain(self):
+        solver = CdclSolver()
+        solver.add_clause([1])
+        solver.add_clause([-1, 2])
+        solver.add_clause([-2, 3])
+        result = solver.solve()
+        assert result.is_sat
+        assert result.model[1] and result.model[2] and result.model[3]
+
+    def test_model_satisfies_all_clauses(self):
+        clauses = [[1, 2, 3], [-1, -2], [-2, -3], [-1, -3], [2, 3]]
+        solver = CdclSolver()
+        for clause in clauses:
+            solver.add_clause(clause)
+        result = solver.solve()
+        assert result.is_sat
+        for clause in clauses:
+            assert any(result.model[abs(l)] == (l > 0) for l in clause)
+
+    def test_unsat_xor_system(self):
+        # x1 xor x2 = 1, x2 xor x3 = 1, x1 xor x3 = 1 is unsatisfiable.
+        solver = CdclSolver()
+        for a, b in [(1, 2), (2, 3), (1, 3)]:
+            solver.add_clause([a, b])
+            solver.add_clause([-a, -b])
+        assert solver.solve().is_unsat
+
+    def test_tautological_clause_is_ignored(self):
+        solver = CdclSolver()
+        solver.add_clause([1, -1])
+        assert solver.num_clauses == 0
+        assert solver.solve().is_sat
+
+    def test_duplicate_literals_merged(self):
+        solver = CdclSolver()
+        solver.add_clause([2, 2, 2])
+        result = solver.solve()
+        assert result.is_sat
+        assert result.model[2] is True
+
+    def test_empty_clause_makes_unsat(self):
+        solver = CdclSolver()
+        assert solver.add_clause([]) is False
+        assert solver.solve().is_unsat
+
+    def test_invalid_literal_rejected(self):
+        solver = CdclSolver()
+        with pytest.raises(SolverError):
+            solver.add_clause([0])
+        with pytest.raises(SolverError):
+            solver.add_clause([True])
+
+    def test_add_cnf_and_variable_counts(self):
+        cnf = Cnf()
+        cnf.add_clause([1, 2])
+        cnf.new_variable()  # variable 3 never used in clauses
+        solver = CdclSolver(cnf)
+        assert solver.num_variables == 3
+        assert solver.num_clauses == 1
+
+    def test_add_variable(self):
+        solver = CdclSolver()
+        first = solver.add_variable()
+        second = solver.add_variable()
+        assert (first, second) == (1, 2)
+
+
+class TestPigeonhole:
+    def test_php_5_4_unsat(self):
+        result = solve_cnf(_pigeonhole(5, 4))
+        assert result.is_unsat
+        assert result.stats.conflicts > 0
+
+    def test_php_6_5_unsat(self):
+        assert solve_cnf(_pigeonhole(6, 5)).is_unsat
+
+    def test_php_sat_when_enough_holes(self):
+        assert solve_cnf(_pigeonhole(4, 4)).is_sat
+
+
+class TestAssumptions:
+    def test_assumptions_do_not_persist(self):
+        solver = CdclSolver()
+        solver.add_clause([1, 2])
+        assert solver.solve([-1, -2]).is_unsat
+        assert solver.solve().is_sat
+
+    def test_assumption_forces_value(self):
+        solver = CdclSolver()
+        solver.add_clause([-1, 2])
+        result = solver.solve([1])
+        assert result.is_sat
+        assert result.model[1] and result.model[2]
+
+    def test_contradictory_assumptions(self):
+        solver = CdclSolver()
+        solver.add_clause([1, 2])
+        assert solver.solve([1, -1]).is_unsat
+
+    def test_assumption_on_fresh_variable(self):
+        solver = CdclSolver()
+        solver.add_clause([1])
+        result = solver.solve([7])
+        assert result.is_sat
+        assert result.model[7] is True
+
+    def test_incremental_clause_addition(self):
+        solver = CdclSolver()
+        solver.add_clause([1, 2])
+        assert solver.solve([-2]).is_sat
+        solver.add_clause([-1])
+        assert solver.solve([-2]).is_unsat
+        assert solver.solve().is_sat
+
+
+class TestLimits:
+    def test_conflict_limit_returns_unknown(self):
+        result = solve_cnf(_pigeonhole(7, 6), conflict_limit=5)
+        assert result.is_unknown
+
+    def test_time_limit_returns_unknown(self):
+        result = solve_cnf(_pigeonhole(9, 8), time_limit=0.05)
+        assert result.status in (Status.UNKNOWN, Status.UNSATISFIABLE)
+
+    def test_stats_populated(self):
+        result = solve_cnf(_pigeonhole(5, 4))
+        stats = result.stats.as_dict()
+        assert stats["conflicts"] > 0
+        assert stats["decisions"] > 0
+        assert stats["propagations"] > 0
+        assert stats["solve_time"] >= 0
+
+
+class TestLuby:
+    def test_first_fifteen_elements(self):
+        assert [luby(i) for i in range(1, 16)] == [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]
+
+    def test_power_positions(self):
+        assert luby(31) == 16
+        assert luby(63) == 32
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(SolverError):
+            luby(0)
+
+
+class TestRestartsAndLearning:
+    def test_hard_instance_triggers_restarts_and_learning(self):
+        result = solve_cnf(_pigeonhole(7, 6))
+        assert result.is_unsat
+        assert result.stats.learned_clauses > 0
+        assert result.stats.restarts >= 1
+
+    def test_solver_reusable_after_unsat(self):
+        solver = CdclSolver()
+        solver.add_clause([1])
+        solver.add_clause([-1])
+        assert solver.solve().is_unsat
+        # Once the formula itself is unsat every later call stays unsat.
+        assert solver.solve().is_unsat

@@ -1,0 +1,102 @@
+"""Property-based tests: the CDCL solver against the DPLL reference oracle.
+
+The most effective way to catch propagation / conflict-analysis bugs in a
+SAT solver is differential testing on random formulas.  Hypothesis
+generates random CNF instances; the fast CDCL engine and the slow-but-
+obviously-correct DPLL engine must agree on satisfiability, and every model
+returned by either engine must actually satisfy the formula.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sat.cnf import Cnf
+from repro.sat.dpll import DpllSolver
+from repro.sat.solver import CdclSolver
+
+MAX_VARIABLES = 10
+
+
+@st.composite
+def random_cnf(draw) -> list[list[int]]:
+    """A random CNF over at most MAX_VARIABLES variables."""
+    num_variables = draw(st.integers(min_value=1, max_value=MAX_VARIABLES))
+    num_clauses = draw(st.integers(min_value=0, max_value=30))
+    clauses: list[list[int]] = []
+    for _ in range(num_clauses):
+        width = draw(st.integers(min_value=1, max_value=4))
+        clause = [
+            draw(st.integers(min_value=1, max_value=num_variables))
+            * draw(st.sampled_from([1, -1]))
+            for _ in range(width)
+        ]
+        clauses.append(clause)
+    return clauses
+
+
+def _model_satisfies(model: dict[int, bool], clauses: list[list[int]]) -> bool:
+    return all(
+        any(model.get(abs(literal), False) == (literal > 0) for literal in clause)
+        for clause in clauses
+    )
+
+
+@given(random_cnf())
+@settings(max_examples=150, deadline=None)
+def test_cdcl_agrees_with_dpll(clauses):
+    cdcl = CdclSolver()
+    dpll = DpllSolver()
+    for clause in clauses:
+        cdcl.add_clause(clause)
+        dpll.add_clause(clause)
+    fast = cdcl.solve()
+    slow = dpll.solve()
+    assert fast.is_sat == slow.is_sat
+    if fast.is_sat:
+        assert _model_satisfies(fast.model, clauses)
+    if slow.is_sat:
+        assert _model_satisfies(slow.model, clauses)
+
+
+@given(random_cnf(), st.lists(st.integers(min_value=1, max_value=MAX_VARIABLES), max_size=4))
+@settings(max_examples=100, deadline=None)
+def test_assumptions_behave_like_units(clauses, assumption_variables):
+    """Solving under assumptions must equal solving with the units added."""
+    assumptions = [variable for variable in dict.fromkeys(assumption_variables)]
+    with_assumptions = CdclSolver()
+    with_units = CdclSolver()
+    for clause in clauses:
+        with_assumptions.add_clause(clause)
+        with_units.add_clause(clause)
+    for literal in assumptions:
+        with_units.add_clause([literal])
+    assert with_assumptions.solve(assumptions).is_sat == with_units.solve().is_sat
+
+
+@given(random_cnf())
+@settings(max_examples=60, deadline=None)
+def test_solving_twice_is_consistent(clauses):
+    """The incremental interface must give the same verdict on repeated calls."""
+    solver = CdclSolver()
+    for clause in clauses:
+        solver.add_clause(clause)
+    first = solver.solve()
+    second = solver.solve()
+    assert first.is_sat == second.is_sat
+
+
+@given(random_cnf())
+@settings(max_examples=60, deadline=None)
+def test_cnf_evaluate_agrees_with_model(clauses):
+    """Cnf.evaluate must accept every model the solver returns."""
+    cnf = Cnf()
+    for clause in clauses:
+        cnf.add_clause(clause)
+    result = CdclSolver(cnf).solve()
+    if result.is_sat:
+        assignment = {
+            variable: result.model.get(variable, False)
+            for variable in range(1, cnf.num_variables + 1)
+        }
+        assert cnf.evaluate(assignment)

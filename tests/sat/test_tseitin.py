@@ -1,0 +1,128 @@
+"""Unit tests for Boolean expressions and the Tseitin encoding."""
+
+import itertools
+
+import pytest
+
+from repro.errors import CnfError
+from repro.sat.cnf import Cnf
+from repro.sat.solver import CdclSolver
+from repro.sat.tseitin import (
+    BoolExpr,
+    TseitinEncoder,
+    and_,
+    const,
+    iff,
+    implies,
+    maj,
+    not_,
+    or_,
+    var,
+    xor_,
+)
+
+
+class TestExpressionConstruction:
+    def test_var_requires_name(self):
+        with pytest.raises(CnfError):
+            BoolExpr("var")
+
+    def test_const_requires_value(self):
+        with pytest.raises(CnfError):
+            BoolExpr("const")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(CnfError):
+            BoolExpr("nand")
+
+    def test_not_arity(self):
+        with pytest.raises(CnfError):
+            BoolExpr("not", (var("a"), var("b")))
+
+    def test_maj_arity(self):
+        with pytest.raises(CnfError):
+            BoolExpr("maj", (var("a"), var("b")))
+
+    def test_variables_collection(self):
+        expression = and_(var("a"), or_(var("b"), not_(var("c"))))
+        assert expression.variables() == {"a", "b", "c"}
+
+
+class TestEvaluation:
+    def test_basic_gates(self):
+        env = {"a": True, "b": False, "c": True}
+        assert and_(var("a"), var("c")).evaluate(env) is True
+        assert and_(var("a"), var("b")).evaluate(env) is False
+        assert or_(var("b"), var("c")).evaluate(env) is True
+        assert xor_(var("a"), var("c")).evaluate(env) is False
+        assert not_(var("b")).evaluate(env) is True
+        assert maj(var("a"), var("b"), var("c")).evaluate(env) is True
+        assert const(False).evaluate(env) is False
+
+    def test_implies_and_iff(self):
+        env_true = {"a": True, "b": True}
+        env_false = {"a": True, "b": False}
+        assert implies(var("a"), var("b")).evaluate(env_true) is True
+        assert implies(var("a"), var("b")).evaluate(env_false) is False
+        assert iff(var("a"), var("b")).evaluate(env_true) is True
+        assert iff(var("a"), var("b")).evaluate(env_false) is False
+
+    def test_missing_variable_raises(self):
+        with pytest.raises(CnfError):
+            var("missing").evaluate({})
+
+
+def _assert_encoding_matches(expression, names):
+    """The Tseitin encoding must be satisfiable exactly when the expression
+    evaluates to true, for every assignment of the inputs."""
+    for bits in itertools.product([False, True], repeat=len(names)):
+        env = dict(zip(names, bits))
+        encoder = TseitinEncoder(Cnf())
+        encoder.assert_true(expression)
+        solver = CdclSolver(encoder.cnf)
+        assumptions = [
+            encoder.input_literal(name) if value else -encoder.input_literal(name)
+            for name, value in env.items()
+        ]
+        result = solver.solve(assumptions)
+        assert result.is_sat == expression.evaluate(env), (env, expression)
+
+
+class TestTseitinEncoding:
+    def test_and_or_not(self):
+        _assert_encoding_matches(and_(var("a"), or_(var("b"), not_(var("c")))), ["a", "b", "c"])
+
+    def test_xor_chain(self):
+        _assert_encoding_matches(xor_(var("a"), var("b"), var("c"), var("d")), list("abcd"))
+
+    def test_majority(self):
+        _assert_encoding_matches(maj(var("a"), var("b"), var("c")), list("abc"))
+
+    def test_iff_and_implies(self):
+        _assert_encoding_matches(iff(var("a"), implies(var("b"), var("c"))), list("abc"))
+
+    def test_constants(self):
+        encoder = TseitinEncoder()
+        literal = encoder.encode(const(True))
+        solver = CdclSolver(encoder.cnf)
+        assert solver.solve([literal]).is_sat
+        assert solver.solve([-literal]).is_unsat
+
+    def test_assert_false(self):
+        encoder = TseitinEncoder()
+        encoder.assert_false(and_(var("a"), var("b")))
+        solver = CdclSolver(encoder.cnf)
+        a = encoder.input_literal("a")
+        b = encoder.input_literal("b")
+        assert solver.solve([a, b]).is_unsat
+        assert solver.solve([a, -b]).is_sat
+
+    def test_single_input_xor(self):
+        _assert_encoding_matches(xor_(var("a")), ["a"])
+
+    def test_inputs_mapping_is_stable(self):
+        encoder = TseitinEncoder()
+        first = encoder.input_literal("a")
+        second = encoder.input_literal("a")
+        assert first == second
+        assert encoder.inputs == {"a": first}

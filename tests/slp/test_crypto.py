@@ -1,0 +1,179 @@
+"""Functional tests for the bundled cryptographic straight-line programs."""
+
+import random
+
+import pytest
+
+from repro.slp import (
+    edwards_point_addition_slp,
+    hadamard_operator_slp,
+    kummer_doubling_slp,
+    kummer_point_addition_slp,
+)
+
+
+class TestHadamardOperator:
+    def test_matches_paper_equations(self):
+        """Section IV-B: x=t1+t2, y=t1-t2, z=t3+t4, t=t3-t4 with
+        t1=a+b, t2=c+d, t3=a-b, t4=c-d."""
+        program = hadamard_operator_slp()
+        rng = random.Random(0)
+        for _ in range(50):
+            a, b, c, d = (rng.randrange(-100, 100) for _ in range(4))
+            outputs = program.evaluate_outputs({"a": a, "b": b, "c": c, "d": d})
+            assert outputs["x"] == (a + b) + (c + d)
+            assert outputs["y"] == (a + b) - (c + d)
+            assert outputs["z"] == (a - b) + (c - d)
+            assert outputs["t"] == (a - b) - (c - d)
+
+    def test_operation_counts(self):
+        program = hadamard_operator_slp()
+        assert program.operation_counts() == {"add": 4, "sub": 4}
+        assert program.num_instructions == 8
+
+    def test_dag_shape(self):
+        dag = hadamard_operator_slp().to_dag()
+        dag.validate()
+        assert dag.num_nodes == 8
+        assert len(dag.outputs()) == 4
+        assert dag.depth() == 2
+
+    def test_modular_evaluation(self):
+        program = hadamard_operator_slp()
+        outputs = program.evaluate_outputs({"a": 2, "b": 1, "c": 2, "d": 0}, modulus=3)
+        assert outputs == {"x": (3 + 2) % 3, "y": (3 - 2) % 3, "z": (1 + 2) % 3, "t": (1 - 2) % 3}
+
+    def test_involution_up_to_scaling(self):
+        """Applying the Hadamard butterfly twice multiplies every value by 4."""
+        program = hadamard_operator_slp()
+        rng = random.Random(1)
+        values = {name: rng.randrange(-50, 50) for name in "abcd"}
+        first = program.evaluate_outputs(values)
+        second = program.evaluate_outputs(
+            {"a": first["x"], "b": first["y"], "c": first["z"], "d": first["t"]}
+        )
+        assert second["x"] == 4 * values["a"]
+        assert second["y"] == 4 * values["b"]
+        assert second["z"] == 4 * values["c"]
+        assert second["t"] == 4 * values["d"]
+
+
+class TestEdwardsAddition:
+    #: A prime congruent to 3 mod 4 so square roots are easy if ever needed.
+    PRIME = 10007
+
+    def _affine_reference(self, x1, y1, x2, y2, a, d, p):
+        numerator_x = (x1 * y2 + y1 * x2) % p
+        denominator_x = (1 + d * x1 * x2 * y1 * y2) % p
+        numerator_y = (y1 * y2 - a * x1 * x2) % p
+        denominator_y = (1 - d * x1 * x2 * y1 * y2) % p
+        inverse_x = pow(denominator_x, p - 2, p)
+        inverse_y = pow(denominator_y, p - 2, p)
+        return (numerator_x * inverse_x) % p, (numerator_y * inverse_y) % p
+
+    def test_matches_affine_formulas(self):
+        a, d, p = -1, 121665, self.PRIME
+        program = edwards_point_addition_slp(coefficient_a=a, coefficient_d=d)
+        rng = random.Random(2)
+        checked = 0
+        while checked < 25:
+            x1, y1, x2, y2 = (rng.randrange(1, p) for _ in range(4))
+            denom_x = (1 + d * x1 * x2 * y1 * y2) % p
+            denom_y = (1 - d * x1 * x2 * y1 * y2) % p
+            if denom_x == 0 or denom_y == 0:
+                continue
+            outputs = program.evaluate_outputs(
+                {"x1": x1, "y1": y1, "z1": 1, "x2": x2, "y2": y2, "z2": 1}, modulus=p
+            )
+            if outputs["Z3"] == 0:
+                continue
+            inverse_z = pow(outputs["Z3"], p - 2, p)
+            got = ((outputs["X3"] * inverse_z) % p, (outputs["Y3"] * inverse_z) % p)
+            assert got == self._affine_reference(x1, y1, x2, y2, a, d, p)
+            checked += 1
+
+    def test_operation_mix(self):
+        counts = edwards_point_addition_slp().operation_counts()
+        assert counts["mul"] >= 8
+        assert counts["sqr"] == 1
+        assert counts["cmul"] == 2
+
+    def test_dag_is_valid(self):
+        dag = edwards_point_addition_slp().to_dag()
+        dag.validate()
+        assert set(dag.outputs()) == {"X3", "Y3", "Z3"}
+
+
+class TestKummerPrograms:
+    def test_addition_structure(self):
+        program = kummer_point_addition_slp()
+        counts = program.operation_counts()
+        assert counts["add"] == 12 and counts["sub"] == 12       # three Hadamard blocks
+        assert counts["mul"] == 8 and counts["sqr"] == 4 and counts["cmul"] == 4
+        assert program.num_instructions == 40
+        assert len(program.outputs) == 4
+
+    def test_addition_matches_block_composition(self):
+        """The program must equal H -> mul -> cmul -> H -> sqr -> mul composed by hand."""
+        constants = (3, 5, 7, 11)
+        program = kummer_point_addition_slp(curve_constants=constants)
+        rng = random.Random(3)
+
+        def hadamard(a, b, c, d):
+            t1, t2, t3, t4 = a + b, c + d, a - b, c - d
+            return t1 + t2, t1 - t2, t3 + t4, t3 - t4
+
+        for _ in range(20):
+            p = [rng.randrange(-9, 9) for _ in range(4)]
+            q = [rng.randrange(-9, 9) for _ in range(4)]
+            inv_d = [rng.randrange(-9, 9) for _ in range(4)]
+            hp, hq = hadamard(*p), hadamard(*q)
+            products = [x * y for x, y in zip(hp, hq)]
+            scaled = [k * m for k, m in zip(constants, products)]
+            hh = hadamard(*scaled)
+            squares = [value * value for value in hh]
+            expected = [s * i for s, i in zip(squares, inv_d)]
+            assignment = {
+                "xp": p[0], "yp": p[1], "zp": p[2], "tp": p[3],
+                "xq": q[0], "yq": q[1], "zq": q[2], "tq": q[3],
+                "ixd": inv_d[0], "iyd": inv_d[1], "izd": inv_d[2], "itd": inv_d[3],
+            }
+            outputs = program.evaluate_outputs(assignment)
+            assert [outputs["xr"], outputs["yr"], outputs["zr"], outputs["tr"]] == expected
+
+    def test_doubling_structure_and_composition(self):
+        constants = (2, 3, 5, 7)
+        base = (11, 13, 17, 19)
+        program = kummer_doubling_slp(curve_constants=constants, inverse_base_constants=base)
+        counts = program.operation_counts()
+        assert counts["add"] == 8 and counts["sub"] == 8          # two Hadamard blocks
+        assert counts["sqr"] == 8 and counts["cmul"] == 8
+
+        def hadamard(a, b, c, d):
+            t1, t2, t3, t4 = a + b, c + d, a - b, c - d
+            return t1 + t2, t1 - t2, t3 + t4, t3 - t4
+
+        values = (4, -2, 3, 1)
+        h1 = hadamard(*values)
+        s = [v * v for v in h1]
+        e = [k * v for k, v in zip(constants, s)]
+        h2 = hadamard(*e)
+        r = [v * v for v in h2]
+        expected = [k * v for k, v in zip(base, r)]
+        outputs = program.evaluate_outputs(dict(zip("xyzt", values)))
+        assert [outputs["x2"], outputs["y2"], outputs["z2"], outputs["t2"]] == expected
+
+    def test_dag_sizes_match_fig5_size_class(self):
+        """Fig. 5 workload: ~40 word-level operations with mixed types."""
+        dag = kummer_point_addition_slp().to_dag()
+        dag.validate()
+        assert 35 <= dag.num_nodes <= 45
+        assert len(dag.outputs()) == 4
+
+    @pytest.mark.parametrize(
+        "factory",
+        [kummer_point_addition_slp, kummer_doubling_slp, edwards_point_addition_slp,
+         hadamard_operator_slp],
+    )
+    def test_programs_validate(self, factory):
+        factory().validate()

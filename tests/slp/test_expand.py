@@ -1,0 +1,90 @@
+"""Tests for the word-level SLP to gate-level network expansion."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.errors import SlpError
+from repro.slp import StraightLineProgram, expand_slp_to_network, hadamard_operator_slp
+
+
+def _bus_assignment(program_inputs, values, bits):
+    assignment = {}
+    for name in program_inputs:
+        for i in range(bits):
+            assignment[f"{name}_{i}"] = bool((values[name] >> i) & 1)
+    return assignment
+
+
+def _decode_outputs(network, program, outputs, bits):
+    """Group the flat output signals back into per-output-bus integers."""
+    decoded = {}
+    position = 0
+    names = network.outputs
+    for output in program.outputs:
+        value = 0
+        for i in range(bits):
+            if outputs[names[position]]:
+                value |= 1 << i
+            position += 1
+        decoded[output] = value
+    return decoded
+
+
+class TestHadamardExpansion:
+    @pytest.mark.parametrize("bits,modulus", [(2, 3), (2, 4), (3, 5)])
+    def test_gate_level_matches_word_level(self, bits, modulus):
+        program = hadamard_operator_slp()
+        network = expand_slp_to_network(program, bits=bits, modulus=modulus)
+        network.validate()
+        rng = random.Random(bits * 31 + modulus)
+        for _ in range(15):
+            values = {name: rng.randrange(modulus) for name in program.inputs}
+            expected = program.evaluate_outputs(values, modulus=modulus)
+            assignment = _bus_assignment(program.inputs, values, bits)
+            outputs = network.simulate_outputs(assignment)
+            decoded = _decode_outputs(network, program, outputs, bits)
+            assert decoded == expected, (bits, modulus, values)
+
+    def test_network_size_scales_with_bits(self):
+        small = expand_slp_to_network(hadamard_operator_slp(), bits=2, modulus=3)
+        large = expand_slp_to_network(hadamard_operator_slp(), bits=4, modulus=5)
+        assert large.num_gates > small.num_gates
+
+    def test_dag_conversion(self):
+        network = expand_slp_to_network(hadamard_operator_slp(), bits=2, modulus=3)
+        dag = network.to_dag()
+        dag.validate()
+        assert dag.num_nodes > 50  # the b2_m3 design is in the ~100-node class
+
+
+class TestGeneralOperations:
+    @pytest.mark.parametrize("bits,modulus", [(2, 3), (3, 7)])
+    def test_mul_sqr_cmul_neg(self, bits, modulus):
+        program = StraightLineProgram("mixed")
+        program.add_inputs(["u", "v"])
+        program.mul("m", "u", "v")
+        program.sqr("s", "u")
+        program.cmul("c", "v", 3)
+        program.neg("n", "u")
+        program.add("r", "m", "s")
+        program.sub("w", "c", "n")
+        program.set_outputs(["r", "w"])
+        network = expand_slp_to_network(program, bits=bits, modulus=modulus)
+        for u, v in itertools.product(range(modulus), repeat=2):
+            expected = program.evaluate_outputs({"u": u, "v": v}, modulus=modulus)
+            assignment = _bus_assignment(program.inputs, {"u": u, "v": v}, bits)
+            outputs = network.simulate_outputs(assignment)
+            decoded = _decode_outputs(network, program, outputs, bits)
+            assert decoded == expected, (bits, modulus, u, v)
+
+    def test_invalid_modulus_rejected(self):
+        with pytest.raises(SlpError):
+            expand_slp_to_network(hadamard_operator_slp(), bits=2, modulus=5)
+        with pytest.raises(SlpError):
+            expand_slp_to_network(hadamard_operator_slp(), bits=2, modulus=1)
+
+    def test_network_name_defaults_to_design_convention(self):
+        network = expand_slp_to_network(hadamard_operator_slp(), bits=2, modulus=3)
+        assert network.name.endswith("b2_m3")

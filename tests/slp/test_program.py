@@ -1,0 +1,139 @@
+"""Unit tests for the straight-line-program IR."""
+
+import pytest
+
+from repro.errors import SlpError
+from repro.slp import Instruction, Operation, StraightLineProgram
+
+
+def _simple_program() -> StraightLineProgram:
+    program = StraightLineProgram(name="simple")
+    program.add_inputs(["a", "b"])
+    program.add("t1", "a", "b")
+    program.mul("t2", "t1", "a")
+    program.sqr("t3", "t2")
+    program.set_outputs(["t3"])
+    return program
+
+
+class TestConstruction:
+    def test_builder_methods(self):
+        program = StraightLineProgram()
+        program.add_inputs(["x", "y"])
+        program.add("s", "x", "y")
+        program.sub("d", "x", "y")
+        program.mul("p", "s", "d")
+        program.sqr("q", "p")
+        program.neg("n", "q")
+        program.cmul("c", "n", 5)
+        program.set_outputs(["c"])
+        assert program.num_instructions == 6
+        assert program.operation_counts() == {
+            "add": 1, "sub": 1, "mul": 1, "sqr": 1, "neg": 1, "cmul": 1,
+        }
+
+    def test_operation_from_name(self):
+        assert Operation.from_name("ADD") is Operation.ADD
+        assert Operation.from_name(Operation.MUL) is Operation.MUL
+        with pytest.raises(SlpError):
+            Operation.from_name("div")
+
+    def test_duplicate_definitions_rejected(self):
+        program = StraightLineProgram()
+        program.add_input("a")
+        with pytest.raises(SlpError):
+            program.add_input("a")
+        program.add("t", "a", "a")
+        with pytest.raises(SlpError):
+            program.add("t", "a", "a")
+
+    def test_use_before_definition_rejected(self):
+        program = StraightLineProgram()
+        program.add_input("a")
+        with pytest.raises(SlpError):
+            program.add("t", "a", "ghost")
+
+    def test_instruction_arity_checked(self):
+        with pytest.raises(SlpError):
+            Instruction("t", Operation.ADD, ("a",))
+        with pytest.raises(SlpError):
+            Instruction("t", Operation.SQR, ("a", "b"))
+
+    def test_cmul_requires_constant(self):
+        with pytest.raises(SlpError):
+            Instruction("t", Operation.CONST_MUL, ("a",))
+
+    def test_outputs_must_exist(self):
+        program = StraightLineProgram()
+        program.add_input("a")
+        with pytest.raises(SlpError):
+            program.set_outputs(["ghost"])
+        with pytest.raises(SlpError):
+            program.set_outputs([])
+
+    def test_validate_catches_missing_pieces(self):
+        program = StraightLineProgram()
+        with pytest.raises(SlpError):
+            program.validate()
+        program.add_input("a")
+        with pytest.raises(SlpError):
+            program.validate()  # no outputs
+
+    def test_repr(self):
+        assert "simple" in repr(_simple_program())
+
+
+class TestEvaluation:
+    def test_plain_integer_evaluation(self):
+        program = _simple_program()
+        values = program.evaluate({"a": 3, "b": 4})
+        assert values["t1"] == 7
+        assert values["t2"] == 21
+        assert values["t3"] == 441
+
+    def test_modular_evaluation(self):
+        program = _simple_program()
+        outputs = program.evaluate_outputs({"a": 3, "b": 4}, modulus=5)
+        assert outputs == {"t3": (((3 + 4) % 5 * 3) % 5) ** 2 % 5}
+
+    def test_all_operations_semantics(self):
+        program = StraightLineProgram()
+        program.add_inputs(["x", "y"])
+        program.add("s", "x", "y")
+        program.sub("d", "x", "y")
+        program.mul("p", "x", "y")
+        program.sqr("q", "x")
+        program.neg("n", "y")
+        program.cmul("c", "x", 7)
+        program.set_outputs(["s", "d", "p", "q", "n", "c"])
+        values = program.evaluate_outputs({"x": 5, "y": 3})
+        assert values == {"s": 8, "d": 2, "p": 15, "q": 25, "n": -3, "c": 35}
+
+    def test_missing_input_raises(self):
+        with pytest.raises(SlpError):
+            _simple_program().evaluate({"a": 1})
+
+
+class TestToDag:
+    def test_nodes_are_instructions_only(self):
+        dag = _simple_program().to_dag()
+        assert set(dag.nodes()) == {"t1", "t2", "t3"}
+        assert dag.outputs() == ["t3"]
+        assert dag.dependencies("t1") == ()
+        assert dag.dependencies("t2") == ("t1",)
+
+    def test_operations_propagate_to_dag(self):
+        dag = _simple_program().to_dag()
+        assert dag.node("t2").operation == "mul"
+        assert dag.node("t3").operation == "sqr"
+
+    def test_output_equal_to_input_rejected(self):
+        program = StraightLineProgram()
+        program.add_input("a")
+        program.set_outputs(["a"])
+        with pytest.raises(SlpError):
+            program.to_dag()
+
+    def test_dag_is_valid(self):
+        dag = _simple_program().to_dag()
+        dag.validate()

@@ -1,0 +1,86 @@
+"""Tests for the ``repro-pebble`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.dag.io import dag_to_json
+from repro.logic.bench import write_bench
+from repro.logic.iscas import c17_network
+from repro.workloads import example_dag
+
+
+class TestParser:
+    def test_subcommands_exist(self):
+        parser = build_parser()
+        for argv in (
+            ["list"],
+            ["info", "fig2"],
+            ["bennett", "fig2"],
+            ["pebble", "fig2", "--pebbles", "4"],
+            ["compare", "fig2"],
+        ):
+            assert parser.parse_args(argv).command == argv[0]
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2" in out and "c17" in out
+
+    def test_info(self, capsys):
+        assert main(["info", "fig2"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["num_nodes"] == 6
+
+    def test_bennett(self, capsys):
+        assert main(["bennett", "fig2", "--grid"]) == 0
+        out = capsys.readouterr().out
+        assert "bennett" in out
+        assert "pebbles=6" in out
+        assert "operations executed" in out
+
+    def test_pebble_success(self, capsys):
+        assert main(["pebble", "fig2", "--pebbles", "4", "--timeout", "30", "--grid"]) == 0
+        out = capsys.readouterr().out
+        summary = json.loads(out[: out.index("}") + 1] + "")
+        assert summary["outcome"] == "solution"
+        assert "peak pebbles" in out
+
+    def test_pebble_single_move(self, capsys):
+        assert main(["pebble", "fig2", "--pebbles", "6", "--single-move",
+                     "--timeout", "60"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["steps"] == 10
+
+    def test_pebble_infeasible_budget_returns_nonzero(self, capsys):
+        assert main(["pebble", "fig2", "--pebbles", "1", "--timeout", "5"]) == 2
+
+    def test_compare(self, capsys):
+        assert main(["compare", "fig2", "--timeout", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "pebble reduction" in out
+        assert "bennett pebbles/moves : 6 / 10" in out
+
+    def test_unknown_workload_reports_error(self, capsys):
+        assert main(["info", "does-not-exist"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_bench_file_input(self, tmp_path, capsys):
+        path = tmp_path / "c17.bench"
+        write_bench(c17_network(), path)
+        assert main(["info", str(path)]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["num_nodes"] == 6
+
+    def test_json_dag_input(self, tmp_path, capsys):
+        path = tmp_path / "fig2.json"
+        dag_to_json(example_dag(), path)
+        assert main(["bennett", str(path)]) == 0
+        assert "pebbles=6" in capsys.readouterr().out

@@ -1,0 +1,66 @@
+"""Package-level tests: public API surface and exception hierarchy."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackage_exports_resolve(self):
+        import repro.circuits
+        import repro.dag
+        import repro.logic
+        import repro.pebbling
+        import repro.sat
+        import repro.slp
+
+        for module in (repro.sat, repro.dag, repro.logic, repro.slp,
+                       repro.pebbling, repro.circuits):
+            for name in module.__all__:
+                assert hasattr(module, name), (module.__name__, name)
+
+    def test_quickstart_snippet_from_readme(self):
+        dag = repro.load_workload("fig2")
+        baseline = repro.bennett_strategy(dag)
+        result = repro.pebble_dag(dag, max_pebbles=4, time_limit=30)
+        assert baseline.max_pebbles == 6
+        assert result.found
+        assert "pebbles" in repro.strategy_report(result.strategy)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exception",
+        [
+            errors.CnfError,
+            errors.SolverError,
+            errors.ResourceLimitError,
+            errors.DagError,
+            errors.LogicNetworkError,
+            errors.BenchParseError,
+            errors.SlpError,
+            errors.PebblingError,
+            errors.InvalidStrategyError,
+            errors.CircuitError,
+            errors.WorkloadError,
+        ],
+    )
+    def test_all_errors_derive_from_repro_error(self, exception):
+        assert issubclass(exception, errors.ReproError)
+        assert issubclass(exception, Exception)
+
+    def test_specialised_subclasses(self):
+        assert issubclass(errors.BenchParseError, errors.LogicNetworkError)
+        assert issubclass(errors.InvalidStrategyError, errors.PebblingError)
+
+    def test_catching_the_base_class_catches_library_failures(self):
+        with pytest.raises(errors.ReproError):
+            repro.load_workload("no-such-workload")

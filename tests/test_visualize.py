@@ -1,0 +1,44 @@
+"""Tests for the ASCII strategy rendering."""
+
+from repro.pebbling import bennett_strategy, pebble_dag
+from repro.visualize import memory_profile_chart, render_strategy_grid, strategy_report
+
+
+class TestGridRendering:
+    def test_grid_dimensions(self, fig2_dag):
+        strategy = bennett_strategy(fig2_dag)
+        grid = render_strategy_grid(strategy, show_header=False)
+        lines = grid.splitlines()
+        # One row per node plus two footer rows with the step ruler.
+        assert len(lines) == fig2_dag.num_nodes + 2
+        # Each row shows one cell per configuration.
+        first_row = lines[0].split(" ", 1)[1]
+        assert len(first_row) == strategy.num_steps + 1
+
+    def test_grid_marks_pebbled_cells(self, fig2_dag):
+        strategy = bennett_strategy(fig2_dag)
+        grid = render_strategy_grid(strategy, pebbled_char="#", empty_char=".")
+        lines = {line.split()[0]: line.split()[1] for line in grid.splitlines()[2:-2]}
+        # Node A is pebbled from step 1 and released only in the very last step.
+        assert lines["A"].startswith(".#")
+        assert lines["A"].endswith("#.")
+        # Output E stays pebbled to the end.
+        assert lines["E"].endswith("#")
+
+    def test_header_mentions_metrics(self, fig2_dag):
+        strategy = bennett_strategy(fig2_dag)
+        grid = render_strategy_grid(strategy)
+        assert "6 pebbles" in grid
+        assert "10 steps" in grid
+
+    def test_memory_profile_chart(self, fig2_dag):
+        strategy = bennett_strategy(fig2_dag)
+        chart = memory_profile_chart(strategy)
+        assert "peak 6" in chart
+
+    def test_strategy_report_contains_operations(self, fig2_dag):
+        result = pebble_dag(fig2_dag, 4, time_limit=30)
+        report = strategy_report(result.strategy)
+        assert "operations executed" in report
+        assert "peak pebbles" in report
+        assert str(result.strategy.num_moves) in report

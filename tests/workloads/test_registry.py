@@ -1,0 +1,101 @@
+"""Tests for the evaluation-workload registry."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    and_tree_dag,
+    example_dag,
+    hadamard_gate_level_dag,
+    list_workloads,
+    load_workload,
+    table1_rows,
+)
+
+
+class TestExampleDag:
+    def test_matches_paper_fig2(self):
+        dag = example_dag()
+        assert set(dag.nodes()) == {"A", "B", "C", "D", "E", "F"}
+        assert set(dag.outputs()) == {"E", "F"}
+        assert dag.dependencies("C") == ("A",)
+        assert dag.dependencies("D") == ("B",)
+        assert dag.dependencies("E") == ("C", "D")
+        assert dag.dependencies("F") == ("A",)
+
+
+class TestAndTree:
+    def test_fig6_shape(self):
+        dag = and_tree_dag(9)
+        assert dag.num_nodes == 8
+        assert len(dag.outputs()) == 1
+        assert dag.statistics().max_fanin == 2
+
+    def test_other_widths(self):
+        assert and_tree_dag(4).num_nodes == 3
+        assert and_tree_dag(2).num_nodes == 1
+
+    def test_rejects_single_input(self):
+        with pytest.raises(WorkloadError):
+            and_tree_dag(1)
+
+
+class TestHadamardGateLevel:
+    def test_b2_m3_size_class(self):
+        dag = hadamard_gate_level_dag(2, 3)
+        dag.validate()
+        # The paper's b2_m3 has 74 XMG nodes; our own gate-level expansion
+        # lands in the same size class (tens to low hundreds of nodes).
+        assert 40 <= dag.num_nodes <= 200
+
+    def test_larger_bitwidth_grows(self):
+        small = hadamard_gate_level_dag(2, 3)
+        large = hadamard_gate_level_dag(3, 7)
+        assert large.num_nodes > small.num_nodes
+
+
+class TestRegistry:
+    def test_list_contains_all_named_workloads(self):
+        names = list_workloads()
+        for expected in ["fig2", "and9", "hadamard", "kummer-add", "edwards-add",
+                         "b2_m3", "c17", "c6288"]:
+            assert expected in names
+
+    @pytest.mark.parametrize("name", ["fig2", "and9", "hadamard", "kummer-add",
+                                      "kummer-double", "edwards-add", "c17"])
+    def test_load_named_workloads(self, name):
+        dag = load_workload(name)
+        dag.validate()
+        assert dag.num_nodes >= 1
+
+    def test_load_is_case_insensitive(self):
+        assert load_workload("FIG2").num_nodes == 6
+
+    def test_hadamard_table_rows_scale(self):
+        full = load_workload("b2_m3")
+        half = load_workload("b4_m5", scale=0.5)
+        assert full.num_nodes > 10
+        assert half.num_nodes < load_workload("b4_m5").num_nodes
+
+    def test_iscas_row_scaling(self):
+        small = load_workload("c432", scale=0.1)
+        assert small.num_nodes < 208
+        small.validate()
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(WorkloadError):
+            load_workload("nonexistent")
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(WorkloadError):
+            load_workload("fig2", scale=0)
+
+    def test_table1_rows_complete(self):
+        rows = table1_rows()
+        assert len(rows) == 20
+        names = [row.name for row in rows]
+        assert names[0] == "b2_m3" and names[-1] == "c7552"
+        hadamard_rows = [row for row in rows if row.kind == "hadamard"]
+        assert all(row.bits is not None and row.modulus is not None for row in hadamard_rows)
+        assert all(row.paper_pebbles <= row.paper_bennett_pebbles for row in rows)
+        assert all(row.paper_steps >= row.paper_bennett_steps for row in rows)
