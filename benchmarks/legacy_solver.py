@@ -1,0 +1,657 @@
+"""Frozen copy of the pre-overhaul CDCL solver (the seed engine).
+
+This module is the performance baseline for ``run_bench.py``: it preserves
+the linear-scan VSIDS branching, dict-keyed clause activities and
+rebuild-the-watch-list propagation of the engine before the hot-path
+overhaul, so every benchmark run can report an honest engine-vs-engine
+speedup on identical instances.  Do not optimise this file.
+"""
+
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Sequence
+
+from repro.errors import SolverError
+from repro.sat.cnf import Cnf
+
+
+class Status(Enum):
+    """Result status of a solver call."""
+
+    SATISFIABLE = "sat"
+    UNSATISFIABLE = "unsat"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class SolverStats:
+    """Counters describing the work performed by the solver."""
+
+    decisions: int = 0
+    propagations: int = 0
+    conflicts: int = 0
+    restarts: int = 0
+    learned_clauses: int = 0
+    deleted_clauses: int = 0
+    max_decision_level: int = 0
+    solve_time: float = 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """Return the statistics as a plain dictionary."""
+        return {
+            "decisions": self.decisions,
+            "propagations": self.propagations,
+            "conflicts": self.conflicts,
+            "restarts": self.restarts,
+            "learned_clauses": self.learned_clauses,
+            "deleted_clauses": self.deleted_clauses,
+            "max_decision_level": self.max_decision_level,
+            "solve_time": self.solve_time,
+        }
+
+
+@dataclass
+class SolveResult:
+    """Outcome of a :meth:`LegacyCdclSolver.solve` call.
+
+    ``model`` maps every problem variable to a Boolean when the status is
+    :attr:`Status.SATISFIABLE`, and is ``None`` otherwise.
+    """
+
+    status: Status
+    model: dict[int, bool] | None = None
+    stats: SolverStats = field(default_factory=SolverStats)
+
+    @property
+    def is_sat(self) -> bool:
+        """``True`` when a satisfying assignment was found."""
+        return self.status is Status.SATISFIABLE
+
+    @property
+    def is_unsat(self) -> bool:
+        """``True`` when the formula was proven unsatisfiable."""
+        return self.status is Status.UNSATISFIABLE
+
+    @property
+    def is_unknown(self) -> bool:
+        """``True`` when the solver gave up (conflict/time budget)."""
+        return self.status is Status.UNKNOWN
+
+
+_UNASSIGNED = -1
+
+
+def _encode(literal: int) -> int:
+    """DIMACS literal -> internal literal."""
+    return (abs(literal) << 1) | (literal < 0)
+
+
+def _decode(encoded: int) -> int:
+    """Internal literal -> DIMACS literal."""
+    variable = encoded >> 1
+    return -variable if encoded & 1 else variable
+
+
+def luby(index: int) -> int:
+    """Return the ``index``-th element (1-based) of the Luby restart sequence.
+
+    The sequence is 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, ...
+    """
+    if index <= 0:
+        raise SolverError("luby index must be >= 1")
+    while True:
+        k = 1
+        while (1 << k) - 1 < index:
+            k += 1
+        if (1 << k) - 1 == index:
+            return 1 << (k - 1)
+        index -= (1 << (k - 1)) - 1
+
+
+class LegacyCdclSolver:
+    """Conflict-driven clause-learning SAT solver.
+
+    Typical use::
+
+        solver = LegacyCdclSolver()
+        solver.add_clause([1, 2])
+        solver.add_clause([-1, 2])
+        result = solver.solve()
+        assert result.is_sat and result.model[2] is True
+
+    The solver is incremental: more clauses may be added after a
+    :meth:`solve` call and subsequent calls reuse learned clauses.
+    Assumptions allow solving under temporary unit hypotheses without
+    permanently adding them.
+    """
+
+    def __init__(
+        self,
+        cnf: Cnf | None = None,
+        *,
+        conflict_limit: int | None = None,
+        time_limit: float | None = None,
+        restart_base: int = 100,
+        clause_decay: float = 0.999,
+        variable_decay: float = 0.95,
+        random_seed: int = 2019,
+    ) -> None:
+        self._num_vars = 0
+        # Indexed by variable (1-based).
+        self._values: list[int] = [_UNASSIGNED, _UNASSIGNED]
+        self._levels: list[int] = [0, 0]
+        self._reasons: list[list[int] | None] = [None, None]
+        self._activity: list[float] = [0.0, 0.0]
+        self._phase: list[bool] = [False, False]
+        self._seen: list[bool] = [False, False]
+        # Indexed by encoded literal.
+        self._watches: list[list[list[int]]] = [[], [], [], []]
+        self._clauses: list[list[int]] = []
+        self._learned: list[list[int]] = []
+        self._clause_activity: dict[int, float] = {}
+        self._trail: list[int] = []
+        self._trail_limits: list[int] = []
+        self._propagation_head = 0
+        self._var_inc = 1.0
+        self._var_decay = variable_decay
+        self._cla_inc = 1.0
+        self._cla_decay = clause_decay
+        self._restart_base = restart_base
+        self._ok = True
+        self._pending_units: list[int] = []
+        self.default_conflict_limit = conflict_limit
+        self.default_time_limit = time_limit
+        self.stats = SolverStats()
+        self._rng_state = random_seed or 1
+        if cnf is not None:
+            self.add_cnf(cnf)
+
+    # ------------------------------------------------------------------
+    # problem construction
+    # ------------------------------------------------------------------
+    @property
+    def num_variables(self) -> int:
+        """Highest variable index known to the solver."""
+        return self._num_vars
+
+    @property
+    def num_clauses(self) -> int:
+        """Number of problem (non-learned) clauses."""
+        return len(self._clauses)
+
+    def _ensure_var(self, variable: int) -> None:
+        while self._num_vars < variable:
+            self._num_vars += 1
+            self._values.append(_UNASSIGNED)
+            self._levels.append(0)
+            self._reasons.append(None)
+            self._activity.append(0.0)
+            self._phase.append(False)
+            self._seen.append(False)
+            self._watches.append([])
+            self._watches.append([])
+
+    def add_variable(self) -> int:
+        """Allocate a fresh variable and return its index."""
+        self._ensure_var(self._num_vars + 1)
+        return self._num_vars
+
+    def add_cnf(self, cnf: Cnf) -> None:
+        """Add every clause of ``cnf`` to the solver."""
+        self._ensure_var(cnf.num_variables)
+        for clause in cnf.clauses:
+            self.add_clause(clause.literals)
+
+    def add_clause(self, literals: Iterable[int]) -> bool:
+        """Add a clause; return ``False`` if the formula became trivially unsat.
+
+        The clause is simplified: duplicate literals are merged and
+        tautological clauses are dropped.
+        """
+        if not self._ok:
+            return False
+        unique: dict[int, None] = {}
+        for literal in literals:
+            if isinstance(literal, bool) or not isinstance(literal, int) or literal == 0:
+                raise SolverError(f"invalid literal {literal!r}")
+            unique.setdefault(literal, None)
+        clause = list(unique)
+        for literal in clause:
+            self._ensure_var(abs(literal))
+        literal_set = set(clause)
+        if any(-literal in literal_set for literal in clause):
+            return True  # tautology
+        if not clause:
+            self._ok = False
+            return False
+        if len(clause) == 1:
+            self._pending_units.append(clause[0])
+            return True
+        encoded = [_encode(literal) for literal in clause]
+        self._attach(encoded, learned=False)
+        return True
+
+    def _attach(self, encoded_clause: list[int], *, learned: bool) -> list[int]:
+        container = self._learned if learned else self._clauses
+        container.append(encoded_clause)
+        self._watches[encoded_clause[0] ^ 1].append(encoded_clause)
+        self._watches[encoded_clause[1] ^ 1].append(encoded_clause)
+        if learned:
+            self._clause_activity[id(encoded_clause)] = self._cla_inc
+        return encoded_clause
+
+    # ------------------------------------------------------------------
+    # assignment handling
+    # ------------------------------------------------------------------
+    def _value_of(self, encoded: int) -> int:
+        """Return 1 (true), 0 (false) or -1 (unassigned) for a literal."""
+        value = self._values[encoded >> 1]
+        if value == _UNASSIGNED:
+            return _UNASSIGNED
+        return value ^ (encoded & 1)
+
+    def _enqueue(self, encoded: int, reason: list[int] | None) -> bool:
+        variable = encoded >> 1
+        value = self._values[variable]
+        desired = 1 - (encoded & 1)
+        if value != _UNASSIGNED:
+            return value == desired
+        self._values[variable] = desired
+        self._levels[variable] = len(self._trail_limits)
+        self._reasons[variable] = reason
+        self._phase[variable] = bool(desired)
+        self._trail.append(encoded)
+        return True
+
+    def _propagate(self) -> list[int] | None:
+        """Unit propagation; return a conflicting clause or ``None``."""
+        values = self._values
+        watches = self._watches
+        propagations = 0
+        while self._propagation_head < len(self._trail):
+            propagated = self._trail[self._propagation_head]
+            self._propagation_head += 1
+            propagations += 1
+            watch_list = watches[propagated]
+            new_watch_list: list[list[int]] = []
+            index = 0
+            total = len(watch_list)
+            conflict: list[int] | None = None
+            while index < total:
+                clause = watch_list[index]
+                index += 1
+                # Make sure the falsified literal is in position 1.
+                false_literal = propagated ^ 1
+                if clause[0] == false_literal:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                first_value = values[first >> 1]
+                if first_value != _UNASSIGNED and (first_value ^ (first & 1)) == 1:
+                    new_watch_list.append(clause)
+                    continue
+                # Look for a new literal to watch.
+                found = False
+                for position in range(2, len(clause)):
+                    candidate = clause[position]
+                    candidate_value = values[candidate >> 1]
+                    if candidate_value == _UNASSIGNED or (candidate_value ^ (candidate & 1)) == 1:
+                        clause[1], clause[position] = clause[position], clause[1]
+                        watches[clause[1] ^ 1].append(clause)
+                        found = True
+                        break
+                if found:
+                    continue
+                new_watch_list.append(clause)
+                # Clause is unit or conflicting on clause[0].
+                if first_value == _UNASSIGNED:
+                    if not self._enqueue(first, clause):  # pragma: no cover - defensive
+                        conflict = clause
+                        break
+                else:
+                    conflict = clause
+                    break
+            if conflict is not None:
+                new_watch_list.extend(watch_list[index:])
+                watches[propagated] = new_watch_list
+                self._propagation_head = len(self._trail)
+                self.stats.propagations += propagations
+                return conflict
+            watches[propagated] = new_watch_list
+        self.stats.propagations += propagations
+        return None
+
+    # ------------------------------------------------------------------
+    # conflict analysis
+    # ------------------------------------------------------------------
+    def _bump_variable(self, variable: int) -> None:
+        self._activity[variable] += self._var_inc
+        if self._activity[variable] > 1e100:
+            for index in range(1, self._num_vars + 1):
+                self._activity[index] *= 1e-100
+            self._var_inc *= 1e-100
+
+    def _decay_variable_activity(self) -> None:
+        self._var_inc /= self._var_decay
+
+    def _bump_clause(self, clause: list[int]) -> None:
+        key = id(clause)
+        if key in self._clause_activity:
+            self._clause_activity[key] += self._cla_inc
+            if self._clause_activity[key] > 1e20:
+                for other in self._clause_activity:
+                    self._clause_activity[other] *= 1e-20
+                self._cla_inc *= 1e-20
+
+    def _decay_clause_activity(self) -> None:
+        self._cla_inc /= self._cla_decay
+
+    def _analyze(self, conflict: list[int]) -> tuple[list[int], int]:
+        """First-UIP conflict analysis.
+
+        Returns the learned clause (encoded literals, asserting literal
+        first) and the backjump level.
+        """
+        learned: list[int] = [0]  # placeholder for the asserting literal
+        seen = self._seen
+        levels = self._levels
+        reasons = self._reasons
+        current_level = len(self._trail_limits)
+        counter = 0
+        literal = -1
+        trail_index = len(self._trail) - 1
+        clause: list[int] | None = conflict
+
+        while True:
+            assert clause is not None
+            self._bump_clause(clause)
+            start = 0 if literal == -1 else 1
+            for position in range(start, len(clause)):
+                other = clause[position]
+                variable = other >> 1
+                if not seen[variable] and levels[variable] > 0:
+                    seen[variable] = True
+                    self._bump_variable(variable)
+                    if levels[variable] >= current_level:
+                        counter += 1
+                    else:
+                        learned.append(other)
+            # Pick the next literal from the trail to resolve on.
+            while not seen[self._trail[trail_index] >> 1]:
+                trail_index -= 1
+            literal = self._trail[trail_index]
+            trail_index -= 1
+            variable = literal >> 1
+            seen[variable] = False
+            counter -= 1
+            if counter == 0:
+                break
+            clause = reasons[variable]
+            # When resolving, position 0 of the reason holds ``literal``
+            # itself; make sure that is the case.
+            if clause is not None and clause[0] != literal:
+                clause = [literal] + [lit for lit in clause if lit != literal]
+        learned[0] = literal ^ 1
+
+        # Clause minimisation: drop literals implied by the rest of the
+        # clause through their reasons (self-subsumption).
+        minimized = [learned[0]]
+        learned_vars = {lit >> 1 for lit in learned}
+        for other in learned[1:]:
+            reason = reasons[other >> 1]
+            if reason is None:
+                minimized.append(other)
+                continue
+            if any((lit >> 1) not in learned_vars and levels[lit >> 1] > 0
+                   for lit in reason if lit != (other ^ 1)):
+                minimized.append(other)
+
+        # Reset the 'seen' markers for every literal collected during the
+        # analysis (including the ones dropped by minimisation), otherwise
+        # stale markers corrupt the next conflict analysis.
+        for other in learned:
+            seen[other >> 1] = False
+        learned = minimized
+
+        if len(learned) == 1:
+            backjump_level = 0
+        else:
+            # Find the literal with the highest level below the current one
+            # and move it to position 1 (it becomes the second watch).
+            best_index = 1
+            best_level = levels[learned[1] >> 1]
+            for position in range(2, len(learned)):
+                level = levels[learned[position] >> 1]
+                if level > best_level:
+                    best_level = level
+                    best_index = position
+            learned[1], learned[best_index] = learned[best_index], learned[1]
+            backjump_level = best_level
+        return learned, backjump_level
+
+    def _backtrack(self, level: int) -> None:
+        if len(self._trail_limits) <= level:
+            return
+        limit = self._trail_limits[level]
+        for encoded in reversed(self._trail[limit:]):
+            variable = encoded >> 1
+            self._values[variable] = _UNASSIGNED
+            self._reasons[variable] = None
+        del self._trail[limit:]
+        del self._trail_limits[level:]
+        self._propagation_head = min(self._propagation_head, len(self._trail))
+
+    # ------------------------------------------------------------------
+    # decision heuristics
+    # ------------------------------------------------------------------
+    def _random(self) -> float:
+        # xorshift32: deterministic, cheap, good enough for tie-breaking.
+        state = self._rng_state
+        state ^= (state << 13) & 0xFFFFFFFF
+        state ^= state >> 17
+        state ^= (state << 5) & 0xFFFFFFFF
+        self._rng_state = state & 0xFFFFFFFF
+        return self._rng_state / 0xFFFFFFFF
+
+    def _pick_branch_variable(self) -> int:
+        """Return the unassigned variable with the highest activity."""
+        best_variable = 0
+        best_activity = -1.0
+        values = self._values
+        activity = self._activity
+        for variable in range(1, self._num_vars + 1):
+            if values[variable] == _UNASSIGNED and activity[variable] > best_activity:
+                best_activity = activity[variable]
+                best_variable = variable
+        return best_variable
+
+    # ------------------------------------------------------------------
+    # learned clause database management
+    # ------------------------------------------------------------------
+    def _reduce_learned(self) -> None:
+        if len(self._learned) < 50:
+            return
+        locked = {id(reason) for reason in self._reasons if reason is not None}
+        ranked = sorted(
+            self._learned,
+            key=lambda clause: self._clause_activity.get(id(clause), 0.0),
+        )
+        to_remove = set()
+        for clause in ranked[: len(ranked) // 2]:
+            if id(clause) in locked or len(clause) <= 2:
+                continue
+            to_remove.add(id(clause))
+        if not to_remove:
+            return
+        kept: list[list[int]] = []
+        for clause in self._learned:
+            if id(clause) in to_remove:
+                self._detach(clause)
+                self._clause_activity.pop(id(clause), None)
+                self.stats.deleted_clauses += 1
+            else:
+                kept.append(clause)
+        self._learned = kept
+
+    def _detach(self, clause: list[int]) -> None:
+        for watch_literal in (clause[0] ^ 1, clause[1] ^ 1):
+            watch_list = self._watches[watch_literal]
+            for index, watched in enumerate(watch_list):
+                if watched is clause:
+                    watch_list[index] = watch_list[-1]
+                    watch_list.pop()
+                    break
+
+    # ------------------------------------------------------------------
+    # main search loop
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        *,
+        conflict_limit: int | None = None,
+        time_limit: float | None = None,
+    ) -> SolveResult:
+        """Solve the current formula, optionally under assumptions.
+
+        ``conflict_limit`` and ``time_limit`` bound the search; when either
+        budget is exhausted the result status is :attr:`Status.UNKNOWN`.
+        """
+        start_time = time.monotonic()
+        stats = self.stats = SolverStats()
+        conflict_limit = conflict_limit if conflict_limit is not None else self.default_conflict_limit
+        time_limit = time_limit if time_limit is not None else self.default_time_limit
+
+        if not self._ok:
+            stats.solve_time = time.monotonic() - start_time
+            return SolveResult(Status.UNSATISFIABLE, None, stats)
+
+        # Start from a clean assignment (incremental interface keeps
+        # clauses, not the trail).
+        self._backtrack(0)
+        for literal in self._pending_units:
+            if not self._enqueue(_encode(literal), None):
+                self._ok = False
+                stats.solve_time = time.monotonic() - start_time
+                return SolveResult(Status.UNSATISFIABLE, None, stats)
+        self._pending_units.clear()
+        if self._propagate() is not None:
+            self._ok = False
+            stats.solve_time = time.monotonic() - start_time
+            return SolveResult(Status.UNSATISFIABLE, None, stats)
+
+        encoded_assumptions = [_encode(literal) for literal in assumptions]
+        for literal in assumptions:
+            self._ensure_var(abs(literal))
+
+        restart_count = 0
+        conflicts_until_restart = self._restart_base * luby(restart_count + 1)
+        conflicts_since_restart = 0
+        learned_limit = max(1000, self.num_clauses // 2)
+
+        while True:
+            if time_limit is not None and (time.monotonic() - start_time) > time_limit:
+                self._backtrack(0)
+                stats.solve_time = time.monotonic() - start_time
+                return SolveResult(Status.UNKNOWN, None, stats)
+            if conflict_limit is not None and stats.conflicts >= conflict_limit:
+                self._backtrack(0)
+                stats.solve_time = time.monotonic() - start_time
+                return SolveResult(Status.UNKNOWN, None, stats)
+
+            conflict = self._propagate()
+            if conflict is not None:
+                stats.conflicts += 1
+                conflicts_since_restart += 1
+                if not self._trail_limits:
+                    # Conflict at decision level 0: under assumptions the
+                    # formula may still be satisfiable without them, but this
+                    # call is conclusive either way.
+                    self._backtrack(0)
+                    stats.solve_time = time.monotonic() - start_time
+                    if not encoded_assumptions:
+                        self._ok = False
+                    return SolveResult(Status.UNSATISFIABLE, None, stats)
+                learned, backjump_level = self._analyze(conflict)
+                self._backtrack(backjump_level)
+                if len(learned) == 1:
+                    if not self._enqueue(learned[0], None):
+                        stats.solve_time = time.monotonic() - start_time
+                        return SolveResult(Status.UNSATISFIABLE, None, stats)
+                    self._pending_units.append(_decode(learned[0]))
+                else:
+                    clause = self._attach(learned, learned=True)
+                    stats.learned_clauses += 1
+                    self._enqueue(learned[0], clause)
+                self._decay_variable_activity()
+                self._decay_clause_activity()
+                if len(self._learned) > learned_limit:
+                    self._reduce_learned()
+                    learned_limit = int(learned_limit * 1.3)
+                continue
+
+            if conflicts_since_restart >= conflicts_until_restart:
+                restart_count += 1
+                stats.restarts += 1
+                conflicts_since_restart = 0
+                conflicts_until_restart = self._restart_base * luby(restart_count + 1)
+                self._backtrack(0)
+                continue
+
+            # Place pending assumptions as pseudo-decisions.
+            next_assumption = self._next_unassigned_assumption(encoded_assumptions)
+            if next_assumption is not None:
+                value = self._value_of(next_assumption)
+                if value == 0:
+                    self._backtrack(0)
+                    stats.solve_time = time.monotonic() - start_time
+                    return SolveResult(Status.UNSATISFIABLE, None, stats)
+                self._trail_limits.append(len(self._trail))
+                self._enqueue(next_assumption, None)
+                continue
+
+            variable = self._pick_branch_variable()
+            if variable == 0:
+                model = self._extract_model()
+                self._backtrack(0)
+                stats.solve_time = time.monotonic() - start_time
+                return SolveResult(Status.SATISFIABLE, model, stats)
+            stats.decisions += 1
+            self._trail_limits.append(len(self._trail))
+            stats.max_decision_level = max(stats.max_decision_level, len(self._trail_limits))
+            phase = self._phase[variable]
+            encoded = (variable << 1) | (0 if phase else 1)
+            self._enqueue(encoded, None)
+
+    def _next_unassigned_assumption(self, encoded_assumptions: list[int]) -> int | None:
+        for encoded in encoded_assumptions:
+            value = self._value_of(encoded)
+            if value == _UNASSIGNED or value == 0:
+                return encoded
+        return None
+
+    def _extract_model(self) -> dict[int, bool]:
+        model: dict[int, bool] = {}
+        for variable in range(1, self._num_vars + 1):
+            value = self._values[variable]
+            model[variable] = bool(value) if value != _UNASSIGNED else bool(self._phase[variable])
+        return model
+
+
+def solve_cnf(
+    cnf: Cnf,
+    assumptions: Sequence[int] = (),
+    *,
+    conflict_limit: int | None = None,
+    time_limit: float | None = None,
+) -> SolveResult:
+    """One-shot convenience wrapper: build a solver, add ``cnf``, solve."""
+    solver = LegacyCdclSolver(cnf)
+    return solver.solve(
+        assumptions,
+        conflict_limit=conflict_limit,
+        time_limit=time_limit,
+    )

@@ -1,0 +1,261 @@
+"""Tracked benchmark harness: current CDCL engine vs the frozen seed engine.
+
+Runs a fixed instance set — the paper's Fig. 3/4 example DAG, SLP-derived
+sweeps, ISCAS/bench-style circuits from :mod:`repro.logic`, and a pair of
+pure-CNF stress instances — once with the frozen pre-overhaul engine
+(:mod:`benchmarks.legacy_solver`) and once with the current
+:class:`repro.sat.solver.CdclSolver`, through the *same* pebbling search
+loops.  It checks that SAT/UNSAT verdicts and pebbling step counts are
+identical on every instance and reports per-instance plus geometric-mean
+wall-clock speedups.
+
+Results are written to ``BENCH_<n>.json`` in the repository root (the next
+free ``n``), so every future PR has a perf trajectory to compare against;
+see EXPERIMENTS.md for the file format.
+
+Usage::
+
+    python benchmarks/run_bench.py             # full set, writes BENCH_<n>.json
+    python benchmarks/run_bench.py --quick     # CI smoke subset, no file
+    python benchmarks/run_bench.py --quick --write
+    python benchmarks/run_bench.py --repeat 3  # best-of-3 timing per engine
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import re
+import sys
+import time
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Callable
+
+ROOT = Path(__file__).resolve().parent.parent
+for entry in (str(ROOT / "src"), str(ROOT / "benchmarks")):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from legacy_solver import LegacyCdclSolver  # noqa: E402
+
+from repro.pebbling.encoding import EncodingOptions  # noqa: E402
+from repro.pebbling.solver import ReversiblePebblingSolver  # noqa: E402
+from repro.sat.cnf import Cnf  # noqa: E402
+from repro.sat.instances import pigeonhole, random_3sat  # noqa: E402
+from repro.sat.solver import CdclSolver  # noqa: E402
+from repro.workloads import load_workload  # noqa: E402
+
+SCHEMA_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# instance definitions
+# ---------------------------------------------------------------------------
+@dataclass
+class Instance:
+    """One benchmark instance: a callable exercised under both engines."""
+
+    name: str
+    kind: str  # "pebbling" or "cnf"
+    quick: bool  # part of the --quick smoke subset
+    run: Callable[[type], dict[str, object]] = field(repr=False, default=None)  # type: ignore[assignment]
+
+
+def _cnf_instance(build: Callable[[], Cnf]) -> Callable[[type], dict[str, object]]:
+    def run(engine: type) -> dict[str, object]:
+        cnf = build()
+        started = time.perf_counter()
+        result = engine(cnf).solve()
+        elapsed = time.perf_counter() - started
+        return {
+            "seconds": elapsed,
+            "verdict": result.status.value,
+            "steps": None,
+            "conflicts": result.stats.conflicts,
+            "propagations": result.stats.propagations,
+        }
+
+    return run
+
+
+def _pebbling_instance(
+    workload: str,
+    pebbles: int,
+    *,
+    scale: float = 1.0,
+    single_move: bool = False,
+    time_limit: float = 120.0,
+    step_schedule: str = "linear",
+) -> Callable[[type], dict[str, object]]:
+    def run(engine: type) -> dict[str, object]:
+        dag = load_workload(workload, scale=scale)
+        options = EncodingOptions(max_moves_per_step=1 if single_move else None)
+        solver = ReversiblePebblingSolver(dag, options=options, solver_factory=engine)
+        started = time.perf_counter()
+        result = solver.solve(
+            pebbles, time_limit=time_limit, step_schedule=step_schedule
+        )
+        elapsed = time.perf_counter() - started
+        return {
+            "seconds": elapsed,
+            "verdict": result.outcome.value,
+            "steps": result.num_steps,
+            "conflicts": sum(record.conflicts for record in result.attempts),
+            "sat_calls": len(result.attempts),
+        }
+
+    return run
+
+
+def instance_set() -> list[Instance]:
+    """The fixed benchmark instance set (see EXPERIMENTS.md)."""
+    return [
+        # Paper Fig. 3: the example DAG pebbled with 4 pebbles (SAT).
+        Instance("fig2_p4", "pebbling", True,
+                 _pebbling_instance("fig2", 4)),
+        # Infeasible budget: a long incremental all-UNSAT sweep.
+        Instance("fig2_p3_unsat_sweep", "pebbling", True,
+                 _pebbling_instance("fig2", 3)),
+        # Paper Fig. 4: single-move semantics on the example DAG.
+        Instance("fig2_p4_single_move", "pebbling", False,
+                 _pebbling_instance("fig2", 4, single_move=True)),
+        # Fig. 6(a) AND-tree oracle, infeasible budget sweep.
+        Instance("and9_p4_unsat_sweep", "pebbling", False,
+                 _pebbling_instance("and9", 4)),
+        # Fig. 6(a) AND-tree oracle with a feasible budget.
+        Instance("and9_p5", "pebbling", False,
+                 _pebbling_instance("and9", 5)),
+        # Fig. 6(a) oracle under single-move (Fig. 4) semantics.
+        Instance("and9_p4_single_move", "pebbling", False,
+                 _pebbling_instance("and9", 4, single_move=True)),
+        # SLP sweep: the Hadamard-operator straight-line program.
+        Instance("hadamard_slp_p5", "pebbling", False,
+                 _pebbling_instance("hadamard", 5)),
+        # ISCAS/bench circuit (c17 profile from repro.logic).
+        Instance("c17_p4", "pebbling", True,
+                 _pebbling_instance("c17", 4)),
+        Instance("c17_p3_unsat_sweep", "pebbling", False,
+                 _pebbling_instance("c17", 3)),
+        # Pure CNF: pigeonhole instances (conflict-analysis heavy, UNSAT).
+        Instance("php_7_6", "cnf", True,
+                 _cnf_instance(lambda: pigeonhole(7, 6))),
+        Instance("php_8_7", "cnf", False,
+                 _cnf_instance(lambda: pigeonhole(8, 7))),
+        # Pure CNF: fixed-seed random 3-SAT near the phase transition.
+        # Only UNSAT instances are tracked: on satisfiable random formulas
+        # the time to *stumble onto* a model is a trajectory lottery that
+        # says nothing about engine speed.
+        Instance("rand3sat_v120_unsat", "cnf", False,
+                 _cnf_instance(lambda: random_3sat(120, 552, seed=7))),
+        Instance("rand3sat_v130_unsat", "cnf", False,
+                 _cnf_instance(lambda: random_3sat(130, 598, seed=13))),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# harness
+# ---------------------------------------------------------------------------
+def _best_of(run: Callable[[type], dict[str, object]], engine: type, repeat: int) -> dict[str, object]:
+    best: dict[str, object] | None = None
+    for _ in range(max(1, repeat)):
+        outcome = run(engine)
+        if best is None or outcome["seconds"] < best["seconds"]:
+            best = outcome
+    assert best is not None
+    return best
+
+
+def next_bench_path(directory: Path) -> Path:
+    """Return ``BENCH_<n>.json`` for the smallest unused ``n`` >= 1."""
+    used = set()
+    for existing in directory.glob("BENCH_*.json"):
+        match = re.fullmatch(r"BENCH_(\d+)\.json", existing.name)
+        if match:
+            used.add(int(match.group(1)))
+    index = 1
+    while index in used:
+        index += 1
+    return directory / f"BENCH_{index}.json"
+
+
+def run_benchmarks(*, quick: bool = False, repeat: int = 1) -> dict[str, object]:
+    """Run the instance set under both engines and return the report dict."""
+    instances = [
+        instance for instance in instance_set() if instance.quick or not quick
+    ]
+    rows: list[dict[str, object]] = []
+    speedups: list[float] = []
+    all_match = True
+    for instance in instances:
+        legacy = _best_of(instance.run, LegacyCdclSolver, repeat)
+        current = _best_of(instance.run, CdclSolver, repeat)
+        match = (
+            legacy["verdict"] == current["verdict"]
+            and legacy["steps"] == current["steps"]
+        )
+        all_match = all_match and match
+        speedup = legacy["seconds"] / max(current["seconds"], 1e-9)
+        # Instances below ~50 ms are dominated by encoding/setup work and
+        # timer noise rather than the SAT engine; they stay in the set for
+        # verdict/step-count tracking but are kept out of the mean.
+        if legacy["seconds"] >= 0.05 and current["seconds"] >= 0.05:
+            speedups.append(speedup)
+        rows.append(
+            {
+                "name": instance.name,
+                "kind": instance.kind,
+                "legacy": legacy,
+                "current": current,
+                "speedup": round(speedup, 3),
+                "verdict_match": match,
+            }
+        )
+        print(
+            f"{instance.name:26s} legacy {legacy['seconds']:8.3f}s  "
+            f"current {current['seconds']:8.3f}s  x{speedup:5.2f}  "
+            f"{'ok' if match else 'VERDICT MISMATCH'}"
+        )
+    geomean = (
+        math.exp(sum(math.log(value) for value in speedups) / len(speedups))
+        if speedups
+        else 1.0
+    )
+    report = {
+        "schema_version": SCHEMA_VERSION,
+        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "mode": "quick" if quick else "full",
+        "repeat": repeat,
+        "python": sys.version.split()[0],
+        "instances": rows,
+        "geometric_mean_speedup": round(geomean, 3),
+        "all_verdicts_match": all_match,
+    }
+    print(f"\ngeometric-mean speedup: x{geomean:.2f}  "
+          f"verdicts {'all match' if all_match else 'MISMATCH'}")
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke subset (small instances only)")
+    parser.add_argument("--repeat", type=int, default=1,
+                        help="best-of-N timing per engine (default 1)")
+    parser.add_argument("--write", action="store_true",
+                        help="write BENCH_<n>.json even in --quick mode")
+    parser.add_argument("--out", type=Path, default=ROOT,
+                        help="directory for BENCH_<n>.json (default: repo root)")
+    arguments = parser.parse_args(argv)
+    report = run_benchmarks(quick=arguments.quick, repeat=arguments.repeat)
+    if not arguments.quick or arguments.write:
+        path = next_bench_path(arguments.out)
+        path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {path}")
+    return 0 if report["all_verdicts_match"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

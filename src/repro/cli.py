@@ -86,6 +86,8 @@ def build_parser() -> argparse.ArgumentParser:
     pebble.add_argument("--single-move", action="store_true",
                         help="allow only one pebble move per step (Fig. 4 style)")
     pebble.add_argument("--grid", action="store_true", help="print the strategy grid")
+    pebble.add_argument("--stats", action="store_true",
+                        help="print aggregated SAT-solver counters")
 
     compare = subparsers.add_parser("compare", help="Bennett vs minimum-pebble SAT solution")
     _add_common_arguments(compare)
@@ -93,6 +95,30 @@ def build_parser() -> argparse.ArgumentParser:
                          help="time budget per pebble count in seconds")
 
     return parser
+
+
+def _aggregate_solver_stats(attempts) -> dict[str, float]:
+    """Sum the SAT-engine counters over every attempt of a search."""
+    totals: dict[str, float] = {}
+    for record in attempts:
+        for key, value in record.solver_stats.items():
+            if key == "max_decision_level":
+                totals[key] = max(totals.get(key, 0), value)
+            else:
+                totals[key] = totals.get(key, 0) + value
+    return totals
+
+
+def _format_stats_line(attempts) -> str:
+    totals = _aggregate_solver_stats(attempts)
+    ordered = [
+        "decisions", "propagations", "conflicts", "restarts",
+        "learned_clauses", "deleted_clauses", "blocker_hits",
+        "heap_decisions", "deadline_checks_skipped",
+    ]
+    parts = [f"{key}={int(totals.get(key, 0))}" for key in ordered]
+    parts.append(f"solve_time={totals.get('solve_time', 0.0):.3f}s")
+    return "stats: " + " ".join(parts)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -133,6 +159,8 @@ def _dispatch(arguments: argparse.Namespace) -> int:
         solver = ReversiblePebblingSolver(dag, options=options)
         result = solver.solve(arguments.pebbles, time_limit=arguments.timeout)
         print(json.dumps(result.summary(), indent=2))
+        if arguments.stats:
+            print(_format_stats_line(result.attempts))
         if result.found and arguments.grid:
             print()
             print(strategy_report(result.strategy))

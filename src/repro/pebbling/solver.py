@@ -26,6 +26,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from enum import Enum
+from typing import Callable
 
 from repro.errors import PebblingError
 from repro.dag.graph import Dag, NodeId
@@ -48,13 +49,19 @@ class PebblingOutcome(Enum):
 
 @dataclass
 class AttemptRecord:
-    """One SAT query issued during the search (for reporting/debugging)."""
+    """One SAT query issued during the search (for reporting/debugging).
+
+    ``solver_stats`` holds the full counter dictionary of the underlying
+    SAT call (see :meth:`repro.sat.solver.SolverStats.as_dict`) so callers
+    can aggregate propagation/decision counters across a whole search.
+    """
 
     max_pebbles: int
     num_steps: int
     status: Status
     runtime: float
     conflicts: int
+    solver_stats: dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -111,12 +118,17 @@ class ReversiblePebblingSolver:
         options: EncodingOptions | None = None,
         incremental: bool = True,
         conflict_limit: int | None = None,
+        solver_factory: Callable[..., CdclSolver] | None = None,
     ) -> None:
         dag.validate()
         self.dag = dag
         self.options = options or EncodingOptions()
         self.incremental = incremental
         self.conflict_limit = conflict_limit
+        # ``solver_factory`` must accept the ``CdclSolver`` constructor
+        # signature; the benchmark harness injects the frozen legacy engine
+        # here to measure engine-vs-engine speedups on identical searches.
+        self.solver_factory = solver_factory or CdclSolver
         self._encoder = PebblingEncoder(dag, options=self.options)
 
     # ------------------------------------------------------------------
@@ -165,7 +177,7 @@ class ReversiblePebblingSolver:
     ) -> tuple[Status, PebblingStrategy | None, AttemptRecord]:
         """Ask the SAT oracle whether a ``num_steps``-step strategy exists."""
         encoding = self._encoder.encode(max_pebbles=max_pebbles, num_steps=num_steps)
-        solver = CdclSolver(encoding.cnf, conflict_limit=self.conflict_limit)
+        solver = self.solver_factory(encoding.cnf, conflict_limit=self.conflict_limit)
         started = time.monotonic()
         result = solver.solve(time_limit=time_limit, conflict_limit=self.conflict_limit)
         elapsed = time.monotonic() - started
@@ -175,6 +187,7 @@ class ReversiblePebblingSolver:
             status=result.status,
             runtime=elapsed,
             conflicts=result.stats.conflicts,
+            solver_stats=result.stats.as_dict(),
         )
         if not result.is_sat:
             return result.status, None, record
@@ -304,7 +317,7 @@ class ReversiblePebblingSolver:
         outputs = set(dag.outputs())
         cnf = Cnf()
         variables: dict[tuple[NodeId, int], int] = {}
-        solver = CdclSolver(conflict_limit=self.conflict_limit)
+        solver = self.solver_factory(conflict_limit=self.conflict_limit)
 
         def add_configuration(step: int) -> None:
             for node in nodes:
@@ -394,6 +407,7 @@ class ReversiblePebblingSolver:
                     status=sat_result.status,
                     runtime=elapsed,
                     conflicts=sat_result.stats.conflicts,
+                    solver_stats=sat_result.stats.as_dict(),
                 )
             )
             if sat_result.is_sat:
@@ -412,6 +426,11 @@ class ReversiblePebblingSolver:
                 return PebblingOutcome.SOLUTION
             if sat_result.is_unknown:
                 return PebblingOutcome.TIMEOUT
+            # The bound was UNSAT, so this guard will never be assumed
+            # again.  Asserting its negation as a unit lets the solver
+            # simplify the stale final-configuration clauses away at level 0
+            # instead of dragging them through every later propagation.
+            solver.add_clause([-guard])
             num_steps = self._next_steps(num_steps, step_increment, step_schedule)
         return PebblingOutcome.STEP_LIMIT
 

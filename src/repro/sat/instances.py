@@ -1,0 +1,67 @@
+"""Parametric CNF stress-instance generators.
+
+These formulas exercise the solver itself rather than the pebbling
+encoding; they are shared by the unit tests and the tracked benchmark
+harness (``benchmarks/run_bench.py``) so both always speak about the
+same instances.
+"""
+
+from __future__ import annotations
+
+from repro.sat.cnf import Cnf
+
+
+def pigeonhole(pigeons: int, holes: int) -> Cnf:
+    """The classic pigeonhole formula (unsatisfiable when pigeons > holes).
+
+    Variable ``slot[p, h]`` means pigeon ``p`` sits in hole ``h``; every
+    pigeon needs a hole and no two pigeons share one.  Proofs require
+    exponential resolution, making these the canonical conflict-analysis
+    stress test.
+    """
+    cnf = Cnf()
+    slot = {
+        (pigeon, hole): cnf.new_variable()
+        for pigeon in range(pigeons)
+        for hole in range(holes)
+    }
+    for pigeon in range(pigeons):
+        cnf.add_clause([slot[(pigeon, hole)] for hole in range(holes)])
+    for hole in range(holes):
+        for first in range(pigeons):
+            for second in range(first + 1, pigeons):
+                cnf.add_clause([-slot[(first, hole)], -slot[(second, hole)]])
+    return cnf
+
+
+def random_3sat(num_variables: int, num_clauses: int, seed: int) -> Cnf:
+    """A deterministic pseudo-random 3-SAT instance.
+
+    Uses a self-contained xorshift32 generator so the same ``seed``
+    reproduces the same formula on every platform and Python version
+    (``random.Random`` guarantees this too, but an explicit generator keeps
+    the benchmark instances hash-for-hash stable even if the stdlib ever
+    changes).
+    """
+    state = seed or 1
+
+    def rng(bound: int) -> int:
+        nonlocal state
+        state ^= (state << 13) & 0xFFFFFFFF
+        state ^= state >> 17
+        state ^= (state << 5) & 0xFFFFFFFF
+        state &= 0xFFFFFFFF
+        return state % bound
+
+    cnf = Cnf()
+    for _ in range(num_variables):
+        cnf.new_variable()
+    for _ in range(num_clauses):
+        clause: list[int] = []
+        while len(clause) < 3:
+            variable = rng(num_variables) + 1
+            if variable in {abs(literal) for literal in clause}:
+                continue
+            clause.append(variable if rng(2) else -variable)
+        cnf.add_clause(clause)
+    return cnf

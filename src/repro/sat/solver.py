@@ -2,27 +2,44 @@
 
 The solver implements the standard modern architecture:
 
-* two-watched-literal unit propagation,
+* two-watched-literal unit propagation with blocker literals
+  (most watcher visits are answered from the cached blocker without
+  touching the clause at all),
 * first-UIP conflict analysis with clause learning,
 * conflict-clause minimisation (self-subsumption against reasons),
-* VSIDS-style variable activities with phase saving,
+* VSIDS-style variable activities kept in an indexed binary max-heap
+  with lazy re-insertion on backtrack, plus phase saving,
 * Luby-sequence restarts,
-* activity-based learned-clause database reduction,
+* activity-based learned-clause database reduction over a flat clause
+  arena (clause activities live in a list parallel to the arena,
+  indexed by clause slot),
 * incremental solving under assumptions,
 * conflict and time budgets so callers can implement timeouts
-  (the paper stops each pebbling instance after a wall-clock budget).
+  (the paper stops each pebbling instance after a wall-clock budget);
+  the wall clock is only consulted every few conflicts, so the hot
+  loop does not pay a ``time.monotonic()`` call per iteration.
 
-It is written in pure Python and optimised for clarity first and constant
-factors second (hot loops cache attribute lookups in locals).  It solves the
-CNF instances produced by the pebbling encoding for DAGs with up to a few
-hundred nodes in seconds, which is sufficient for the scaled-down evaluation
-documented in EXPERIMENTS.md.
+It is written in pure Python and optimised for the constant factors that
+dominate CPython execution: hot loops cache attribute lookups in locals,
+watcher lists are compacted in place instead of being rebuilt, and
+propagation enqueues assignments inline.  It solves the CNF instances
+produced by the pebbling encoding for DAGs with up to a few hundred nodes
+in seconds, which is sufficient for the scaled-down evaluation documented
+in EXPERIMENTS.md.
 
 Literal conventions
 -------------------
 The public API uses DIMACS literals.  Internally a literal ``l`` is encoded
 as ``2*|l| + (l < 0)`` so that literals can index Python lists directly and
 negation is a single XOR.
+
+Clause storage
+--------------
+Clauses live in a flat arena ``self._arena``: a list of clauses indexed by
+*slot*.  Watcher lists, implication reasons and learned-clause activities
+all refer to clauses by slot, so clause metadata is a list access instead
+of an ``id()``-keyed dictionary lookup.  Slots of deleted learned clauses
+are recycled through a free list.
 """
 
 from __future__ import annotations
@@ -56,6 +73,9 @@ class SolverStats:
     deleted_clauses: int = 0
     max_decision_level: int = 0
     solve_time: float = 0.0
+    blocker_hits: int = 0
+    heap_decisions: int = 0
+    deadline_checks_skipped: int = 0
 
     def as_dict(self) -> dict[str, float]:
         """Return the statistics as a plain dictionary."""
@@ -68,6 +88,9 @@ class SolverStats:
             "deleted_clauses": self.deleted_clauses,
             "max_decision_level": self.max_decision_level,
             "solve_time": self.solve_time,
+            "blocker_hits": self.blocker_hits,
+            "heap_decisions": self.heap_decisions,
+            "deadline_checks_skipped": self.deadline_checks_skipped,
         }
 
 
@@ -100,6 +123,11 @@ class SolveResult:
 
 
 _UNASSIGNED = -1
+_NO_REASON = -1
+_NO_CONFLICT = -1
+
+#: The wall clock is consulted once every this many main-loop iterations.
+_DEADLINE_CHECK_INTERVAL = 64
 
 
 def _encode(literal: int) -> int:
@@ -156,20 +184,36 @@ class CdclSolver:
         clause_decay: float = 0.999,
         variable_decay: float = 0.95,
         random_seed: int = 2019,
+        reduce_min_learned: int = 50,
+        learned_limit_base: int = 1000,
     ) -> None:
         self._num_vars = 0
+        # Truth values indexed by *encoded literal* (1 true, 0 false,
+        # -1 unassigned): the propagation inner loop answers "is this
+        # literal true?" with a single list access instead of a variable
+        # lookup plus sign fix-up.  Entries for ``l`` and ``l ^ 1`` are
+        # kept complementary while assigned.
+        self._lit_values: list[int] = [_UNASSIGNED] * 4
         # Indexed by variable (1-based).
-        self._values: list[int] = [_UNASSIGNED, _UNASSIGNED]
         self._levels: list[int] = [0, 0]
-        self._reasons: list[list[int] | None] = [None, None]
+        self._reasons: list[int] = [_NO_REASON, _NO_REASON]
         self._activity: list[float] = [0.0, 0.0]
         self._phase: list[bool] = [False, False]
         self._seen: list[bool] = [False, False]
-        # Indexed by encoded literal.
-        self._watches: list[list[list[int]]] = [[], [], [], []]
-        self._clauses: list[list[int]] = []
-        self._learned: list[list[int]] = []
-        self._clause_activity: dict[int, float] = {}
+        # Variable-order heap: ``_heap`` holds variables in binary max-heap
+        # order by activity, ``_heap_pos`` maps a variable to its heap index
+        # (-1 when not enqueued).
+        self._heap: list[int] = []
+        self._heap_pos: list[int] = [-1, -1]
+        # Indexed by encoded literal: lists of ``(blocker, slot)`` pairs.
+        self._watches: list[list[tuple[int, int]]] = [[], [], [], []]
+        # Flat clause arena indexed by slot; ``None`` marks a freed slot.
+        self._arena: list[list[int] | None] = []
+        self._clause_act: list[float] = []
+        self._learned_flag: list[bool] = []
+        self._learned_slots: list[int] = []
+        self._free_slots: list[int] = []
+        self._num_problem_clauses = 0
         self._trail: list[int] = []
         self._trail_limits: list[int] = []
         self._propagation_head = 0
@@ -178,6 +222,8 @@ class CdclSolver:
         self._cla_inc = 1.0
         self._cla_decay = clause_decay
         self._restart_base = restart_base
+        self._reduce_min_learned = reduce_min_learned
+        self._learned_limit_base = learned_limit_base
         self._ok = True
         self._pending_units: list[int] = []
         self.default_conflict_limit = conflict_limit
@@ -198,19 +244,27 @@ class CdclSolver:
     @property
     def num_clauses(self) -> int:
         """Number of problem (non-learned) clauses."""
-        return len(self._clauses)
+        return self._num_problem_clauses
+
+    @property
+    def num_learned_clauses(self) -> int:
+        """Number of currently retained learned clauses."""
+        return len(self._learned_slots)
 
     def _ensure_var(self, variable: int) -> None:
         while self._num_vars < variable:
             self._num_vars += 1
-            self._values.append(_UNASSIGNED)
+            self._lit_values.append(_UNASSIGNED)
+            self._lit_values.append(_UNASSIGNED)
             self._levels.append(0)
-            self._reasons.append(None)
+            self._reasons.append(_NO_REASON)
             self._activity.append(0.0)
             self._phase.append(False)
             self._seen.append(False)
+            self._heap_pos.append(-1)
             self._watches.append([])
             self._watches.append([])
+            self._heap_insert(self._num_vars)
 
     def add_variable(self) -> int:
         """Allocate a fresh variable and return its index."""
@@ -242,131 +296,287 @@ class CdclSolver:
         literal_set = set(clause)
         if any(-literal in literal_set for literal in clause):
             return True  # tautology
-        if not clause:
+        # Root-level simplification: literals already false at decision
+        # level 0 can never become true again, so they are dropped; a
+        # literal true at level 0 satisfies the clause forever.  Without
+        # this, a clause added incrementally over variables fixed by an
+        # earlier solve call would watch permanently-false literals and
+        # never propagate.
+        lit_values = self._lit_values
+        levels = self._levels
+        encoded = []
+        for literal in clause:
+            enc = _encode(literal)
+            value = lit_values[enc]
+            if value >= 0 and levels[enc >> 1] == 0:
+                if value == 1:
+                    return True  # satisfied at the root level
+                continue
+            encoded.append(enc)
+        if not encoded:
             self._ok = False
             return False
-        if len(clause) == 1:
-            self._pending_units.append(clause[0])
+        if len(encoded) == 1:
+            self._pending_units.append(_decode(encoded[0]))
             return True
-        encoded = [_encode(literal) for literal in clause]
         self._attach(encoded, learned=False)
         return True
 
-    def _attach(self, encoded_clause: list[int], *, learned: bool) -> list[int]:
-        container = self._learned if learned else self._clauses
-        container.append(encoded_clause)
-        self._watches[encoded_clause[0] ^ 1].append(encoded_clause)
-        self._watches[encoded_clause[1] ^ 1].append(encoded_clause)
+    def _attach(self, encoded_clause: list[int], *, learned: bool) -> int:
+        """Store a clause in the arena and watch its first two literals.
+
+        Returns the clause slot.  The blocker stored with each watcher is
+        the *other* watched literal: when it is already true the clause is
+        satisfied and propagation never needs to load the clause.
+        """
+        if self._free_slots:
+            slot = self._free_slots.pop()
+            self._arena[slot] = encoded_clause
+            self._clause_act[slot] = self._cla_inc if learned else 0.0
+            self._learned_flag[slot] = learned
+        else:
+            slot = len(self._arena)
+            self._arena.append(encoded_clause)
+            self._clause_act.append(self._cla_inc if learned else 0.0)
+            self._learned_flag.append(learned)
+        # Binary clauses are marked with the one's complement of their slot:
+        # propagation can then resolve them from the watcher pair alone
+        # (the blocker IS the only other literal) without loading the arena.
+        tag = ~slot if len(encoded_clause) == 2 else slot
+        self._watches[encoded_clause[0] ^ 1].append((encoded_clause[1], tag))
+        self._watches[encoded_clause[1] ^ 1].append((encoded_clause[0], tag))
         if learned:
-            self._clause_activity[id(encoded_clause)] = self._cla_inc
-        return encoded_clause
+            self._learned_slots.append(slot)
+        else:
+            self._num_problem_clauses += 1
+        return slot
 
     # ------------------------------------------------------------------
     # assignment handling
     # ------------------------------------------------------------------
     def _value_of(self, encoded: int) -> int:
         """Return 1 (true), 0 (false) or -1 (unassigned) for a literal."""
-        value = self._values[encoded >> 1]
-        if value == _UNASSIGNED:
-            return _UNASSIGNED
-        return value ^ (encoded & 1)
+        return self._lit_values[encoded]
 
-    def _enqueue(self, encoded: int, reason: list[int] | None) -> bool:
-        variable = encoded >> 1
-        value = self._values[variable]
-        desired = 1 - (encoded & 1)
+    def _enqueue(self, encoded: int, reason_slot: int = _NO_REASON) -> bool:
+        lit_values = self._lit_values
+        value = lit_values[encoded]
         if value != _UNASSIGNED:
-            return value == desired
-        self._values[variable] = desired
+            return value == 1
+        variable = encoded >> 1
+        lit_values[encoded] = 1
+        lit_values[encoded ^ 1] = 0
         self._levels[variable] = len(self._trail_limits)
-        self._reasons[variable] = reason
-        self._phase[variable] = bool(desired)
+        self._reasons[variable] = reason_slot
+        self._phase[variable] = not (encoded & 1)
         self._trail.append(encoded)
         return True
 
-    def _propagate(self) -> list[int] | None:
-        """Unit propagation; return a conflicting clause or ``None``."""
-        values = self._values
+    def _propagate(self) -> int:
+        """Unit propagation; return a conflicting clause slot or -1."""
+        lit_values = self._lit_values
+        levels = self._levels
+        reasons = self._reasons
+        phase = self._phase
         watches = self._watches
+        arena = self._arena
+        trail = self._trail
+        trail_limits_depth = len(self._trail_limits)
         propagations = 0
-        while self._propagation_head < len(self._trail):
-            propagated = self._trail[self._propagation_head]
-            self._propagation_head += 1
+        blocker_hits = 0
+        conflict = _NO_CONFLICT
+        head = self._propagation_head
+        while head < len(trail):
+            propagated = trail[head]
+            head += 1
             propagations += 1
             watch_list = watches[propagated]
-            new_watch_list: list[list[int]] = []
-            index = 0
             total = len(watch_list)
-            conflict: list[int] | None = None
-            while index < total:
-                clause = watch_list[index]
-                index += 1
-                # Make sure the falsified literal is in position 1.
+            read = write = 0
+            while read < total:
+                entry = watch_list[read]
+                read += 1
+                blocker = entry[0]
+                value = lit_values[blocker]
+                if value > 0:
+                    # The cached blocker is true: the clause is satisfied
+                    # without ever being loaded from the arena.
+                    watch_list[write] = entry
+                    write += 1
+                    blocker_hits += 1
+                    continue
+                slot = entry[1]
+                if slot < 0:
+                    # Binary clause: the blocker is the only other literal,
+                    # so it is unit (blocker unassigned) or conflicting
+                    # (blocker false) right away.
+                    watch_list[write] = entry
+                    write += 1
+                    if value < 0:
+                        lit_values[blocker] = 1
+                        lit_values[blocker ^ 1] = 0
+                        variable = blocker >> 1
+                        levels[variable] = trail_limits_depth
+                        reasons[variable] = ~slot
+                        phase[variable] = not (blocker & 1)
+                        trail.append(blocker)
+                        continue
+                    conflict = ~slot
+                    while read < total:
+                        watch_list[write] = watch_list[read]
+                        write += 1
+                        read += 1
+                    break
+                clause = arena[slot]
                 false_literal = propagated ^ 1
                 if clause[0] == false_literal:
-                    clause[0], clause[1] = clause[1], clause[0]
+                    clause[0] = clause[1]
+                    clause[1] = false_literal
                 first = clause[0]
-                first_value = values[first >> 1]
-                if first_value != _UNASSIGNED and (first_value ^ (first & 1)) == 1:
-                    new_watch_list.append(clause)
-                    continue
-                # Look for a new literal to watch.
+                if first != blocker:
+                    value = lit_values[first]
+                    if value > 0:
+                        watch_list[write] = (first, slot)
+                        write += 1
+                        continue
+                # Look for a new literal to watch (any non-false literal).
                 found = False
                 for position in range(2, len(clause)):
                     candidate = clause[position]
-                    candidate_value = values[candidate >> 1]
-                    if candidate_value == _UNASSIGNED or (candidate_value ^ (candidate & 1)) == 1:
-                        clause[1], clause[position] = clause[position], clause[1]
-                        watches[clause[1] ^ 1].append(clause)
+                    if lit_values[candidate] != 0:
+                        clause[1] = candidate
+                        clause[position] = false_literal
+                        watches[candidate ^ 1].append((first, slot))
                         found = True
                         break
                 if found:
                     continue
-                new_watch_list.append(clause)
-                # Clause is unit or conflicting on clause[0].
-                if first_value == _UNASSIGNED:
-                    if not self._enqueue(first, clause):  # pragma: no cover - defensive
-                        conflict = clause
-                        break
+                # Clause is unit or conflicting on ``first``.
+                watch_list[write] = (first, slot)
+                write += 1
+                if value < 0:
+                    lit_values[first] = 1
+                    lit_values[first ^ 1] = 0
+                    variable = first >> 1
+                    levels[variable] = trail_limits_depth
+                    reasons[variable] = slot
+                    phase[variable] = not (first & 1)
+                    trail.append(first)
                 else:
-                    conflict = clause
+                    conflict = slot
+                    while read < total:
+                        watch_list[write] = watch_list[read]
+                        write += 1
+                        read += 1
                     break
-            if conflict is not None:
-                new_watch_list.extend(watch_list[index:])
-                watches[propagated] = new_watch_list
-                self._propagation_head = len(self._trail)
-                self.stats.propagations += propagations
-                return conflict
-            watches[propagated] = new_watch_list
+            del watch_list[write:]
+            if conflict >= 0:
+                head = len(trail)
+                break
+        self._propagation_head = head
         self.stats.propagations += propagations
-        return None
+        self.stats.blocker_hits += blocker_hits
+        return conflict
+
+    # ------------------------------------------------------------------
+    # variable-order heap (indexed binary max-heap over activity)
+    # ------------------------------------------------------------------
+    def _heap_up(self, index: int) -> None:
+        heap = self._heap
+        position = self._heap_pos
+        activity = self._activity
+        variable = heap[index]
+        score = activity[variable]
+        while index > 0:
+            parent_index = (index - 1) >> 1
+            parent = heap[parent_index]
+            if activity[parent] >= score:
+                break
+            heap[index] = parent
+            position[parent] = index
+            index = parent_index
+        heap[index] = variable
+        position[variable] = index
+
+    def _heap_down(self, index: int) -> None:
+        heap = self._heap
+        position = self._heap_pos
+        activity = self._activity
+        size = len(heap)
+        variable = heap[index]
+        score = activity[variable]
+        while True:
+            child_index = 2 * index + 1
+            if child_index >= size:
+                break
+            right_index = child_index + 1
+            if right_index < size and activity[heap[right_index]] > activity[heap[child_index]]:
+                child_index = right_index
+            child = heap[child_index]
+            if activity[child] <= score:
+                break
+            heap[index] = child
+            position[child] = index
+            index = child_index
+        heap[index] = variable
+        position[variable] = index
+
+    def _heap_insert(self, variable: int) -> None:
+        if self._heap_pos[variable] >= 0:
+            return
+        self._heap.append(variable)
+        self._heap_pos[variable] = len(self._heap) - 1
+        self._heap_up(len(self._heap) - 1)
+
+    def _heap_pop(self) -> int:
+        heap = self._heap
+        top = heap[0]
+        self._heap_pos[top] = -1
+        last = heap.pop()
+        if heap:
+            heap[0] = last
+            self._heap_pos[last] = 0
+            self._heap_down(0)
+        return top
+
+    # The heap is maintained incrementally — every unassigned variable is
+    # always enqueued: ``_ensure_var`` inserts fresh variables, decisions
+    # pop variables, and ``_backtrack`` lazily re-inserts whatever it
+    # unassigns.  Variables assigned by propagation may linger in the heap;
+    # ``_pick_branch_variable`` skips them when popped.
 
     # ------------------------------------------------------------------
     # conflict analysis
     # ------------------------------------------------------------------
     def _bump_variable(self, variable: int) -> None:
-        self._activity[variable] += self._var_inc
-        if self._activity[variable] > 1e100:
+        activity = self._activity
+        activity[variable] += self._var_inc
+        if activity[variable] > 1e100:
+            # Rescaling multiplies every activity by the same factor, so the
+            # heap order is unaffected.
             for index in range(1, self._num_vars + 1):
-                self._activity[index] *= 1e-100
+                activity[index] *= 1e-100
             self._var_inc *= 1e-100
+        if self._heap_pos[variable] >= 0:
+            self._heap_up(self._heap_pos[variable])
 
     def _decay_variable_activity(self) -> None:
         self._var_inc /= self._var_decay
 
-    def _bump_clause(self, clause: list[int]) -> None:
-        key = id(clause)
-        if key in self._clause_activity:
-            self._clause_activity[key] += self._cla_inc
-            if self._clause_activity[key] > 1e20:
-                for other in self._clause_activity:
-                    self._clause_activity[other] *= 1e-20
-                self._cla_inc *= 1e-20
+    def _bump_clause(self, slot: int) -> None:
+        if not self._learned_flag[slot]:
+            return
+        clause_act = self._clause_act
+        clause_act[slot] += self._cla_inc
+        if clause_act[slot] > 1e20:
+            for other in self._learned_slots:
+                clause_act[other] *= 1e-20
+            self._cla_inc *= 1e-20
 
     def _decay_clause_activity(self) -> None:
         self._cla_inc /= self._cla_decay
 
-    def _analyze(self, conflict: list[int]) -> tuple[list[int], int]:
+    def _analyze(self, conflict_slot: int) -> tuple[list[int], int]:
         """First-UIP conflict analysis.
 
         Returns the learned clause (encoded literals, asserting literal
@@ -376,15 +586,16 @@ class CdclSolver:
         seen = self._seen
         levels = self._levels
         reasons = self._reasons
+        arena = self._arena
         current_level = len(self._trail_limits)
         counter = 0
         literal = -1
         trail_index = len(self._trail) - 1
-        clause: list[int] | None = conflict
+        clause = arena[conflict_slot]
+        self._bump_clause(conflict_slot)
 
         while True:
             assert clause is not None
-            self._bump_clause(clause)
             start = 0 if literal == -1 else 1
             for position in range(start, len(clause)):
                 other = clause[position]
@@ -406,24 +617,31 @@ class CdclSolver:
             counter -= 1
             if counter == 0:
                 break
-            clause = reasons[variable]
-            # When resolving, position 0 of the reason holds ``literal``
-            # itself; make sure that is the case.
-            if clause is not None and clause[0] != literal:
-                clause = [literal] + [lit for lit in clause if lit != literal]
+            reason_slot = reasons[variable]
+            clause = arena[reason_slot] if reason_slot >= 0 else None
+            if clause is not None:
+                self._bump_clause(reason_slot)
+                # When resolving, position 0 of the reason holds ``literal``
+                # itself; make sure that is the case.
+                if clause[0] != literal:
+                    clause = [literal] + [lit for lit in clause if lit != literal]
         learned[0] = literal ^ 1
 
-        # Clause minimisation: drop literals implied by the rest of the
-        # clause through their reasons (self-subsumption).
-        minimized = [learned[0]]
-        learned_vars = {lit >> 1 for lit in learned}
+        # Recursive clause minimisation (MiniSat-style): drop every literal
+        # whose negation is implied by the *rest* of the clause through a
+        # chain of reason clauses.  ``abstract_levels`` is a 32-bit Bloom
+        # filter over decision levels used to abort hopeless recursions
+        # early.  ``seen`` markers double as the "in clause or proven
+        # redundant" set; speculative marks are recorded in ``to_clear``.
+        abstract_levels = 0
         for other in learned[1:]:
-            reason = reasons[other >> 1]
-            if reason is None:
-                minimized.append(other)
-                continue
-            if any((lit >> 1) not in learned_vars and levels[lit >> 1] > 0
-                   for lit in reason if lit != (other ^ 1)):
+            abstract_levels |= 1 << (levels[other >> 1] & 31)
+        to_clear: list[int] = []
+        minimized = [learned[0]]
+        for other in learned[1:]:
+            if reasons[other >> 1] < 0 or not self._literal_redundant(
+                other, abstract_levels, to_clear
+            ):
                 minimized.append(other)
 
         # Reset the 'seen' markers for every literal collected during the
@@ -431,6 +649,8 @@ class CdclSolver:
         # stale markers corrupt the next conflict analysis.
         for other in learned:
             seen[other >> 1] = False
+        for variable in to_clear:
+            seen[variable] = False
         learned = minimized
 
         if len(learned) == 1:
@@ -449,14 +669,63 @@ class CdclSolver:
             backjump_level = best_level
         return learned, backjump_level
 
+    def _literal_redundant(
+        self, literal: int, abstract_levels: int, to_clear: list[int]
+    ) -> bool:
+        """Is ``literal`` implied by the other marked literals of the clause?
+
+        Walks the implication graph backwards from ``literal``; every
+        antecedent must eventually hit a literal that is already marked
+        (in the learned clause / proven redundant) or assigned at level 0.
+        Newly proven-redundant variables stay marked in ``seen`` (recorded
+        in ``to_clear``) so later candidates reuse the work.
+        """
+        seen = self._seen
+        levels = self._levels
+        reasons = self._reasons
+        arena = self._arena
+        stack = [literal]
+        top = len(to_clear)
+        while stack:
+            current = stack.pop()
+            reason = arena[reasons[current >> 1]]
+            assert reason is not None
+            current_variable = current >> 1
+            for other in reason:
+                variable = other >> 1
+                if variable == current_variable or seen[variable] or levels[variable] == 0:
+                    continue
+                if reasons[variable] < 0 or not (
+                    (1 << (levels[variable] & 31)) & abstract_levels
+                ):
+                    # A decision literal, or one from a level with no
+                    # representative in the clause: not redundant.  Undo the
+                    # speculative marks made during this candidate's walk.
+                    for marked in to_clear[top:]:
+                        seen[marked] = False
+                    del to_clear[top:]
+                    return False
+                seen[variable] = True
+                to_clear.append(variable)
+                stack.append(other)
+        return True
+
     def _backtrack(self, level: int) -> None:
         if len(self._trail_limits) <= level:
             return
         limit = self._trail_limits[level]
+        lit_values = self._lit_values
+        reasons = self._reasons
+        heap_pos = self._heap_pos
         for encoded in reversed(self._trail[limit:]):
             variable = encoded >> 1
-            self._values[variable] = _UNASSIGNED
-            self._reasons[variable] = None
+            lit_values[encoded] = _UNASSIGNED
+            lit_values[encoded ^ 1] = _UNASSIGNED
+            reasons[variable] = _NO_REASON
+            # Lazy re-insertion: a variable popped off the heap during the
+            # search becomes eligible again the moment it is unassigned.
+            if heap_pos[variable] < 0:
+                self._heap_insert(variable)
         del self._trail[limit:]
         del self._trail_limits[level:]
         self._propagation_head = min(self._propagation_head, len(self._trail))
@@ -474,50 +743,50 @@ class CdclSolver:
         return self._rng_state / 0xFFFFFFFF
 
     def _pick_branch_variable(self) -> int:
-        """Return the unassigned variable with the highest activity."""
-        best_variable = 0
-        best_activity = -1.0
-        values = self._values
-        activity = self._activity
-        for variable in range(1, self._num_vars + 1):
-            if values[variable] == _UNASSIGNED and activity[variable] > best_activity:
-                best_activity = activity[variable]
-                best_variable = variable
-        return best_variable
+        """Pop unassigned variables with the highest activity off the heap."""
+        lit_values = self._lit_values
+        heap = self._heap
+        while heap:
+            variable = self._heap_pop()
+            if lit_values[variable << 1] == _UNASSIGNED:
+                self.stats.heap_decisions += 1
+                return variable
+        return 0
 
     # ------------------------------------------------------------------
     # learned clause database management
     # ------------------------------------------------------------------
     def _reduce_learned(self) -> None:
-        if len(self._learned) < 50:
+        if len(self._learned_slots) < self._reduce_min_learned:
             return
-        locked = {id(reason) for reason in self._reasons if reason is not None}
-        ranked = sorted(
-            self._learned,
-            key=lambda clause: self._clause_activity.get(id(clause), 0.0),
-        )
-        to_remove = set()
-        for clause in ranked[: len(ranked) // 2]:
-            if id(clause) in locked or len(clause) <= 2:
+        arena = self._arena
+        clause_act = self._clause_act
+        locked = {slot for slot in self._reasons if slot >= 0}
+        ranked = sorted(self._learned_slots, key=clause_act.__getitem__)
+        removed: set[int] = set()
+        for slot in ranked[: len(ranked) // 2]:
+            clause = arena[slot]
+            if slot in locked or clause is None or len(clause) <= 2:
                 continue
-            to_remove.add(id(clause))
-        if not to_remove:
+            self._detach(slot)
+            arena[slot] = None
+            self._learned_flag[slot] = False
+            self._clause_act[slot] = 0.0
+            self._free_slots.append(slot)
+            removed.add(slot)
+        if not removed:
             return
-        kept: list[list[int]] = []
-        for clause in self._learned:
-            if id(clause) in to_remove:
-                self._detach(clause)
-                self._clause_activity.pop(id(clause), None)
-                self.stats.deleted_clauses += 1
-            else:
-                kept.append(clause)
-        self._learned = kept
+        self._learned_slots = [slot for slot in self._learned_slots if slot not in removed]
+        self.stats.deleted_clauses += len(removed)
 
-    def _detach(self, clause: list[int]) -> None:
+    def _detach(self, slot: int) -> None:
+        clause = self._arena[slot]
+        assert clause is not None
+        tag = ~slot if len(clause) == 2 else slot
         for watch_literal in (clause[0] ^ 1, clause[1] ^ 1):
             watch_list = self._watches[watch_literal]
-            for index, watched in enumerate(watch_list):
-                if watched is clause:
+            for index, entry in enumerate(watch_list):
+                if entry[1] == tag:
                     watch_list[index] = watch_list[-1]
                     watch_list.pop()
                     break
@@ -550,12 +819,12 @@ class CdclSolver:
         # clauses, not the trail).
         self._backtrack(0)
         for literal in self._pending_units:
-            if not self._enqueue(_encode(literal), None):
+            if not self._enqueue(_encode(literal)):
                 self._ok = False
                 stats.solve_time = time.monotonic() - start_time
                 return SolveResult(Status.UNSATISFIABLE, None, stats)
         self._pending_units.clear()
-        if self._propagate() is not None:
+        if self._propagate() != _NO_CONFLICT:
             self._ok = False
             stats.solve_time = time.monotonic() - start_time
             return SolveResult(Status.UNSATISFIABLE, None, stats)
@@ -567,20 +836,29 @@ class CdclSolver:
         restart_count = 0
         conflicts_until_restart = self._restart_base * luby(restart_count + 1)
         conflicts_since_restart = 0
-        learned_limit = max(1000, self.num_clauses // 2)
+        learned_limit = max(self._learned_limit_base, self.num_clauses // 2)
+        iterations = 0
 
         while True:
-            if time_limit is not None and (time.monotonic() - start_time) > time_limit:
-                self._backtrack(0)
-                stats.solve_time = time.monotonic() - start_time
-                return SolveResult(Status.UNKNOWN, None, stats)
+            iterations += 1
+            if time_limit is not None:
+                # Deadline batching: the monotonic clock is read on the
+                # first iteration and then once every
+                # ``_DEADLINE_CHECK_INTERVAL`` iterations.
+                if iterations % _DEADLINE_CHECK_INTERVAL == 1:
+                    if (time.monotonic() - start_time) > time_limit:
+                        self._backtrack(0)
+                        stats.solve_time = time.monotonic() - start_time
+                        return SolveResult(Status.UNKNOWN, None, stats)
+                else:
+                    stats.deadline_checks_skipped += 1
             if conflict_limit is not None and stats.conflicts >= conflict_limit:
                 self._backtrack(0)
                 stats.solve_time = time.monotonic() - start_time
                 return SolveResult(Status.UNKNOWN, None, stats)
 
-            conflict = self._propagate()
-            if conflict is not None:
+            conflict_slot = self._propagate()
+            if conflict_slot != _NO_CONFLICT:
                 stats.conflicts += 1
                 conflicts_since_restart += 1
                 if not self._trail_limits:
@@ -592,20 +870,20 @@ class CdclSolver:
                     if not encoded_assumptions:
                         self._ok = False
                     return SolveResult(Status.UNSATISFIABLE, None, stats)
-                learned, backjump_level = self._analyze(conflict)
+                learned, backjump_level = self._analyze(conflict_slot)
                 self._backtrack(backjump_level)
                 if len(learned) == 1:
-                    if not self._enqueue(learned[0], None):
+                    if not self._enqueue(learned[0]):
                         stats.solve_time = time.monotonic() - start_time
                         return SolveResult(Status.UNSATISFIABLE, None, stats)
                     self._pending_units.append(_decode(learned[0]))
                 else:
-                    clause = self._attach(learned, learned=True)
+                    slot = self._attach(learned, learned=True)
                     stats.learned_clauses += 1
-                    self._enqueue(learned[0], clause)
+                    self._enqueue(learned[0], slot)
                 self._decay_variable_activity()
                 self._decay_clause_activity()
-                if len(self._learned) > learned_limit:
+                if len(self._learned_slots) > learned_limit:
                     self._reduce_learned()
                     learned_limit = int(learned_limit * 1.3)
                 continue
@@ -627,7 +905,7 @@ class CdclSolver:
                     stats.solve_time = time.monotonic() - start_time
                     return SolveResult(Status.UNSATISFIABLE, None, stats)
                 self._trail_limits.append(len(self._trail))
-                self._enqueue(next_assumption, None)
+                self._enqueue(next_assumption)
                 continue
 
             variable = self._pick_branch_variable()
@@ -638,10 +916,11 @@ class CdclSolver:
                 return SolveResult(Status.SATISFIABLE, model, stats)
             stats.decisions += 1
             self._trail_limits.append(len(self._trail))
-            stats.max_decision_level = max(stats.max_decision_level, len(self._trail_limits))
+            if len(self._trail_limits) > stats.max_decision_level:
+                stats.max_decision_level = len(self._trail_limits)
             phase = self._phase[variable]
             encoded = (variable << 1) | (0 if phase else 1)
-            self._enqueue(encoded, None)
+            self._enqueue(encoded)
 
     def _next_unassigned_assumption(self, encoded_assumptions: list[int]) -> int | None:
         for encoded in encoded_assumptions:
@@ -653,7 +932,7 @@ class CdclSolver:
     def _extract_model(self) -> dict[int, bool]:
         model: dict[int, bool] = {}
         for variable in range(1, self._num_vars + 1):
-            value = self._values[variable]
+            value = self._lit_values[variable << 1]
             model[variable] = bool(value) if value != _UNASSIGNED else bool(self._phase[variable])
         return model
 

@@ -4,6 +4,7 @@ import pytest
 
 from repro.errors import PebblingError
 from repro.dag import Dag, linear_chain
+from repro.sat.solver import CdclSolver
 from repro.pebbling import (
     EncodingOptions,
     PebblingOutcome,
@@ -116,6 +117,43 @@ class TestProblemOne:
         assert incremental.strategy.max_pebbles <= 4
         assert monolithic.strategy.max_pebbles <= 4
         assert incremental.num_steps == monolithic.num_steps
+
+
+class TestSolverInjection:
+    def test_solver_factory_is_used(self, fig2_dag):
+        created = []
+
+        def factory(*args, **kwargs):
+            solver = CdclSolver(*args, **kwargs)
+            created.append(solver)
+            return solver
+
+        result = ReversiblePebblingSolver(
+            fig2_dag, solver_factory=factory
+        ).solve(4, time_limit=30)
+        assert result.found
+        assert created  # the injected factory built the SAT engine
+
+    def test_attempts_carry_solver_stats(self, fig2_dag):
+        result = ReversiblePebblingSolver(fig2_dag).solve(4, time_limit=30)
+        assert result.attempts
+        for record in result.attempts:
+            assert record.solver_stats["propagations"] > 0
+            assert record.solver_stats["conflicts"] == record.conflicts
+
+    def test_incremental_sweep_disables_stale_guards(self, fig2_dag):
+        # An all-UNSAT sweep asserts -guard after every bound; the solver
+        # must stay sound and report the same outcome as re-encoding from
+        # scratch each time.
+        incremental = ReversiblePebblingSolver(fig2_dag, incremental=True).solve(
+            3, max_steps=20, time_limit=60
+        )
+        monolithic = ReversiblePebblingSolver(fig2_dag, incremental=False).solve(
+            3, max_steps=20, time_limit=60
+        )
+        assert incremental.outcome == monolithic.outcome
+        assert [record.status for record in incremental.attempts] == \
+            [record.status for record in monolithic.attempts]
 
 
 class TestBounds:

@@ -4,24 +4,8 @@ import pytest
 
 from repro.errors import SolverError
 from repro.sat.cnf import Cnf
+from repro.sat.instances import pigeonhole as _pigeonhole
 from repro.sat.solver import CdclSolver, Status, luby, solve_cnf
-
-
-def _pigeonhole(pigeons: int, holes: int) -> Cnf:
-    """The classic unsatisfiable (for pigeons > holes) pigeonhole formula."""
-    cnf = Cnf()
-    slot = {
-        (pigeon, hole): cnf.new_variable()
-        for pigeon in range(pigeons)
-        for hole in range(holes)
-    }
-    for pigeon in range(pigeons):
-        cnf.add_clause([slot[(pigeon, hole)] for hole in range(holes)])
-    for hole in range(holes):
-        for first in range(pigeons):
-            for second in range(first + 1, pigeons):
-                cnf.add_clause([-slot[(first, hole)], -slot[(second, hole)]])
-    return cnf
 
 
 class TestBasicSolving:
@@ -185,6 +169,38 @@ class TestLuby:
     def test_rejects_non_positive(self):
         with pytest.raises(SolverError):
             luby(0)
+
+
+class TestHotPathCounters:
+    def test_blocker_hits_and_heap_decisions_reported(self):
+        result = solve_cnf(_pigeonhole(5, 4))
+        stats = result.stats.as_dict()
+        assert stats["heap_decisions"] == stats["decisions"] > 0
+        assert stats["blocker_hits"] > 0
+
+    def test_deadline_checks_are_batched(self):
+        result = solve_cnf(_pigeonhole(6, 5), time_limit=3600.0)
+        assert result.is_unsat
+        # With a time limit set, the hot loop skips most monotonic() reads.
+        assert result.stats.deadline_checks_skipped > 0
+
+    def test_no_deadline_counters_without_time_limit(self):
+        result = solve_cnf(_pigeonhole(5, 4))
+        assert result.stats.deadline_checks_skipped == 0
+
+    def test_forced_learned_clause_reduction(self):
+        solver = CdclSolver(
+            _pigeonhole(6, 5), reduce_min_learned=1, learned_limit_base=1
+        )
+        result = solver.solve()
+        assert result.is_unsat
+        assert result.stats.deleted_clauses > 0
+
+    def test_forced_reduction_keeps_incremental_solver_sound(self):
+        solver = CdclSolver(reduce_min_learned=1, learned_limit_base=1)
+        solver.add_cnf(_pigeonhole(6, 5))
+        assert solver.solve().is_unsat
+        assert solver.solve().is_unsat
 
 
 class TestRestartsAndLearning:

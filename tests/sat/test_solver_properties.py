@@ -86,6 +86,67 @@ def test_solving_twice_is_consistent(clauses):
     assert first.is_sat == second.is_sat
 
 
+@given(random_cnf(), random_cnf())
+@settings(max_examples=80, deadline=None)
+def test_incremental_resolve_after_add_clause(first_batch, second_batch):
+    """Adding clauses after a solve call must behave like a fresh solver.
+
+    This exercises the incremental surfaces of the optimised engine: the
+    variable-order heap, watcher lists and learned clauses all survive the
+    first call and must not corrupt the second.
+    """
+    incremental = CdclSolver()
+    for clause in first_batch:
+        incremental.add_clause(clause)
+    incremental.solve()
+    for clause in second_batch:
+        incremental.add_clause(clause)
+    fresh = CdclSolver()
+    for clause in first_batch + second_batch:
+        fresh.add_clause(clause)
+    result = incremental.solve()
+    assert result.is_sat == fresh.solve().is_sat
+    if result.is_sat:
+        assert _model_satisfies(result.model, first_batch + second_batch)
+
+
+@given(random_cnf(), st.lists(st.integers(min_value=1, max_value=MAX_VARIABLES), max_size=3))
+@settings(max_examples=60, deadline=None)
+def test_assumptions_after_incremental_additions(clauses, assumption_variables):
+    """Assumption solving must stay sound when interleaved with add_clause."""
+    assumptions = list(dict.fromkeys(assumption_variables))
+    solver = CdclSolver()
+    oracle = DpllSolver()
+    for index, clause in enumerate(clauses):
+        solver.add_clause(clause)
+        oracle.add_clause(clause)
+        if index % 7 == 3:
+            solver.solve(assumptions)  # interleaved call; must not corrupt state
+    for literal in assumptions:
+        oracle.add_clause([literal])
+    assert solver.solve(assumptions).is_sat == oracle.solve().is_sat
+
+
+@given(random_cnf())
+@settings(max_examples=60, deadline=None)
+def test_learned_clause_reduction_preserves_verdicts(clauses):
+    """Forcing learned-clause reduction must not change any verdict.
+
+    ``reduce_min_learned=1`` and ``learned_limit_base=1`` make
+    ``_reduce_learned`` fire after virtually every conflict, so clause
+    deletion, slot recycling and watcher detaching are all exercised.
+    """
+    aggressive = CdclSolver(reduce_min_learned=1, learned_limit_base=1)
+    oracle = DpllSolver()
+    for clause in clauses:
+        aggressive.add_clause(clause)
+        oracle.add_clause(clause)
+    result = aggressive.solve()
+    assert result.is_sat == oracle.solve().is_sat
+    if result.is_sat:
+        assert _model_satisfies(result.model, clauses)
+
+
 @given(random_cnf())
 @settings(max_examples=60, deadline=None)
 def test_cnf_evaluate_agrees_with_model(clauses):

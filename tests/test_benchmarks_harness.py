@@ -1,0 +1,75 @@
+"""Smoke tests for the tracked benchmark harness (``benchmarks/run_bench.py``).
+
+The full instance set is far too slow for CI; the ``--quick`` subset runs
+both engines on the smallest instances in a couple of seconds and still
+checks the load-bearing invariants: verdicts match between the frozen
+legacy engine and the current one, and the report schema is stable.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def run_bench():
+    spec = importlib.util.spec_from_file_location(
+        "run_bench", ROOT / "benchmarks" / "run_bench.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    sys.modules["run_bench"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def quick_report(run_bench):
+    return run_bench.run_benchmarks(quick=True)
+
+
+class TestQuickMode:
+    def test_verdicts_match_between_engines(self, quick_report):
+        assert quick_report["all_verdicts_match"] is True
+        for row in quick_report["instances"]:
+            assert row["verdict_match"] is True
+
+    def test_report_schema(self, quick_report):
+        assert quick_report["mode"] == "quick"
+        assert quick_report["geometric_mean_speedup"] > 0
+        names = {row["name"] for row in quick_report["instances"]}
+        assert "fig2_p4" in names
+        assert "php_7_6" in names
+        for row in quick_report["instances"]:
+            for engine in ("legacy", "current"):
+                assert row[engine]["seconds"] >= 0
+                assert row[engine]["verdict"]
+
+    def test_report_is_json_serializable(self, quick_report):
+        json.dumps(quick_report)
+
+    def test_quick_is_a_strict_subset(self, run_bench):
+        instances = run_bench.instance_set()
+        quick = [instance for instance in instances if instance.quick]
+        assert 0 < len(quick) < len(instances)
+
+
+class TestBenchNumbering:
+    def test_first_index_is_one(self, run_bench, tmp_path):
+        assert run_bench.next_bench_path(tmp_path).name == "BENCH_1.json"
+
+    def test_next_free_index_is_used(self, run_bench, tmp_path):
+        (tmp_path / "BENCH_1.json").write_text("{}")
+        (tmp_path / "BENCH_2.json").write_text("{}")
+        assert run_bench.next_bench_path(tmp_path).name == "BENCH_3.json"
+
+    def test_gaps_are_filled(self, run_bench, tmp_path):
+        (tmp_path / "BENCH_2.json").write_text("{}")
+        assert run_bench.next_bench_path(tmp_path).name == "BENCH_1.json"

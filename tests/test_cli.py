@@ -53,6 +53,15 @@ class TestCommands:
         assert summary["outcome"] == "solution"
         assert "peak pebbles" in out
 
+    def test_pebble_stats_line(self, capsys):
+        assert main(["pebble", "fig2", "--pebbles", "4", "--timeout", "30", "--stats"]) == 0
+        out = capsys.readouterr().out
+        stats_lines = [line for line in out.splitlines() if line.startswith("stats: ")]
+        assert len(stats_lines) == 1
+        for counter in ("decisions=", "propagations=", "blocker_hits=",
+                        "heap_decisions=", "deadline_checks_skipped="):
+            assert counter in stats_lines[0]
+
     def test_pebble_single_move(self, capsys):
         assert main(["pebble", "fig2", "--pebbles", "6", "--single-move",
                      "--timeout", "60"]) == 0
