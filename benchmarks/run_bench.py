@@ -17,8 +17,13 @@ Usage::
 
     python benchmarks/run_bench.py             # full set, writes BENCH_<n>.json
     python benchmarks/run_bench.py --quick     # CI smoke subset, no file
+    python benchmarks/run_bench.py --smoke     # alias for --quick (CI)
     python benchmarks/run_bench.py --quick --write
     python benchmarks/run_bench.py --repeat 3  # best-of-3 timing per engine
+
+Since schema v2 the report also times the ``pebble-batch`` workload suite
+at several ``--jobs`` widths (the portfolio scenario) and requires the
+results to be identical at every width.
 """
 
 from __future__ import annotations
@@ -26,13 +31,14 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import os
 import re
 import sys
 import time
 from dataclasses import dataclass, field
 from datetime import datetime, timezone
 from pathlib import Path
-from typing import Callable
+from typing import Callable, Sequence
 
 ROOT = Path(__file__).resolve().parent.parent
 for entry in (str(ROOT / "src"), str(ROOT / "benchmarks")):
@@ -42,13 +48,14 @@ for entry in (str(ROOT / "src"), str(ROOT / "benchmarks")):
 from legacy_solver import LegacyCdclSolver  # noqa: E402
 
 from repro.pebbling.encoding import EncodingOptions  # noqa: E402
+from repro.pebbling.portfolio import run_portfolio, tasks_from_suite  # noqa: E402
 from repro.pebbling.solver import ReversiblePebblingSolver  # noqa: E402
 from repro.sat.cnf import Cnf  # noqa: E402
 from repro.sat.instances import pigeonhole, random_3sat  # noqa: E402
 from repro.sat.solver import CdclSolver  # noqa: E402
 from repro.workloads import load_workload  # noqa: E402
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 # ---------------------------------------------------------------------------
@@ -156,6 +163,63 @@ def instance_set() -> list[Instance]:
 
 
 # ---------------------------------------------------------------------------
+# portfolio scenario: the batch suite, jobs-wide
+# ---------------------------------------------------------------------------
+def run_portfolio_bench(
+    *, quick: bool = False, jobs_list: Sequence[int] = (1, 4)
+) -> dict[str, object]:
+    """Time the batch suite at several ``--jobs`` widths (current engine only).
+
+    Runs the ``pebble-batch`` workload suite once per entry of
+    ``jobs_list`` and checks that verdicts and step counts are identical at
+    every width — the parallel sweep must be a pure wall-clock
+    transformation.  ``speedup`` is wall-clock of ``jobs_list[0]`` over the
+    widest run; on a single-core host (see ``cpu_count``) it hovers around
+    1.0 and only documents the process-pool overhead, on multi-core hosts
+    it tracks the core count.
+    """
+    suite = "smoke" if quick else "default"
+    tasks = tasks_from_suite(suite, time_limit=60.0)
+    runs: dict[str, object] = {}
+    reference: list[tuple[str, str, object]] | None = None
+    results_match = True
+    for jobs in jobs_list:
+        started = time.perf_counter()
+        records = run_portfolio(tasks, jobs=jobs)
+        elapsed = time.perf_counter() - started
+        rows = [(record.name, record.outcome, record.steps) for record in records]
+        if any(record.outcome == "error" for record in records):
+            # A crashed worker is a harness failure even when it crashes
+            # identically at every width — never report a vacuous match.
+            results_match = False
+        if reference is None:
+            reference = rows
+        elif rows != reference:
+            results_match = False
+        runs[str(jobs)] = {
+            "seconds": round(elapsed, 3),
+            "solved": sum(1 for record in records if record.found),
+        }
+        print(f"portfolio suite={suite:8s} jobs={jobs}  {elapsed:8.3f}s  "
+              f"{'ok' if results_match else 'RESULT MISMATCH'}")
+    first = runs[str(jobs_list[0])]["seconds"]
+    widest = runs[str(jobs_list[-1])]["seconds"]
+    speedup = first / max(widest, 1e-9)
+    assert reference is not None
+    return {
+        "suite": suite,
+        "cpu_count": os.cpu_count(),
+        "tasks": [
+            {"name": name, "verdict": outcome, "steps": steps}
+            for name, outcome, steps in reference
+        ],
+        "jobs": runs,
+        "speedup": round(speedup, 3),
+        "results_match": results_match,
+    }
+
+
+# ---------------------------------------------------------------------------
 # harness
 # ---------------------------------------------------------------------------
 def _best_of(run: Callable[[type], dict[str, object]], engine: type, repeat: int) -> dict[str, object]:
@@ -223,6 +287,11 @@ def run_benchmarks(*, quick: bool = False, repeat: int = 1) -> dict[str, object]
         if speedups
         else 1.0
     )
+    print()
+    portfolio = run_portfolio_bench(
+        quick=quick, jobs_list=(1, 2) if quick else (1, 4)
+    )
+    all_match = all_match and portfolio["results_match"]
     report = {
         "schema_version": SCHEMA_VERSION,
         "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -231,6 +300,7 @@ def run_benchmarks(*, quick: bool = False, repeat: int = 1) -> dict[str, object]
         "python": sys.version.split()[0],
         "instances": rows,
         "geometric_mean_speedup": round(geomean, 3),
+        "portfolio": portfolio,
         "all_verdicts_match": all_match,
     }
     print(f"\ngeometric-mean speedup: x{geomean:.2f}  "
@@ -242,6 +312,8 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
                         help="CI smoke subset (small instances only)")
+    parser.add_argument("--smoke", action="store_true", dest="quick",
+                        help="alias for --quick")
     parser.add_argument("--repeat", type=int, default=1,
                         help="best-of-N timing per engine (default 1)")
     parser.add_argument("--write", action="store_true",

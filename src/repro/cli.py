@@ -20,6 +20,15 @@ Sub-commands
     Reproduce one row of Table I for the workload: eager-Bennett baseline
     versus the minimum-pebble SAT solution found within a timeout.
 
+``pebble-batch [--suite NAME] --jobs N``
+    Sweep every workload of a registered batch suite through the pebbling
+    solver, ``N`` worker processes wide, and print a deterministic result
+    table (see :mod:`repro.pebbling.portfolio`).
+
+``dimacs <workload> --pebbles P --steps K``
+    Write the pebbling encoding of a (workload, budget, steps) instance to
+    a DIMACS CNF file (or stdout) for external solvers.
+
 Workloads are either names from :mod:`repro.workloads` or paths to ``.bench``
 or DAG-JSON files.
 """
@@ -29,29 +38,28 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from pathlib import Path
 
 from repro.dag.graph import Dag
-from repro.dag.io import dag_from_json
 from repro.errors import ReproError
-from repro.logic.bench import network_from_bench
 from repro.pebbling import (
     EncodingOptions,
+    PebblingEncoder,
     ReversiblePebblingSolver,
     bennett_strategy,
     eager_bennett_strategy,
+    run_portfolio,
+    tasks_from_suite,
 )
+from repro.pebbling.search import STRATEGY_NAMES
+from repro.sat.cards import CardinalityEncoding
+from repro.sat.dimacs import write_dimacs
 from repro.visualize import strategy_report
-from repro.workloads import list_workloads, load_workload
+from repro.workloads import list_suites, list_workloads
+from repro.workloads.registry import load_workload_or_path
 
 
 def _load(workload: str, scale: float) -> Dag:
-    path = Path(workload)
-    if path.suffix == ".bench" and path.exists():
-        return network_from_bench(path).to_dag()
-    if path.suffix == ".json" and path.exists():
-        return dag_from_json(path)
-    return load_workload(workload, scale=scale)
+    return load_workload_or_path(workload, scale=scale)
 
 
 def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
@@ -85,6 +93,14 @@ def build_parser() -> argparse.ArgumentParser:
     pebble.add_argument("--timeout", type=float, default=120.0, help="time budget in seconds")
     pebble.add_argument("--single-move", action="store_true",
                         help="allow only one pebble move per step (Fig. 4 style)")
+    pebble.add_argument("--cardinality",
+                        choices=[member.value for member in CardinalityEncoding],
+                        default=CardinalityEncoding.SEQUENTIAL.value,
+                        help="at-most-k encoding for the pebble/move budgets")
+    pebble.add_argument("--schedule", choices=list(STRATEGY_NAMES), default="linear",
+                        help="step-bound search strategy")
+    pebble.add_argument("--step-increment", type=int, default=None,
+                        help="bound increment per UNSAT answer (linear schedule only)")
     pebble.add_argument("--grid", action="store_true", help="print the strategy grid")
     pebble.add_argument("--stats", action="store_true",
                         help="print aggregated SAT-solver counters")
@@ -93,6 +109,37 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_arguments(compare)
     compare.add_argument("--timeout", type=float, default=120.0,
                          help="time budget per pebble count in seconds")
+
+    batch = subparsers.add_parser(
+        "pebble-batch", help="sweep a batch suite across worker processes"
+    )
+    batch.add_argument("--suite", default="default",
+                       help="registered batch suite (see --list-suites)")
+    batch.add_argument("--jobs", type=int, default=1,
+                       help="number of worker processes (default 1 = inline)")
+    batch.add_argument("--timeout", type=float, default=60.0,
+                       help="per-task time budget in seconds")
+    batch.add_argument("--schedule", choices=list(STRATEGY_NAMES), default="linear",
+                       help="step-bound search strategy for every task")
+    batch.add_argument("--json", action="store_true", dest="as_json",
+                       help="emit the result table as JSON")
+    batch.add_argument("--list-suites", action="store_true",
+                       help="list registered suites and exit")
+
+    dimacs = subparsers.add_parser(
+        "dimacs", help="write a pebbling instance as a DIMACS CNF file"
+    )
+    _add_common_arguments(dimacs)
+    dimacs.add_argument("--pebbles", type=int, required=True, help="pebble budget")
+    dimacs.add_argument("--steps", type=int, required=True, help="number of transitions")
+    dimacs.add_argument("--single-move", action="store_true",
+                        help="allow only one pebble move per step")
+    dimacs.add_argument("--cardinality",
+                        choices=[member.value for member in CardinalityEncoding],
+                        default=CardinalityEncoding.SEQUENTIAL.value,
+                        help="at-most-k encoding for the pebble/move budgets")
+    dimacs.add_argument("--output", "-o", default=None,
+                        help="destination file (default: stdout)")
 
     return parser
 
@@ -121,6 +168,32 @@ def _format_stats_line(attempts) -> str:
     return "stats: " + " ".join(parts)
 
 
+def _run_batch(arguments: argparse.Namespace) -> int:
+    if arguments.list_suites:
+        for name in list_suites():
+            print(name)
+        return 0
+    tasks = tasks_from_suite(
+        arguments.suite,
+        time_limit=arguments.timeout,
+        schedule=arguments.schedule,
+    )
+    records = run_portfolio(tasks, jobs=arguments.jobs)
+    rows = [record.as_dict() for record in records]
+    if arguments.as_json:
+        print(json.dumps({"suite": arguments.suite, "jobs": arguments.jobs,
+                          "results": rows}, indent=2))
+    else:
+        for row in rows:
+            steps = "-" if row["steps"] is None else row["steps"]
+            print(f"{row['name']:24s} {row['outcome']:10s} steps={steps!s:>4s} "
+                  f"sat_calls={row['sat_calls']:<3d} {row['runtime']:7.3f}s")
+        solved = sum(1 for row in rows if row["outcome"] == "solution")
+        print(f"{len(rows)} tasks, {solved} solved "
+              f"(suite={arguments.suite}, jobs={arguments.jobs})")
+    return 0 if all(row["outcome"] != "error" for row in rows) else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -137,6 +210,9 @@ def _dispatch(arguments: argparse.Namespace) -> int:
         for name in list_workloads():
             print(name)
         return 0
+
+    if arguments.command == "pebble-batch":
+        return _run_batch(arguments)
 
     dag = _load(arguments.workload, arguments.scale)
 
@@ -155,9 +231,17 @@ def _dispatch(arguments: argparse.Namespace) -> int:
         return 0
 
     if arguments.command == "pebble":
-        options = EncodingOptions(max_moves_per_step=1 if arguments.single_move else None)
+        options = EncodingOptions(
+            max_moves_per_step=1 if arguments.single_move else None,
+            cardinality=CardinalityEncoding.from_name(arguments.cardinality),
+        )
         solver = ReversiblePebblingSolver(dag, options=options)
-        result = solver.solve(arguments.pebbles, time_limit=arguments.timeout)
+        result = solver.solve(
+            arguments.pebbles,
+            time_limit=arguments.timeout,
+            step_schedule=arguments.schedule,
+            step_increment=arguments.step_increment,
+        )
         print(json.dumps(result.summary(), indent=2))
         if arguments.stats:
             print(_format_stats_line(result.attempts))
@@ -165,6 +249,25 @@ def _dispatch(arguments: argparse.Namespace) -> int:
             print()
             print(strategy_report(result.strategy))
         return 0 if result.found else 2
+
+    if arguments.command == "dimacs":
+        options = EncodingOptions(
+            max_moves_per_step=1 if arguments.single_move else None,
+            cardinality=CardinalityEncoding.from_name(arguments.cardinality),
+        )
+        encoding = PebblingEncoder(dag, options=options).encode(
+            max_pebbles=arguments.pebbles, num_steps=arguments.steps
+        )
+        if arguments.output is None:
+            write_dimacs(encoding.cnf, sys.stdout)
+        else:
+            write_dimacs(encoding.cnf, arguments.output)
+            stats = encoding.cnf.stats()
+            print(
+                f"wrote {arguments.output}: {stats['variables']} variables, "
+                f"{stats['clauses']} clauses"
+            )
+        return 0
 
     if arguments.command == "compare":
         eager = eager_bennett_strategy(dag)

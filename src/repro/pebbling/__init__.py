@@ -21,6 +21,20 @@ The subpackage is organised as follows:
 from repro.pebbling.bennett import bennett_strategy, eager_bennett_strategy
 from repro.pebbling.encoding import EncodingOptions, PebblingEncoder
 from repro.pebbling.heuristic import greedy_pebbling_strategy
+from repro.pebbling.portfolio import (
+    PortfolioRecord,
+    PortfolioTask,
+    minimize_pebbles_portfolio,
+    run_portfolio,
+    tasks_from_suite,
+)
+from repro.pebbling.search import (
+    GeometricRefine,
+    GeometricSearch,
+    LinearSearch,
+    SearchStrategy,
+    strategy_from_name,
+)
 from repro.pebbling.solver import (
     PebblingOutcome,
     PebblingResult,
@@ -32,15 +46,25 @@ from repro.pebbling.strategy import PebbleMove, PebblingStrategy
 
 __all__ = [
     "EncodingOptions",
+    "GeometricRefine",
+    "GeometricSearch",
+    "LinearSearch",
     "PebbleMove",
     "PebblingEncoder",
     "PebblingOutcome",
     "PebblingResult",
     "PebblingStrategy",
+    "PortfolioRecord",
+    "PortfolioTask",
     "ReversiblePebblingSolver",
+    "SearchStrategy",
     "bennett_strategy",
     "eager_bennett_strategy",
     "greedy_pebbling_strategy",
     "minimize_pebbles",
+    "minimize_pebbles_portfolio",
     "pebble_dag",
+    "run_portfolio",
+    "strategy_from_name",
+    "tasks_from_suite",
 ]

@@ -78,87 +78,251 @@ class PebblingEncoding:
 
 
 class PebblingEncoder:
-    """Builds :class:`PebblingEncoding` instances for a fixed DAG."""
+    """Stateful frame-based encoder of the bounded pebbling game.
 
-    def __init__(self, dag: Dag, *, options: EncodingOptions | None = None):
+    An encoder constructed with a pebble budget is a *frame engine*: it owns
+    one growing :class:`~repro.sat.cnf.Cnf` and emits clauses in per-step
+    frames.  Frame ``i`` consists of the configuration variables
+    ``p[v, i]``, the transition (move) clauses between ``i - 1`` and ``i``,
+    the optional move variables ``m[v, i-1]`` with their constraints, and
+    the cardinality block of configuration ``i``.  The public surface:
+
+    * :meth:`extend_to` — emit only the frames between the current frontier
+      and a new step bound (monotonic, idempotent);
+    * :meth:`final_guard` — an activation literal implying the
+      final-configuration clauses of a step, for assumption-based
+      incremental solving;
+    * :meth:`assert_final` — the same constraint as unconditional units,
+      for one-shot (monolithic) instances;
+    * :meth:`drain_new_clauses` — the clauses emitted since the last drain,
+      which incremental callers push into a live SAT solver.
+
+    Constructed *without* a budget the encoder is a reusable factory whose
+    only operation is the one-shot :meth:`encode`, which runs
+    ``extend_to(K)`` + ``assert_final(K)`` on a fresh frame engine — the
+    monolithic and incremental paths therefore share every clause-emission
+    rule by construction.
+
+    Every variable is named (``p[v,i]``, ``m[v,i]``, ``final[i]`` and the
+    ``card[...]``-prefixed cardinality auxiliaries), so two encodings of the
+    same instance can be compared structurally up to variable renaming.
+    """
+
+    def __init__(
+        self,
+        dag: Dag,
+        *,
+        max_pebbles: int | None = None,
+        options: EncodingOptions | None = None,
+    ):
         dag.validate()
         self.dag = dag
         self.options = options or EncodingOptions()
+        self._nodes = dag.topological_order()
+        self._outputs = set(dag.outputs())
+        self.max_pebbles: int | None = None
+        self._cnf: Cnf | None = None
+        self._variables: dict[tuple[NodeId, int], int] = {}
+        self._guards: dict[int, int] = {}
+        self._num_steps = 0
+        self._drained = 0
+        if max_pebbles is not None:
+            self._start(max_pebbles)
 
-    def encode(self, *, max_pebbles: int, num_steps: int) -> PebblingEncoding:
-        """Encode Problem 2 for ``max_pebbles`` pebbles and ``num_steps`` steps."""
+    # -- frame engine ------------------------------------------------------
+    def _start(self, max_pebbles: int) -> None:
         if max_pebbles < 1:
             raise PebblingError("max_pebbles must be >= 1")
+        self.max_pebbles = max_pebbles
+        cnf = self._cnf = Cnf()
+        cnf.add_comment(
+            f"reversible pebbling: dag={self.dag.name} nodes={len(self._nodes)} "
+            f"pebbles={max_pebbles}"
+        )
+        self._add_configuration(0)
+        # Initial clauses: at time 0 nothing is pebbled.
+        for node in self._nodes:
+            cnf.add_unit(-self._variables[(node, 0)])
+
+    def _require_frames(self) -> Cnf:
+        if self._cnf is None:
+            raise PebblingError(
+                "this encoder was built without a pebble budget; "
+                "pass max_pebbles= to the constructor for frame-based use "
+                "or call encode() for a one-shot instance"
+            )
+        return self._cnf
+
+    @property
+    def num_steps(self) -> int:
+        """Number of transition frames emitted so far."""
+        return self._num_steps
+
+    @property
+    def cnf(self) -> Cnf:
+        """The growing CNF of the frame engine."""
+        return self._require_frames()
+
+    def _add_configuration(self, step: int) -> None:
+        cnf = self._cnf
+        assert cnf is not None and self.max_pebbles is not None
+        for node in self._nodes:
+            self._variables[(node, step)] = cnf.new_variable(f"p[{node},{step}]")
+        if self.max_pebbles < len(self._nodes):
+            at_most_k(
+                cnf,
+                [self._variables[(node, step)] for node in self._nodes],
+                self.max_pebbles,
+                encoding=self.options.cardinality,
+                name_prefix=f"card[p,{step}]",
+            )
+
+    def _add_transition(self, step: int) -> None:
+        """Emit the move clauses of the transition ``step -> step + 1``."""
+        cnf = self._cnf
+        assert cnf is not None
+        variables = self._variables
+        dag = self.dag
+        options = self.options
+        move_literals: list[int] = []
+        for node in self._nodes:
+            now = variables[(node, step)]
+            then = variables[(node, step + 1)]
+            for dependency in dag.dependencies(node):
+                dep_now = variables[(dependency, step)]
+                dep_then = variables[(dependency, step + 1)]
+                # (now xor then) -> dep_now  and  (now xor then) -> dep_then
+                cnf.add_clause([-now, then, dep_now])
+                cnf.add_clause([now, -then, dep_now])
+                cnf.add_clause([-now, then, dep_then])
+                cnf.add_clause([now, -then, dep_then])
+            if options.max_moves_per_step is not None or options.forbid_idle_steps:
+                move = cnf.new_variable(f"m[{node},{step}]")
+                # move <-> (now xor then)
+                cnf.add_clause([-move, now, then])
+                cnf.add_clause([-move, -now, -then])
+                cnf.add_clause([move, -now, then])
+                cnf.add_clause([move, now, -then])
+                move_literals.append(move)
+        if options.max_moves_per_step is not None:
+            at_most_k(
+                cnf,
+                move_literals,
+                options.max_moves_per_step,
+                encoding=options.cardinality,
+                name_prefix=f"card[m,{step}]",
+            )
+        if options.forbid_idle_steps:
+            cnf.add_clause(move_literals)
+
+    def extend_to(self, num_steps: int) -> None:
+        """Grow the encoding to ``num_steps`` transitions.
+
+        Emits only the configuration, transition and cardinality frames
+        between the current frontier and ``num_steps``; a bound at or below
+        the frontier is a no-op.
+        """
+        self._require_frames()
+        if num_steps < 0:
+            raise PebblingError("num_steps must be >= 0")
+        while self._num_steps < num_steps:
+            self._add_configuration(self._num_steps + 1)
+            self._add_transition(self._num_steps)
+            self._num_steps += 1
+
+    def final_guard(self, step: int) -> int:
+        """Return an activation literal for the final clauses of ``step``.
+
+        The guard variable ``final[step]`` implies that at time ``step``
+        exactly the outputs are pebbled; assuming it selects that bound in
+        an incremental solver without committing to it.  Guards are cached
+        per step.
+        """
+        cnf = self._require_frames()
+        if step > self._num_steps:
+            raise PebblingError(
+                f"cannot guard step {step}: only {self._num_steps} frames encoded"
+            )
+        guard = self._guards.get(step)
+        if guard is None:
+            guard = cnf.new_variable(f"final[{step}]")
+            for node in self._nodes:
+                literal = self._variables[(node, step)]
+                cnf.add_clause(
+                    [-guard, literal if node in self._outputs else -literal]
+                )
+            self._guards[step] = guard
+        return guard
+
+    def assert_final(self, step: int) -> None:
+        """Permanently constrain time ``step`` to the final configuration."""
+        cnf = self._require_frames()
+        if step > self._num_steps:
+            raise PebblingError(
+                f"cannot finalise step {step}: only {self._num_steps} frames encoded"
+            )
+        for node in self._nodes:
+            literal = self._variables[(node, step)]
+            cnf.add_unit(literal if node in self._outputs else -literal)
+
+    def drain_new_clauses(self) -> list:
+        """Return the clauses emitted since the last drain (for flushing)."""
+        cnf = self._require_frames()
+        fresh = cnf.clauses[self._drained:]
+        self._drained = len(cnf.clauses)
+        return fresh
+
+    def variable(self, node: NodeId, step: int) -> int:
+        """Return the CNF variable of ``p[node, step]``."""
+        try:
+            return self._variables[(node, step)]
+        except KeyError as exc:
+            raise PebblingError(f"no pebble variable for ({node!r}, {step})") from exc
+
+    def configurations_from_model(
+        self, model: dict[int, bool], *, num_steps: int | None = None
+    ) -> list[set[NodeId]]:
+        """Decode a model into configurations ``0 .. num_steps``."""
+        bound = self._num_steps if num_steps is None else num_steps
+        return [
+            {
+                node
+                for node in self._nodes
+                if model.get(self._variables[(node, step)], False)
+            }
+            for step in range(bound + 1)
+        ]
+
+    def to_encoding(self, *, num_steps: int | None = None) -> PebblingEncoding:
+        """Package the current frames as a :class:`PebblingEncoding`."""
+        self._require_frames()
+        assert self.max_pebbles is not None
+        return PebblingEncoding(
+            dag=self.dag,
+            num_steps=self._num_steps if num_steps is None else num_steps,
+            max_pebbles=self.max_pebbles,
+            cnf=self._cnf,
+            pebble_variables=dict(self._variables),
+        )
+
+    # -- one-shot (monolithic) path ---------------------------------------
+    def encode(
+        self, *, num_steps: int, max_pebbles: int | None = None
+    ) -> PebblingEncoding:
+        """Encode Problem 2 for ``max_pebbles`` pebbles and ``num_steps`` steps.
+
+        Runs ``extend_to(num_steps)`` + ``assert_final(num_steps)`` on a
+        fresh frame engine, so the one-shot CNF is frame-for-frame the
+        incremental CNF with the guarded final constraint replaced by
+        units.
+        """
+        budget = max_pebbles if max_pebbles is not None else self.max_pebbles
+        if budget is None:
+            raise PebblingError("encode() needs max_pebbles")
         if num_steps < 1:
             raise PebblingError("num_steps must be >= 1")
-        dag = self.dag
-        nodes = dag.topological_order()
-        outputs = set(dag.outputs())
-        cnf = Cnf()
-        cnf.add_comment(
-            f"reversible pebbling: dag={dag.name} nodes={len(nodes)} "
-            f"pebbles={max_pebbles} steps={num_steps}"
-        )
-        variables: dict[tuple[NodeId, int], int] = {}
-        for step in range(num_steps + 1):
-            for node in nodes:
-                variables[(node, step)] = cnf.new_variable(f"p[{node},{step}]")
-
-        # Initial and final clauses.
-        for node in nodes:
-            cnf.add_unit(-variables[(node, 0)])
-        for node in nodes:
-            literal = variables[(node, num_steps)]
-            cnf.add_unit(literal if node in outputs else -literal)
-
-        # Move clauses.
-        for step in range(num_steps):
-            for node in nodes:
-                now = variables[(node, step)]
-                then = variables[(node, step + 1)]
-                for dependency in dag.dependencies(node):
-                    dep_now = variables[(dependency, step)]
-                    dep_then = variables[(dependency, step + 1)]
-                    # (now xor then) -> dep_now  and  (now xor then) -> dep_then
-                    cnf.add_clause([-now, then, dep_now])
-                    cnf.add_clause([now, -then, dep_now])
-                    cnf.add_clause([-now, then, dep_then])
-                    cnf.add_clause([now, -then, dep_then])
-
-        # Cardinality clauses: at most ``max_pebbles`` pebbles per time point.
-        if max_pebbles < len(nodes):
-            for step in range(num_steps + 1):
-                step_literals = [variables[(node, step)] for node in nodes]
-                at_most_k(cnf, step_literals, max_pebbles, encoding=self.options.cardinality)
-
-        # Optional per-transition move variables and their constraints.
-        if self.options.max_moves_per_step is not None or self.options.forbid_idle_steps:
-            for step in range(num_steps):
-                move_literals = []
-                for node in nodes:
-                    move = cnf.new_variable(f"m[{node},{step}]")
-                    now = variables[(node, step)]
-                    then = variables[(node, step + 1)]
-                    # move <-> (now xor then)
-                    cnf.add_clause([-move, now, then])
-                    cnf.add_clause([-move, -now, -then])
-                    cnf.add_clause([move, -now, then])
-                    cnf.add_clause([move, now, -then])
-                    move_literals.append(move)
-                if self.options.max_moves_per_step is not None:
-                    at_most_k(
-                        cnf,
-                        move_literals,
-                        self.options.max_moves_per_step,
-                        encoding=self.options.cardinality,
-                    )
-                if self.options.forbid_idle_steps:
-                    cnf.add_clause(move_literals)
-
-        return PebblingEncoding(
-            dag=dag,
-            num_steps=num_steps,
-            max_pebbles=max_pebbles,
-            cnf=cnf,
-            pebble_variables=variables,
-        )
+        worker = PebblingEncoder(self.dag, max_pebbles=budget, options=self.options)
+        worker.extend_to(num_steps)
+        worker.assert_final(num_steps)
+        worker.cnf.comments[0] += f" steps={num_steps}"
+        return worker.to_encoding()

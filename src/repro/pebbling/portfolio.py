@@ -1,0 +1,281 @@
+"""Parallel portfolio orchestration of pebbling searches.
+
+The paper's evaluation is dominated by *sweeps*: Table I scans pebble
+budgets per workload, Fig. 5 scans budgets per program, and any serious
+batch run scans many workloads.  Every point of such a sweep is an
+independent SAT search, so this module fans them out across a
+:class:`concurrent.futures.ProcessPoolExecutor` (pure-Python SAT solving is
+CPU-bound, so processes — not threads — are required to actually use more
+than one core).
+
+Design rules:
+
+* **Tasks are plain data.**  A :class:`PortfolioTask` is a frozen,
+  picklable description (workload *name*, not a DAG object); each worker
+  rebuilds its DAG from the registry, which keeps inter-process traffic to
+  a few hundred bytes per task.
+* **Per-worker time budgets.**  Every task carries its own ``time_limit``
+  which bounds the SAT search inside the worker, mirroring the paper's
+  per-instance 2-minute budget.
+* **Deterministic merging.**  Results are returned in task-submission
+  order regardless of completion order, and a worker crash is captured as
+  an ``error`` record instead of poisoning the whole sweep, so ``--jobs 1``
+  and ``--jobs N`` produce identical reports (modulo runtimes).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.errors import PebblingError
+from repro.pebbling.encoding import EncodingOptions
+from repro.pebbling.search import strategy_from_name
+from repro.pebbling.solver import ReversiblePebblingSolver
+from repro.sat.cards import CardinalityEncoding
+from repro.workloads.registry import (
+    BatchEntry,
+    format_task_name,
+    load_workload_or_path,
+    suite_entries,
+)
+
+
+@dataclass(frozen=True)
+class PortfolioTask:
+    """One pebbling search of a sweep, as picklable plain data."""
+
+    workload: str
+    pebbles: int
+    scale: float = 1.0
+    single_move: bool = False
+    cardinality: str = "sequential"
+    schedule: str = "linear"
+    step_increment: int = 1
+    incremental: bool = True
+    time_limit: float | None = 60.0
+    max_steps: int | None = None
+    initial_steps: int | None = None
+
+    @property
+    def name(self) -> str:
+        """Stable display/merge key of the task (shared with BatchEntry)."""
+        return format_task_name(
+            self.workload, self.pebbles, single_move=self.single_move, scale=self.scale
+        )
+
+
+@dataclass
+class PortfolioRecord:
+    """The merged result of one portfolio task."""
+
+    task: PortfolioTask
+    outcome: str
+    steps: int | None = None
+    moves: int | None = None
+    pebbles_used: int | None = None
+    runtime: float = 0.0
+    sat_calls: int = 0
+    configurations: list[list[str]] | None = None
+    error: str | None = None
+
+    @property
+    def name(self) -> str:
+        return self.task.name
+
+    @property
+    def found(self) -> bool:
+        return self.outcome == "solution"
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dictionary row used by the CLI table and benchmark report."""
+        return {
+            "name": self.name,
+            "workload": self.task.workload,
+            "pebbles": self.task.pebbles,
+            "outcome": self.outcome,
+            "steps": self.steps,
+            "moves": self.moves,
+            "pebbles_used": self.pebbles_used,
+            "runtime": round(self.runtime, 3),
+            "sat_calls": self.sat_calls,
+            "error": self.error,
+        }
+
+
+def _execute_task(task: PortfolioTask) -> PortfolioRecord:
+    """Run one task start-to-finish inside a worker process."""
+    try:
+        dag = load_workload_or_path(task.workload, scale=task.scale)
+        options = EncodingOptions(
+            cardinality=CardinalityEncoding.from_name(task.cardinality),
+            max_moves_per_step=1 if task.single_move else None,
+        )
+        # strategy_from_name validates the combination — a non-linear
+        # schedule with a non-default step_increment becomes an error
+        # record, never a silently ignored parameter.
+        search = strategy_from_name(task.schedule, step_increment=task.step_increment)
+        solver = ReversiblePebblingSolver(
+            dag, options=options, incremental=task.incremental
+        )
+        result = solver.solve(
+            task.pebbles,
+            strategy=search,
+            time_limit=task.time_limit,
+            max_steps=task.max_steps,
+            initial_steps=task.initial_steps,
+        )
+    except Exception as error:  # noqa: BLE001 — a crashed task must not kill the sweep
+        return PortfolioRecord(task=task, outcome="error", error=str(error))
+    record = PortfolioRecord(
+        task=task,
+        outcome=result.outcome.value,
+        steps=result.num_steps,
+        moves=result.num_moves,
+        runtime=result.runtime,
+        sat_calls=len(result.attempts),
+    )
+    if result.strategy is not None:
+        record.pebbles_used = result.strategy.max_pebbles
+        record.configurations = [
+            sorted(str(node) for node in configuration)
+            for configuration in result.strategy.configurations
+        ]
+    return record
+
+
+def run_portfolio(
+    tasks: Iterable[PortfolioTask], *, jobs: int = 1
+) -> list[PortfolioRecord]:
+    """Run every task, ``jobs`` at a time, and merge deterministically.
+
+    ``jobs == 1`` runs inline (no process-pool overhead); ``jobs > 1`` fans
+    out over a :class:`ProcessPoolExecutor`.  Either way the returned list
+    is ordered like ``tasks``.
+    """
+    task_list = list(tasks)
+    if jobs < 1:
+        raise PebblingError("jobs must be >= 1")
+    if jobs == 1 or len(task_list) <= 1:
+        return [_execute_task(task) for task in task_list]
+    records: list[PortfolioRecord] = []
+    with ProcessPoolExecutor(max_workers=min(jobs, len(task_list))) as pool:
+        futures = [pool.submit(_execute_task, task) for task in task_list]
+        for task, future in zip(task_list, futures):
+            try:
+                records.append(future.result())
+            except Exception as error:  # noqa: BLE001 — e.g. a worker killed by the OS
+                records.append(
+                    PortfolioRecord(task=task, outcome="error", error=str(error))
+                )
+    return records
+
+
+def tasks_from_suite(
+    suite: str | Sequence[BatchEntry],
+    *,
+    time_limit: float | None = 60.0,
+    schedule: str = "linear",
+    cardinality: str = "sequential",
+    incremental: bool = True,
+) -> list[PortfolioTask]:
+    """Turn a named batch suite (or explicit entries) into portfolio tasks."""
+    entries = suite_entries(suite) if isinstance(suite, str) else list(suite)
+    return [
+        PortfolioTask(
+            workload=entry.workload,
+            pebbles=entry.pebbles,
+            scale=entry.scale,
+            single_move=entry.single_move,
+            time_limit=time_limit,
+            schedule=schedule,
+            cardinality=cardinality,
+            incremental=incremental,
+        )
+        for entry in entries
+    ]
+
+
+def budget_sweep_tasks(
+    workload: str,
+    budgets: Iterable[int],
+    *,
+    scale: float = 1.0,
+    time_limit: float | None = 120.0,
+    schedule: str = "linear",
+    **task_kwargs,
+) -> list[PortfolioTask]:
+    """Tasks for a Table-I style budget sweep over one workload."""
+    return [
+        PortfolioTask(
+            workload=workload,
+            pebbles=budget,
+            scale=scale,
+            time_limit=time_limit,
+            schedule=schedule,
+            **task_kwargs,
+        )
+        for budget in budgets
+    ]
+
+
+@dataclass
+class SweepResult:
+    """Outcome of a parallel Table-I budget sweep."""
+
+    workload: str
+    best: PortfolioRecord | None
+    records: list[PortfolioRecord] = field(default_factory=list)
+
+    @property
+    def minimum_pebbles(self) -> int | None:
+        return self.best.task.pebbles if self.best is not None else None
+
+
+def minimize_pebbles_portfolio(
+    workload: str,
+    *,
+    scale: float = 1.0,
+    jobs: int = 1,
+    timeout_per_budget: float | None = 120.0,
+    lower_bound: int | None = None,
+    upper_bound: int | None = None,
+    schedule: str = "linear",
+    **task_kwargs,
+) -> SweepResult:
+    """Parallel version of the Table-I outer loop.
+
+    Instead of scanning budgets one at a time (stopping after the first
+    failure), every budget of ``[lower_bound, upper_bound]`` (inclusive —
+    the eager-Bennett upper bound is the guaranteed-feasible anchor) becomes
+    an independent task with its own per-budget timeout, the tasks run
+    ``jobs``-wide, and the smallest budget with a solution wins.  The
+    sequential scan's early-exit saves *work*; the portfolio saves
+    *wall-clock* — the right trade once cores are available.
+    """
+    dag = load_workload_or_path(workload, scale=scale)
+    probe = ReversiblePebblingSolver(dag)
+    if lower_bound is None:
+        lower_bound = probe.minimum_pebbles_lower_bound()
+    if upper_bound is None:
+        from repro.pebbling.bennett import eager_bennett_strategy
+
+        upper_bound = eager_bennett_strategy(dag).max_pebbles
+    if upper_bound < lower_bound:
+        upper_bound = lower_bound
+    tasks = budget_sweep_tasks(
+        workload,
+        range(lower_bound, upper_bound + 1),
+        scale=scale,
+        time_limit=timeout_per_budget,
+        schedule=schedule,
+        **task_kwargs,
+    )
+    records = run_portfolio(tasks, jobs=jobs)
+    best = None
+    for record in records:  # ascending budgets: first solution is minimal
+        if record.found:
+            best = record
+            break
+    return SweepResult(workload=workload, best=best, records=records)

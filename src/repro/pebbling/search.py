@@ -1,0 +1,237 @@
+"""Step-bound search strategies for the pebbling solver (Problem 1).
+
+The paper's Problem 1 asks for the minimum number of steps ``K`` within a
+pebble budget.  The solver probes the SAT oracle at a sequence of step
+bounds; *how* that sequence evolves is a pluggable :class:`SearchStrategy`:
+
+* :class:`LinearSearch` — the paper's loop: try ``K, K + d, K + 2d, ...``
+  until the first SAT answer, which (with ``d = 1`` and a valid lower
+  bound) is step-minimal;
+* :class:`GeometricSearch` — multiply the bound after every UNSAT answer;
+  far fewer SAT calls on tightly constrained instances, at the price of
+  step minimality (used by the Fig. 5 budget sweeps);
+* :class:`GeometricRefine` — overshoot geometrically until the first SAT
+  answer, then binary-search the interval between the largest known-UNSAT
+  bound and the SAT bound down to the minimal ``K``.  Combined with the
+  incremental engine this reuses one live solver (and its learned clauses)
+  across the whole search, giving geometric's call count *and* linear's
+  minimality.
+
+Strategies are immutable, picklable configuration objects; each search
+obtains a private :class:`SearchCursor` via :meth:`SearchStrategy.start`,
+so one strategy instance can drive many searches (e.g. every budget of a
+``minimize_pebbles`` scan) concurrently.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.errors import PebblingError
+
+
+class SearchCursor(ABC):
+    """Mutable state of one step-bound search.
+
+    ``bound`` is the step count to query next; :meth:`advance` consumes the
+    SAT/UNSAT answer for the current bound and returns the next bound, or
+    ``None`` when the search is complete (the engine then reports the best
+    solution seen so far).
+    """
+
+    bound: int
+
+    @abstractmethod
+    def advance(self, sat: bool) -> int | None:
+        """Record the oracle's answer for ``bound``; return the next bound."""
+
+
+class SearchStrategy(ABC):
+    """Immutable configuration of a step-bound search schedule."""
+
+    #: Short name used by the CLI and result summaries.
+    name: str = "abstract"
+
+    @abstractmethod
+    def start(self, initial: int, floor: int, ceiling: int | None = None) -> SearchCursor:
+        """Begin a search at ``initial`` steps.
+
+        ``floor`` is a *sound* structural lower bound on the step count
+        (every strategy may assume no solution exists below it); refining
+        strategies use it as the lower bracket when the very first query is
+        already satisfiable.  ``ceiling`` is the caller's ``max_steps``
+        budget: overshooting strategies clamp their growth to it so a
+        solution just below the budget is not jumped over.
+        """
+
+
+class _LinearCursor(SearchCursor):
+    def __init__(self, initial: int, step_increment: int):
+        self.bound = initial
+        self._increment = step_increment
+
+    def advance(self, sat: bool) -> int | None:
+        if sat:
+            return None
+        self.bound += self._increment
+        return self.bound
+
+
+@dataclass(frozen=True)
+class LinearSearch(SearchStrategy):
+    """Add ``step_increment`` after every UNSAT answer (paper's Problem 1)."""
+
+    step_increment: int = 1
+    name = "linear"
+
+    def __post_init__(self) -> None:
+        if self.step_increment < 1:
+            raise PebblingError("step_increment must be >= 1")
+
+    def start(self, initial: int, floor: int, ceiling: int | None = None) -> SearchCursor:
+        return _LinearCursor(initial, self.step_increment)
+
+
+def _grow(bound: int, factor: float) -> int:
+    return max(bound + 1, int(bound * factor))
+
+
+class _GeometricCursor(SearchCursor):
+    def __init__(self, initial: int, factor: float):
+        self.bound = initial
+        self._factor = factor
+
+    def advance(self, sat: bool) -> int | None:
+        if sat:
+            return None
+        self.bound = _grow(self.bound, self._factor)
+        return self.bound
+
+
+@dataclass(frozen=True)
+class GeometricSearch(SearchStrategy):
+    """Multiply the bound by ``factor`` after every UNSAT answer."""
+
+    factor: float = 1.5
+    name = "geometric"
+
+    def __post_init__(self) -> None:
+        if self.factor <= 1.0:
+            raise PebblingError("geometric factor must be > 1")
+
+    def start(self, initial: int, floor: int, ceiling: int | None = None) -> SearchCursor:
+        return _GeometricCursor(initial, self.factor)
+
+
+class _GeometricRefineCursor(SearchCursor):
+    """Geometric overshoot, then binary refinement down to the minimum.
+
+    Invariants: every bound below ``_lo`` is known (or structurally
+    guaranteed) UNSAT; ``_hi`` is the smallest known-SAT bound (``None``
+    during the overshoot phase).  The search ends when the bracket closes
+    (``_lo == _hi``).  Soundness of both the bracket and the ceiling
+    cut-off relies on step-satisfiability being monotone in K (a K-step
+    strategy pads to K+1 with an idle step), which is why the solver
+    rejects this strategy when idle steps are forbidden.
+
+    Overshoot growth is clamped to ``ceiling``: an UNSAT answer *at* the
+    ceiling proves (by monotonicity) that no bound within the budget works,
+    so the search stops definitively instead of jumping past a feasible
+    bound just below the budget.
+    """
+
+    def __init__(self, initial: int, floor: int, factor: float, ceiling: int | None):
+        self.bound = initial
+        self._lo = min(floor, initial)
+        self._hi: int | None = None
+        self._factor = factor
+        self._ceiling = ceiling
+
+    def advance(self, sat: bool) -> int | None:
+        if sat:
+            self._hi = self.bound
+        else:
+            self._lo = self.bound + 1
+        if self._hi is None:
+            if self._ceiling is not None and self.bound >= self._ceiling:
+                return None  # UNSAT at the ceiling: nothing in budget works
+            self.bound = _grow(self.bound, self._factor)
+            if self._ceiling is not None:
+                self.bound = min(self.bound, self._ceiling)
+            return self.bound
+        if self._lo >= self._hi:
+            return None
+        self.bound = (self._lo + self._hi) // 2
+        return self.bound
+
+
+@dataclass(frozen=True)
+class GeometricRefine(SearchStrategy):
+    """Overshoot geometrically, then binary-search down to the minimal K."""
+
+    factor: float = 1.5
+    name = "geometric-refine"
+
+    def __post_init__(self) -> None:
+        if self.factor <= 1.0:
+            raise PebblingError("geometric factor must be > 1")
+
+    def start(self, initial: int, floor: int, ceiling: int | None = None) -> SearchCursor:
+        return _GeometricRefineCursor(initial, floor, self.factor, ceiling)
+
+
+#: Names accepted wherever a schedule can be given as a string.
+STRATEGY_NAMES = ("linear", "geometric", "geometric-refine")
+
+
+def strategy_from_name(name: str, *, step_increment: int | None = None) -> SearchStrategy:
+    """Build a strategy from its CLI/legacy name.
+
+    ``step_increment`` only makes sense for the linear schedule; passing it
+    with any other name raises, instead of the historical behaviour of
+    silently ignoring it.
+    """
+    if name == "linear":
+        return LinearSearch(step_increment=1 if step_increment is None else step_increment)
+    if step_increment is not None and step_increment != 1:
+        raise PebblingError(
+            f"step_increment={step_increment} has no effect on the {name!r} "
+            "schedule; drop it or use the linear schedule"
+        )
+    if name == "geometric":
+        return GeometricSearch()
+    if name == "geometric-refine":
+        return GeometricRefine()
+    raise PebblingError(
+        f"step_schedule must be one of {', '.join(map(repr, STRATEGY_NAMES))}"
+    )
+
+
+def resolve_search_strategy(
+    strategy: SearchStrategy | str | None = None,
+    *,
+    step_schedule: str | None = None,
+    step_increment: int | None = None,
+) -> SearchStrategy:
+    """Resolve the solver's search-schedule arguments to one strategy object.
+
+    Exactly one of ``strategy`` (an object or a name) and the legacy
+    ``step_schedule`` string may be given; combining them, or combining a
+    non-linear schedule with ``step_increment``, raises
+    :class:`~repro.errors.PebblingError` — validation lives here, once,
+    instead of being duplicated across the solver's search loops.
+    """
+    if strategy is not None and step_schedule is not None:
+        raise PebblingError("pass either strategy= or step_schedule=, not both")
+    if isinstance(strategy, SearchStrategy):
+        if step_increment is not None:
+            raise PebblingError(
+                "step_increment cannot be combined with a SearchStrategy object; "
+                "configure the strategy instead"
+            )
+        return strategy
+    name = strategy if isinstance(strategy, str) else step_schedule
+    if name is None:
+        name = "linear"
+    return strategy_from_name(name, step_increment=step_increment)

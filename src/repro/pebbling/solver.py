@@ -13,12 +13,15 @@ paper's evaluation:
   within a per-budget timeout.
 
 Both loops support the incremental mode, which keeps a single
-:class:`~repro.sat.solver.CdclSolver` alive across step bounds: the
-final-configuration constraint of each bound is guarded by an activation
-literal and selected with assumptions, so learned clauses are reused when
-moving from ``K`` to ``K + 1``.  The non-incremental mode re-encodes from
-scratch for every ``K`` (the paper's plain approach) and is kept for the
-ablation benchmark.
+:class:`~repro.sat.solver.CdclSolver` alive across step bounds: the clause
+frames come from one stateful :class:`~repro.pebbling.encoding.PebblingEncoder`
+(``extend_to`` emits only the new frames), the final-configuration
+constraint of each bound is guarded by an activation literal from
+``final_guard`` and selected with assumptions, so learned clauses are
+reused when moving between bounds.  The non-incremental mode re-encodes
+from scratch for every ``K`` (the paper's plain approach) and is kept for
+the ablation benchmark.  How the step bound evolves between SAT calls is a
+pluggable :class:`~repro.pebbling.search.SearchStrategy`.
 """
 
 from __future__ import annotations
@@ -29,12 +32,16 @@ from enum import Enum
 from typing import Callable
 
 from repro.errors import PebblingError
-from repro.dag.graph import Dag, NodeId
+from repro.dag.graph import Dag
 from repro.pebbling.bennett import eager_bennett_strategy
 from repro.pebbling.encoding import EncodingOptions, PebblingEncoder
+from repro.pebbling.search import (
+    GeometricRefine,
+    SearchCursor,
+    SearchStrategy,
+    resolve_search_strategy,
+)
 from repro.pebbling.strategy import PebblingStrategy
-from repro.sat.cards import at_most_k
-from repro.sat.cnf import Cnf
 from repro.sat.solver import CdclSolver, Status
 
 
@@ -69,7 +76,13 @@ class PebblingResult:
     """Result of a pebbling search.
 
     ``strategy`` is ``None`` unless ``outcome`` is
-    :attr:`PebblingOutcome.SOLUTION`.
+    :attr:`PebblingOutcome.SOLUTION`.  ``complete`` records whether the
+    search strategy ran to its natural end (linear/geometric stopped at
+    their first SAT answer, geometric-refine closed its bracket or proved
+    the step budget infeasible); it is ``False`` when a time limit cut the
+    search short — in particular a geometric-refine ``SOLUTION`` with
+    ``complete=False`` carries a witness whose step count was *not*
+    certified minimal.
     """
 
     dag_name: str
@@ -78,6 +91,7 @@ class PebblingResult:
     strategy: PebblingStrategy | None = None
     runtime: float = 0.0
     attempts: list[AttemptRecord] = field(default_factory=list)
+    complete: bool = False
 
     @property
     def found(self) -> bool:
@@ -105,6 +119,7 @@ class PebblingResult:
             "moves": self.num_moves,
             "runtime": round(self.runtime, 3),
             "sat_calls": len(self.attempts),
+            "complete": self.complete,
         }
 
 
@@ -208,37 +223,51 @@ class ReversiblePebblingSolver:
         max_pebbles: int,
         *,
         initial_steps: int | None = None,
-        step_increment: int = 1,
-        step_schedule: str = "linear",
+        step_increment: int | None = None,
+        step_schedule: str | None = None,
+        strategy: SearchStrategy | str | None = None,
         max_steps: int | None = None,
         time_limit: float | None = None,
     ) -> PebblingResult:
         """Find a strategy with at most ``max_pebbles`` pebbles.
 
         The number of steps starts at ``initial_steps`` (default: a structural
-        lower bound) and grows after every UNSAT answer until a solution is
-        found, ``max_steps`` is exceeded, or the time budget runs out.
+        lower bound) and evolves after every oracle answer until the search
+        strategy is satisfied, ``max_steps`` is exceeded, or the time budget
+        runs out.
 
-        ``step_schedule`` controls how the bound grows:
-
-        * ``"linear"`` (the paper's Problem 1 loop) — add ``step_increment``
-          after each UNSAT answer, which yields a step-minimal solution;
-        * ``"geometric"`` — multiply the bound by 1.5 after each UNSAT
-          answer, which gives up step minimality in exchange for far fewer
-          SAT calls on tightly constrained instances (used by the Fig. 5
-          budget sweeps on larger programs).
+        ``strategy`` selects how the step bound evolves — a
+        :class:`~repro.pebbling.search.SearchStrategy` object or one of the
+        names ``"linear"`` (the paper's Problem 1 loop, step-minimal),
+        ``"geometric"`` (×1.5 after every UNSAT answer, fewer SAT calls) and
+        ``"geometric-refine"`` (geometric overshoot, then binary refinement
+        back down to the minimal ``K``).  The legacy ``step_schedule`` /
+        ``step_increment`` keywords are still accepted; meaningless
+        combinations (a non-linear schedule with ``step_increment``, or both
+        ``strategy`` and ``step_schedule``) now raise instead of being
+        silently ignored.
         """
         if max_pebbles < 1:
             raise PebblingError("max_pebbles must be >= 1")
-        if step_increment < 1:
-            raise PebblingError("step_increment must be >= 1")
-        if step_schedule not in ("linear", "geometric"):
-            raise PebblingError("step_schedule must be 'linear' or 'geometric'")
+        search = resolve_search_strategy(
+            strategy, step_schedule=step_schedule, step_increment=step_increment
+        )
+        if isinstance(search, GeometricRefine) and self.options.forbid_idle_steps:
+            # With idle steps forbidden, a K-step strategy cannot always be
+            # padded to K+1 steps, so step-satisfiability is not monotone in
+            # K (e.g. single-move strategies fix the parity of K) and the
+            # bracket refinement would certify wrong minima.
+            raise PebblingError(
+                "geometric-refine requires idle steps to be allowed "
+                "(forbid_idle_steps makes step-satisfiability non-monotone); "
+                "use the linear schedule instead"
+            )
         started = time.monotonic()
         result = PebblingResult(self.dag.name, max_pebbles, PebblingOutcome.TIMEOUT)
 
         if max_pebbles < self.minimum_pebbles_lower_bound():
             result.outcome = PebblingOutcome.INFEASIBLE
+            result.complete = True
             result.runtime = time.monotonic() - started
             return result
 
@@ -246,17 +275,17 @@ class ReversiblePebblingSolver:
             # 4 |V|^2 is far beyond any minimal strategy we can extract and
             # only acts as a runaway guard.
             max_steps = max(16, 4 * self.dag.num_nodes * self.dag.num_nodes)
-        num_steps = initial_steps or self.default_initial_steps(max_pebbles=max_pebbles)
+        floor = self.default_initial_steps(max_pebbles=max_pebbles)
+        initial = initial_steps or floor
+        cursor = search.start(initial, min(floor, initial), max_steps)
 
         if self.incremental:
             outcome = self._solve_incremental(
-                result, max_pebbles, num_steps, step_increment, step_schedule,
-                max_steps, time_limit, started,
+                result, max_pebbles, cursor, max_steps, time_limit, started
             )
         else:
             outcome = self._solve_monolithic(
-                result, max_pebbles, num_steps, step_increment, step_schedule,
-                max_steps, time_limit, started,
+                result, max_pebbles, cursor, max_steps, time_limit, started
             )
         result.outcome = outcome
         result.runtime = time.monotonic() - started
@@ -268,36 +297,49 @@ class ReversiblePebblingSolver:
         return time_limit - (time.monotonic() - started)
 
     @staticmethod
-    def _next_steps(num_steps: int, step_increment: int, step_schedule: str) -> int:
-        if step_schedule == "geometric":
-            return max(num_steps + 1, int(num_steps * 3 / 2))
-        return num_steps + step_increment
+    def _keep_best(
+        best: PebblingStrategy | None, candidate: PebblingStrategy
+    ) -> PebblingStrategy:
+        if best is None or candidate.num_steps <= best.num_steps:
+            return candidate
+        return best
 
     def _solve_monolithic(
         self,
         result: PebblingResult,
         max_pebbles: int,
-        num_steps: int,
-        step_increment: int,
-        step_schedule: str,
+        cursor: SearchCursor,
         max_steps: int,
         time_limit: float | None,
         started: float,
     ) -> PebblingOutcome:
-        while num_steps <= max_steps:
+        best: PebblingStrategy | None = None
+        bound: int | None = cursor.bound
+        while bound is not None and bound <= max_steps:
             remaining = self._remaining(time_limit, started)
             if remaining is not None and remaining <= 0:
-                return PebblingOutcome.TIMEOUT
+                result.strategy = best
+                return (
+                    PebblingOutcome.SOLUTION if best else PebblingOutcome.TIMEOUT
+                )
             status, strategy, record = self.solve_fixed(
-                max_pebbles=max_pebbles, num_steps=num_steps, time_limit=remaining
+                max_pebbles=max_pebbles, num_steps=bound, time_limit=remaining
             )
             result.attempts.append(record)
             if status is Status.SATISFIABLE and strategy is not None:
-                result.strategy = strategy
-                return PebblingOutcome.SOLUTION
-            if status is Status.UNKNOWN:
-                return PebblingOutcome.TIMEOUT
-            num_steps = self._next_steps(num_steps, step_increment, step_schedule)
+                best = self._keep_best(best, strategy)
+                bound = cursor.advance(True)
+            elif status is Status.UNKNOWN:
+                result.strategy = best
+                return (
+                    PebblingOutcome.SOLUTION if best else PebblingOutcome.TIMEOUT
+                )
+            else:
+                bound = cursor.advance(False)
+        result.strategy = best
+        result.complete = True
+        if best is not None:
+            return PebblingOutcome.SOLUTION
         return PebblingOutcome.STEP_LIMIT
 
     # -- incremental engine ------------------------------------------------
@@ -305,96 +347,40 @@ class ReversiblePebblingSolver:
         self,
         result: PebblingResult,
         max_pebbles: int,
-        initial_steps: int,
-        step_increment: int,
-        step_schedule: str,
+        cursor: SearchCursor,
         max_steps: int,
         time_limit: float | None,
         started: float,
     ) -> PebblingOutcome:
-        dag = self.dag
-        nodes = dag.topological_order()
-        outputs = set(dag.outputs())
-        cnf = Cnf()
-        variables: dict[tuple[NodeId, int], int] = {}
+        """Drive the search over one live solver fed by the frame encoder.
+
+        All pebbling clauses come from a single stateful
+        :class:`PebblingEncoder`: ``extend_to`` emits the new frames,
+        ``final_guard`` the per-bound activation literal, and
+        ``drain_new_clauses`` hands exactly the fresh clauses to the
+        incremental SAT solver.
+        """
+        encoder = PebblingEncoder(
+            self.dag, max_pebbles=max_pebbles, options=self.options
+        )
         solver = self.solver_factory(conflict_limit=self.conflict_limit)
-
-        def add_configuration(step: int) -> None:
-            for node in nodes:
-                variables[(node, step)] = cnf.new_variable(f"p[{node},{step}]")
-            if max_pebbles < len(nodes):
-                at_most_k(
-                    cnf,
-                    [variables[(node, step)] for node in nodes],
-                    max_pebbles,
-                    encoding=self.options.cardinality,
-                )
-
-        def add_transition(step: int) -> None:
-            move_literals: list[int] = []
-            for node in nodes:
-                now = variables[(node, step)]
-                then = variables[(node, step + 1)]
-                for dependency in dag.dependencies(node):
-                    dep_now = variables[(dependency, step)]
-                    dep_then = variables[(dependency, step + 1)]
-                    cnf.add_clause([-now, then, dep_now])
-                    cnf.add_clause([now, -then, dep_now])
-                    cnf.add_clause([-now, then, dep_then])
-                    cnf.add_clause([now, -then, dep_then])
-                if self.options.max_moves_per_step is not None or self.options.forbid_idle_steps:
-                    move = cnf.new_variable(f"m[{node},{step}]")
-                    cnf.add_clause([-move, now, then])
-                    cnf.add_clause([-move, -now, -then])
-                    cnf.add_clause([move, -now, then])
-                    cnf.add_clause([move, now, -then])
-                    move_literals.append(move)
-            if self.options.max_moves_per_step is not None:
-                at_most_k(
-                    cnf, move_literals, self.options.max_moves_per_step,
-                    encoding=self.options.cardinality,
-                )
-            if self.options.forbid_idle_steps:
-                cnf.add_clause(move_literals)
-
-        def add_final_guard(step: int) -> int:
-            guard = cnf.new_variable(f"final[{step}]")
-            for node in nodes:
-                literal = variables[(node, step)]
-                cnf.add_clause([-guard, literal if node in outputs else -literal])
-            return guard
-
-        pushed_clauses = 0
-
-        def flush_new_clauses() -> None:
-            # Push the clauses added to ``cnf`` since the last flush into the
-            # incremental solver.
-            nonlocal pushed_clauses
-            while pushed_clauses < len(cnf.clauses):
-                solver.add_clause(cnf.clauses[pushed_clauses].literals)
-                pushed_clauses += 1
-
-        # Build configurations 0 .. initial_steps.
-        add_configuration(0)
-        for node in nodes:
-            cnf.add_unit(-variables[(node, 0)])
-        current_steps = 0
-        num_steps = initial_steps
-        while current_steps < num_steps:
-            add_configuration(current_steps + 1)
-            add_transition(current_steps)
-            current_steps += 1
-
-        while num_steps <= max_steps:
+        best: PebblingStrategy | None = None
+        bound: int | None = cursor.bound
+        while bound is not None and bound <= max_steps:
             remaining = self._remaining(time_limit, started)
             if remaining is not None and remaining <= 0:
-                return PebblingOutcome.TIMEOUT
-            while current_steps < num_steps:
-                add_configuration(current_steps + 1)
-                add_transition(current_steps)
-                current_steps += 1
-            guard = add_final_guard(num_steps)
-            flush_new_clauses()
+                result.strategy = best
+                return (
+                    PebblingOutcome.SOLUTION if best else PebblingOutcome.TIMEOUT
+                )
+            # Refinement queries below the encoded frontier are sound here:
+            # the later frames stay satisfiable by freezing the final
+            # configuration (idle steps are always legal on this path —
+            # solve() rejects refining strategies under forbid_idle_steps).
+            encoder.extend_to(bound)
+            guard = encoder.final_guard(bound)
+            for clause in encoder.drain_new_clauses():
+                solver.add_clause(clause.literals)
             call_started = time.monotonic()
             sat_result = solver.solve(
                 [guard], time_limit=remaining, conflict_limit=self.conflict_limit
@@ -403,7 +389,7 @@ class ReversiblePebblingSolver:
             result.attempts.append(
                 AttemptRecord(
                     max_pebbles=max_pebbles,
-                    num_steps=num_steps,
+                    num_steps=bound,
                     status=sat_result.status,
                     runtime=elapsed,
                     conflicts=sat_result.stats.conflicts,
@@ -412,26 +398,35 @@ class ReversiblePebblingSolver:
             )
             if sat_result.is_sat:
                 assert sat_result.model is not None
-                configurations = [
-                    {
-                        node
-                        for node in nodes
-                        if sat_result.model.get(variables[(node, step)], False)
-                    }
-                    for step in range(num_steps + 1)
-                ]
-                result.strategy = PebblingStrategy(
-                    dag, configurations, max_moves_per_step=self.options.max_moves_per_step
+                configurations = encoder.configurations_from_model(
+                    sat_result.model, num_steps=bound
                 )
-                return PebblingOutcome.SOLUTION
-            if sat_result.is_unknown:
-                return PebblingOutcome.TIMEOUT
-            # The bound was UNSAT, so this guard will never be assumed
-            # again.  Asserting its negation as a unit lets the solver
-            # simplify the stale final-configuration clauses away at level 0
-            # instead of dragging them through every later propagation.
-            solver.add_clause([-guard])
-            num_steps = self._next_steps(num_steps, step_increment, step_schedule)
+                best = self._keep_best(
+                    best,
+                    PebblingStrategy(
+                        self.dag,
+                        configurations,
+                        max_moves_per_step=self.options.max_moves_per_step,
+                    ),
+                )
+                bound = cursor.advance(True)
+            elif sat_result.is_unknown:
+                result.strategy = best
+                return (
+                    PebblingOutcome.SOLUTION if best else PebblingOutcome.TIMEOUT
+                )
+            else:
+                # The bound was UNSAT, so this guard will never be assumed
+                # again.  Asserting its negation as a unit lets the solver
+                # simplify the stale final-configuration clauses away at
+                # level 0 instead of dragging them through every later
+                # propagation.
+                solver.add_clause([-guard])
+                bound = cursor.advance(False)
+        result.strategy = best
+        result.complete = True
+        if best is not None:
+            return PebblingOutcome.SOLUTION
         return PebblingOutcome.STEP_LIMIT
 
     # ------------------------------------------------------------------
@@ -444,8 +439,9 @@ class ReversiblePebblingSolver:
         lower_bound: int | None = None,
         timeout_per_budget: float | None = 120.0,
         max_steps: int | None = None,
-        step_increment: int = 1,
-        step_schedule: str = "linear",
+        step_increment: int | None = None,
+        step_schedule: str | None = None,
+        strategy: SearchStrategy | str | None = None,
         stop_after_failures: int = 1,
         warm_start: bool = True,
     ) -> tuple[PebblingResult | None, list[PebblingResult]]:
@@ -467,6 +463,10 @@ class ReversiblePebblingSolver:
 
         Returns ``(best_result, all_results)``.
         """
+        # Resolve (and validate) the search schedule once for the whole scan.
+        search = resolve_search_strategy(
+            strategy, step_schedule=step_schedule, step_increment=step_increment
+        )
         baseline = eager_bennett_strategy(self.dag)
         if upper_bound is None:
             upper_bound = baseline.max_pebbles
@@ -492,8 +492,7 @@ class ReversiblePebblingSolver:
                 budget,
                 time_limit=timeout_per_budget,
                 max_steps=max_steps,
-                step_increment=step_increment,
-                step_schedule=step_schedule,
+                strategy=search,
                 initial_steps=steps_hint if warm_start else None,
             )
             all_results.append(outcome)

@@ -102,8 +102,17 @@ def at_most_k(
     bound: int,
     *,
     encoding: "str | CardinalityEncoding" = CardinalityEncoding.SEQUENTIAL,
+    name_prefix: str | None = None,
 ) -> None:
-    """Add clauses stating that at most ``bound`` of ``literals`` are true."""
+    """Add clauses stating that at most ``bound`` of ``literals`` are true.
+
+    ``name_prefix`` names every auxiliary variable deterministically
+    (``<prefix>.r[i,j]`` for sequential-counter registers,
+    ``<prefix>.t[lo:hi,j]`` for totalizer outputs).  Encoders that need
+    structural CNF comparison up to variable renaming — the pebbling frame
+    parity tests — rely on these names; leave it ``None`` for anonymous
+    auxiliaries.
+    """
     literals = [check_literal(literal) for literal in literals]
     if bound < 0:
         cnf.add_clause([])  # nothing can satisfy a negative bound
@@ -118,9 +127,9 @@ def at_most_k(
     if strategy is CardinalityEncoding.PAIRWISE:
         _pairwise(cnf, literals, bound)
     elif strategy is CardinalityEncoding.SEQUENTIAL:
-        _sequential_counter(cnf, literals, bound)
+        _sequential_counter(cnf, literals, bound, name_prefix)
     else:
-        _totalizer(cnf, literals, bound)
+        _totalizer(cnf, literals, bound, name_prefix)
 
 
 # ---------------------------------------------------------------------------
@@ -144,13 +153,20 @@ def _pairwise(cnf: Cnf, literals: Sequence[int], bound: int) -> None:
 # ---------------------------------------------------------------------------
 # sequential counter (Sinz 2005)
 # ---------------------------------------------------------------------------
-def _sequential_counter(cnf: Cnf, literals: Sequence[int], bound: int) -> None:
+def _sequential_counter(
+    cnf: Cnf, literals: Sequence[int], bound: int, name_prefix: str | None = None
+) -> None:
     count = len(literals)
     # registers[i][j] is true when at least j+1 of the first i+1 literals
     # are true.
     registers = [
-        [cnf.new_variable() for _ in range(bound)]
-        for _ in range(count)
+        [
+            cnf.new_variable(
+                None if name_prefix is None else f"{name_prefix}.r[{i},{j}]"
+            )
+            for j in range(bound)
+        ]
+        for i in range(count)
     ]
     first = literals[0]
     cnf.add_clause([-first, registers[0][0]])
@@ -169,26 +185,42 @@ def _sequential_counter(cnf: Cnf, literals: Sequence[int], bound: int) -> None:
 # ---------------------------------------------------------------------------
 # totalizer (Bailleux & Boufkhad 2003)
 # ---------------------------------------------------------------------------
-def _totalizer(cnf: Cnf, literals: Sequence[int], bound: int) -> None:
-    output = _totalizer_tree(cnf, list(literals), bound)
+def _totalizer(
+    cnf: Cnf, literals: Sequence[int], bound: int, name_prefix: str | None = None
+) -> None:
+    output = _totalizer_tree(cnf, list(literals), bound, 0, len(literals), name_prefix)
     # Forbid the (bound+1)-th output from being true.
     if len(output) > bound:
         cnf.add_unit(-output[bound])
 
 
-def _totalizer_tree(cnf: Cnf, literals: list[int], bound: int) -> list[int]:
-    """Build a totalizer over ``literals``; return its sorted output literals.
+def _totalizer_tree(
+    cnf: Cnf,
+    literals: list[int],
+    bound: int,
+    lo: int,
+    hi: int,
+    name_prefix: str | None = None,
+) -> list[int]:
+    """Build a totalizer over ``literals[lo:hi]``; return its sorted outputs.
 
     Outputs are truncated at ``bound + 1`` since larger counts are never
-    distinguished by an at-most-``bound`` constraint.
+    distinguished by an at-most-``bound`` constraint.  ``lo``/``hi`` index
+    into the original literal list so auxiliary names stay stable per
+    subtree.
     """
-    if len(literals) == 1:
-        return [literals[0]]
-    middle = len(literals) // 2
-    left = _totalizer_tree(cnf, literals[:middle], bound)
-    right = _totalizer_tree(cnf, literals[middle:], bound)
+    if hi - lo == 1:
+        return [literals[lo]]
+    middle = lo + (hi - lo) // 2
+    left = _totalizer_tree(cnf, literals, bound, lo, middle, name_prefix)
+    right = _totalizer_tree(cnf, literals, bound, middle, hi, name_prefix)
     width = min(len(left) + len(right), bound + 1)
-    output = [cnf.new_variable() for _ in range(width)]
+    output = [
+        cnf.new_variable(
+            None if name_prefix is None else f"{name_prefix}.t[{lo}:{hi},{j}]"
+        )
+        for j in range(width)
+    ]
     # sum semantics: output[k] is true when at least k+1 inputs are true.
     for alpha in range(len(left) + 1):
         for beta in range(len(right) + 1):

@@ -15,19 +15,25 @@ benchmark harnesses consistent:
 """
 
 from repro.workloads.registry import (
+    BatchEntry,
     and_tree_dag,
     example_dag,
     hadamard_gate_level_dag,
+    list_suites,
     list_workloads,
     load_workload,
+    suite_entries,
     table1_rows,
 )
 
 __all__ = [
+    "BatchEntry",
     "and_tree_dag",
     "example_dag",
     "hadamard_gate_level_dag",
+    "list_suites",
     "list_workloads",
     "load_workload",
+    "suite_entries",
     "table1_rows",
 ]

@@ -3,9 +3,11 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.errors import WorkloadError
 from repro.dag.graph import Dag
+from repro.dag.io import dag_from_json
 from repro.logic.iscas import ISCAS_PROFILES, iscas_like_network
 from repro.logic.network import LogicNetwork
 from repro.slp.crypto import (
@@ -148,6 +150,89 @@ def table1_rows() -> list[Table1Row]:
     return list(TABLE1_ROWS)
 
 
+# ---------------------------------------------------------------------------
+# batch suites
+# ---------------------------------------------------------------------------
+def format_task_name(
+    workload: str, pebbles: int, *, single_move: bool = False, scale: float = 1.0
+) -> str:
+    """The canonical display/merge key of a (workload, budget) task.
+
+    Shared by the suite registry and the portfolio layer so suite entries
+    and portfolio records always agree on names.
+    """
+    suffix = "_sm" if single_move else ""
+    scale_tag = "" if scale == 1.0 else f"_s{scale:g}"
+    return f"{workload}_p{pebbles}{suffix}{scale_tag}"
+
+
+@dataclass(frozen=True)
+class BatchEntry:
+    """One task of a named batch suite: a workload plus solve parameters.
+
+    ``pebbles`` is the budget handed to the SAT search; entries with an
+    infeasible budget are deliberate — all-UNSAT sweeps are part of the
+    paper's methodology and exercise a different solver profile than
+    satisfiable instances.
+    """
+
+    workload: str
+    pebbles: int
+    scale: float = 1.0
+    single_move: bool = False
+
+    @property
+    def name(self) -> str:
+        """Stable display/merge key of the entry."""
+        return format_task_name(
+            self.workload, self.pebbles, single_move=self.single_move, scale=self.scale
+        )
+
+
+#: Named suites for ``repro-pebble pebble-batch`` and the portfolio
+#: benchmarks.  ``smoke`` is the CI subset; ``default`` is the registered
+#: workload suite swept by the Table-I style batch runs (a mix of SAT
+#: searches, all-UNSAT sweeps and single-move instances, all sized for the
+#: pure-Python engine).
+BATCH_SUITES: dict[str, tuple[BatchEntry, ...]] = {
+    "smoke": (
+        BatchEntry("fig2", 4),
+        BatchEntry("c17", 4),
+    ),
+    "default": (
+        BatchEntry("fig2", 4),
+        BatchEntry("fig2", 3),
+        BatchEntry("fig2", 4, single_move=True),
+        BatchEntry("and9", 5),
+        BatchEntry("and9", 4),
+        BatchEntry("and9", 4, single_move=True),
+        BatchEntry("hadamard", 5),
+        BatchEntry("c17", 4),
+        BatchEntry("c17", 3),
+    ),
+    "single-move": (
+        BatchEntry("fig2", 4, single_move=True),
+        BatchEntry("fig2", 6, single_move=True),
+        BatchEntry("and9", 4, single_move=True),
+    ),
+}
+
+
+def list_suites() -> list[str]:
+    """Names accepted by :func:`suite_entries`."""
+    return sorted(BATCH_SUITES)
+
+
+def suite_entries(name: str) -> list[BatchEntry]:
+    """Return the entries of the named batch suite."""
+    try:
+        return list(BATCH_SUITES[name])
+    except KeyError as exc:
+        raise WorkloadError(
+            f"unknown batch suite {name!r}; valid names: {list_suites()}"
+        ) from exc
+
+
 def list_workloads() -> list[str]:
     """Names accepted by :func:`load_workload`."""
     names = ["fig2", "and9", "hadamard", "kummer-add", "kummer-double", "edwards-add"]
@@ -189,6 +274,23 @@ def load_workload(name: str, *, scale: float = 1.0) -> Dag:
     if key in ISCAS_PROFILES:
         return _iscas_dag(key, scale)
     raise WorkloadError(f"unknown workload {name!r}; valid names: {list_workloads()}")
+
+
+def load_workload_or_path(spec: str, *, scale: float = 1.0) -> Dag:
+    """Load a workload by registry name, ``.bench`` path or DAG-JSON path.
+
+    This is the resolution rule shared by the CLI and the portfolio
+    workers: a ``.bench`` or ``.json`` suffix naming an existing file wins;
+    anything else is looked up in the registry.
+    """
+    path = Path(spec)
+    if path.suffix == ".bench" and path.exists():
+        from repro.logic.bench import network_from_bench
+
+        return network_from_bench(path).to_dag()
+    if path.suffix == ".json" and path.exists():
+        return dag_from_json(path)
+    return load_workload(spec, scale=scale)
 
 
 def _iscas_dag(name: str, scale: float) -> Dag:

@@ -1,11 +1,14 @@
 """Tests for the SAT encoding of the bounded pebbling game."""
 
+from collections import Counter
+
 import pytest
 
 from repro.errors import PebblingError
 from repro.pebbling import EncodingOptions, PebblingEncoder, PebblingStrategy
 from repro.pebbling.bennett import bennett_strategy
-from repro.sat.cards import CardinalityEncoding
+from repro.sat.cards import CardinalityEncoding, at_most_k
+from repro.sat.cnf import Cnf
 from repro.sat.solver import CdclSolver
 
 
@@ -97,6 +100,10 @@ class TestEncodingSemantics:
         _, result_odd = self._solve(fig2_dag, 6, 11, options)
         assert result_odd.is_unsat
 
+    def test_frame_comment_records_steps(self, fig2_dag):
+        encoding = PebblingEncoder(fig2_dag).encode(max_pebbles=4, num_steps=5)
+        assert "steps=5" in encoding.cnf.comments[0]
+
     def test_strategy_from_bennett_satisfies_encoding(self, fig2_dag):
         """Injecting the Bennett strategy as assumptions must be satisfiable."""
         strategy = bennett_strategy(fig2_dag)
@@ -109,3 +116,197 @@ class TestEncodingSemantics:
                 assumptions.append(variable if node in config else -variable)
         solver = CdclSolver(encoding.cnf)
         assert solver.solve(assumptions).is_sat
+
+
+# ---------------------------------------------------------------------------
+# frame-based encoder: parity with the historical monolithic emission
+# ---------------------------------------------------------------------------
+def _frozen_monolithic_cnf(dag, max_pebbles, num_steps, options):
+    """The pre-frame-engine ``PebblingEncoder.encode`` clause emission.
+
+    A verbatim re-implementation of the historical monolithic encoder
+    (variables allocated whole-timeline first, clause groups emitted
+    globally), kept here as the reference for the parity test.  The only
+    change is that cardinality auxiliaries are *named* with the same
+    per-step prefixes the frame engine uses, so the two CNFs can be
+    compared up to variable renaming.
+    """
+    nodes = dag.topological_order()
+    outputs = set(dag.outputs())
+    cnf = Cnf()
+    variables = {}
+    for step in range(num_steps + 1):
+        for node in nodes:
+            variables[(node, step)] = cnf.new_variable(f"p[{node},{step}]")
+
+    for node in nodes:
+        cnf.add_unit(-variables[(node, 0)])
+    for node in nodes:
+        literal = variables[(node, num_steps)]
+        cnf.add_unit(literal if node in outputs else -literal)
+
+    for step in range(num_steps):
+        for node in nodes:
+            now = variables[(node, step)]
+            then = variables[(node, step + 1)]
+            for dependency in dag.dependencies(node):
+                dep_now = variables[(dependency, step)]
+                dep_then = variables[(dependency, step + 1)]
+                cnf.add_clause([-now, then, dep_now])
+                cnf.add_clause([now, -then, dep_now])
+                cnf.add_clause([-now, then, dep_then])
+                cnf.add_clause([now, -then, dep_then])
+
+    if max_pebbles < len(nodes):
+        for step in range(num_steps + 1):
+            step_literals = [variables[(node, step)] for node in nodes]
+            at_most_k(cnf, step_literals, max_pebbles,
+                      encoding=options.cardinality,
+                      name_prefix=f"card[p,{step}]")
+
+    if options.max_moves_per_step is not None or options.forbid_idle_steps:
+        for step in range(num_steps):
+            move_literals = []
+            for node in nodes:
+                move = cnf.new_variable(f"m[{node},{step}]")
+                now = variables[(node, step)]
+                then = variables[(node, step + 1)]
+                cnf.add_clause([-move, now, then])
+                cnf.add_clause([-move, -now, -then])
+                cnf.add_clause([move, -now, then])
+                cnf.add_clause([move, now, -then])
+                move_literals.append(move)
+            if options.max_moves_per_step is not None:
+                at_most_k(cnf, move_literals, options.max_moves_per_step,
+                          encoding=options.cardinality,
+                          name_prefix=f"card[m,{step}]")
+            if options.forbid_idle_steps:
+                cnf.add_clause(move_literals)
+    return cnf
+
+
+def _named_clauses(cnf):
+    """Canonicalise a CNF as a multiset of clauses over variable *names*.
+
+    Every variable must be named; the result is independent of variable
+    numbering and of clause/literal order, so two structurally identical
+    encodings compare equal even when emitted in a different order.
+    """
+    names = {}
+    for variable in range(1, cnf.num_variables + 1):
+        name = cnf.pool.name_of(variable)
+        assert name is not None, f"variable {variable} is unnamed"
+        names[variable] = name
+    return Counter(
+        frozenset(
+            ("-" if literal < 0 else "+") + names[abs(literal)]
+            for literal in clause
+        )
+        for clause in cnf.clauses
+    )
+
+
+PARITY_CASES = [
+    (4, 6, EncodingOptions()),
+    (3, 5, EncodingOptions(cardinality=CardinalityEncoding.TOTALIZER)),
+    (4, 6, EncodingOptions(cardinality=CardinalityEncoding.PAIRWISE)),
+    (6, 10, EncodingOptions(max_moves_per_step=1)),
+    (4, 8, EncodingOptions(max_moves_per_step=2, forbid_idle_steps=True)),
+    (6, 10, EncodingOptions(max_moves_per_step=1, forbid_idle_steps=True,
+                            cardinality=CardinalityEncoding.TOTALIZER)),
+]
+
+
+class TestFrameParity:
+    """extend_to(K) + assert_final(K) must equal the monolithic encoding."""
+
+    @pytest.mark.parametrize("max_pebbles,num_steps,options", PARITY_CASES)
+    def test_one_shot_matches_frozen_monolithic(
+        self, fig2_dag, max_pebbles, num_steps, options
+    ):
+        frozen = _frozen_monolithic_cnf(fig2_dag, max_pebbles, num_steps, options)
+        framed = PebblingEncoder(fig2_dag, options=options).encode(
+            max_pebbles=max_pebbles, num_steps=num_steps
+        )
+        assert _named_clauses(framed.cnf) == _named_clauses(frozen)
+
+    @pytest.mark.parametrize("max_pebbles,num_steps,options", PARITY_CASES)
+    def test_incremental_growth_matches_frozen_monolithic(
+        self, fig2_dag, max_pebbles, num_steps, options
+    ):
+        # Growing one frame at a time (the incremental solver's usage) must
+        # emit exactly the monolithic clause set as well.
+        frozen = _frozen_monolithic_cnf(fig2_dag, max_pebbles, num_steps, options)
+        encoder = PebblingEncoder(fig2_dag, max_pebbles=max_pebbles, options=options)
+        for bound in range(1, num_steps + 1):
+            encoder.extend_to(bound)
+        encoder.assert_final(num_steps)
+        assert _named_clauses(encoder.cnf) == _named_clauses(frozen)
+
+    def test_growth_is_identical_to_one_shot_frames(self, and9_dag):
+        # Stronger than parity-up-to-naming: step-by-step growth and a single
+        # extend_to produce literally the same clause list and numbering.
+        stepwise = PebblingEncoder(and9_dag, max_pebbles=5)
+        for bound in range(1, 9):
+            stepwise.extend_to(bound)
+        oneshot = PebblingEncoder(and9_dag, max_pebbles=5)
+        oneshot.extend_to(8)
+        assert stepwise.cnf.as_lists() == oneshot.cnf.as_lists()
+
+
+class TestFrameEngine:
+    def test_requires_budget_for_frame_methods(self, fig2_dag):
+        encoder = PebblingEncoder(fig2_dag)
+        with pytest.raises(PebblingError):
+            encoder.extend_to(3)
+        with pytest.raises(PebblingError):
+            _ = encoder.cnf
+
+    def test_extend_to_is_monotonic_and_idempotent(self, fig2_dag):
+        encoder = PebblingEncoder(fig2_dag, max_pebbles=4)
+        encoder.extend_to(5)
+        size = encoder.cnf.num_clauses
+        encoder.extend_to(3)  # below the frontier: no-op
+        encoder.extend_to(5)
+        assert encoder.cnf.num_clauses == size
+        assert encoder.num_steps == 5
+
+    def test_final_guard_is_cached_and_guarded(self, fig2_dag):
+        encoder = PebblingEncoder(fig2_dag, max_pebbles=4)
+        encoder.extend_to(4)
+        guard = encoder.final_guard(4)
+        assert encoder.final_guard(4) == guard
+        # One guard clause per node, selecting the final configuration.
+        guarded = [clause for clause in encoder.cnf.clauses if -guard in clause]
+        assert len(guarded) == fig2_dag.num_nodes
+
+    def test_final_guard_beyond_frontier_rejected(self, fig2_dag):
+        encoder = PebblingEncoder(fig2_dag, max_pebbles=4)
+        encoder.extend_to(2)
+        with pytest.raises(PebblingError):
+            encoder.final_guard(3)
+        with pytest.raises(PebblingError):
+            encoder.assert_final(3)
+
+    def test_drain_new_clauses_partitions_the_cnf(self, fig2_dag):
+        encoder = PebblingEncoder(fig2_dag, max_pebbles=4)
+        first = encoder.drain_new_clauses()
+        assert first  # frame 0 + initial units
+        encoder.extend_to(2)
+        second = encoder.drain_new_clauses()
+        assert encoder.drain_new_clauses() == []
+        assert first + second == encoder.cnf.clauses
+
+    def test_guarded_query_equivalent_to_units(self, fig2_dag):
+        # Assuming the guard must behave exactly like asserting the final
+        # configuration: same verdict on a SAT and an UNSAT instance.
+        for pebbles, steps, expected in ((4, 6, True), (3, 6, False)):
+            encoder = PebblingEncoder(fig2_dag, max_pebbles=pebbles)
+            encoder.extend_to(steps)
+            guard = encoder.final_guard(steps)
+            solver = CdclSolver(encoder.cnf)
+            assert solver.solve([guard]).is_sat is expected
+            one_shot = PebblingEncoder(fig2_dag).encode(
+                max_pebbles=pebbles, num_steps=steps
+            )
+            assert CdclSolver(one_shot.cnf).solve().is_sat is expected

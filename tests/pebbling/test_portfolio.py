@@ -1,0 +1,120 @@
+"""Tests for the parallel portfolio orchestration layer."""
+
+import pytest
+
+from repro.errors import PebblingError, WorkloadError
+from repro.pebbling import (
+    PebblingStrategy,
+    PortfolioTask,
+    minimize_pebbles,
+    minimize_pebbles_portfolio,
+    run_portfolio,
+    tasks_from_suite,
+)
+from repro.pebbling.portfolio import budget_sweep_tasks
+from repro.workloads import load_workload, suite_entries
+
+
+def _verify_strategy(record):
+    """Rebuild and validate the strategy carried by a solved record."""
+    dag = load_workload(record.task.workload, scale=record.task.scale)
+    configurations = [set(configuration) for configuration in record.configurations]
+    strategy = PebblingStrategy(
+        dag,
+        configurations,
+        max_moves_per_step=1 if record.task.single_move else None,
+    )
+    assert strategy.max_pebbles <= record.task.pebbles
+    assert strategy.num_steps == record.steps
+
+
+class TestTasks:
+    def test_tasks_from_suite(self):
+        tasks = tasks_from_suite("smoke", time_limit=30)
+        assert [task.name for task in tasks] == ["fig2_p4", "c17_p4"]
+        assert all(task.time_limit == 30 for task in tasks)
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(WorkloadError):
+            tasks_from_suite("no-such-suite")
+
+    def test_budget_sweep_tasks(self):
+        tasks = budget_sweep_tasks("fig2", range(3, 6), time_limit=10)
+        assert [task.pebbles for task in tasks] == [3, 4, 5]
+        assert all(task.workload == "fig2" for task in tasks)
+
+    def test_task_names_encode_parameters(self):
+        assert PortfolioTask("and9", 4, single_move=True).name == "and9_p4_sm"
+        assert PortfolioTask("c432", 8, scale=0.25).name == "c432_p8_s0.25"
+
+
+class TestRunPortfolio:
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(PebblingError):
+            run_portfolio([], jobs=0)
+
+    def test_inline_execution_and_strategy_validity(self):
+        records = run_portfolio(tasks_from_suite("smoke", time_limit=30), jobs=1)
+        assert [record.outcome for record in records] == ["solution", "solution"]
+        for record in records:
+            _verify_strategy(record)
+
+    def test_parallel_matches_inline(self):
+        tasks = tasks_from_suite("smoke", time_limit=30) + [
+            PortfolioTask("fig2", 3, time_limit=30)  # an UNSAT sweep
+        ]
+        inline = run_portfolio(tasks, jobs=1)
+        pooled = run_portfolio(tasks, jobs=2)
+        assert [record.name for record in pooled] == [record.name for record in inline]
+        for one, many in zip(inline, pooled):
+            assert one.outcome == many.outcome
+            assert one.steps == many.steps
+            assert one.pebbles_used == many.pebbles_used
+
+    def test_meaningless_schedule_parameters_become_error_records(self):
+        # The validation of the search layer reaches portfolio tasks too:
+        # a non-linear schedule with a step increment is an error record,
+        # not a silently ignored parameter.
+        records = run_portfolio(
+            [PortfolioTask("fig2", 4, schedule="geometric", step_increment=5,
+                           time_limit=5)],
+            jobs=1,
+        )
+        assert records[0].outcome == "error"
+        assert "step_increment" in records[0].error
+
+    def test_worker_errors_are_captured(self):
+        records = run_portfolio(
+            [PortfolioTask("does-not-exist", 4, time_limit=5)], jobs=1
+        )
+        assert records[0].outcome == "error"
+        assert "does-not-exist" in records[0].error
+
+    def test_error_capture_in_pool(self):
+        records = run_portfolio(
+            [
+                PortfolioTask("fig2", 4, time_limit=30),
+                PortfolioTask("does-not-exist", 4, time_limit=5),
+            ],
+            jobs=2,
+        )
+        assert records[0].outcome == "solution"
+        assert records[1].outcome == "error"
+
+
+class TestBudgetSweep:
+    def test_parallel_sweep_matches_sequential_minimum(self, fig2_dag):
+        sequential, _ = minimize_pebbles(fig2_dag, timeout_per_budget=30)
+        sweep = minimize_pebbles_portfolio(
+            "fig2", jobs=2, timeout_per_budget=30, schedule="geometric-refine"
+        )
+        assert sweep.best is not None
+        assert sweep.minimum_pebbles == sequential.strategy.max_pebbles == 4
+        # Budgets below the minimum must all have failed.
+        for record in sweep.records:
+            if record.task.pebbles < sweep.minimum_pebbles:
+                assert not record.found
+
+    def test_default_suite_entries_are_well_formed(self):
+        for entry in suite_entries("default"):
+            load_workload(entry.workload, scale=entry.scale).validate()

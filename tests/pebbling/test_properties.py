@@ -96,3 +96,34 @@ def test_sat_solver_never_beats_the_bennett_move_lower_bound(dag):
     lower_bound = 2 * dag.num_nodes - len(dag.outputs())
     assert result.num_moves >= lower_bound
     assert bennett_strategy(dag).num_moves == lower_bound
+
+
+@given(small_dags())
+@settings(max_examples=15, deadline=None)
+def test_all_engines_agree_on_minimal_step_counts(dag):
+    """Monolithic and incremental searches share one frame-based encoding.
+
+    With the linear schedule both engines certify the same minimal step
+    count, and geometric-refine — despite probing a different bound
+    sequence — must land on that exact minimum too.  Every returned
+    strategy passes the legality validator (enforced by construction).
+    (Portfolio-vs-inline parity runs on the named workloads in
+    ``test_portfolio.py``, since worker processes rebuild DAGs by name.)
+    """
+    from repro.pebbling import PebblingStrategy, ReversiblePebblingSolver
+
+    budget = eager_bennett_strategy(dag).max_pebbles
+    incremental = ReversiblePebblingSolver(dag, incremental=True).solve(
+        budget, time_limit=20
+    )
+    monolithic = ReversiblePebblingSolver(dag, incremental=False).solve(
+        budget, time_limit=20
+    )
+    refine = ReversiblePebblingSolver(dag, incremental=True).solve(
+        budget, time_limit=20, strategy="geometric-refine"
+    )
+    assert incremental.found and monolithic.found and refine.found
+    assert incremental.num_steps == monolithic.num_steps == refine.num_steps
+    for result in (incremental, monolithic, refine):
+        # Re-validating through the constructor exercises the legality rules.
+        PebblingStrategy(dag, list(result.strategy.configurations))

@@ -1,0 +1,191 @@
+"""Tests for the pluggable step-bound search strategies."""
+
+import pytest
+
+from repro.errors import PebblingError
+from repro.pebbling import (
+    EncodingOptions,
+    PebblingOutcome,
+    GeometricRefine,
+    GeometricSearch,
+    LinearSearch,
+    ReversiblePebblingSolver,
+    minimize_pebbles,
+    pebble_dag,
+    strategy_from_name,
+)
+from repro.pebbling.search import resolve_search_strategy
+
+
+def _drive(cursor, oracle):
+    """Run a cursor against a ``bound -> bool`` oracle; return the queries."""
+    queries = []
+    bound = cursor.bound
+    for _ in range(100):
+        queries.append(bound)
+        bound = cursor.advance(oracle(bound))
+        if bound is None:
+            return queries
+    raise AssertionError("cursor did not terminate")
+
+
+class TestCursors:
+    def test_linear_cursor_sequence(self):
+        cursor = LinearSearch(step_increment=2).start(3, 3)
+        assert _drive(cursor, lambda bound: bound >= 9) == [3, 5, 7, 9]
+
+    def test_geometric_cursor_sequence(self):
+        cursor = GeometricSearch(factor=1.5).start(4, 4)
+        assert _drive(cursor, lambda bound: bound >= 13) == [4, 6, 9, 13]
+
+    def test_geometric_refine_finds_exact_minimum(self):
+        # Minimal K is 10; the cursor must overshoot then close the bracket.
+        cursor = GeometricRefine(factor=1.5).start(3, 3)
+        queries = _drive(cursor, lambda bound: bound >= 10)
+        assert queries[-1] != 10 or queries.count(10) >= 1
+        sat_queries = [bound for bound in queries if bound >= 10]
+        assert min(sat_queries) == 10  # the minimum was certified SAT
+        unsat_nine = [bound for bound in queries if bound == 9]
+        assert unsat_nine or 9 < min(queries)  # ... and 9 certified UNSAT
+
+    @pytest.mark.parametrize("minimum", [1, 2, 5, 17, 40])
+    @pytest.mark.parametrize("initial", [1, 3, 10])
+    def test_geometric_refine_always_certifies_minimum(self, minimum, initial):
+        cursor = GeometricRefine().start(initial, min(initial, 1))
+        queries = _drive(cursor, lambda bound: bound >= minimum)
+        if initial <= minimum:
+            assert minimum in queries
+            if minimum > 1 and initial < minimum:
+                assert minimum - 1 in queries
+        else:
+            # Started above the minimum: refine down to the floor bracket.
+            assert min(bound for bound in queries if bound >= minimum) == minimum
+
+    def test_geometric_refine_uses_fewer_queries_than_linear(self):
+        linear = _drive(LinearSearch().start(3, 3), lambda bound: bound >= 40)
+        refine = _drive(GeometricRefine().start(3, 3), lambda bound: bound >= 40)
+        assert len(refine) < len(linear)
+
+
+class TestValidation:
+    def test_linear_increment_validated(self):
+        with pytest.raises(PebblingError):
+            LinearSearch(step_increment=0)
+
+    @pytest.mark.parametrize("factory", [GeometricSearch, GeometricRefine])
+    def test_geometric_factor_validated(self, factory):
+        with pytest.raises(PebblingError):
+            factory(factor=1.0)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(PebblingError):
+            strategy_from_name("sideways")
+
+    def test_step_increment_rejected_for_non_linear_names(self):
+        with pytest.raises(PebblingError):
+            strategy_from_name("geometric", step_increment=2)
+        with pytest.raises(PebblingError):
+            strategy_from_name("geometric-refine", step_increment=3)
+
+    def test_resolve_rejects_conflicting_arguments(self):
+        with pytest.raises(PebblingError):
+            resolve_search_strategy("linear", step_schedule="linear")
+        with pytest.raises(PebblingError):
+            resolve_search_strategy(LinearSearch(), step_increment=2)
+
+    def test_resolve_defaults_to_linear(self):
+        strategy = resolve_search_strategy(None)
+        assert isinstance(strategy, LinearSearch)
+        assert strategy.step_increment == 1
+
+    def test_solver_rejects_geometric_with_step_increment(self, fig2_dag):
+        solver = ReversiblePebblingSolver(fig2_dag)
+        with pytest.raises(PebblingError):
+            solver.solve(4, step_schedule="geometric", step_increment=2)
+
+
+class TestSolverIntegration:
+    @pytest.mark.parametrize("incremental", [True, False])
+    def test_refine_matches_linear_minimum(self, fig2_dag, incremental):
+        linear = ReversiblePebblingSolver(fig2_dag, incremental=incremental).solve(
+            4, time_limit=60
+        )
+        refine = ReversiblePebblingSolver(fig2_dag, incremental=incremental).solve(
+            4, time_limit=60, strategy="geometric-refine"
+        )
+        assert linear.found and refine.found
+        assert refine.num_steps == linear.num_steps
+        assert refine.strategy.max_pebbles <= 4
+
+    def test_refine_matches_linear_on_and9(self, and9_dag):
+        linear = pebble_dag(and9_dag, 5, time_limit=60)
+        refine = pebble_dag(and9_dag, 5, time_limit=60, strategy=GeometricRefine())
+        assert linear.found and refine.found
+        assert refine.num_steps == linear.num_steps
+        assert len(refine.attempts) <= len(linear.attempts)
+
+    @pytest.mark.parametrize("incremental", [True, False])
+    def test_refine_rejected_with_forbidden_idle_steps(self, fig2_dag, incremental):
+        # Forbidding idle steps makes step-satisfiability non-monotone in K
+        # (e.g. single-move strategies fix the parity of K), which breaks
+        # the bracket refinement's soundness — the combination must raise.
+        options = EncodingOptions(max_moves_per_step=1, forbid_idle_steps=True)
+        solver = ReversiblePebblingSolver(
+            fig2_dag, options=options, incremental=incremental
+        )
+        with pytest.raises(PebblingError, match="geometric-refine"):
+            solver.solve(6, time_limit=120, strategy="geometric-refine")
+        # The linear schedule still certifies the single-move minimum.
+        linear = solver.solve(6, time_limit=120)
+        assert linear.found and linear.num_steps == 10
+
+    def test_refine_growth_clamped_to_max_steps(self, fig2_dag):
+        # Minimal K is 6; geometric growth from 4 would probe 4, 6, ... so a
+        # budget of exactly 6 must not be jumped over, and a budget of 5
+        # must be *proved* infeasible by the UNSAT answer at the ceiling.
+        found = pebble_dag(
+            fig2_dag, 4, time_limit=60, strategy="geometric-refine",
+            initial_steps=3, max_steps=6,
+        )
+        assert found.found and found.num_steps == 6 and found.complete
+        exhausted = pebble_dag(
+            fig2_dag, 4, time_limit=60, strategy="geometric-refine",
+            initial_steps=3, max_steps=5,
+        )
+        assert exhausted.outcome is PebblingOutcome.STEP_LIMIT
+        assert exhausted.complete
+
+    def test_complete_flag_reflects_time_cut(self, fig2_dag):
+        full = pebble_dag(fig2_dag, 4, time_limit=60)
+        assert full.found and full.complete
+        assert full.summary()["complete"] is True
+        cut = pebble_dag(fig2_dag, 3, max_steps=40, time_limit=0.0)
+        assert cut.outcome is PebblingOutcome.TIMEOUT
+        assert not cut.complete
+
+    def test_infeasible_budget_is_complete(self, fig2_dag):
+        result = pebble_dag(fig2_dag, 1)
+        assert result.outcome is PebblingOutcome.INFEASIBLE
+        assert result.complete
+
+    def test_refine_certifies_minimum_from_overshot_hint(self, fig2_dag):
+        # A warm-start hint above the true minimum: linear stops at the hint,
+        # refine searches back down below it.
+        refine = pebble_dag(
+            fig2_dag, 4, time_limit=60, strategy="geometric-refine", initial_steps=9
+        )
+        assert refine.found
+        assert refine.num_steps == 6
+
+    def test_minimize_pebbles_accepts_strategy_objects(self, fig2_dag):
+        best, _ = minimize_pebbles(
+            fig2_dag, timeout_per_budget=30, strategy=GeometricRefine()
+        )
+        assert best is not None
+        assert best.strategy.max_pebbles == 4
+
+    def test_strategies_are_reusable_across_searches(self, fig2_dag):
+        strategy = GeometricRefine()
+        first = pebble_dag(fig2_dag, 4, time_limit=30, strategy=strategy)
+        second = pebble_dag(fig2_dag, 4, time_limit=30, strategy=strategy)
+        assert first.num_steps == second.num_steps == 6

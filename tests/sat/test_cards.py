@@ -152,3 +152,74 @@ class TestCountTrue:
 
     def test_missing_variables_count_as_false(self):
         assert count_true({}, [5, -5]) == 1
+
+
+class TestCrossEncodingEquivalence:
+    """Exhaustive semantic equivalence of the three at-most-k encodings.
+
+    For every n <= 5, every bound k <= n and *every* assignment of the n
+    input literals, each encoding (with its auxiliary variables projected
+    away by the SAT solver) must accept the assignment iff at most k inputs
+    are true — so pairwise, sequential and totalizer are pointwise
+    interchangeable, not just equisatisfiable.
+    """
+
+    @pytest.mark.parametrize("encoding", ALL_ENCODINGS)
+    def test_exhaustive_on_all_assignments(self, encoding):
+        for count in range(1, 6):
+            literals = list(range(1, count + 1))
+            for bound in range(0, count + 1):
+                cnf = Cnf()
+                cnf.new_variables(count)
+                at_most_k(cnf, literals, bound, encoding=encoding)
+                for bits in itertools.product([False, True], repeat=count):
+                    solver = CdclSolver()
+                    solver.add_cnf(cnf)
+                    assumptions = [
+                        literal if value else -literal
+                        for literal, value in zip(literals, bits)
+                    ]
+                    expected = sum(bits) <= bound
+                    assert solver.solve(assumptions).is_sat is expected, (
+                        encoding, count, bound, bits,
+                    )
+
+    def test_encodings_agree_on_negated_literals(self):
+        # The constraint must also work over negative DIMACS literals.
+        literals = [1, -2, 3, -4]
+        patterns = {}
+        for encoding in ALL_ENCODINGS:
+            cnf = Cnf()
+            cnf.new_variables(4)
+            at_most_k(cnf, literals, 2, encoding=encoding)
+            patterns[encoding] = _count_satisfying_patterns(cnf, [1, 2, 3, 4])
+        assert len(set(patterns.values())) == 1
+        assert patterns[CardinalityEncoding.PAIRWISE] == sum(
+            1
+            for bits in itertools.product([False, True], repeat=4)
+            if sum(bits[i] == (literals[i] > 0) for i in range(4)) <= 2
+        )
+
+
+class TestAuxiliaryNaming:
+    @pytest.mark.parametrize(
+        "encoding",
+        [CardinalityEncoding.SEQUENTIAL, CardinalityEncoding.TOTALIZER],
+    )
+    def test_name_prefix_names_every_auxiliary(self, encoding):
+        cnf = Cnf()
+        inputs = cnf.new_variables(6, prefix="x")
+        at_most_k(cnf, inputs, 2, encoding=encoding, name_prefix="card[test]")
+        for variable in range(1, cnf.num_variables + 1):
+            name = cnf.pool.name_of(variable)
+            assert name is not None
+            if variable not in inputs:
+                assert name.startswith("card[test].")
+
+    def test_anonymous_by_default(self):
+        cnf = Cnf()
+        inputs = cnf.new_variables(4)
+        at_most_k(cnf, inputs, 2, encoding=CardinalityEncoding.SEQUENTIAL)
+        auxiliaries = [v for v in range(1, cnf.num_variables + 1) if v not in inputs]
+        assert auxiliaries
+        assert all(cnf.pool.name_of(v) is None for v in auxiliaries)

@@ -73,3 +73,35 @@ class TestBenchNumbering:
     def test_gaps_are_filled(self, run_bench, tmp_path):
         (tmp_path / "BENCH_2.json").write_text("{}")
         assert run_bench.next_bench_path(tmp_path).name == "BENCH_1.json"
+
+
+class TestPortfolioScenario:
+    def test_quick_report_contains_portfolio_section(self, quick_report):
+        portfolio = quick_report["portfolio"]
+        assert portfolio["suite"] == "smoke"
+        assert portfolio["results_match"] is True
+        assert set(portfolio["jobs"]) == {"1", "2"}
+        for run in portfolio["jobs"].values():
+            assert run["seconds"] >= 0
+            assert run["solved"] >= 1
+        assert {task["name"] for task in portfolio["tasks"]} == {"fig2_p4", "c17_p4"}
+
+    def test_portfolio_bench_verdict_mismatch_detection(self, run_bench):
+        # Same tasks at both widths: results must match and the speedup is
+        # the ratio of the two wall-clock times.
+        report = run_bench.run_portfolio_bench(quick=True, jobs_list=(1, 1))
+        assert report["results_match"] is True
+        assert report["speedup"] > 0
+
+    def test_portfolio_bench_fails_on_error_records(self, run_bench, monkeypatch):
+        # Identically crashing workers at every width must not read as a
+        # vacuous "results match".
+        from repro.pebbling.portfolio import PortfolioTask
+
+        monkeypatch.setattr(
+            run_bench, "tasks_from_suite",
+            lambda suite, **kwargs: [PortfolioTask("no-such-workload", 4,
+                                                   time_limit=5)],
+        )
+        report = run_bench.run_portfolio_bench(quick=True, jobs_list=(1, 1))
+        assert report["results_match"] is False

@@ -8,6 +8,8 @@ from repro.cli import build_parser, main
 from repro.dag.io import dag_to_json
 from repro.logic.bench import write_bench
 from repro.logic.iscas import c17_network
+from repro.sat.dimacs import parse_dimacs
+from repro.sat.solver import CdclSolver
 from repro.workloads import example_dag
 
 
@@ -20,12 +22,26 @@ class TestParser:
             ["bennett", "fig2"],
             ["pebble", "fig2", "--pebbles", "4"],
             ["compare", "fig2"],
+            ["pebble-batch", "--jobs", "2"],
+            ["dimacs", "fig2", "--pebbles", "4", "--steps", "6"],
         ):
             assert parser.parse_args(argv).command == argv[0]
 
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+    def test_pebble_schedule_choices(self):
+        parser = build_parser()
+        arguments = parser.parse_args(
+            ["pebble", "fig2", "--pebbles", "4", "--schedule", "geometric-refine",
+             "--cardinality", "totalizer"]
+        )
+        assert arguments.schedule == "geometric-refine"
+        assert arguments.cardinality == "totalizer"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["pebble", "fig2", "--pebbles", "4",
+                               "--schedule", "sideways"])
 
 
 class TestCommands:
@@ -76,6 +92,56 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "pebble reduction" in out
         assert "bennett pebbles/moves : 6 / 10" in out
+
+    def test_pebble_cardinality_and_schedule(self, capsys):
+        assert main(["pebble", "fig2", "--pebbles", "4", "--timeout", "30",
+                     "--cardinality", "totalizer",
+                     "--schedule", "geometric-refine"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["outcome"] == "solution"
+        assert summary["steps"] == 6  # refine certifies the linear minimum
+
+    def test_pebble_meaningless_combination_reports_error(self, capsys):
+        assert main(["pebble", "fig2", "--pebbles", "4",
+                     "--schedule", "geometric", "--step-increment", "2"]) == 1
+        assert "step_increment" in capsys.readouterr().err
+
+    def test_dimacs_to_stdout_roundtrips(self, capsys):
+        assert main(["dimacs", "fig2", "--pebbles", "4", "--steps", "6"]) == 0
+        out = capsys.readouterr().out
+        cnf = parse_dimacs(out)
+        assert CdclSolver(cnf).solve().is_sat
+
+    def test_dimacs_to_file(self, tmp_path, capsys):
+        destination = tmp_path / "fig2.cnf"
+        assert main(["dimacs", "fig2", "--pebbles", "3", "--steps", "6",
+                     "--cardinality", "pairwise", "-o", str(destination)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        cnf = parse_dimacs(destination)
+        assert CdclSolver(cnf).solve().is_unsat  # 3 pebbles are infeasible
+
+    def test_pebble_batch_smoke_suite(self, capsys):
+        assert main(["pebble-batch", "--suite", "smoke", "--jobs", "1",
+                     "--timeout", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2_p4" in out and "c17_p4" in out
+        assert "2 tasks, 2 solved" in out
+
+    def test_pebble_batch_json_report(self, capsys):
+        assert main(["pebble-batch", "--suite", "smoke", "--jobs", "2",
+                     "--timeout", "30", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["jobs"] == 2
+        assert [row["outcome"] for row in report["results"]] == ["solution"] * 2
+
+    def test_pebble_batch_list_suites(self, capsys):
+        assert main(["pebble-batch", "--list-suites"]) == 0
+        out = capsys.readouterr().out.split()
+        assert "smoke" in out and "default" in out
+
+    def test_pebble_batch_unknown_suite_reports_error(self, capsys):
+        assert main(["pebble-batch", "--suite", "nope"]) == 1
+        assert "error:" in capsys.readouterr().err
 
     def test_unknown_workload_reports_error(self, capsys):
         assert main(["info", "does-not-exist"]) == 1

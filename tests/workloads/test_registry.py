@@ -99,3 +99,41 @@ class TestRegistry:
         assert all(row.bits is not None and row.modulus is not None for row in hadamard_rows)
         assert all(row.paper_pebbles <= row.paper_bennett_pebbles for row in rows)
         assert all(row.paper_steps >= row.paper_bennett_steps for row in rows)
+
+
+class TestBatchSuites:
+    def test_list_suites(self):
+        from repro.workloads import list_suites
+
+        names = list_suites()
+        assert "smoke" in names and "default" in names
+
+    def test_suite_entries_resolve_to_valid_workloads(self):
+        from repro.workloads import list_suites, load_workload, suite_entries
+
+        for suite in list_suites():
+            entries = suite_entries(suite)
+            assert entries
+            for entry in entries:
+                assert entry.pebbles >= 1
+                load_workload(entry.workload, scale=entry.scale).validate()
+
+    def test_smoke_suite_is_subset_of_default_workloads(self):
+        from repro.workloads import suite_entries
+
+        default_names = {entry.name for entry in suite_entries("default")}
+        assert {entry.name for entry in suite_entries("smoke")} <= default_names
+
+    def test_unknown_suite_raises(self):
+        from repro.errors import WorkloadError
+        from repro.workloads import suite_entries
+
+        with pytest.raises(WorkloadError):
+            suite_entries("does-not-exist")
+
+    def test_entry_names_are_unique_per_suite(self):
+        from repro.workloads import list_suites, suite_entries
+
+        for suite in list_suites():
+            names = [entry.name for entry in suite_entries(suite)]
+            assert len(names) == len(set(names))
