@@ -24,6 +24,11 @@ Usage::
 Since schema v2 the report also times the ``pebble-batch`` workload suite
 at several ``--jobs`` widths (the portfolio scenario) and requires the
 results to be identical at every width.
+
+Since schema v3 the report additionally tracks the end-to-end compile
+pipeline (SAT pebbling → circuit → Barenco lowering → simulation-based
+verification → costs) on a fixed case set; every network-backed case must
+verify, so the scenario guards compiler correctness as well as throughput.
 """
 
 from __future__ import annotations
@@ -47,6 +52,7 @@ for entry in (str(ROOT / "src"), str(ROOT / "benchmarks")):
 
 from legacy_solver import LegacyCdclSolver  # noqa: E402
 
+from repro.circuits.pipeline import compile_workload  # noqa: E402
 from repro.pebbling.encoding import EncodingOptions  # noqa: E402
 from repro.pebbling.portfolio import run_portfolio, tasks_from_suite  # noqa: E402
 from repro.pebbling.solver import ReversiblePebblingSolver  # noqa: E402
@@ -55,7 +61,7 @@ from repro.sat.instances import pigeonhole, random_3sat  # noqa: E402
 from repro.sat.solver import CdclSolver  # noqa: E402
 from repro.workloads import load_workload  # noqa: E402
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 
 # ---------------------------------------------------------------------------
@@ -220,6 +226,69 @@ def run_portfolio_bench(
 
 
 # ---------------------------------------------------------------------------
+# compile scenario: the end-to-end pipeline (current engine only)
+# ---------------------------------------------------------------------------
+#: (workload, budget, weighted, decompose, quick) pipeline cases.  All the
+#: network-backed ones must verify by simulation; ``hadamard`` exercises the
+#: structural (word-level SLP) path which has nothing to verify against.
+COMPILE_CASES: list[tuple[str, int, bool, bool, bool]] = [
+    ("fig2", 4, False, False, True),
+    ("fig2", 4, False, True, True),
+    ("fig2", 4, True, True, False),
+    ("c17", 4, False, True, True),
+    ("and9", 5, False, True, False),
+    ("hadamard", 8, False, False, False),
+]
+
+
+def run_compile_bench(*, quick: bool = False) -> dict[str, object]:
+    """Time the compile pipeline on the fixed case set.
+
+    Each case runs the whole chain — SAT pebbling, circuit compilation,
+    optional Barenco lowering, simulation-based verification and costing —
+    under the current engine.  ``all_verified`` is ``False`` when any case
+    fails to find a strategy or any network-backed case fails verification,
+    so the scenario doubles as an end-to-end correctness gate.
+    """
+    rows: list[dict[str, object]] = []
+    all_verified = True
+    for workload, budget, weighted, decompose, is_quick in COMPILE_CASES:
+        if quick and not is_quick:
+            continue
+        name = f"{workload}_p{budget}" + ("_w" if weighted else "") + (
+            "_mct" if decompose else ""
+        )
+        started = time.perf_counter()
+        report = compile_workload(
+            workload,
+            pebbles=budget,
+            weighted=weighted,
+            decompose=decompose,
+            time_limit=60.0,
+        )
+        elapsed = time.perf_counter() - started
+        ok = report.found and report.verified is not False
+        all_verified = all_verified and ok
+        rows.append(
+            {
+                "name": name,
+                "seconds": round(elapsed, 3),
+                "outcome": report.outcome,
+                "steps": report.steps,
+                "qubits": report.qubits,
+                "gates": report.gates,
+                "t_count": report.t_count,
+                "verified": report.verified,
+                "sat_calls": report.sat_calls,
+            }
+        )
+        verdict = "ok" if ok else "FAILED"
+        print(f"compile {name:16s} {elapsed:8.3f}s  "
+              f"gates={report.gates!s:>4s} t={report.t_count!s:>5s}  {verdict}")
+    return {"cases": rows, "all_verified": all_verified}
+
+
+# ---------------------------------------------------------------------------
 # harness
 # ---------------------------------------------------------------------------
 def _best_of(run: Callable[[type], dict[str, object]], engine: type, repeat: int) -> dict[str, object]:
@@ -292,6 +361,9 @@ def run_benchmarks(*, quick: bool = False, repeat: int = 1) -> dict[str, object]
         quick=quick, jobs_list=(1, 2) if quick else (1, 4)
     )
     all_match = all_match and portfolio["results_match"]
+    print()
+    compile_scenario = run_compile_bench(quick=quick)
+    all_match = all_match and compile_scenario["all_verified"]
     report = {
         "schema_version": SCHEMA_VERSION,
         "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -301,6 +373,7 @@ def run_benchmarks(*, quick: bool = False, repeat: int = 1) -> dict[str, object]
         "instances": rows,
         "geometric_mean_speedup": round(geomean, 3),
         "portfolio": portfolio,
+        "compile": compile_scenario,
         "all_verdicts_match": all_match,
     }
     print(f"\ngeometric-mean speedup: x{geomean:.2f}  "

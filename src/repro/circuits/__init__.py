@@ -14,12 +14,21 @@ correct, and estimates gate costs.
 * :mod:`repro.circuits.compile` -- compilation of pebbling strategies and
   Bennett baselines into circuits;
 * :mod:`repro.circuits.barenco` -- decomposition of multi-controlled
-  Toffoli gates with few ancillae;
+  Toffoli gates with few ancillae, plus ANF lowering of single-target
+  gates to Toffoli gates;
 * :mod:`repro.circuits.simulator` -- classical basis-state simulation;
-* :mod:`repro.circuits.costs` -- qubit / gate / T-count cost model.
+* :mod:`repro.circuits.costs` -- qubit / gate / T-count cost model;
+* :mod:`repro.circuits.pipeline` -- the end-to-end compilation pipeline
+  (DAG → SAT pebbling → circuit → verification → cost report) and the
+  Fig. 6-style space-time Pareto sweep.
 """
 
-from repro.circuits.barenco import barenco_and_oracle, decompose_mct
+from repro.circuits.barenco import (
+    barenco_and_oracle,
+    decompose_circuit,
+    decompose_mct,
+    single_target_gate_to_mct,
+)
 from repro.circuits.circuit import QubitRole, ReversibleCircuit
 from repro.circuits.compile import (
     compile_bennett,
@@ -28,20 +37,38 @@ from repro.circuits.compile import (
 )
 from repro.circuits.costs import CostModel, circuit_cost
 from repro.circuits.gates import SingleTargetGate, ToffoliGate
+from repro.circuits.pipeline import (
+    CompilationReport,
+    SweepPoint,
+    SweepReport,
+    compile_dag,
+    compile_workload,
+    pareto_sweep,
+    verify_compiled_against_network,
+)
 from repro.circuits.simulator import simulate_circuit, verify_oracle_circuit
 
 __all__ = [
+    "CompilationReport",
     "CostModel",
     "QubitRole",
     "ReversibleCircuit",
     "SingleTargetGate",
+    "SweepPoint",
+    "SweepReport",
     "ToffoliGate",
     "barenco_and_oracle",
     "circuit_cost",
     "compile_bennett",
+    "compile_dag",
     "compile_network_oracle",
     "compile_strategy",
+    "compile_workload",
+    "decompose_circuit",
     "decompose_mct",
     "simulate_circuit",
+    "single_target_gate_to_mct",
+    "pareto_sweep",
+    "verify_compiled_against_network",
     "verify_oracle_circuit",
 ]

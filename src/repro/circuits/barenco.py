@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from repro.errors import CircuitError
 from repro.circuits.circuit import QubitRole, ReversibleCircuit
-from repro.circuits.gates import ToffoliGate
+from repro.circuits.gates import SingleTargetGate, ToffoliGate
 
 
 def decompose_mct(
@@ -114,6 +114,107 @@ def _lemma_7_3(controls: list[str], target: str, ancillae: list[str]) -> list[To
     second = _lemma_7_2(second_controls, target, second_borrowed[: max(0, second_count - 2)]) \
         if second_count > 2 else [ToffoliGate.from_names(target, second_controls)]
     return first + second + first + second
+
+
+def single_target_gate_to_mct(
+    gate: SingleTargetGate, borrowable: list[str]
+) -> list[ToffoliGate]:
+    """Lower a single-target gate to Toffoli (<=2-control) gates.
+
+    The control function is expanded into its algebraic normal form (a XOR
+    of AND monomials, computed with the Möbius transform over the gate's
+    truth table); each monomial becomes one multi-controlled Toffoli on the
+    same target, and monomials with more than two controls fall through to
+    :func:`decompose_mct`, borrowing any ``borrowable`` qubits the monomial
+    does not touch.  Since ``t ^= f`` equals the XOR of the monomial
+    contributions, the lowering is exact on every basis state and uses no
+    clean ancillae.
+    """
+    if gate.function is None:
+        raise CircuitError(
+            f"gate {gate.label or gate.target!r} has no concrete control "
+            "function; structural circuits cannot be decomposed"
+        )
+    controls = list(gate.controls)
+    arity = len(controls)
+    if arity > 16:
+        raise CircuitError(
+            f"cannot expand a {arity}-control gate's truth table for lowering"
+        )
+    size = 1 << arity
+    coefficients = [
+        bool(
+            gate.evaluate(
+                {
+                    name: bool((index >> position) & 1)
+                    for position, name in enumerate(controls)
+                }
+            )
+        )
+        for index in range(size)
+    ]
+    # In-place Möbius transform: truth table -> ANF monomial coefficients.
+    for position in range(arity):
+        bit = 1 << position
+        for index in range(size):
+            if index & bit:
+                coefficients[index] ^= coefficients[index ^ bit]
+    gates: list[ToffoliGate] = []
+    for index in range(size):
+        if not coefficients[index]:
+            continue
+        monomial = [
+            controls[position]
+            for position in range(arity)
+            if (index >> position) & 1
+        ]
+        if len(monomial) <= 2:
+            gates.append(ToffoliGate.from_names(gate.target, monomial))
+        else:
+            borrowed = [
+                qubit
+                for qubit in borrowable
+                if qubit != gate.target and qubit not in monomial
+            ]
+            gates.extend(decompose_mct(monomial, gate.target, borrowed))
+    return gates
+
+
+def decompose_circuit(
+    circuit: ReversibleCircuit, *, name: str | None = None
+) -> ReversibleCircuit:
+    """Rewrite a circuit over arbitrary gates into Toffoli (<=2-control) gates.
+
+    Single-target gates are lowered through their algebraic normal form
+    (:func:`single_target_gate_to_mct`); multi-controlled Toffoli gates go
+    through the Barenco construction (negative controls are conjugated with
+    NOTs first).  All decompositions borrow dirty qubits from the rest of
+    the circuit, so the result has exactly the qubits (and roles) of the
+    input circuit and computes the same permutation of basis states.
+    """
+    result = ReversibleCircuit(name or f"{circuit.name}_mct")
+    for qubit in circuit.qubits():
+        result.add_qubit(qubit, circuit.qubit(qubit).role)
+    all_qubits = circuit.qubits()
+    for gate in circuit.gates:
+        if isinstance(gate, ToffoliGate):
+            if gate.num_controls <= 2:
+                result.append(gate)
+                continue
+            flips = [name for (name, polarity) in gate.controls if not polarity]
+            for qubit in flips:
+                result.append(ToffoliGate(qubit))
+            borrowed = [q for q in all_qubits if q not in gate.qubits()]
+            for lowered in decompose_mct(
+                list(gate.control_names()), gate.target, borrowed
+            ):
+                result.append(lowered)
+            for qubit in flips:
+                result.append(ToffoliGate(qubit))
+        else:
+            for lowered in single_target_gate_to_mct(gate, all_qubits):
+                result.append(lowered)
+    return result
 
 
 def barenco_and_oracle(

@@ -20,6 +20,17 @@ Sub-commands
     Reproduce one row of Table I for the workload: eager-Bennett baseline
     versus the minimum-pebble SAT solution found within a timeout.
 
+``compile <workload> --pebbles P``
+    Run the end-to-end pipeline: SAT pebbling (optionally the weighted
+    game with ``--weighted``), compilation into a reversible circuit,
+    optional Barenco lowering to Toffoli gates (``--decompose``),
+    simulation-based verification against the source logic network, and a
+    qubit/gate/T-count :class:`~repro.circuits.pipeline.CompilationReport`.
+
+``sweep <workload>``
+    Compile the workload at every pebble (or weight) budget and print the
+    Fig. 6-style space-time Pareto table, ``--jobs`` processes wide.
+
 ``pebble-batch [--suite NAME] --jobs N``
     Sweep every workload of a registered batch suite through the pebbling
     solver, ``N`` worker processes wide, and print a deterministic result
@@ -39,6 +50,7 @@ import argparse
 import json
 import sys
 
+from repro.circuits.pipeline import compile_workload, pareto_sweep
 from repro.dag.graph import Dag
 from repro.errors import ReproError
 from repro.pebbling import (
@@ -70,6 +82,20 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_search_arguments(parser: argparse.ArgumentParser) -> None:
+    """The search/encoding knobs shared by every SAT-solving subcommand."""
+    parser.add_argument("--cardinality",
+                        choices=[member.value for member in CardinalityEncoding],
+                        default=CardinalityEncoding.SEQUENTIAL.value,
+                        help="at-most-k encoding for the pebble/move budgets "
+                             "(weighted budgets with non-unit weights always "
+                             "use the generalised sequential counter)")
+    parser.add_argument("--schedule", choices=list(STRATEGY_NAMES), default="linear",
+                        help="step-bound search strategy")
+    parser.add_argument("--step-increment", type=int, default=None,
+                        help="bound increment per UNSAT answer (linear schedule only)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -89,18 +115,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     pebble = subparsers.add_parser("pebble", help="run the SAT pebbling solver")
     _add_common_arguments(pebble)
-    pebble.add_argument("--pebbles", type=int, required=True, help="pebble budget")
+    pebble.add_argument("--pebbles", type=int, required=True,
+                        help="pebble budget (weight budget with --weighted)")
     pebble.add_argument("--timeout", type=float, default=120.0, help="time budget in seconds")
     pebble.add_argument("--single-move", action="store_true",
                         help="allow only one pebble move per step (Fig. 4 style)")
-    pebble.add_argument("--cardinality",
-                        choices=[member.value for member in CardinalityEncoding],
-                        default=CardinalityEncoding.SEQUENTIAL.value,
-                        help="at-most-k encoding for the pebble/move budgets")
-    pebble.add_argument("--schedule", choices=list(STRATEGY_NAMES), default="linear",
-                        help="step-bound search strategy")
-    pebble.add_argument("--step-increment", type=int, default=None,
-                        help="bound increment per UNSAT answer (linear schedule only)")
+    pebble.add_argument("--weighted", action="store_true",
+                        help="play the weighted game: bound total node weight")
+    _add_search_arguments(pebble)
     pebble.add_argument("--grid", action="store_true", help="print the strategy grid")
     pebble.add_argument("--stats", action="store_true",
                         help="print aggregated SAT-solver counters")
@@ -109,6 +131,56 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_arguments(compare)
     compare.add_argument("--timeout", type=float, default=120.0,
                          help="time budget per pebble count in seconds")
+    _add_search_arguments(compare)
+    compare.add_argument("--grid", action="store_true",
+                         help="print the grid of the best SAT strategy")
+
+    compile_parser = subparsers.add_parser(
+        "compile",
+        help="end-to-end pipeline: pebble, compile, verify, cost report",
+    )
+    _add_common_arguments(compile_parser)
+    compile_parser.add_argument("--pebbles", type=int, required=True,
+                                help="pebble budget (weight budget with --weighted)")
+    compile_parser.add_argument("--timeout", type=float, default=120.0,
+                                help="SAT search time budget in seconds")
+    compile_parser.add_argument("--weighted", action="store_true",
+                                help="play the weighted game: bound total node weight")
+    compile_parser.add_argument("--decompose", action="store_true",
+                                help="lower the circuit to Toffoli (<=2-control) gates")
+    compile_parser.add_argument("--single-move", action="store_true",
+                                help="allow only one pebble move per step")
+    _add_search_arguments(compile_parser)
+    compile_parser.add_argument("--no-verify", action="store_false", dest="verify",
+                                help="skip the simulation-based verification")
+    compile_parser.add_argument("--verify-patterns", type=int, default=64,
+                                help="max input patterns checked by the verifier")
+    compile_parser.add_argument("--json", action="store_true", dest="as_json",
+                                help="emit the CompilationReport as JSON")
+    compile_parser.add_argument("--grid", action="store_true",
+                                help="print the strategy grid")
+
+    sweep = subparsers.add_parser(
+        "sweep", help="Fig. 6-style space-time Pareto sweep across budgets"
+    )
+    _add_common_arguments(sweep)
+    sweep.add_argument("--min-budget", type=int, default=None,
+                       help="smallest budget (default: structural lower bound)")
+    sweep.add_argument("--max-budget", type=int, default=None,
+                       help="largest budget (default: eager-Bennett peak)")
+    sweep.add_argument("--timeout", type=float, default=60.0,
+                       help="SAT time budget per point in seconds")
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="number of worker processes (default 1 = inline)")
+    sweep.add_argument("--weighted", action="store_true",
+                       help="sweep weight budgets instead of pebble budgets")
+    sweep.add_argument("--decompose", action="store_true",
+                       help="cost Toffoli-lowered circuits")
+    sweep.add_argument("--single-move", action="store_true",
+                       help="allow only one pebble move per step")
+    _add_search_arguments(sweep)
+    sweep.add_argument("--json", action="store_true", dest="as_json",
+                       help="emit the sweep table as JSON")
 
     batch = subparsers.add_parser(
         "pebble-batch", help="sweep a batch suite across worker processes"
@@ -121,6 +193,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-task time budget in seconds")
     batch.add_argument("--schedule", choices=list(STRATEGY_NAMES), default="linear",
                        help="step-bound search strategy for every task")
+    batch.add_argument("--cardinality",
+                       choices=[member.value for member in CardinalityEncoding],
+                       default=CardinalityEncoding.SEQUENTIAL.value,
+                       help="at-most-k encoding for every task")
+    batch.add_argument("--step-increment", type=int, default=None,
+                       help="bound increment per UNSAT answer (linear schedule only)")
     batch.add_argument("--json", action="store_true", dest="as_json",
                        help="emit the result table as JSON")
     batch.add_argument("--list-suites", action="store_true",
@@ -177,6 +255,10 @@ def _run_batch(arguments: argparse.Namespace) -> int:
         arguments.suite,
         time_limit=arguments.timeout,
         schedule=arguments.schedule,
+        cardinality=arguments.cardinality,
+        step_increment=(
+            1 if arguments.step_increment is None else arguments.step_increment
+        ),
     )
     records = run_portfolio(tasks, jobs=arguments.jobs)
     rows = [record.as_dict() for record in records]
@@ -192,6 +274,89 @@ def _run_batch(arguments: argparse.Namespace) -> int:
         print(f"{len(rows)} tasks, {solved} solved "
               f"(suite={arguments.suite}, jobs={arguments.jobs})")
     return 0 if all(row["outcome"] != "error" for row in rows) else 1
+
+
+def _run_compile(arguments: argparse.Namespace) -> int:
+    report = compile_workload(
+        arguments.workload,
+        pebbles=arguments.pebbles,
+        scale=arguments.scale,
+        weighted=arguments.weighted,
+        decompose=arguments.decompose,
+        single_move=arguments.single_move,
+        cardinality=arguments.cardinality,
+        schedule=arguments.schedule,
+        step_increment=arguments.step_increment,
+        time_limit=arguments.timeout,
+        verify=arguments.verify,
+        max_verify_patterns=arguments.verify_patterns,
+    )
+    if arguments.as_json:
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        budget_kind = "weight" if report.weighted else "pebbles"
+        print(f"workload   : {report.workload} ({report.nodes} nodes)")
+        print(f"budget     : {report.budget} {budget_kind}")
+        print(f"outcome    : {report.outcome}")
+        if report.found:
+            print(f"steps/moves: {report.steps} / {report.moves}")
+            print(f"pebbles    : {report.pebbles_used} (weight {report.weight_used:g})")
+            print(f"qubits     : {report.qubits}")
+            gate_kind = "toffoli-level" if report.decomposed else "single-target"
+            print(f"gates      : {report.gates} ({gate_kind})")
+            print(f"t-count    : {report.t_count}")
+            if report.verified is None:
+                print("verified   : n/a (no logic network behind this workload)")
+            else:
+                print(f"verified   : {report.verified} "
+                      f"({report.verify_patterns} patterns)")
+        print(f"sat calls  : {report.sat_calls} in {report.solve_runtime:.3f}s")
+    if report.found and arguments.grid and not arguments.as_json:
+        # The grid is human-readable only; appending it to --json output
+        # would corrupt the machine-readable stream.
+        print()
+        print(strategy_report(report.strategy))
+    return 0 if report.found else 2
+
+
+def _run_sweep(arguments: argparse.Namespace) -> int:
+    budgets = None
+    if arguments.min_budget is not None or arguments.max_budget is not None:
+        if arguments.min_budget is None or arguments.max_budget is None:
+            raise ReproError("--min-budget and --max-budget must be given together")
+        if arguments.max_budget < arguments.min_budget:
+            raise ReproError("--max-budget must be >= --min-budget")
+        budgets = list(range(arguments.min_budget, arguments.max_budget + 1))
+    report = pareto_sweep(
+        arguments.workload,
+        budgets=budgets,
+        scale=arguments.scale,
+        weighted=arguments.weighted,
+        decompose=arguments.decompose,
+        single_move=arguments.single_move,
+        jobs=arguments.jobs,
+        time_limit=arguments.timeout,
+        schedule=arguments.schedule,
+        cardinality=arguments.cardinality,
+        step_increment=arguments.step_increment,
+    )
+    front = report.pareto_front()
+    if arguments.as_json:
+        print(json.dumps(report.as_dict(), indent=2))
+        return 0 if front else 2
+    budget_kind = "weight" if report.weighted else "pebbles"
+    print(f"{budget_kind:>7s} {'outcome':10s} {'steps':>5s} {'qubits':>6s} "
+          f"{'gates':>6s} {'t-count':>7s}  pareto")
+    for point in report.points:
+        steps = "-" if point.steps is None else str(point.steps)
+        qubits = "-" if point.qubits is None else str(point.qubits)
+        gates = "-" if point.gates is None else str(point.gates)
+        t_count = "-" if point.t_count is None else str(point.t_count)
+        marker = "*" if point.pareto else ""
+        print(f"{point.budget:7d} {point.outcome:10s} {steps:>5s} {qubits:>6s} "
+              f"{gates:>6s} {t_count:>7s}  {marker}")
+    print(f"{len(report.points)} budgets, {len(front)} on the Pareto front")
+    return 0 if front else 2
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -214,6 +379,12 @@ def _dispatch(arguments: argparse.Namespace) -> int:
     if arguments.command == "pebble-batch":
         return _run_batch(arguments)
 
+    if arguments.command == "compile":
+        return _run_compile(arguments)
+
+    if arguments.command == "sweep":
+        return _run_sweep(arguments)
+
     dag = _load(arguments.workload, arguments.scale)
 
     if arguments.command == "info":
@@ -234,6 +405,7 @@ def _dispatch(arguments: argparse.Namespace) -> int:
         options = EncodingOptions(
             max_moves_per_step=1 if arguments.single_move else None,
             cardinality=CardinalityEncoding.from_name(arguments.cardinality),
+            weighted=arguments.weighted,
         )
         solver = ReversiblePebblingSolver(dag, options=options)
         result = solver.solve(
@@ -271,8 +443,15 @@ def _dispatch(arguments: argparse.Namespace) -> int:
 
     if arguments.command == "compare":
         eager = eager_bennett_strategy(dag)
-        solver = ReversiblePebblingSolver(dag)
-        best, attempts = solver.minimize_pebbles(timeout_per_budget=arguments.timeout)
+        options = EncodingOptions(
+            cardinality=CardinalityEncoding.from_name(arguments.cardinality),
+        )
+        solver = ReversiblePebblingSolver(dag, options=options)
+        best, attempts = solver.minimize_pebbles(
+            timeout_per_budget=arguments.timeout,
+            step_schedule=arguments.schedule,
+            step_increment=arguments.step_increment,
+        )
         print(f"nodes                 : {dag.num_nodes}")
         print(f"bennett pebbles/moves : {eager.max_pebbles} / {eager.num_moves}")
         if best is not None and best.strategy is not None:
@@ -282,6 +461,9 @@ def _dispatch(arguments: argparse.Namespace) -> int:
             print(f"pebble reduction      : {reduction:.2f}%")
             print(f"move ratio            : {ratio:.2f}x")
             print(f"sat budgets tried     : {len(attempts)}")
+            if arguments.grid:
+                print()
+                print(strategy_report(best.strategy))
         else:
             print("pebbling              : no improvement found within the timeout")
         return 0

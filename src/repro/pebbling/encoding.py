@@ -20,7 +20,13 @@ clearly flagged):
 * ``max_moves_per_step`` limits how many nodes may change per transition
   (1 reproduces the single-move grids of Fig. 4);
 * ``forbid_idle_steps`` forces at least one change per transition, which
-  makes the reported K tight when a solution with fewer steps exists.
+  makes the reported K tight when a solution with fewer steps exists;
+* ``weighted`` switches to the paper's *weighted* pebbling game: the
+  per-step budget bounds the total **weight** of pebbled nodes
+  (``sum of DagNode.weight over pebbled v``) instead of their count, so a
+  node whose value occupies several qubits costs several units of budget.
+  Weights must be positive integers; with all weights 1 the weighted
+  encoding emits exactly the unweighted CNF.
 """
 
 from __future__ import annotations
@@ -29,7 +35,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import PebblingError
 from repro.dag.graph import Dag, NodeId
-from repro.sat.cards import CardinalityEncoding, at_most_k
+from repro.sat.cards import CardinalityEncoding, at_most_k, at_most_k_weighted
 from repro.sat.cnf import Cnf
 
 
@@ -40,10 +46,33 @@ class EncodingOptions:
     cardinality: CardinalityEncoding = CardinalityEncoding.SEQUENTIAL
     max_moves_per_step: int | None = None
     forbid_idle_steps: bool = False
+    weighted: bool = False
 
     def __post_init__(self) -> None:
         if self.max_moves_per_step is not None and self.max_moves_per_step < 1:
             raise PebblingError("max_moves_per_step must be >= 1 (or None)")
+
+
+def validated_node_weights(dag: Dag) -> dict[NodeId, int]:
+    """Node weights of ``dag`` as positive integers, for the weighted game.
+
+    :class:`~repro.dag.graph.DagNode` stores weights as floats (they are
+    also used for soft statistics); the weighted pebbling encoding needs
+    integral qubit counts, so fractional or non-positive weights are
+    rejected here with a clear error instead of failing deep inside the
+    cardinality encoder.
+    """
+    weights: dict[NodeId, int] = {}
+    for node in dag.nodes():
+        weight = dag.node(node).weight
+        value = int(weight)
+        if value != weight or value < 1:
+            raise PebblingError(
+                f"node {node!r} has weight {weight!r}; the weighted pebbling "
+                "game needs integral node weights >= 1"
+            )
+        weights[node] = value
+    return weights
 
 
 @dataclass
@@ -120,6 +149,9 @@ class PebblingEncoder:
         self.options = options or EncodingOptions()
         self._nodes = dag.topological_order()
         self._outputs = set(dag.outputs())
+        self._weights: dict[NodeId, int] = {}
+        if self.options.weighted:
+            self._weights = validated_node_weights(dag)
         self.max_pebbles: int | None = None
         self._cnf: Cnf | None = None
         self._variables: dict[tuple[NodeId, int], int] = {}
@@ -135,9 +167,10 @@ class PebblingEncoder:
             raise PebblingError("max_pebbles must be >= 1")
         self.max_pebbles = max_pebbles
         cnf = self._cnf = Cnf()
+        budget_kind = "weight" if self.options.weighted else "pebbles"
         cnf.add_comment(
             f"reversible pebbling: dag={self.dag.name} nodes={len(self._nodes)} "
-            f"pebbles={max_pebbles}"
+            f"{budget_kind}={max_pebbles}"
         )
         self._add_configuration(0)
         # Initial clauses: at time 0 nothing is pebbled.
@@ -168,10 +201,22 @@ class PebblingEncoder:
         assert cnf is not None and self.max_pebbles is not None
         for node in self._nodes:
             self._variables[(node, step)] = cnf.new_variable(f"p[{node},{step}]")
-        if self.max_pebbles < len(self._nodes):
+        variables = [self._variables[(node, step)] for node in self._nodes]
+        if self.options.weighted:
+            weights = [self._weights[node] for node in self._nodes]
+            if self.max_pebbles < sum(weights):
+                at_most_k_weighted(
+                    cnf,
+                    variables,
+                    weights,
+                    self.max_pebbles,
+                    encoding=self.options.cardinality,
+                    name_prefix=f"card[p,{step}]",
+                )
+        elif self.max_pebbles < len(self._nodes):
             at_most_k(
                 cnf,
-                [self._variables[(node, step)] for node in self._nodes],
+                variables,
                 self.max_pebbles,
                 encoding=self.options.cardinality,
                 name_prefix=f"card[p,{step}]",

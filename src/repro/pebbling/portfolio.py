@@ -57,12 +57,17 @@ class PortfolioTask:
     time_limit: float | None = 60.0
     max_steps: int | None = None
     initial_steps: int | None = None
+    weighted: bool = False
 
     @property
     def name(self) -> str:
         """Stable display/merge key of the task (shared with BatchEntry)."""
         return format_task_name(
-            self.workload, self.pebbles, single_move=self.single_move, scale=self.scale
+            self.workload,
+            self.pebbles,
+            single_move=self.single_move,
+            scale=self.scale,
+            weighted=self.weighted,
         )
 
 
@@ -75,6 +80,7 @@ class PortfolioRecord:
     steps: int | None = None
     moves: int | None = None
     pebbles_used: int | None = None
+    weight_used: float | None = None
     runtime: float = 0.0
     sat_calls: int = 0
     configurations: list[list[str]] | None = None
@@ -98,6 +104,7 @@ class PortfolioRecord:
             "steps": self.steps,
             "moves": self.moves,
             "pebbles_used": self.pebbles_used,
+            "weight_used": self.weight_used,
             "runtime": round(self.runtime, 3),
             "sat_calls": self.sat_calls,
             "error": self.error,
@@ -111,6 +118,7 @@ def _execute_task(task: PortfolioTask) -> PortfolioRecord:
         options = EncodingOptions(
             cardinality=CardinalityEncoding.from_name(task.cardinality),
             max_moves_per_step=1 if task.single_move else None,
+            weighted=task.weighted,
         )
         # strategy_from_name validates the combination — a non-linear
         # schedule with a non-default step_increment becomes an error
@@ -138,6 +146,7 @@ def _execute_task(task: PortfolioTask) -> PortfolioRecord:
     )
     if result.strategy is not None:
         record.pebbles_used = result.strategy.max_pebbles
+        record.weight_used = result.strategy.max_weight
         record.configurations = [
             sorted(str(node) for node in configuration)
             for configuration in result.strategy.configurations
@@ -178,6 +187,7 @@ def tasks_from_suite(
     time_limit: float | None = 60.0,
     schedule: str = "linear",
     cardinality: str = "sequential",
+    step_increment: int = 1,
     incremental: bool = True,
 ) -> list[PortfolioTask]:
     """Turn a named batch suite (or explicit entries) into portfolio tasks."""
@@ -191,6 +201,7 @@ def tasks_from_suite(
             time_limit=time_limit,
             schedule=schedule,
             cardinality=cardinality,
+            step_increment=step_increment,
             incremental=incremental,
         )
         for entry in entries

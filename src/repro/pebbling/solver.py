@@ -34,7 +34,11 @@ from typing import Callable
 from repro.errors import PebblingError
 from repro.dag.graph import Dag
 from repro.pebbling.bennett import eager_bennett_strategy
-from repro.pebbling.encoding import EncodingOptions, PebblingEncoder
+from repro.pebbling.encoding import (
+    EncodingOptions,
+    PebblingEncoder,
+    validated_node_weights,
+)
 from repro.pebbling.search import (
     GeometricRefine,
     SearchCursor,
@@ -92,11 +96,23 @@ class PebblingResult:
     runtime: float = 0.0
     attempts: list[AttemptRecord] = field(default_factory=list)
     complete: bool = False
+    weighted: bool = False
 
     @property
     def found(self) -> bool:
         """``True`` when a valid strategy was found."""
         return self.outcome is PebblingOutcome.SOLUTION and self.strategy is not None
+
+    @property
+    def weight_used(self) -> float | None:
+        """Peak pebbled weight of the found strategy (None if not found).
+
+        In weighted searches ``max_pebbles`` is the *weight budget* and this
+        is the budget the witness actually needs; in unweighted searches it
+        is reported too (useful when node weights carry qubit counts that
+        the search ignored).
+        """
+        return self.strategy.max_weight if self.strategy is not None else None
 
     @property
     def num_steps(self) -> int | None:
@@ -110,7 +126,7 @@ class PebblingResult:
 
     def summary(self) -> dict[str, object]:
         """Plain-dictionary summary used by the CLI and benchmark tables."""
-        return {
+        summary: dict[str, object] = {
             "dag": self.dag_name,
             "max_pebbles": self.max_pebbles,
             "outcome": self.outcome.value,
@@ -121,6 +137,10 @@ class PebblingResult:
             "sat_calls": len(self.attempts),
             "complete": self.complete,
         }
+        if self.weighted:
+            summary["weighted"] = True
+            summary["weight_used"] = self.weight_used
+        return summary
 
 
 class ReversiblePebblingSolver:
@@ -150,7 +170,7 @@ class ReversiblePebblingSolver:
     # feasibility bounds
     # ------------------------------------------------------------------
     def minimum_pebbles_lower_bound(self) -> int:
-        """A cheap lower bound on the number of pebbles of any strategy.
+        """A cheap lower bound on the budget of any strategy.
 
         Any node must be pebbled with all its dependencies pebbled, hence at
         least ``max_fanin + 1`` pebbles; the final configuration holds all
@@ -158,11 +178,27 @@ class ReversiblePebblingSolver:
         node to be cleaned up while an output stays pebbled the bound
         ``|O| + 1`` applies whenever some non-output node remains to be
         unpebbled after the last output is computed.
+
+        In weighted mode the same arguments bound the *weight* budget: the
+        moment a node ``v`` is (un)pebbled, ``v`` and all its dependencies
+        are pebbled together (``w(v) + sum w(deps)``), and the final
+        configuration weighs ``sum w(outputs)``.  Unit weights make both
+        terms collapse to the unweighted bound, which stays sound for any
+        weights >= 1.
         """
         stats = self.dag.statistics()
         bound = max(stats.max_fanin + 1, stats.num_outputs)
         if stats.num_nodes > stats.num_outputs:
             bound = max(bound, 2)
+        if self.options.weighted:
+            weights = validated_node_weights(self.dag)
+            closure = max(
+                weights[node]
+                + sum(weights[dep] for dep in self.dag.dependencies(node))
+                for node in self.dag.nodes()
+            )
+            final = sum(weights[output] for output in self.dag.outputs())
+            bound = max(bound, closure, final)
         return bound
 
     def default_initial_steps(self, *, max_pebbles: int) -> int:
@@ -231,6 +267,12 @@ class ReversiblePebblingSolver:
     ) -> PebblingResult:
         """Find a strategy with at most ``max_pebbles`` pebbles.
 
+        With :attr:`EncodingOptions.weighted` set, ``max_pebbles`` is the
+        *weight budget*: every configuration's total pebbled node weight is
+        bounded instead of its pebble count, and the returned
+        :attr:`PebblingResult.weight_used` reports the witness's peak
+        weight.
+
         The number of steps starts at ``initial_steps`` (default: a structural
         lower bound) and evolves after every oracle answer until the search
         strategy is satisfied, ``max_steps`` is exceeded, or the time budget
@@ -263,7 +305,12 @@ class ReversiblePebblingSolver:
                 "use the linear schedule instead"
             )
         started = time.monotonic()
-        result = PebblingResult(self.dag.name, max_pebbles, PebblingOutcome.TIMEOUT)
+        result = PebblingResult(
+            self.dag.name,
+            max_pebbles,
+            PebblingOutcome.TIMEOUT,
+            weighted=self.options.weighted,
+        )
 
         if max_pebbles < self.minimum_pebbles_lower_bound():
             result.outcome = PebblingOutcome.INFEASIBLE
@@ -290,6 +337,12 @@ class ReversiblePebblingSolver:
         result.outcome = outcome
         result.runtime = time.monotonic() - started
         return result
+
+    def _strategy_budget(self, strategy: PebblingStrategy) -> int:
+        """The budget a strategy consumes: pebble count, or peak weight."""
+        if self.options.weighted:
+            return int(strategy.max_weight)
+        return strategy.max_pebbles
 
     def _remaining(self, time_limit: float | None, started: float) -> float | None:
         if time_limit is None:
@@ -461,6 +514,10 @@ class ReversiblePebblingSolver:
         fruitless SAT calls; disable it to obtain step-minimal answers per
         budget with the linear schedule.
 
+        In weighted mode the scan runs over *weight budgets* (the eager
+        Bennett baseline's peak weight anchors the upper bound) and returns
+        the smallest solvable weight budget instead of pebble count.
+
         Returns ``(best_result, all_results)``.
         """
         # Resolve (and validate) the search schedule once for the whole scan.
@@ -468,8 +525,9 @@ class ReversiblePebblingSolver:
             strategy, step_schedule=step_schedule, step_increment=step_increment
         )
         baseline = eager_bennett_strategy(self.dag)
+        baseline_budget = self._strategy_budget(baseline)
         if upper_bound is None:
-            upper_bound = baseline.max_pebbles
+            upper_bound = baseline_budget
         if lower_bound is None:
             lower_bound = self.minimum_pebbles_lower_bound()
         if upper_bound < lower_bound:
@@ -478,14 +536,18 @@ class ReversiblePebblingSolver:
         best: PebblingResult | None = None
         steps_hint: int | None = None
         first_budget = upper_bound
-        if upper_bound >= baseline.max_pebbles:
+        if upper_bound >= baseline_budget:
             # The eager Bennett strategy is already a witness for the loosest
             # budget; no SAT call needed for it.
             best = PebblingResult(
-                self.dag.name, upper_bound, PebblingOutcome.SOLUTION, strategy=baseline
+                self.dag.name,
+                upper_bound,
+                PebblingOutcome.SOLUTION,
+                strategy=baseline,
+                weighted=self.options.weighted,
             )
             steps_hint = baseline.num_steps
-            first_budget = baseline.max_pebbles - 1
+            first_budget = baseline_budget - 1
         failures = 0
         for budget in range(first_budget, lower_bound - 1, -1):
             outcome = self.solve(

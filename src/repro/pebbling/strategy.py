@@ -164,6 +164,23 @@ class PebblingStrategy:
         """Number of pebbles in use at each configuration (Fig. 5 top curves)."""
         return [len(config) for config in self._configurations]
 
+    def weight_profile(self) -> list[float]:
+        """Total pebbled weight at each configuration (weighted game)."""
+        return [
+            sum(self.dag.node(node).weight for node in config)
+            for config in self._configurations
+        ]
+
+    @property
+    def max_weight(self) -> float:
+        """Peak total weight of simultaneously pebbled nodes.
+
+        With unit node weights this equals :attr:`max_pebbles`; with the
+        weighted game's qubit-count weights it is the qubit budget the
+        strategy actually needs.
+        """
+        return max(self.weight_profile())
+
     def moves(self) -> list[PebbleMove]:
         """Serialise the strategy into a list of single moves.
 

@@ -22,6 +22,7 @@ from repro.sat.cards import (
     CardinalityEncoding,
     at_least_k,
     at_most_k,
+    at_most_k_weighted,
     at_most_one,
     exactly_k,
     exactly_one,
@@ -48,6 +49,7 @@ __all__ = [
     "and_",
     "at_least_k",
     "at_most_k",
+    "at_most_k_weighted",
     "at_most_one",
     "exactly_k",
     "exactly_one",

@@ -23,6 +23,17 @@ among them:
     Bailleux–Boufkhad totalizer.  ``O(n \\log n)`` variables, ``O(n k)``
     clauses, good unit-propagation behaviour.
 
+The weighted pebbling game (Section V of the paper) needs the
+pseudo-Boolean generalisation
+
+.. math::  \\sum_{v \\in V} w_v \\, p_{v,i} \\le W
+
+which :func:`at_most_k_weighted` compiles with a *generalised* sequential
+counter whose registers count accumulated weight instead of cardinality.
+With all weights equal to one it degenerates (by delegation) to the plain
+:func:`at_most_k` encodings, so the weighted and unweighted pebbling
+encoders emit byte-identical CNF on unit-weight DAGs.
+
 All functions append clauses to a caller-provided :class:`~repro.sat.cnf.Cnf`
 and work on DIMACS literals (so they can constrain negated variables too).
 """
@@ -130,6 +141,110 @@ def at_most_k(
         _sequential_counter(cnf, literals, bound, name_prefix)
     else:
         _totalizer(cnf, literals, bound, name_prefix)
+
+
+def _check_weights(literals: Sequence[int], weights: Sequence[float]) -> list[int]:
+    """Validate a weight vector: one positive integer per literal."""
+    if len(weights) != len(literals):
+        raise CnfError(
+            f"{len(literals)} literals but {len(weights)} weights; "
+            "every literal needs exactly one weight"
+        )
+    checked: list[int] = []
+    for weight in weights:
+        value = int(weight)
+        if value != weight or value < 1:
+            raise CnfError(
+                f"weight {weight!r} is not a positive integer; weighted "
+                "cardinality constraints need integral weights >= 1"
+            )
+        checked.append(value)
+    return checked
+
+
+def at_most_k_weighted(
+    cnf: Cnf,
+    literals: Sequence[int],
+    weights: Sequence[float],
+    bound: int,
+    *,
+    encoding: "str | CardinalityEncoding" = CardinalityEncoding.SEQUENTIAL,
+    name_prefix: str | None = None,
+) -> None:
+    """Add clauses stating :math:`\\sum_i w_i \\cdot [l_i] \\le bound`.
+
+    ``weights`` must be positive integers (integral floats are accepted),
+    one per literal.  When every weight is 1 the call delegates to
+    :func:`at_most_k` with the chosen ``encoding``, so the weighted entry
+    point is a strict generalisation of the unweighted one; with non-unit
+    weights the constraint is compiled with a generalised sequential
+    counter (registers track accumulated weight, ``O(n \\cdot bound)``
+    auxiliary variables and clauses).
+
+    ``name_prefix`` names the counter registers ``<prefix>.r[i,j]`` exactly
+    like the unweighted sequential encoding, so frame-parity tests keep
+    working in weighted mode.
+    """
+    literals = [check_literal(literal) for literal in literals]
+    checked = _check_weights(literals, weights)
+    if all(weight == 1 for weight in checked):
+        at_most_k(cnf, literals, bound, encoding=encoding, name_prefix=name_prefix)
+        return
+    if bound < 0:
+        cnf.add_clause([])  # nothing can satisfy a negative bound
+        return
+    # Literals too heavy for the whole budget can never be true.
+    pairs: list[tuple[int, int]] = []
+    for literal, weight in zip(literals, checked):
+        if weight > bound:
+            cnf.add_unit(-literal)
+        else:
+            pairs.append((literal, weight))
+    if sum(weight for _, weight in pairs) <= bound:
+        return  # trivially satisfied by the surviving literals
+    _weighted_sequential_counter(cnf, pairs, bound, name_prefix)
+
+
+def _weighted_sequential_counter(
+    cnf: Cnf,
+    pairs: Sequence[tuple[int, int]],
+    bound: int,
+    name_prefix: str | None = None,
+) -> None:
+    """Generalised sequential counter for pseudo-Boolean at-most-``bound``.
+
+    ``registers[i][j]`` is true when the accumulated weight of the first
+    ``i + 1`` literals is at least ``j + 1``.  Every weight in ``pairs`` is
+    already known to be ``<= bound``.
+    """
+    count = len(pairs)
+    registers = [
+        [
+            cnf.new_variable(
+                None if name_prefix is None else f"{name_prefix}.r[{i},{j}]"
+            )
+            for j in range(bound)
+        ]
+        for i in range(count)
+    ]
+    first, first_weight = pairs[0]
+    for j in range(first_weight):
+        cnf.add_clause([-first, registers[0][j]])
+    for j in range(first_weight, bound):
+        cnf.add_unit(-registers[0][j])
+    for i in range(1, count):
+        literal, weight = pairs[i]
+        previous = registers[i - 1]
+        current = registers[i]
+        for j in range(weight):
+            cnf.add_clause([-literal, current[j]])
+        for j in range(bound):
+            cnf.add_clause([-previous[j], current[j]])
+        for j in range(bound - weight):
+            cnf.add_clause([-literal, -previous[j], current[j + weight]])
+        # Overflow: accumulated weight already exceeds bound - weight, so
+        # adding this literal would push the total past the bound.
+        cnf.add_clause([-literal, -previous[bound - weight]])
 
 
 # ---------------------------------------------------------------------------
@@ -249,4 +364,22 @@ def count_true(model: dict[int, bool], literals: Sequence[int]) -> int:
         value = model.get(variable, False)
         if value == (literal > 0):
             total += 1
+    return total
+
+
+def weighted_sum_true(
+    model: dict[int, bool], literals: Sequence[int], weights: Sequence[float]
+) -> int:
+    """Total weight of the ``literals`` satisfied by ``model``.
+
+    Weighted counterpart of :func:`count_true`, shared by the weighted
+    cardinality tests and the weighted pebbling strategy checks.
+    """
+    checked = _check_weights(list(literals), weights)
+    total = 0
+    for literal, weight in zip(literals, checked):
+        variable = abs(literal)
+        value = model.get(variable, False)
+        if value == (literal > 0):
+            total += weight
     return total

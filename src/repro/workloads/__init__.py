@@ -17,11 +17,15 @@ benchmark harnesses consistent:
 from repro.workloads.registry import (
     BatchEntry,
     and_tree_dag,
+    and_tree_network,
     example_dag,
+    example_network,
     hadamard_gate_level_dag,
+    list_network_workloads,
     list_suites,
     list_workloads,
     load_workload,
+    load_workload_network,
     suite_entries,
     table1_rows,
 )
@@ -29,11 +33,15 @@ from repro.workloads.registry import (
 __all__ = [
     "BatchEntry",
     "and_tree_dag",
+    "and_tree_network",
     "example_dag",
+    "example_network",
     "hadamard_gate_level_dag",
+    "list_network_workloads",
     "list_suites",
     "list_workloads",
     "load_workload",
+    "load_workload_network",
     "suite_entries",
     "table1_rows",
 ]

@@ -39,6 +39,31 @@ def example_dag() -> Dag:
     return dag
 
 
+def example_network() -> LogicNetwork:
+    """A concrete gate-level realisation of the Fig. 2 example DAG.
+
+    The paper leaves the six operations of the example abstract; this
+    network assigns them real Boolean gates so the fig2 workload can be
+    driven through the full compilation pipeline (compile → simulate →
+    verify).  ``example_network().to_dag()`` has exactly the dependency
+    structure of :func:`example_dag` (same node names, same edges, same
+    outputs): every gate reads its DAG dependencies plus fresh primary
+    inputs.
+    """
+    network = LogicNetwork("fig2_example")
+    for index in range(6):
+        network.add_input(f"x{index}")
+    network.add_gate("A", "AND", ["x0", "x1"])
+    network.add_gate("B", "XOR", ["x2", "x3"])
+    network.add_gate("C", "OR", ["A", "x4"])
+    network.add_gate("D", "NAND", ["B", "x5"])
+    network.add_gate("E", "AND", ["C", "D"])
+    network.add_gate("F", "XOR", ["A", "x4"])
+    network.add_output("E")
+    network.add_output("F")
+    return network
+
+
 def and_tree_network(num_inputs: int = 9) -> LogicNetwork:
     """The ``num_inputs``-input AND oracle of Fig. 6 as a logic network.
 
@@ -154,16 +179,24 @@ def table1_rows() -> list[Table1Row]:
 # batch suites
 # ---------------------------------------------------------------------------
 def format_task_name(
-    workload: str, pebbles: int, *, single_move: bool = False, scale: float = 1.0
+    workload: str,
+    pebbles: int,
+    *,
+    single_move: bool = False,
+    scale: float = 1.0,
+    weighted: bool = False,
 ) -> str:
     """The canonical display/merge key of a (workload, budget) task.
 
     Shared by the suite registry and the portfolio layer so suite entries
-    and portfolio records always agree on names.
+    and portfolio records always agree on names.  ``weighted`` tasks carry
+    a ``_w`` tag because a weight budget and a pebble budget of the same
+    number are different instances.
     """
     suffix = "_sm" if single_move else ""
+    weight_tag = "_w" if weighted else ""
     scale_tag = "" if scale == 1.0 else f"_s{scale:g}"
-    return f"{workload}_p{pebbles}{suffix}{scale_tag}"
+    return f"{workload}_p{pebbles}{weight_tag}{suffix}{scale_tag}"
 
 
 @dataclass(frozen=True)
@@ -240,6 +273,20 @@ def list_workloads() -> list[str]:
     return names
 
 
+def _scaled_hadamard_parameters(row: Table1Row, scale: float) -> tuple[int, int]:
+    """(bits, modulus) of a scaled Hadamard Table I row.
+
+    The single source of the scale arithmetic: :func:`load_workload` and
+    :func:`load_workload_network` must agree on it exactly, otherwise a
+    workload's DAG and its verification network would be built at
+    different sizes.
+    """
+    assert row.bits is not None and row.modulus is not None
+    bits = max(1, int(round(row.bits * scale)))
+    modulus = min(row.modulus, 1 << bits)
+    return bits, modulus
+
+
 def load_workload(name: str, *, scale: float = 1.0) -> Dag:
     """Load a workload DAG by name.
 
@@ -266,9 +313,7 @@ def load_workload(name: str, *, scale: float = 1.0) -> Dag:
     for row in TABLE1_ROWS:
         if row.name == key:
             if row.kind == "hadamard":
-                assert row.bits is not None and row.modulus is not None
-                bits = max(1, int(round(row.bits * scale)))
-                modulus = min(row.modulus, 1 << bits)
+                bits, modulus = _scaled_hadamard_parameters(row, scale)
                 return hadamard_gate_level_dag(bits, modulus)
             return _iscas_dag(row.name, scale)
     if key in ISCAS_PROFILES:
@@ -291,6 +336,53 @@ def load_workload_or_path(spec: str, *, scale: float = 1.0) -> Dag:
     if path.suffix == ".json" and path.exists():
         return dag_from_json(path)
     return load_workload(spec, scale=scale)
+
+
+def load_workload_network(spec: str, *, scale: float = 1.0) -> LogicNetwork | None:
+    """Return the :class:`LogicNetwork` behind a workload, if it has one.
+
+    The compilation pipeline needs the Boolean functions of the pebbled
+    nodes to emit simulatable gates and verify circuits end-to-end.  DAG
+    workloads that are gate-level by construction (``fig2``, ``and9``, the
+    Table I rows, ``.bench`` files) resolve to their network; word-level
+    SLP workloads (``hadamard``, ``kummer-*``, ``edwards-add``) and DAG-JSON
+    files have no gate-level semantics and resolve to ``None`` — the
+    pipeline then compiles structurally and skips verification.
+
+    The returned network is always the one whose ``to_dag()`` (restricted
+    to the output cones, where :func:`load_workload` does the same sweep)
+    produced the DAG of ``load_workload_or_path(spec, scale=scale)``.
+    """
+    if scale <= 0:
+        raise WorkloadError("scale must be positive")
+    path = Path(spec)
+    if path.suffix == ".bench" and path.exists():
+        from repro.logic.bench import network_from_bench
+
+        return network_from_bench(path)
+    if path.suffix == ".json" and path.exists():
+        return None
+    key = spec.lower()
+    if key == "fig2":
+        return example_network()
+    if key == "and9":
+        return and_tree_network(9)
+    for row in TABLE1_ROWS:
+        if row.name == key:
+            if row.kind == "hadamard":
+                bits, modulus = _scaled_hadamard_parameters(row, scale)
+                return hadamard_gate_level_network(bits, modulus)
+            return iscas_like_network(key, scale=scale)
+    if key in ISCAS_PROFILES:
+        return iscas_like_network(key, scale=scale)
+    return None
+
+
+def list_network_workloads() -> list[str]:
+    """Workload names for which :func:`load_workload_network` has a network."""
+    names = ["fig2", "and9"]
+    names.extend(row.name for row in TABLE1_ROWS)
+    return names
 
 
 def _iscas_dag(name: str, scale: float) -> Dag:

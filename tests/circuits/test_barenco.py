@@ -105,3 +105,85 @@ class TestBarencoAndOracle:
     def test_rejects_single_input(self):
         with pytest.raises(CircuitError):
             barenco_and_oracle(1)
+
+
+class TestSingleTargetLowering:
+    """ANF lowering of single-target gates to Toffoli gates."""
+
+    @staticmethod
+    def _lowered_matches(function, num_controls, extra_qubits=2):
+        from repro.circuits import single_target_gate_to_mct
+        from repro.circuits.gates import SingleTargetGate
+
+        controls = [f"c{i}" for i in range(num_controls)]
+        spares = [f"s{i}" for i in range(extra_qubits)]
+        gate = SingleTargetGate("t", tuple(controls), function)
+        gates = single_target_gate_to_mct(gate, controls + spares + ["t"])
+        assert all(g.num_controls <= 2 for g in gates)
+        for bits in itertools.product([False, True], repeat=num_controls):
+            for spare_bits in itertools.product([False, True], repeat=extra_qubits):
+                values = dict(zip(controls, bits))
+                final = _simulate_decomposition(
+                    controls, "t", spares, gates, bits, spare_bits
+                )
+                assert final["t"] == bool(function(values)), (bits, spare_bits)
+                # Borrowed qubits must be restored.
+                assert tuple(final[s] for s in spares) == spare_bits
+
+    def test_and_gate(self):
+        self._lowered_matches(lambda v: all(v.values()), 3)
+
+    def test_or_gate(self):
+        self._lowered_matches(lambda v: any(v.values()), 3)
+
+    def test_xor_gate(self):
+        self._lowered_matches(
+            lambda v: sum(v.values()) % 2 == 1, 4
+        )
+
+    def test_majority_gate(self):
+        self._lowered_matches(lambda v: sum(v.values()) >= 2, 3)
+
+    def test_constant_true_becomes_a_not(self):
+        from repro.circuits import single_target_gate_to_mct
+        from repro.circuits.gates import SingleTargetGate
+
+        gate = SingleTargetGate("t", (), lambda values: True)
+        gates = single_target_gate_to_mct(gate, ["t"])
+        assert len(gates) == 1 and gates[0].num_controls == 0
+
+    def test_structural_gate_rejected(self):
+        from repro.circuits import single_target_gate_to_mct
+        from repro.circuits.gates import SingleTargetGate
+
+        gate = SingleTargetGate("t", ("a",), None)
+        with pytest.raises(CircuitError):
+            single_target_gate_to_mct(gate, ["a", "t"])
+
+
+class TestDecomposeCircuit:
+    def test_negative_control_toffoli_is_conjugated(self):
+        from repro.circuits import decompose_circuit
+        from repro.circuits.gates import ToffoliGate
+
+        circuit = ReversibleCircuit("neg")
+        circuit.add_qubits(["a", "b", "c", "d"], QubitRole.INPUT)
+        circuit.add_qubit("t", QubitRole.OUTPUT)
+        circuit.append(ToffoliGate.from_names("t", ["a", "b", "c"], negated=["b"]))
+        lowered = decompose_circuit(circuit)
+        assert all(g.num_controls <= 2 for g in lowered.gates)
+        for bits in itertools.product([False, True], repeat=4):
+            values = dict(zip(["a", "b", "c", "d"], bits))
+            final = simulate_circuit(lowered, values)
+            expected = values["a"] and not values["b"] and values["c"]
+            assert final["t"] == expected
+
+    def test_preserves_qubit_roles_and_names(self):
+        from repro.circuits import compile_network_oracle, decompose_circuit
+        from repro.workloads import example_network
+
+        compiled = compile_network_oracle(example_network())
+        lowered = decompose_circuit(compiled.circuit)
+        assert lowered.qubits() == compiled.circuit.qubits()
+        for name in lowered.qubits():
+            assert lowered.qubit(name).role is compiled.circuit.qubit(name).role

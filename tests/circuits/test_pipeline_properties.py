@@ -1,0 +1,123 @@
+"""Property-based end-to-end fidelity tests of the compilation pipeline.
+
+For every bundled workload backed by a :class:`~repro.logic.LogicNetwork`
+(see :func:`repro.workloads.list_network_workloads`), the compiled
+reversible circuit must agree with plain network evaluation on random
+input assignments — with and without the Barenco MCT decomposition.  The
+compilation itself is deterministic per workload, so circuits are built
+once and cached (via the eager-Bennett strategy for the big Table I
+instances, which needs no SAT search, and via the SAT pipeline for the
+small trio) and hypothesis drives the input patterns.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits.barenco import decompose_circuit
+from repro.circuits.circuit import QubitRole
+from repro.circuits.compile import compile_strategy, network_controls
+from repro.circuits.simulator import simulate_circuit
+from repro.pebbling import ReversiblePebblingSolver, eager_bennett_strategy
+from repro.workloads import (
+    list_network_workloads,
+    load_workload,
+    load_workload_network,
+)
+
+#: Big Table I instances are compiled at a reduced scale so building the
+#: synthetic network and the Bennett circuit stays fast; Boolean fidelity
+#: does not depend on instance size.
+_SCALES = {
+    "b4_m5": 0.5, "b5_m7": 0.5, "b6_m7": 0.25, "b8_m7": 0.25,
+    "b10_m7": 0.2, "b12_m7": 0.2, "b16_m23": 0.125,
+    "c432": 0.5, "c499": 0.5, "c880": 0.3, "c1355": 0.5, "c1908": 0.5,
+    "c2670": 0.2, "c3540": 0.15, "c5315": 0.1, "c6288": 0.1, "c7552": 0.1,
+}
+
+WORKLOADS = list_network_workloads()
+
+#: Feasible SAT budgets for the small trio exercised through the solver.
+_SAT_BUDGETS = {"fig2": 4, "and9": 5, "c17": 4}
+
+
+def _check_fidelity(network, compiled, circuit, pattern, workload):
+    """One input pattern: circuit outputs == network values, clean ancillae."""
+    assignment = {
+        name: bool((pattern >> position) & 1)
+        for position, name in enumerate(network.inputs)
+    }
+    values = network.simulate(assignment)
+    circuit_inputs = {
+        qubit: assignment[name] for name, qubit in compiled.input_qubits.items()
+    }
+    final = simulate_circuit(circuit, circuit_inputs)
+    for node, qubit in compiled.output_qubits.items():
+        assert final[qubit] == bool(values[str(node)]), (workload, node)
+    for qubit in circuit.qubits(QubitRole.ANCILLA):
+        assert not final[qubit], (workload, qubit, "dirty ancilla")
+    for qubit, value in circuit_inputs.items():
+        assert final[qubit] == value, (workload, qubit, "input modified")
+
+
+@lru_cache(maxsize=None)
+def _bennett_compiled(workload: str, decompose: bool):
+    scale = _SCALES.get(workload, 1.0)
+    dag = load_workload(workload, scale=scale)
+    network = load_workload_network(workload, scale=scale)
+    assert network is not None
+    strategy = eager_bennett_strategy(dag)
+    compiled = compile_strategy(
+        dag, strategy, provider=network_controls(network)
+    )
+    circuit = (
+        decompose_circuit(compiled.circuit) if decompose else compiled.circuit
+    )
+    return network, compiled, circuit
+
+
+@lru_cache(maxsize=None)
+def _sat_compiled(workload: str, decompose: bool):
+    dag = load_workload(workload)
+    network = load_workload_network(workload)
+    assert network is not None
+    result = ReversiblePebblingSolver(dag).solve(
+        _SAT_BUDGETS[workload], time_limit=60
+    )
+    assert result.found
+    compiled = compile_strategy(
+        dag, result.strategy, provider=network_controls(network)
+    )
+    circuit = (
+        decompose_circuit(compiled.circuit) if decompose else compiled.circuit
+    )
+    return network, compiled, circuit
+
+
+@given(
+    workload=st.sampled_from(WORKLOADS),
+    decompose=st.booleans(),
+    pattern=st.integers(min_value=0),
+)
+@settings(max_examples=60, deadline=None)
+def test_compiled_circuit_matches_network_evaluation(
+    workload, decompose, pattern
+):
+    network, compiled, circuit = _bennett_compiled(workload, decompose)
+    _check_fidelity(network, compiled, circuit, pattern, workload)
+
+
+@given(
+    workload=st.sampled_from(sorted(_SAT_BUDGETS)),
+    decompose=st.booleans(),
+    pattern=st.integers(min_value=0),
+)
+@settings(max_examples=30, deadline=None)
+def test_sat_pipeline_circuit_matches_network_evaluation(
+    workload, decompose, pattern
+):
+    """The SAT-pebbled pipeline (not just Bennett) is Boolean-exact too."""
+    network, compiled, circuit = _sat_compiled(workload, decompose)
+    _check_fidelity(network, compiled, circuit, pattern, workload)

@@ -310,3 +310,41 @@ class TestFrameEngine:
                 max_pebbles=pebbles, num_steps=steps
             )
             assert CdclSolver(one_shot.cnf).solve().is_sat is expected
+
+
+class TestWeightedEncoding:
+    def test_unit_weights_emit_identical_cnf(self, fig2_dag):
+        plain = PebblingEncoder(fig2_dag).encode(max_pebbles=4, num_steps=5)
+        weighted = PebblingEncoder(
+            fig2_dag, options=EncodingOptions(weighted=True)
+        ).encode(max_pebbles=4, num_steps=5)
+        assert [c.literals for c in weighted.cnf.clauses] == [
+            c.literals for c in plain.cnf.clauses
+        ]
+
+    def test_weighted_budget_bounds_configuration_weight(self, fig2_dag):
+        from repro.sat.cards import weighted_sum_true
+
+        fig2_dag.node("E").weight = 3.0
+        encoder = PebblingEncoder(fig2_dag, options=EncodingOptions(weighted=True))
+        encoding = encoder.encode(max_pebbles=6, num_steps=8)
+        result = CdclSolver(encoding.cnf).solve()
+        assert result.is_sat
+        weights = [int(fig2_dag.node(node).weight) for node in fig2_dag.nodes()]
+        for step in range(encoding.num_steps + 1):
+            literals = [
+                encoding.variable(node, step) for node in fig2_dag.nodes()
+            ]
+            assert weighted_sum_true(result.model, literals, weights) <= 6
+
+    def test_weighted_rejects_fractional_node_weights(self, fig2_dag):
+        fig2_dag.node("B").weight = 0.5
+        with pytest.raises(PebblingError):
+            PebblingEncoder(fig2_dag, options=EncodingOptions(weighted=True))
+
+    def test_weighted_comment_tags_the_budget(self, fig2_dag):
+        fig2_dag.node("E").weight = 2.0
+        encoding = PebblingEncoder(
+            fig2_dag, options=EncodingOptions(weighted=True)
+        ).encode(max_pebbles=5, num_steps=4)
+        assert "weight=5" in encoding.cnf.comments[0]

@@ -118,3 +118,36 @@ class TestBudgetSweep:
     def test_default_suite_entries_are_well_formed(self):
         for entry in suite_entries("default"):
             load_workload(entry.workload, scale=entry.scale).validate()
+
+
+class TestWeightedTasks:
+    def test_weighted_task_runs_the_weighted_game(self):
+        # fig2 has unit weights, so a weighted budget of 4 equals the
+        # unweighted 4-pebble search; the record reports the peak weight.
+        record = run_portfolio(
+            [PortfolioTask("fig2", 4, weighted=True, time_limit=30)]
+        )[0]
+        assert record.outcome == "solution"
+        assert record.weight_used == 4.0
+        assert record.name == "fig2_p4_w"
+        assert record.as_dict()["weight_used"] == 4.0
+
+    def test_weighted_and_unweighted_tasks_have_distinct_names(self):
+        weighted = PortfolioTask("fig2", 4, weighted=True)
+        plain = PortfolioTask("fig2", 4)
+        assert weighted.name != plain.name
+
+    def test_tasks_from_suite_plumbs_step_increment_and_cardinality(self):
+        tasks = tasks_from_suite(
+            "smoke", cardinality="totalizer", step_increment=2
+        )
+        assert all(task.cardinality == "totalizer" for task in tasks)
+        assert all(task.step_increment == 2 for task in tasks)
+
+    def test_non_linear_schedule_with_increment_becomes_error_record(self):
+        record = run_portfolio(
+            [PortfolioTask("fig2", 4, schedule="geometric", step_increment=3,
+                           time_limit=10)]
+        )[0]
+        assert record.outcome == "error"
+        assert "step_increment" in record.error

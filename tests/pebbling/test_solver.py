@@ -192,3 +192,102 @@ class TestMinimizePebbles:
         assert best is not None
         assert best.strategy.max_pebbles <= 4
         assert all(result.max_pebbles <= 4 for result in attempts)
+
+
+class TestWeightedPebbling:
+    """The weighted game: budgets bound total pebbled weight, not count."""
+
+    @staticmethod
+    def _weighted(dag, weight=2.0):
+        for node in dag.nodes():
+            dag.node(node).weight = weight
+        return dag
+
+    def test_weight_budget_below_weighted_minimum_is_infeasible(self, fig2_dag):
+        # With every node weighing 2, a weight budget of 7 admits at most 3
+        # simultaneous pebbles — but fig2 needs 4, so no step bound works.
+        # An unweighted budget of 7 "pebbles" would be trivially satisfiable,
+        # which proves the weights actually reach the SAT encoding.
+        dag = self._weighted(fig2_dag)
+        unweighted = ReversiblePebblingSolver(dag)
+        assert unweighted.solve(7, time_limit=60).found
+
+        solver = ReversiblePebblingSolver(
+            dag, options=EncodingOptions(weighted=True)
+        )
+        result = solver.solve(7, time_limit=60, max_steps=12)
+        assert not result.found
+        assert result.outcome is PebblingOutcome.STEP_LIMIT
+
+    def test_weight_budget_of_twice_the_pebble_minimum_succeeds(self, fig2_dag):
+        dag = self._weighted(fig2_dag)
+        solver = ReversiblePebblingSolver(
+            dag, options=EncodingOptions(weighted=True)
+        )
+        result = solver.solve(8, time_limit=60)
+        assert result.found
+        assert result.weighted is True
+        assert result.weight_used == 8.0
+        assert result.strategy.max_pebbles == 4
+        assert result.num_steps == 6  # same step count as the unweighted game
+        summary = result.summary()
+        assert summary["weighted"] is True
+        assert summary["weight_used"] == 8.0
+
+    def test_non_uniform_weights_raise_the_budget_selectively(self, fig2_dag):
+        # Only E is heavy: computing E holds C, D and E at once, so the
+        # weighted game needs w(C) + w(D) + w(E) = 5 while the unweighted
+        # game needs just 4 pebbles.
+        fig2_dag.node("E").weight = 3.0
+        solver = ReversiblePebblingSolver(
+            fig2_dag, options=EncodingOptions(weighted=True)
+        )
+        assert solver.minimum_pebbles_lower_bound() == 5
+        infeasible = solver.solve(4, time_limit=60)
+        assert infeasible.outcome is PebblingOutcome.INFEASIBLE
+        result = solver.solve(6, time_limit=60)
+        assert result.found
+        assert result.weight_used <= 6.0
+        assert max(result.strategy.weight_profile()) <= 6.0
+
+    def test_unit_weights_weighted_matches_unweighted_search(self, fig2_dag):
+        weighted = ReversiblePebblingSolver(
+            fig2_dag, options=EncodingOptions(weighted=True)
+        ).solve(4, time_limit=60)
+        plain = ReversiblePebblingSolver(fig2_dag).solve(4, time_limit=60)
+        assert weighted.found and plain.found
+        assert weighted.num_steps == plain.num_steps
+        assert len(weighted.attempts) == len(plain.attempts)
+
+    def test_fractional_weights_are_rejected(self, fig2_dag):
+        fig2_dag.node("A").weight = 1.5
+        with pytest.raises(PebblingError):
+            ReversiblePebblingSolver(
+                fig2_dag, options=EncodingOptions(weighted=True)
+            ).solve(4)
+
+    def test_weighted_minimize_scans_weight_budgets(self, fig2_dag):
+        fig2_dag.node("E").weight = 3.0
+        best, attempts = minimize_pebbles(
+            fig2_dag,
+            options=EncodingOptions(weighted=True),
+            timeout_per_budget=30.0,
+        )
+        assert best is not None and best.strategy is not None
+        # Computing E holds C + D + E = 5, but cleaning C up afterwards
+        # needs A pebbled next to E, so the weighted minimum is 6.
+        assert best.max_pebbles == 6
+        assert best.weight_used <= 6.0
+        assert all(result.weighted for result in attempts)
+
+    def test_weighted_works_with_incremental_and_monolithic(self, fig2_dag):
+        fig2_dag.node("F").weight = 2.0
+        options = EncodingOptions(weighted=True)
+        incremental = ReversiblePebblingSolver(
+            fig2_dag, options=options, incremental=True
+        ).solve(5, time_limit=60)
+        monolithic = ReversiblePebblingSolver(
+            fig2_dag, options=options, incremental=False
+        ).solve(5, time_limit=60)
+        assert incremental.found and monolithic.found
+        assert incremental.num_steps == monolithic.num_steps

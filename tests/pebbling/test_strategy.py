@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import InvalidStrategyError
-from repro.pebbling import PebbleMove, PebblingStrategy
+from repro.pebbling import PebbleMove, PebblingStrategy, bennett_strategy
 
 
 def _bennett_configs_fig2():
@@ -215,3 +215,22 @@ class TestMetricsAndConversion:
     def test_move_str(self):
         assert str(PebbleMove("A", True)) == "pebble(A)"
         assert str(PebbleMove("A", False)) == "unpebble(A)"
+
+
+class TestWeightMetrics:
+    def test_weight_profile_and_max_weight(self, fig2_dag):
+        fig2_dag.node("E").weight = 3.0
+        strategy = bennett_strategy(fig2_dag)
+        profile = strategy.weight_profile()
+        assert len(profile) == strategy.num_steps + 1
+        assert profile[0] == 0.0
+        assert strategy.max_weight == max(profile)
+        # E adds two extra units over the pure pebble count peak.
+        assert strategy.max_weight == strategy.max_pebbles + 2
+
+    def test_unit_weights_match_pebble_profile(self, fig2_dag):
+        strategy = bennett_strategy(fig2_dag)
+        assert strategy.weight_profile() == [
+            float(count) for count in strategy.pebble_profile()
+        ]
+        assert strategy.max_weight == float(strategy.max_pebbles)

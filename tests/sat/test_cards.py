@@ -10,10 +10,12 @@ from repro.sat.cards import (
     CardinalityEncoding,
     at_least_k,
     at_most_k,
+    at_most_k_weighted,
     at_most_one,
     count_true,
     exactly_k,
     exactly_one,
+    weighted_sum_true,
 )
 from repro.sat.cnf import Cnf
 from repro.sat.solver import CdclSolver
@@ -223,3 +225,147 @@ class TestAuxiliaryNaming:
         auxiliaries = [v for v in range(1, cnf.num_variables + 1) if v not in inputs]
         assert auxiliaries
         assert all(cnf.pool.name_of(v) is None for v in auxiliaries)
+
+
+class TestAtMostKWeighted:
+    """Exhaustive and structural tests of the pseudo-Boolean encoding."""
+
+    def test_exhaustive_on_all_assignments(self):
+        cases = [
+            ([1, 1, 1], 2),          # degenerate: pure cardinality
+            ([2, 1, 1], 2),
+            ([2, 2, 2], 3),
+            ([3, 1, 2], 3),
+            ([1, 2, 3, 4], 5),
+            ([5, 1, 1, 1], 4),       # one literal heavier than the bound
+            ([2, 3, 2, 1, 2], 6),
+        ]
+        for weights, bound in cases:
+            count = len(weights)
+            literals = list(range(1, count + 1))
+            cnf = Cnf()
+            cnf.new_variables(count)
+            at_most_k_weighted(cnf, literals, weights, bound)
+            for bits in itertools.product([False, True], repeat=count):
+                solver = CdclSolver()
+                solver.add_cnf(cnf)
+                assumptions = [
+                    literal if value else -literal
+                    for literal, value in zip(literals, bits)
+                ]
+                expected = sum(w for w, b in zip(weights, bits) if b) <= bound
+                assert solver.solve(assumptions).is_sat is expected, (
+                    weights, bound, bits,
+                )
+
+    @pytest.mark.parametrize("encoding", ALL_ENCODINGS)
+    def test_unit_weights_degenerate_to_every_encoding(self, encoding):
+        # With all weights 1 the weighted entry point must emit exactly the
+        # clauses of the chosen unweighted encoding.
+        for bound in (0, 1, 2, 4):
+            plain = Cnf()
+            literals = plain.new_variables(4)
+            at_most_k(plain, literals, bound, encoding=encoding)
+            weighted = Cnf()
+            weighted.new_variables(4)
+            at_most_k_weighted(weighted, literals, [1, 1, 1, 1], bound,
+                               encoding=encoding)
+            assert [c.literals for c in weighted.clauses] == [
+                c.literals for c in plain.clauses
+            ]
+
+    def test_weighted_agrees_with_unweighted_duplication(self):
+        # sum(w_i x_i) <= k is equivalent to at-most-k over each literal
+        # repeated w_i times; compare satisfying-pattern counts.
+        weights = [2, 1, 3]
+        bound = 3
+        cnf = Cnf()
+        literals = cnf.new_variables(3)
+        at_most_k_weighted(cnf, literals, weights, bound)
+        expected = sum(
+            1
+            for bits in itertools.product([False, True], repeat=3)
+            if sum(w for w, b in zip(weights, bits) if b) <= bound
+        )
+        assert _count_satisfying_patterns(cnf, literals) == expected
+
+    def test_negative_bound_is_unsatisfiable(self):
+        cnf = Cnf()
+        literals = cnf.new_variables(2)
+        at_most_k_weighted(cnf, literals, [2, 3], -1)
+        assert CdclSolver(cnf).solve().is_unsat
+
+    def test_trivially_satisfied_emits_nothing(self):
+        cnf = Cnf()
+        literals = cnf.new_variables(3)
+        at_most_k_weighted(cnf, literals, [2, 2, 2], 6)
+        assert cnf.num_clauses == 0
+
+    def test_too_heavy_literal_is_forced_false(self):
+        cnf = Cnf()
+        literals = cnf.new_variables(3)
+        at_most_k_weighted(cnf, literals, [7, 1, 1], 3)
+        solver = CdclSolver(cnf)
+        assert solver.solve([literals[0]]).is_unsat
+        assert solver.solve([literals[1], literals[2]]).is_sat
+
+    def test_works_on_negated_literals(self):
+        weights = [2, 2, 1]
+        literals = [1, -2, 3]
+        cnf = Cnf()
+        cnf.new_variables(3)
+        at_most_k_weighted(cnf, literals, weights, 3)
+        for bits in itertools.product([False, True], repeat=3):
+            solver = CdclSolver()
+            solver.add_cnf(cnf)
+            assumptions = [
+                var if value else -var for var, value in zip([1, 2, 3], bits)
+            ]
+            total = sum(
+                w
+                for w, lit, value in zip(weights, literals, bits)
+                if value == (lit > 0)
+            )
+            assert solver.solve(assumptions).is_sat is (total <= 3)
+
+    def test_rejects_mismatched_weights(self):
+        cnf = Cnf()
+        literals = cnf.new_variables(3)
+        with pytest.raises(CnfError):
+            at_most_k_weighted(cnf, literals, [1, 2], 2)
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5])
+    def test_rejects_non_positive_or_fractional_weights(self, bad):
+        cnf = Cnf()
+        literals = cnf.new_variables(2)
+        with pytest.raises(CnfError):
+            at_most_k_weighted(cnf, literals, [1, bad], 2)
+
+    def test_integral_floats_are_accepted(self):
+        cnf = Cnf()
+        literals = cnf.new_variables(2)
+        at_most_k_weighted(cnf, literals, [2.0, 1.0], 2)
+        solver = CdclSolver(cnf)
+        assert solver.solve(literals).is_unsat
+
+    def test_name_prefix_names_every_register(self):
+        cnf = Cnf()
+        inputs = cnf.new_variables(4, prefix="x")
+        at_most_k_weighted(cnf, inputs, [2, 1, 3, 1], 4, name_prefix="card[w]")
+        auxiliaries = [
+            v for v in range(1, cnf.num_variables + 1) if v not in inputs
+        ]
+        assert auxiliaries
+        for variable in auxiliaries:
+            name = cnf.pool.name_of(variable)
+            assert name is not None and name.startswith("card[w].r[")
+
+
+class TestWeightedSumTrue:
+    def test_counts_weight_of_satisfied_literals(self):
+        model = {1: True, 2: False, 3: True}
+        assert weighted_sum_true(model, [1, 2, 3], [2, 4, 1]) == 3
+        assert weighted_sum_true(model, [-1, -2, 3], [2, 4, 1]) == 5
+
+    def test_missing_variables_count_as_false(self):
+        assert weighted_sum_true({}, [1, -2], [3, 2]) == 2

@@ -105,3 +105,22 @@ class TestPortfolioScenario:
         )
         report = run_bench.run_portfolio_bench(quick=True, jobs_list=(1, 1))
         assert report["results_match"] is False
+
+
+class TestCompileScenario:
+    def test_quick_report_contains_compile_section(self, quick_report):
+        compile_scenario = quick_report["compile"]
+        assert compile_scenario["all_verified"] is True
+        names = {case["name"] for case in compile_scenario["cases"]}
+        assert names == {"fig2_p4", "fig2_p4_mct", "c17_p4_mct"}
+        for case in compile_scenario["cases"]:
+            assert case["outcome"] == "solution"
+            assert case["verified"] is True
+            assert case["gates"] > 0 and case["t_count"] >= 0
+
+    def test_schema_version_is_three(self, quick_report):
+        assert quick_report["schema_version"] == 3
+
+    def test_quick_compile_cases_are_a_strict_subset(self, run_bench):
+        quick = [case for case in run_bench.COMPILE_CASES if case[4]]
+        assert 0 < len(quick) < len(run_bench.COMPILE_CASES)

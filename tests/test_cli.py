@@ -159,3 +159,116 @@ class TestCommands:
         dag_to_json(example_dag(), path)
         assert main(["bennett", str(path)]) == 0
         assert "pebbles=6" in capsys.readouterr().out
+
+
+class TestCompileCommand:
+    def test_compile_json_report_is_verified(self, capsys):
+        assert main(["compile", "fig2", "--pebbles", "4", "--decompose",
+                     "--json", "--timeout", "30"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["outcome"] == "solution"
+        assert report["verified"] is True
+        assert report["decomposed"] is True
+        assert report["qubits"] == 10
+        assert report["t_count"] > 0
+
+    def test_compile_human_readable_with_grid(self, capsys):
+        assert main(["compile", "fig2", "--pebbles", "4", "--grid",
+                     "--timeout", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "verified   : True" in out
+        assert "peak pebbles" in out
+
+    def test_compile_weighted_budget(self, capsys):
+        assert main(["compile", "fig2", "--pebbles", "4", "--weighted",
+                     "--json", "--timeout", "30"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["weighted"] is True
+        assert report["weight_used"] == 4.0
+
+    def test_compile_infeasible_budget_returns_nonzero(self, capsys):
+        assert main(["compile", "fig2", "--pebbles", "2",
+                     "--timeout", "10"]) == 2
+
+    def test_compile_structural_workload_skips_verification(self, capsys):
+        assert main(["compile", "hadamard", "--pebbles", "8", "--json",
+                     "--timeout", "30"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["verified"] is None
+
+    def test_compile_json_with_grid_stays_parseable(self, capsys):
+        assert main(["compile", "fig2", "--pebbles", "4", "--json", "--grid",
+                     "--timeout", "30"]) == 0
+        json.loads(capsys.readouterr().out)  # grid must not corrupt JSON
+
+    def test_compile_no_verify_flag(self, capsys):
+        assert main(["compile", "fig2", "--pebbles", "4", "--no-verify",
+                     "--json", "--timeout", "30"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["verified"] is None
+        assert report["verify_patterns"] == 0
+
+
+class TestSweepCommand:
+    def test_sweep_table_marks_pareto_front(self, capsys):
+        assert main(["sweep", "fig2", "--min-budget", "4", "--max-budget", "6",
+                     "--timeout", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "pareto" in out
+        assert "on the Pareto front" in out
+
+    def test_sweep_json_report(self, capsys):
+        assert main(["sweep", "fig2", "--min-budget", "4", "--max-budget", "5",
+                     "--jobs", "2", "--timeout", "30", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert [point["budget"] for point in report["points"]] == [4, 5]
+        assert all(point["outcome"] == "solution" for point in report["points"])
+        assert any(point["pareto"] for point in report["points"])
+
+    def test_sweep_json_exit_code_matches_table_mode(self, capsys):
+        # All budgets infeasible: both output modes must signal failure.
+        assert main(["sweep", "fig2", "--min-budget", "2", "--max-budget", "2",
+                     "--timeout", "5", "--json"]) == 2
+        report = json.loads(capsys.readouterr().out)
+        assert all(not point["pareto"] for point in report["points"])
+
+    def test_sweep_partial_budget_range_rejected(self, capsys):
+        assert main(["sweep", "fig2", "--min-budget", "4"]) == 1
+        assert "max-budget" in capsys.readouterr().err
+
+
+class TestCompareFlags:
+    def test_compare_accepts_schedule_and_cardinality(self, capsys):
+        assert main(["compare", "fig2", "--timeout", "20",
+                     "--schedule", "geometric-refine",
+                     "--cardinality", "totalizer", "--grid"]) == 0
+        out = capsys.readouterr().out
+        assert "pebble reduction" in out
+        assert "peak pebbles" in out  # --grid printed the strategy
+
+    def test_compare_meaningless_combination_reports_error(self, capsys):
+        assert main(["compare", "fig2", "--schedule", "geometric",
+                     "--step-increment", "2"]) == 1
+        assert "step_increment" in capsys.readouterr().err
+
+
+class TestBatchFlags:
+    def test_batch_accepts_cardinality_and_step_increment(self, capsys):
+        assert main(["pebble-batch", "--suite", "smoke", "--timeout", "30",
+                     "--cardinality", "totalizer", "--step-increment", "1"]) == 0
+        assert "2 tasks, 2 solved" in capsys.readouterr().out
+
+    def test_batch_meaningless_combination_yields_error_records(self, capsys):
+        assert main(["pebble-batch", "--suite", "smoke", "--timeout", "10",
+                     "--schedule", "geometric", "--step-increment", "3"]) == 1
+        out = capsys.readouterr().out
+        assert "error" in out
+
+
+class TestPebbleWeighted:
+    def test_pebble_weighted_summary(self, capsys):
+        assert main(["pebble", "fig2", "--pebbles", "4", "--weighted",
+                     "--timeout", "30"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["weighted"] is True
+        assert summary["weight_used"] == 4.0
