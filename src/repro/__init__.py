@@ -17,7 +17,11 @@ The package is organised in layers (see ``DESIGN.md`` for the full map):
 * :mod:`repro.circuits` — reversible circuits, compilation of strategies,
   Barenco decomposition, simulation and cost models;
 * :mod:`repro.visualize` — ASCII strategy grids;
-* :mod:`repro.workloads` — the named evaluation workloads of the paper.
+* :mod:`repro.workloads` — the named evaluation workloads of the paper;
+* :mod:`repro.store` — the content-addressed result store (isomorphism-
+  invariant DAG fingerprints, SQLite cache, warm-start extraction);
+* :mod:`repro.service` — the asyncio serving layer (request dedup,
+  batching, cache-first answering).
 
 Quick start::
 
@@ -42,7 +46,9 @@ from repro.pebbling import (
     minimize_pebbles,
     pebble_dag,
 )
+from repro.service import JobRequest, PebblingService
 from repro.slp import StraightLineProgram
+from repro.store import ResultStore, dag_fingerprint
 from repro.visualize import render_strategy_grid, strategy_report
 from repro.workloads import list_workloads, load_workload
 
@@ -51,13 +57,17 @@ __version__ = "1.0.0"
 __all__ = [
     "Dag",
     "EncodingOptions",
+    "JobRequest",
     "LogicNetwork",
     "PebblingResult",
+    "PebblingService",
     "PebblingStrategy",
+    "ResultStore",
     "ReversiblePebblingSolver",
     "StraightLineProgram",
     "__version__",
     "bennett_strategy",
+    "dag_fingerprint",
     "eager_bennett_strategy",
     "greedy_pebbling_strategy",
     "list_workloads",

@@ -44,7 +44,11 @@ from repro.logic.network import LogicNetwork
 from repro.pebbling.encoding import EncodingOptions
 from repro.pebbling.portfolio import PortfolioTask, run_portfolio
 from repro.pebbling.solver import ReversiblePebblingSolver
-from repro.pebbling.strategy import PebblingStrategy
+from repro.pebbling.strategy import (
+    PebblingStrategy,
+    strategy_from_payload,
+    strategy_payload,
+)
 from repro.sat.cards import CardinalityEncoding
 from repro.workloads.registry import load_workload_network, load_workload_or_path
 
@@ -120,6 +124,57 @@ class CompilationReport:
             "search_complete": self.search_complete,
         }
 
+    def to_json(self) -> dict[str, object]:
+        """Lossless JSON form for the result store (see :meth:`from_json`).
+
+        Extends :meth:`as_dict` with unrounded runtimes and the strategy's
+        configurations so a cached report can rebuild its
+        :class:`~repro.pebbling.strategy.PebblingStrategy`; the compiled
+        ``circuit`` object is *not* serialised (it is cheap to recompile
+        from the strategy when needed).
+        """
+        payload = self.as_dict()
+        payload["schema"] = 1
+        payload["solve_runtime"] = self.solve_runtime
+        payload["runtime"] = self.runtime
+        payload["strategy"] = (
+            strategy_payload(self.strategy) if self.strategy is not None else None
+        )
+        return payload
+
+    @classmethod
+    def from_json(cls, data: dict[str, object], dag: Dag) -> "CompilationReport":
+        """Rebuild a report from :meth:`to_json` output on its source DAG."""
+        payload = data.get("strategy")
+        strategy = (
+            strategy_from_payload(payload, dag) if payload is not None else None
+        )
+        return cls(
+            workload=str(data["workload"]),
+            dag_name=str(data["dag"]),
+            nodes=int(data["nodes"]),
+            budget=int(data["budget"]),
+            weighted=bool(data["weighted"]),
+            decomposed=bool(data["decomposed"]),
+            outcome=str(data["outcome"]),
+            steps=data["steps"],
+            moves=data["moves"],
+            pebbles_used=data["pebbles_used"],
+            weight_used=data["weight_used"],
+            qubits=data["qubits"],
+            gates=data["gates"],
+            toffoli_equivalents=data["toffoli_equivalents"],
+            t_count=data["t_count"],
+            verified=data["verified"],
+            verify_patterns=int(data["verify_patterns"]),
+            sat_calls=int(data["sat_calls"]),
+            conflicts=int(data["conflicts"]),
+            solve_runtime=float(data["solve_runtime"]),
+            runtime=float(data["runtime"]),
+            search_complete=bool(data["search_complete"]),
+            strategy=strategy,
+        )
+
 
 def verify_compiled_against_network(
     network: LogicNetwork,
@@ -180,6 +235,47 @@ def verify_compiled_against_network(
     return len(patterns)
 
 
+def compile_cache_request(
+    *,
+    pebbles: int,
+    weighted: bool = False,
+    decompose: bool = False,
+    single_move: bool = False,
+    cardinality: "str | CardinalityEncoding" = "sequential",
+    schedule: str = "linear",
+    step_increment: int | None = None,
+    max_steps: int | None = None,
+    verify: bool = True,
+    max_verify_patterns: int = 64,
+    verify_seed: int = 0,
+    workload: str | None = None,
+    name: str | None = None,
+) -> dict[str, object]:
+    """The normalised cache-key surface of one compilation request.
+
+    Single source of truth shared by :func:`compile_dag` and the service
+    layer's cache probe: the defaults here ARE the pipeline defaults, so a
+    caller that omits a parameter builds the same content address the
+    pipeline does.  ``step_increment`` of 1 normalises to ``None`` (the
+    solver treats them identically).
+    """
+    return {
+        "budget": pebbles,
+        "weighted": weighted,
+        "decompose": decompose,
+        "single_move": single_move,
+        "cardinality": CardinalityEncoding.from_name(cardinality).value,
+        "schedule": schedule,
+        "step_increment": None if step_increment == 1 else step_increment,
+        "max_steps": max_steps,
+        "verify": verify,
+        "max_verify_patterns": max_verify_patterns,
+        "verify_seed": verify_seed,
+        "workload": workload,
+        "name": name,
+    }
+
+
 def compile_dag(
     dag: Dag,
     *,
@@ -199,6 +295,7 @@ def compile_dag(
     cost_model: CostModel | None = None,
     workload: str | None = None,
     name: str | None = None,
+    store=None,
 ) -> CompilationReport:
     """Run the full pipeline on one DAG and return its report.
 
@@ -210,8 +307,37 @@ def compile_dag(
     Toffoli (<= 2-control) gates through the Barenco construction before
     costing, so ``gates``/``t_count`` then reflect elementary-gate counts
     instead of cost-model estimates.
+
+    ``store`` (an opt-in :class:`~repro.store.ResultStore`) caches at both
+    granularities: the whole report is answered from the store when the
+    identical compilation was seen before (no SAT call, no simulation —
+    the cached report carries its strategy but no circuit object), and a
+    fresh run's inner SAT search still gets exact/warm cache service.
+    Reports are only cached under the default cost model (a custom
+    ``cost_model`` is not part of the content address).
     """
     started = time.monotonic()
+    cacheable = store is not None and cost_model is None
+    compile_request = None
+    if cacheable:
+        compile_request = compile_cache_request(
+            pebbles=pebbles,
+            weighted=weighted,
+            decompose=decompose,
+            single_move=single_move,
+            cardinality=cardinality,
+            schedule=schedule,
+            step_increment=step_increment,
+            max_steps=max_steps,
+            verify=verify,
+            max_verify_patterns=max_verify_patterns,
+            verify_seed=verify_seed,
+            workload=workload,
+            name=name,
+        )
+        cached = store.get_compile(dag, network=network, **compile_request)
+        if cached is not None:
+            return cached
     options = EncodingOptions(
         cardinality=CardinalityEncoding.from_name(cardinality),
         max_moves_per_step=1 if single_move else None,
@@ -224,6 +350,7 @@ def compile_dag(
         step_increment=step_increment,
         time_limit=time_limit,
         max_steps=max_steps,
+        store=store,
     )
     report = CompilationReport(
         workload=workload or dag.name,
@@ -242,6 +369,8 @@ def compile_dag(
     )
     if result.strategy is None:
         report.runtime = time.monotonic() - started
+        if cacheable:
+            store.put_compile(dag, report, network=network, **compile_request)
         return report
     strategy = result.strategy
     report.pebbles_used = strategy.max_pebbles
@@ -270,6 +399,8 @@ def compile_dag(
         )
         report.verified = True
     report.runtime = time.monotonic() - started
+    if cacheable:
+        store.put_compile(dag, report, network=network, **compile_request)
     return report
 
 
@@ -388,6 +519,7 @@ def pareto_sweep(
     single_move: bool = False,
     max_steps: int | None = None,
     cost_model: CostModel | None = None,
+    store_path: str | None = None,
 ) -> SweepReport:
     """Compile one workload at every budget and tabulate space vs. time.
 
@@ -397,6 +529,10 @@ def pareto_sweep(
     process pool ``jobs`` wide; compilation and costing of the returned
     strategies happen in-process (they are microseconds next to the SAT
     calls).  Points are marked Pareto-optimal over (qubits, gates).
+
+    ``store_path`` opts the SAT searches into a shared result store: a
+    re-run of the sweep answers every point from the cache, and a widened
+    budget range warm-starts its new interior points from the old ones.
     """
     dag = load_workload_or_path(workload, scale=scale)
     network = load_workload_network(workload, scale=scale)
@@ -433,7 +569,7 @@ def pareto_sweep(
         )
         for budget in budgets
     ]
-    records = run_portfolio(tasks, jobs=jobs)
+    records = run_portfolio(tasks, jobs=jobs, store_path=store_path)
     provider = (
         network_controls(network) if network is not None else dag_controls(dag)
     )

@@ -40,6 +40,22 @@ Sub-commands
     Write the pebbling encoding of a (workload, budget, steps) instance to
     a DIMACS CNF file (or stdout) for external solvers.
 
+``cache {stats,clear,warm} --db PATH``
+    Inspect, empty or pre-populate the content-addressed result store
+    (``warm`` runs a batch suite through the portfolio with the store
+    attached, so later requests hit).
+
+``serve --json requests.json [--db PATH] [--workers N]``
+    Drive a JSON request file through the async scheduler
+    (:mod:`repro.service`): identical requests deduplicate, cached
+    requests are answered without a solver, and misses batch into the
+    portfolio pool.
+
+The SAT-solving subcommands (``pebble``, ``compile``, ``sweep``,
+``pebble-batch``) additionally accept ``--db PATH`` to opt into the result
+store: exact repeats are answered from the cache and neighbouring budgets
+warm-start each other.
+
 Workloads are either names from :mod:`repro.workloads` or paths to ``.bench``
 or DAG-JSON files.
 """
@@ -80,6 +96,24 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         "--scale", type=float, default=1.0,
         help="size scale for generated workloads (default 1.0 = paper-sized)",
     )
+
+
+def _add_store_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--db", default=None, metavar="PATH",
+        help="opt into the content-addressed result store at this SQLite "
+             "path (cache hits skip the SAT solver, neighbouring budgets "
+             "warm-start each other)",
+    )
+
+
+def _open_store(arguments: argparse.Namespace):
+    """The ``--db`` store of a solving subcommand, or ``None``."""
+    if getattr(arguments, "db", None) is None:
+        return None
+    from repro.store import ResultStore
+
+    return ResultStore(arguments.db)
 
 
 def _add_search_arguments(parser: argparse.ArgumentParser) -> None:
@@ -126,6 +160,7 @@ def build_parser() -> argparse.ArgumentParser:
     pebble.add_argument("--grid", action="store_true", help="print the strategy grid")
     pebble.add_argument("--stats", action="store_true",
                         help="print aggregated SAT-solver counters")
+    _add_store_argument(pebble)
 
     compare = subparsers.add_parser("compare", help="Bennett vs minimum-pebble SAT solution")
     _add_common_arguments(compare)
@@ -159,6 +194,7 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="emit the CompilationReport as JSON")
     compile_parser.add_argument("--grid", action="store_true",
                                 help="print the strategy grid")
+    _add_store_argument(compile_parser)
 
     sweep = subparsers.add_parser(
         "sweep", help="Fig. 6-style space-time Pareto sweep across budgets"
@@ -181,6 +217,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_search_arguments(sweep)
     sweep.add_argument("--json", action="store_true", dest="as_json",
                        help="emit the sweep table as JSON")
+    _add_store_argument(sweep)
 
     batch = subparsers.add_parser(
         "pebble-batch", help="sweep a batch suite across worker processes"
@@ -203,6 +240,40 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit the result table as JSON")
     batch.add_argument("--list-suites", action="store_true",
                        help="list registered suites and exit")
+    _add_store_argument(batch)
+
+    cache = subparsers.add_parser(
+        "cache", help="inspect or manage the content-addressed result store"
+    )
+    cache.add_argument("action", choices=["stats", "clear", "warm"],
+                       help="stats: print store contents; clear: drop every "
+                            "entry; warm: pre-populate by running a batch suite")
+    cache.add_argument("--db", required=True, metavar="PATH",
+                       help="SQLite path of the result store")
+    cache.add_argument("--suite", default="smoke",
+                       help="batch suite used by 'warm' (default: smoke)")
+    cache.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for 'warm' (default 1)")
+    cache.add_argument("--timeout", type=float, default=60.0,
+                       help="per-task time budget for 'warm' in seconds")
+    cache.add_argument("--schedule", choices=list(STRATEGY_NAMES), default="linear",
+                       help="step-bound search strategy for 'warm'")
+    cache.add_argument("--json", action="store_true", dest="as_json",
+                       help="emit machine-readable JSON")
+
+    serve = subparsers.add_parser(
+        "serve", help="drive a JSON request file through the async scheduler"
+    )
+    serve.add_argument("--json", required=True, dest="requests", metavar="FILE",
+                       help='request file: {"requests": [{"kind": "pebble", '
+                            '"workload": "fig2", "budget": 4}, ...]}')
+    serve.add_argument("--db", default=None, metavar="PATH",
+                       help="attach the result store at this SQLite path")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="portfolio width for batched misses (default 1)")
+    serve.add_argument("--batch-window", type=float, default=0.01,
+                       help="seconds the dispatcher waits for a batch to "
+                            "fill (default 0.01)")
 
     dimacs = subparsers.add_parser(
         "dimacs", help="write a pebbling instance as a DIMACS CNF file"
@@ -260,7 +331,7 @@ def _run_batch(arguments: argparse.Namespace) -> int:
             1 if arguments.step_increment is None else arguments.step_increment
         ),
     )
-    records = run_portfolio(tasks, jobs=arguments.jobs)
+    records = run_portfolio(tasks, jobs=arguments.jobs, store_path=arguments.db)
     rows = [record.as_dict() for record in records]
     if arguments.as_json:
         print(json.dumps({"suite": arguments.suite, "jobs": arguments.jobs,
@@ -277,20 +348,26 @@ def _run_batch(arguments: argparse.Namespace) -> int:
 
 
 def _run_compile(arguments: argparse.Namespace) -> int:
-    report = compile_workload(
-        arguments.workload,
-        pebbles=arguments.pebbles,
-        scale=arguments.scale,
-        weighted=arguments.weighted,
-        decompose=arguments.decompose,
-        single_move=arguments.single_move,
-        cardinality=arguments.cardinality,
-        schedule=arguments.schedule,
-        step_increment=arguments.step_increment,
-        time_limit=arguments.timeout,
-        verify=arguments.verify,
-        max_verify_patterns=arguments.verify_patterns,
-    )
+    store = _open_store(arguments)
+    try:
+        report = compile_workload(
+            arguments.workload,
+            pebbles=arguments.pebbles,
+            scale=arguments.scale,
+            weighted=arguments.weighted,
+            decompose=arguments.decompose,
+            single_move=arguments.single_move,
+            cardinality=arguments.cardinality,
+            schedule=arguments.schedule,
+            step_increment=arguments.step_increment,
+            time_limit=arguments.timeout,
+            verify=arguments.verify,
+            max_verify_patterns=arguments.verify_patterns,
+            store=store,
+        )
+    finally:
+        if store is not None:
+            store.close()
     if arguments.as_json:
         print(json.dumps(report.as_dict(), indent=2))
     else:
@@ -339,6 +416,7 @@ def _run_sweep(arguments: argparse.Namespace) -> int:
         schedule=arguments.schedule,
         cardinality=arguments.cardinality,
         step_increment=arguments.step_increment,
+        store_path=arguments.db,
     )
     front = report.pareto_front()
     if arguments.as_json:
@@ -357,6 +435,67 @@ def _run_sweep(arguments: argparse.Namespace) -> int:
               f"{gates:>6s} {t_count:>7s}  {marker}")
     print(f"{len(report.points)} budgets, {len(front)} on the Pareto front")
     return 0 if front else 2
+
+
+def _run_cache(arguments: argparse.Namespace) -> int:
+    from repro.store import ResultStore
+
+    with ResultStore(arguments.db) as store:
+        if arguments.action == "clear":
+            removed = store.clear()
+            if arguments.as_json:
+                print(json.dumps({"cleared": removed}, indent=2))
+            else:
+                print(f"cleared {removed} entries from {arguments.db}")
+            return 0
+        if arguments.action == "warm":
+            tasks = tasks_from_suite(
+                arguments.suite,
+                time_limit=arguments.timeout,
+                schedule=arguments.schedule,
+            )
+            records = run_portfolio(
+                tasks, jobs=arguments.jobs, store_path=arguments.db
+            )
+            solved = sum(1 for record in records if record.found)
+            errors = sum(1 for record in records if record.outcome == "error")
+            stats = store.stats().as_dict()
+            if arguments.as_json:
+                print(json.dumps({"suite": arguments.suite, "tasks": len(records),
+                                  "solved": solved, "errors": errors,
+                                  "store": stats}, indent=2))
+            else:
+                print(f"warmed {arguments.db} with suite={arguments.suite}: "
+                      f"{len(records)} tasks, {solved} solved, "
+                      f"{stats['entries']} entries in store")
+            return 0 if errors == 0 else 1
+        stats = store.stats().as_dict()
+    if arguments.as_json:
+        print(json.dumps(stats, indent=2))
+    else:
+        print(f"store      : {stats['path']}")
+        print(f"entries    : {stats['entries']} "
+              f"({stats['pebble_entries']} pebble, "
+              f"{stats['compile_entries']} compile)")
+        print(f"total hits : {stats['total_hits']}")
+        print(f"size       : {stats['size_bytes']} bytes")
+    return 0
+
+
+def _run_serve(arguments: argparse.Namespace) -> int:
+    from repro.service import run_request_file
+
+    report = run_request_file(
+        arguments.requests,
+        store=arguments.db,
+        workers=arguments.workers,
+        batch_window=arguments.batch_window,
+    )
+    print(json.dumps(report, indent=2))
+    failed = sum(
+        1 for result in report["results"] if result["status"] != "ok"
+    )
+    return 0 if failed == 0 else 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -385,6 +524,12 @@ def _dispatch(arguments: argparse.Namespace) -> int:
     if arguments.command == "sweep":
         return _run_sweep(arguments)
 
+    if arguments.command == "cache":
+        return _run_cache(arguments)
+
+    if arguments.command == "serve":
+        return _run_serve(arguments)
+
     dag = _load(arguments.workload, arguments.scale)
 
     if arguments.command == "info":
@@ -408,12 +553,18 @@ def _dispatch(arguments: argparse.Namespace) -> int:
             weighted=arguments.weighted,
         )
         solver = ReversiblePebblingSolver(dag, options=options)
-        result = solver.solve(
-            arguments.pebbles,
-            time_limit=arguments.timeout,
-            step_schedule=arguments.schedule,
-            step_increment=arguments.step_increment,
-        )
+        store = _open_store(arguments)
+        try:
+            result = solver.solve(
+                arguments.pebbles,
+                time_limit=arguments.timeout,
+                step_schedule=arguments.schedule,
+                step_increment=arguments.step_increment,
+                store=store,
+            )
+        finally:
+            if store is not None:
+                store.close()
         print(json.dumps(result.summary(), indent=2))
         if arguments.stats:
             print(_format_stats_line(result.attempts))

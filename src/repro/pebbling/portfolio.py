@@ -25,6 +25,7 @@ Design rules:
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
@@ -111,31 +112,77 @@ class PortfolioRecord:
         }
 
 
-def _execute_task(task: PortfolioTask) -> PortfolioRecord:
-    """Run one task start-to-finish inside a worker process."""
-    try:
-        dag = load_workload_or_path(task.workload, scale=task.scale)
-        options = EncodingOptions(
-            cardinality=CardinalityEncoding.from_name(task.cardinality),
-            max_moves_per_step=1 if task.single_move else None,
-            weighted=task.weighted,
-        )
-        # strategy_from_name validates the combination — a non-linear
-        # schedule with a non-default step_increment becomes an error
-        # record, never a silently ignored parameter.
-        search = strategy_from_name(task.schedule, step_increment=task.step_increment)
-        solver = ReversiblePebblingSolver(
-            dag, options=options, incremental=task.incremental
-        )
-        result = solver.solve(
-            task.pebbles,
-            strategy=search,
-            time_limit=task.time_limit,
-            max_steps=task.max_steps,
-            initial_steps=task.initial_steps,
-        )
-    except Exception as error:  # noqa: BLE001 — a crashed task must not kill the sweep
-        return PortfolioRecord(task=task, outcome="error", error=str(error))
+#: Per-process cache of open result stores, keyed by database path: a pool
+#: worker executes many tasks, and reopening SQLite (plus re-fingerprinting
+#: through a cold connection) per task would waste the cache's win.
+_WORKER_STORES: dict[str, object] = {}
+_WORKER_STORES_PID: int | None = None
+
+
+def _resolve_store(store: object):
+    """Accept ``None``, a database path, or an open ``ResultStore``.
+
+    Paths are what crosses process boundaries (stores do not pickle); each
+    worker process opens its own connection once and reuses it.  The cache
+    is owned by one PID: a forked pool worker inherits the parent's dict,
+    and using an SQLite connection across ``fork`` is forbidden (shared
+    file descriptors break the WAL locking protocol), so a PID change
+    drops the inherited entries and opens fresh connections.
+    """
+    if store is None or not isinstance(store, str):
+        return store
+    global _WORKER_STORES_PID
+    pid = os.getpid()
+    if pid != _WORKER_STORES_PID:
+        _WORKER_STORES.clear()
+        _WORKER_STORES_PID = pid
+    opened = _WORKER_STORES.get(store)
+    if opened is None:
+        from repro.store import ResultStore
+
+        opened = _WORKER_STORES[store] = ResultStore(store)
+    return opened
+
+
+def _usable_cores() -> int:
+    """Cores this process may actually schedule on (affinity-aware)."""
+    if hasattr(os, "process_cpu_count"):  # Python 3.13+
+        count = os.process_cpu_count()
+    elif hasattr(os, "sched_getaffinity"):
+        count = len(os.sched_getaffinity(0))
+    else:  # pragma: no cover — macOS/Windows fallback
+        count = os.cpu_count()
+    return count or 1
+
+
+def task_solve_parameters(task: PortfolioTask) -> dict[str, object]:
+    """The exact keyword surface a task hands to ``solve`` (minus store).
+
+    Shared with the async service layer so a service-side cache probe for
+    a task builds the *same* content address the worker would.
+    """
+    options = EncodingOptions(
+        cardinality=CardinalityEncoding.from_name(task.cardinality),
+        max_moves_per_step=1 if task.single_move else None,
+        weighted=task.weighted,
+    )
+    # strategy_from_name validates the combination — a non-linear
+    # schedule with a non-default step_increment becomes an error
+    # record, never a silently ignored parameter.
+    search = strategy_from_name(task.schedule, step_increment=task.step_increment)
+    return {
+        "budget": task.pebbles,
+        "options": options,
+        "search": search,
+        "incremental": task.incremental,
+        "initial_steps": task.initial_steps,
+        "max_steps": task.max_steps,
+        "step_floor": None,
+    }
+
+
+def record_from_result(task: PortfolioTask, result) -> PortfolioRecord:
+    """Fold a :class:`~repro.pebbling.solver.PebblingResult` into a record."""
     record = PortfolioRecord(
         task=task,
         outcome=result.outcome.value,
@@ -154,23 +201,68 @@ def _execute_task(task: PortfolioTask) -> PortfolioRecord:
     return record
 
 
+def _execute_task(task: PortfolioTask, store: object = None) -> PortfolioRecord:
+    """Run one task start-to-finish inside a worker process.
+
+    ``store`` is ``None``, a database path (what the process pool ships) or
+    an open :class:`~repro.store.ResultStore` (inline execution).
+    """
+    try:
+        dag = load_workload_or_path(task.workload, scale=task.scale)
+        parameters = task_solve_parameters(task)
+        solver = ReversiblePebblingSolver(
+            dag,
+            options=parameters["options"],
+            incremental=task.incremental,
+        )
+        result = solver.solve(
+            task.pebbles,
+            strategy=parameters["search"],
+            time_limit=task.time_limit,
+            max_steps=task.max_steps,
+            initial_steps=task.initial_steps,
+            store=_resolve_store(store),
+        )
+    except Exception as error:  # noqa: BLE001 — a crashed task must not kill the sweep
+        return PortfolioRecord(task=task, outcome="error", error=str(error))
+    return record_from_result(task, result)
+
+
 def run_portfolio(
-    tasks: Iterable[PortfolioTask], *, jobs: int = 1
+    tasks: Iterable[PortfolioTask],
+    *,
+    jobs: int = 1,
+    store_path: str | None = None,
+    force_pool: bool = False,
 ) -> list[PortfolioRecord]:
     """Run every task, ``jobs`` at a time, and merge deterministically.
 
-    ``jobs == 1`` runs inline (no process-pool overhead); ``jobs > 1`` fans
-    out over a :class:`ProcessPoolExecutor`.  Either way the returned list
-    is ordered like ``tasks``.
+    The process pool is only spun up when it can actually help: with
+    ``jobs == 1``, a single task, or a host that exposes **one usable
+    core** (CPU affinity included), the tasks run inline — CPU-bound SAT
+    searches cannot overlap on one core, so the pool would only add its
+    pickling/fork overhead (the ``x0.87`` jobs-1 regression recorded in
+    BENCH_2).  ``force_pool`` overrides the fallback for parity tests and
+    pool-overhead measurements.  Either way the returned list is ordered
+    like ``tasks``.
+
+    ``store_path`` opts every task into a shared
+    :class:`~repro.store.ResultStore` at that database path; each worker
+    process opens its own connection (SQLite WAL handles the concurrency),
+    answers exact repeats from the cache and warm-starts neighbouring
+    budgets.
     """
     task_list = list(tasks)
     if jobs < 1:
         raise PebblingError("jobs must be >= 1")
-    if jobs == 1 or len(task_list) <= 1:
-        return [_execute_task(task) for task in task_list]
+    if not task_list:
+        return []
+    inline = jobs == 1 or len(task_list) <= 1 or _usable_cores() <= 1
+    if inline and not force_pool:
+        return [_execute_task(task, store_path) for task in task_list]
     records: list[PortfolioRecord] = []
     with ProcessPoolExecutor(max_workers=min(jobs, len(task_list))) as pool:
-        futures = [pool.submit(_execute_task, task) for task in task_list]
+        futures = [pool.submit(_execute_task, task, store_path) for task in task_list]
         for task, future in zip(task_list, futures):
             try:
                 records.append(future.result())
@@ -253,6 +345,7 @@ def minimize_pebbles_portfolio(
     lower_bound: int | None = None,
     upper_bound: int | None = None,
     schedule: str = "linear",
+    store_path: str | None = None,
     **task_kwargs,
 ) -> SweepResult:
     """Parallel version of the Table-I outer loop.
@@ -283,7 +376,7 @@ def minimize_pebbles_portfolio(
         schedule=schedule,
         **task_kwargs,
     )
-    records = run_portfolio(tasks, jobs=jobs)
+    records = run_portfolio(tasks, jobs=jobs, store_path=store_path)
     best = None
     for record in records:  # ascending budgets: first solution is minimal
         if record.found:

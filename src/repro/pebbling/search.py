@@ -53,6 +53,25 @@ class SearchStrategy(ABC):
     #: Short name used by the CLI and result summaries.
     name: str = "abstract"
 
+    @property
+    def signature(self) -> str:
+        """Canonical ``name:parameters`` string identifying the schedule.
+
+        Two strategy objects with the same signature drive identical
+        searches, so the result store uses it as part of its cache key.
+        """
+        return self.name
+
+    @property
+    def certifies_minimality(self) -> bool:
+        """``True`` when a *complete* search proves its step count minimal.
+
+        Holds for the linear schedule with unit increment and for
+        geometric-refine (whose bracket closes on the minimum); geometric
+        overshoot and coarse linear increments may stop above the minimum.
+        """
+        return False
+
     @abstractmethod
     def start(self, initial: int, floor: int, ceiling: int | None = None) -> SearchCursor:
         """Begin a search at ``initial`` steps.
@@ -89,6 +108,14 @@ class LinearSearch(SearchStrategy):
         if self.step_increment < 1:
             raise PebblingError("step_increment must be >= 1")
 
+    @property
+    def signature(self) -> str:
+        return f"linear:{self.step_increment}"
+
+    @property
+    def certifies_minimality(self) -> bool:
+        return self.step_increment == 1
+
     def start(self, initial: int, floor: int, ceiling: int | None = None) -> SearchCursor:
         return _LinearCursor(initial, self.step_increment)
 
@@ -119,6 +146,10 @@ class GeometricSearch(SearchStrategy):
     def __post_init__(self) -> None:
         if self.factor <= 1.0:
             raise PebblingError("geometric factor must be > 1")
+
+    @property
+    def signature(self) -> str:
+        return f"geometric:{self.factor:g}"
 
     def start(self, initial: int, floor: int, ceiling: int | None = None) -> SearchCursor:
         return _GeometricCursor(initial, self.factor)
@@ -176,6 +207,14 @@ class GeometricRefine(SearchStrategy):
     def __post_init__(self) -> None:
         if self.factor <= 1.0:
             raise PebblingError("geometric factor must be > 1")
+
+    @property
+    def signature(self) -> str:
+        return f"geometric-refine:{self.factor:g}"
+
+    @property
+    def certifies_minimality(self) -> bool:
+        return True
 
     def start(self, initial: int, floor: int, ceiling: int | None = None) -> SearchCursor:
         return _GeometricRefineCursor(initial, floor, self.factor, ceiling)

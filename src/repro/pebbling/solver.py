@@ -45,7 +45,11 @@ from repro.pebbling.search import (
     SearchStrategy,
     resolve_search_strategy,
 )
-from repro.pebbling.strategy import PebblingStrategy
+from repro.pebbling.strategy import (
+    PebblingStrategy,
+    strategy_from_payload,
+    strategy_payload,
+)
 from repro.sat.solver import CdclSolver, Status
 
 
@@ -74,6 +78,29 @@ class AttemptRecord:
     conflicts: int
     solver_stats: dict[str, float] = field(default_factory=dict)
 
+    def as_dict(self) -> dict[str, object]:
+        """JSON-serialisable view (used by the result store)."""
+        return {
+            "max_pebbles": self.max_pebbles,
+            "num_steps": self.num_steps,
+            "status": self.status.value,
+            "runtime": self.runtime,
+            "conflicts": self.conflicts,
+            "solver_stats": dict(self.solver_stats),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "AttemptRecord":
+        """Rebuild a record from :meth:`as_dict` output."""
+        return cls(
+            max_pebbles=int(data["max_pebbles"]),
+            num_steps=int(data["num_steps"]),
+            status=Status(data["status"]),
+            runtime=float(data["runtime"]),
+            conflicts=int(data["conflicts"]),
+            solver_stats=dict(data.get("solver_stats") or {}),
+        )
+
 
 @dataclass
 class PebblingResult:
@@ -86,7 +113,11 @@ class PebblingResult:
     the step budget infeasible); it is ``False`` when a time limit cut the
     search short — in particular a geometric-refine ``SOLUTION`` with
     ``complete=False`` carries a witness whose step count was *not*
-    certified minimal.
+    certified minimal.  ``minimal`` is set by the solver when the search
+    schedule *does* certify the step count as the minimum for this budget
+    (complete linear scans with unit increment from a sound floor, and
+    complete geometric-refine searches); the result store only transfers
+    step lower bounds between budgets from certified results.
     """
 
     dag_name: str
@@ -97,6 +128,7 @@ class PebblingResult:
     attempts: list[AttemptRecord] = field(default_factory=list)
     complete: bool = False
     weighted: bool = False
+    minimal: bool = False
 
     @property
     def found(self) -> bool:
@@ -141,6 +173,55 @@ class PebblingResult:
             summary["weighted"] = True
             summary["weight_used"] = self.weight_used
         return summary
+
+    def to_json(self) -> dict[str, object]:
+        """Lossless JSON-serialisable form (see :meth:`from_json`).
+
+        Node identifiers are serialised through ``str``, so round-tripping
+        requires them to be uniquely stringifiable — true for every bundled
+        workload and anything the compilation pipeline accepts.
+        """
+        strategy = (
+            strategy_payload(self.strategy) if self.strategy is not None else None
+        )
+        return {
+            "schema": 1,
+            "dag": self.dag_name,
+            "max_pebbles": self.max_pebbles,
+            "outcome": self.outcome.value,
+            "runtime": self.runtime,
+            "complete": self.complete,
+            "weighted": self.weighted,
+            "minimal": self.minimal,
+            "strategy": strategy,
+            "attempts": [record.as_dict() for record in self.attempts],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, object], dag: Dag) -> "PebblingResult":
+        """Rebuild a result from :meth:`to_json` output.
+
+        ``dag`` must be the graph the result was computed on (the strategy
+        is revalidated against it, so a mismatched DAG raises instead of
+        producing a silently illegal strategy).
+        """
+        payload = data.get("strategy")
+        strategy = (
+            strategy_from_payload(payload, dag) if payload is not None else None
+        )
+        return cls(
+            dag_name=str(data["dag"]),
+            max_pebbles=int(data["max_pebbles"]),
+            outcome=PebblingOutcome(data["outcome"]),
+            strategy=strategy,
+            runtime=float(data["runtime"]),
+            attempts=[
+                AttemptRecord.from_dict(record) for record in data.get("attempts", [])
+            ],
+            complete=bool(data["complete"]),
+            weighted=bool(data.get("weighted", False)),
+            minimal=bool(data.get("minimal", False)),
+        )
 
 
 class ReversiblePebblingSolver:
@@ -264,6 +345,8 @@ class ReversiblePebblingSolver:
         strategy: SearchStrategy | str | None = None,
         max_steps: int | None = None,
         time_limit: float | None = None,
+        step_floor: int | None = None,
+        store=None,
     ) -> PebblingResult:
         """Find a strategy with at most ``max_pebbles`` pebbles.
 
@@ -288,6 +371,19 @@ class ReversiblePebblingSolver:
         combinations (a non-linear schedule with ``step_increment``, or both
         ``strategy`` and ``step_schedule``) now raise instead of being
         silently ignored.
+
+        ``step_floor`` is a *trusted* lower bound on the step count: the
+        caller asserts no strategy with fewer transitions exists for this
+        budget (it is combined with the structural floor, so a loose value
+        is harmless, an unsound one breaks minimality certification).  The
+        result store's warm-start extraction feeds certified bounds from
+        neighbouring budgets through it.
+
+        ``store`` is an opt-in :class:`~repro.store.ResultStore` (or any
+        object with its ``get_pebble``/``warm_start``/``put_pebble``
+        surface): an exact cache hit is returned without touching a SAT
+        solver, a warm hit seeds the step bounds so the search starts near
+        the answer, and any complete fresh result is written back.
         """
         if max_pebbles < 1:
             raise PebblingError("max_pebbles must be >= 1")
@@ -304,6 +400,34 @@ class ReversiblePebblingSolver:
                 "(forbid_idle_steps makes step-satisfiability non-monotone); "
                 "use the linear schedule instead"
             )
+        # The cache key is built from the *requested* parameters, before any
+        # defaulting or warm-start tightening below mutates them.
+        request = {
+            "budget": max_pebbles,
+            "options": self.options,
+            "search": search,
+            "incremental": self.incremental,
+            "initial_steps": initial_steps,
+            "max_steps": max_steps,
+            "step_floor": step_floor,
+        }
+        warm = None
+        if store is not None:
+            cached = store.get_pebble(self.dag, **request)
+            if cached is not None:
+                return cached
+            # Warm bounds are only safe for schedules whose answer is
+            # invariant under a sound floor/ceiling: unit-increment linear
+            # scans and geometric-refine converge to the same minimum from
+            # any sound bracket, but overshooting schedules (geometric,
+            # coarse linear) read their probe grid off the floor — a warm
+            # floor would shift the grid and change (worsen) the returned
+            # step count for the *same* request, and the ceiling clamp
+            # could make their grid jump past the only in-budget bound.
+            if search.certifies_minimality:
+                warm = store.warm_start(
+                    self.dag, budget=max_pebbles, options=self.options
+                )
         started = time.monotonic()
         result = PebblingResult(
             self.dag.name,
@@ -316,6 +440,8 @@ class ReversiblePebblingSolver:
             result.outcome = PebblingOutcome.INFEASIBLE
             result.complete = True
             result.runtime = time.monotonic() - started
+            if store is not None:
+                store.put_pebble(self.dag, result, **request)
             return result
 
         if max_steps is None:
@@ -323,6 +449,17 @@ class ReversiblePebblingSolver:
             # only acts as a runaway guard.
             max_steps = max(16, 4 * self.dag.num_nodes * self.dag.num_nodes)
         floor = self.default_initial_steps(max_pebbles=max_pebbles)
+        if step_floor is not None:
+            floor = max(floor, step_floor)
+        if warm is not None:
+            if warm.step_floor is not None:
+                floor = max(floor, warm.step_floor)
+            if warm.step_ceiling is not None:
+                # A cached witness at this (or a tighter) budget proves
+                # ``step_ceiling`` transitions suffice, so the runaway guard
+                # can shrink to it — overshooting schedules then jump
+                # straight to a known-achievable bound.
+                max_steps = min(max_steps, max(warm.step_ceiling, floor))
         initial = initial_steps or floor
         cursor = search.start(initial, min(floor, initial), max_steps)
 
@@ -335,7 +472,20 @@ class ReversiblePebblingSolver:
                 result, max_pebbles, cursor, max_steps, time_limit, started
             )
         result.outcome = outcome
+        # Step-minimality certification: the schedule must close on the
+        # minimum AND the scan must have started at (or below) a sound
+        # floor.  GeometricRefine brackets from ``min(floor, initial)``, so
+        # any starting point is certified; a linear scan seeded above the
+        # floor only proves minimality among bounds >= its seed.
+        result.minimal = (
+            result.found
+            and result.complete
+            and search.certifies_minimality
+            and (initial <= floor or isinstance(search, GeometricRefine))
+        )
         result.runtime = time.monotonic() - started
+        if store is not None and result.complete:
+            store.put_pebble(self.dag, result, **request)
         return result
 
     def _strategy_budget(self, strategy: PebblingStrategy) -> int:
@@ -497,6 +647,7 @@ class ReversiblePebblingSolver:
         strategy: SearchStrategy | str | None = None,
         stop_after_failures: int = 1,
         warm_start: bool = True,
+        store=None,
     ) -> tuple[PebblingResult | None, list[PebblingResult]]:
         """Find the smallest pebble budget solvable within a per-budget timeout.
 
@@ -517,6 +668,11 @@ class ReversiblePebblingSolver:
         In weighted mode the scan runs over *weight budgets* (the eager
         Bennett baseline's peak weight anchors the upper bound) and returns
         the smallest solvable weight budget instead of pebble count.
+
+        ``store`` (an opt-in :class:`~repro.store.ResultStore`) is threaded
+        into every per-budget search, so a repeated scan over the same DAG
+        answers from the cache and a partial scan warm-starts its
+        neighbours.
 
         Returns ``(best_result, all_results)``.
         """
@@ -556,6 +712,7 @@ class ReversiblePebblingSolver:
                 max_steps=max_steps,
                 strategy=search,
                 initial_steps=steps_hint if warm_start else None,
+                store=store,
             )
             all_results.append(outcome)
             if outcome.found:

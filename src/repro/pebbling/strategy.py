@@ -279,6 +279,49 @@ class PebblingStrategy:
         )
 
 
+def strategy_payload(strategy: PebblingStrategy) -> dict[str, object]:
+    """JSON-serialisable form of a strategy (see :func:`strategy_from_payload`).
+
+    Node identifiers are serialised through ``str``, so round-tripping
+    requires them to be uniquely stringifiable — true for every bundled
+    workload and anything the compilation pipeline accepts.
+    """
+    return {
+        "configurations": [
+            sorted(str(node) for node in configuration)
+            for configuration in strategy.configurations
+        ],
+        "max_moves_per_step": strategy.max_moves_per_step,
+    }
+
+
+def strategy_from_payload(
+    payload: dict[str, object], dag: Dag
+) -> PebblingStrategy:
+    """Rebuild (and revalidate) a strategy from :func:`strategy_payload`.
+
+    ``dag`` must be the graph the strategy was computed on; a payload
+    serialised for a differently-labelled DAG raises a targeted error
+    instead of a bare ``KeyError``.
+    """
+    by_name = {str(node): node for node in dag.nodes()}
+    try:
+        configurations = [
+            {by_name[name] for name in configuration}
+            for configuration in payload["configurations"]
+        ]
+    except KeyError as exc:
+        raise InvalidStrategyError(
+            f"stored strategy references unknown node {exc.args[0]!r}; "
+            "the result was serialised for a different DAG"
+        ) from exc
+    return PebblingStrategy(
+        dag,
+        configurations,
+        max_moves_per_step=payload.get("max_moves_per_step"),
+    )
+
+
 def _pebbled_intervals(
     configs: list[set[NodeId]], node: NodeId
 ) -> list[tuple[int, int]]:

@@ -1,0 +1,28 @@
+"""Asynchronous serving layer over the pebbling/compile stack.
+
+:mod:`repro.service.scheduler` provides :class:`PebblingService`, an
+asyncio job scheduler with in-flight request deduplication, cache-first
+answering through :class:`repro.store.ResultStore`, and batching of
+queued misses into the portfolio process pool — plus the JSON
+request-file runner behind the CLI's ``serve`` subcommand.
+"""
+
+from repro.service.scheduler import (
+    JobRequest,
+    JobResult,
+    PebblingService,
+    ServiceError,
+    ServiceStats,
+    parse_request_file,
+    run_request_file,
+)
+
+__all__ = [
+    "JobRequest",
+    "JobResult",
+    "PebblingService",
+    "ServiceError",
+    "ServiceStats",
+    "parse_request_file",
+    "run_request_file",
+]

@@ -1,0 +1,556 @@
+"""Asynchronous pebbling service: dedup, batching, cache-first answering.
+
+:class:`PebblingService` is the serving layer the ROADMAP's north star
+asks for: an :mod:`asyncio` front door that accepts pebble / compile /
+sweep requests and drives them through the existing layers with three
+amortisation tricks stacked on top of each other:
+
+* **in-flight deduplication** — two identical requests submitted while the
+  first is still running share one future (and therefore one solve);
+* **cache-first answering** — with a :class:`~repro.store.ResultStore`
+  attached, an exact repeat of a previously *completed* request is
+  answered straight from the database without touching a SAT solver;
+* **request batching** — queued misses are drained into one batch per
+  dispatch round and fanned out over the portfolio pool
+  (:func:`repro.pebbling.portfolio.run_portfolio`), so concurrent traffic
+  shares worker processes instead of racing for them.
+
+Requests are plain frozen dataclasses (:class:`JobRequest`), so the whole
+service is drivable from JSON: :func:`run_request_file` powers the CLI's
+``serve --json requests.json`` mode and doubles as the programmatic batch
+entry point.  A ``sweep`` request expands into per-budget ``pebble``
+sub-requests *through the same submit path*, which means two overlapping
+sweeps deduplicate their shared budgets and fill the same cache.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import asdict, dataclass, field, fields
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.errors import ReproError
+from repro.circuits.pipeline import compile_cache_request, compile_workload
+from repro.pebbling.portfolio import (
+    PortfolioTask,
+    record_from_result,
+    run_portfolio,
+    task_solve_parameters,
+    _execute_task,
+)
+from repro.pebbling.solver import ReversiblePebblingSolver
+from repro.store.store import ResultStore
+from repro.workloads.registry import load_workload_network, load_workload_or_path
+
+
+class ServiceError(ReproError):
+    """Raised for malformed service requests or misuse of the scheduler."""
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One unit of service traffic, as hashable plain data.
+
+    ``kind`` selects the pipeline: ``"pebble"`` (SAT pebbling search,
+    needs ``budget``), ``"compile"`` (end-to-end compilation, needs
+    ``budget``) or ``"sweep"`` (one pebble search per budget of
+    ``[min_budget, max_budget]``; both default to the workload's feasible
+    range).  Identical requests — field-for-field — deduplicate in flight
+    and share cache entries.
+    """
+
+    kind: str = "pebble"
+    workload: str = ""
+    budget: int | None = None
+    min_budget: int | None = None
+    max_budget: int | None = None
+    scale: float = 1.0
+    single_move: bool = False
+    weighted: bool = False
+    cardinality: str = "sequential"
+    schedule: str = "linear"
+    step_increment: int = 1
+    time_limit: float | None = 60.0
+    max_steps: int | None = None
+    decompose: bool = False
+    verify: bool = True
+
+    def validate(self) -> None:
+        if self.kind not in ("pebble", "compile", "sweep"):
+            raise ServiceError(
+                f"unknown request kind {self.kind!r}; "
+                "expected 'pebble', 'compile' or 'sweep'"
+            )
+        if not self.workload:
+            raise ServiceError("a request needs a workload")
+        if self.kind in ("pebble", "compile") and self.budget is None:
+            raise ServiceError(f"a {self.kind!r} request needs a budget")
+        if self.kind == "sweep" and self.budget is not None:
+            raise ServiceError(
+                "a 'sweep' request takes min_budget/max_budget, not budget"
+            )
+        if (
+            self.min_budget is not None
+            and self.max_budget is not None
+            and self.max_budget < self.min_budget
+        ):
+            raise ServiceError("max_budget must be >= min_budget")
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "JobRequest":
+        """Build a request from parsed JSON, rejecting unknown keys."""
+        if not isinstance(data, dict):
+            raise ServiceError(
+                f"a request must be a JSON object, got {type(data).__name__}"
+            )
+        known = {entry.name for entry in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ServiceError(
+                f"unknown request fields {unknown}; valid fields: {sorted(known)}"
+            )
+        request = cls(**data)  # type: ignore[arg-type]
+        request.validate()
+        return request
+
+    def as_dict(self) -> dict[str, object]:
+        return asdict(self)
+
+    def to_task(self) -> PortfolioTask:
+        """The portfolio task equivalent of a ``pebble`` request."""
+        assert self.budget is not None
+        return PortfolioTask(
+            workload=self.workload,
+            pebbles=self.budget,
+            scale=self.scale,
+            single_move=self.single_move,
+            cardinality=self.cardinality,
+            schedule=self.schedule,
+            step_increment=self.step_increment,
+            time_limit=self.time_limit,
+            max_steps=self.max_steps,
+            weighted=self.weighted,
+        )
+
+
+@dataclass
+class JobResult:
+    """The service's answer to one request."""
+
+    request: JobRequest
+    status: str  # "ok" | "error"
+    source: str  # "cache" | "solver" | "aggregate"
+    payload: dict[str, object] | None = None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "request": self.request.as_dict(),
+            "status": self.status,
+            "source": self.source,
+            "payload": self.payload,
+            "error": self.error,
+        }
+
+
+@dataclass
+class ServiceStats:
+    """Traffic counters of one service instance."""
+
+    submitted: int = 0
+    completed: int = 0
+    errors: int = 0
+    deduplicated: int = 0
+    cache_hits: int = 0
+    solver_jobs: int = 0
+    batches: int = 0
+    expanded: int = 0  # sweep sub-requests spawned
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(asdict(self))
+
+
+class PebblingService:
+    """Async scheduler over the pebbling/compile stack (see module doc).
+
+    ``store`` may be ``None`` (no caching), a database path, or an open
+    :class:`~repro.store.ResultStore`.  ``workers`` is the portfolio width
+    for batched misses (the portfolio's single-core inline fallback
+    applies).  ``batch_window`` is how long the dispatcher waits after the
+    first queued miss for stragglers to join the batch; ``0`` batches only
+    what is already queued.
+
+    Use as an async context manager, or call :meth:`close` when done —
+    results are awaited through :meth:`submit`.  The service itself is
+    single-loop; the blocking work runs in the default executor, so the
+    event loop stays responsive for new submissions (which is what makes
+    dedup-while-in-flight and batching observable at all).
+    """
+
+    def __init__(
+        self,
+        *,
+        store: "ResultStore | str | None" = None,
+        workers: int = 1,
+        batch_window: float = 0.01,
+    ) -> None:
+        if workers < 1:
+            raise ServiceError("workers must be >= 1")
+        if isinstance(store, str):
+            store = ResultStore(store)
+            self._owns_store = True
+        else:
+            self._owns_store = False
+        self.store = store
+        #: Path shipped to portfolio worker processes; in-memory stores are
+        #: process-local, so pool workers then run uncached and the
+        #: service's own (in-process) cache checks still apply.
+        self.store_path = (
+            store.path if store is not None and store.path != ":memory:" else None
+        )
+        self.workers = workers
+        self.batch_window = batch_window
+        self.stats = ServiceStats()
+        self._queue: asyncio.Queue[tuple[JobRequest, asyncio.Future]] = asyncio.Queue()
+        self._inflight: dict[JobRequest, asyncio.Future] = {}
+        self._dispatcher: asyncio.Task | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def __aenter__(self) -> "PebblingService":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+    async def close(self) -> None:
+        """Stop the dispatcher and (if owned) close the store.
+
+        Requests still queued or mid-flight have their futures failed with
+        :class:`ServiceError` — a concurrent ``submit`` must raise, not
+        await a result that will never arrive.
+        """
+        self._closed = True
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+            self._dispatcher = None
+        while not self._queue.empty():
+            self._queue.get_nowait()
+        for future in self._inflight.values():
+            if not future.done():
+                future.set_exception(
+                    ServiceError("the service was closed with requests pending")
+                )
+        self._inflight.clear()
+        if self._owns_store and self.store is not None:
+            self.store.close()
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    async def submit(self, request: JobRequest) -> JobResult:
+        """Schedule one request and await its result.
+
+        Identical in-flight requests share a single execution; errors come
+        back as ``status="error"`` results, never as raised exceptions
+        (one poisoned request must not break a gathered batch).
+        """
+        if self._closed:
+            raise ServiceError("the service is closed")
+        self.stats.submitted += 1
+        try:
+            request.validate()
+        except ServiceError as error:
+            self.stats.errors += 1
+            return JobResult(request, "error", "aggregate", error=str(error))
+        if request.kind == "sweep":
+            return await self._submit_sweep(request)
+        shared = self._inflight.get(request)
+        if shared is not None:
+            self.stats.deduplicated += 1
+            return await shared
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._inflight[request] = future
+        self._queue.put_nowait((request, future))
+        if self._dispatcher is None:
+            self._dispatcher = asyncio.create_task(self._dispatch_loop())
+        return await future
+
+    async def run(self, requests: Iterable[JobRequest]) -> list[JobResult]:
+        """Submit many requests concurrently; results in request order."""
+        return list(await asyncio.gather(*(self.submit(r) for r in requests)))
+
+    # ------------------------------------------------------------------
+    # sweep expansion
+    # ------------------------------------------------------------------
+    async def _submit_sweep(self, request: JobRequest) -> JobResult:
+        try:
+            low, high = await asyncio.get_running_loop().run_in_executor(
+                None, self._sweep_bounds, request
+            )
+        except Exception as error:  # noqa: BLE001 — unknown workload and friends
+            self.stats.errors += 1
+            return JobResult(request, "error", "aggregate", error=str(error))
+        children = [
+            JobRequest(
+                kind="pebble",
+                workload=request.workload,
+                budget=budget,
+                scale=request.scale,
+                single_move=request.single_move,
+                weighted=request.weighted,
+                cardinality=request.cardinality,
+                schedule=request.schedule,
+                step_increment=request.step_increment,
+                time_limit=request.time_limit,
+                max_steps=request.max_steps,
+            )
+            for budget in range(low, high + 1)
+        ]
+        self.stats.expanded += len(children)
+        results = await self.run(children)
+        minimum = None
+        for child, result in zip(children, results):
+            if result.ok and result.payload and result.payload.get("outcome") == "solution":
+                if minimum is None or child.budget < minimum:
+                    minimum = child.budget
+        payload = {
+            "min_budget": low,
+            "max_budget": high,
+            "minimum_feasible_budget": minimum,
+            "points": [result.as_dict() for result in results],
+        }
+        failed = sum(1 for result in results if not result.ok)
+        if failed:
+            # Infeasible budgets are ordinary sweep points; a child that
+            # *errored* (crashed worker, bad workload) is a failed sweep —
+            # mirror pebble-batch, whose exit code flags any error record.
+            self.stats.errors += 1
+            return JobResult(
+                request,
+                "error",
+                "aggregate",
+                payload=payload,
+                error=f"{failed} of {len(results)} budget searches failed",
+            )
+        self.stats.completed += 1
+        return JobResult(request, "ok", "aggregate", payload=payload)
+
+    def _sweep_bounds(self, request: JobRequest) -> tuple[int, int]:
+        if request.min_budget is not None and request.max_budget is not None:
+            return request.min_budget, request.max_budget
+        dag = load_workload_or_path(request.workload, scale=request.scale)
+        low = request.min_budget
+        high = request.max_budget
+        if low is None:
+            low = ReversiblePebblingSolver(dag).minimum_pebbles_lower_bound()
+        if high is None:
+            from repro.pebbling.bennett import eager_bennett_strategy
+
+            baseline = eager_bennett_strategy(dag)
+            high = (
+                int(baseline.max_weight) if request.weighted else baseline.max_pebbles
+            )
+        return low, max(low, high)
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    async def _dispatch_loop(self) -> None:
+        while True:
+            first = await self._queue.get()
+            if self.batch_window > 0:
+                # Let concurrently submitted requests join this round.
+                await asyncio.sleep(self.batch_window)
+            batch = [first]
+            while not self._queue.empty():
+                batch.append(self._queue.get_nowait())
+            self.stats.batches += 1
+            try:
+                outcomes = await asyncio.get_running_loop().run_in_executor(
+                    None, self._process_batch, [request for request, _ in batch]
+                )
+            except Exception as error:  # noqa: BLE001 — defensive: never kill the loop
+                outcomes = [
+                    JobResult(request, "error", "solver", error=str(error))
+                    for request, _ in batch
+                ]
+            for (request, future), outcome in zip(batch, outcomes):
+                if outcome.source == "cache":
+                    self.stats.cache_hits += 1
+                if outcome.ok:
+                    self.stats.completed += 1
+                else:
+                    self.stats.errors += 1
+                self._inflight.pop(request, None)
+                if not future.cancelled():
+                    future.set_result(outcome)
+
+    # -- blocking section (runs in the default executor) -------------------
+    def _process_batch(self, requests: Sequence[JobRequest]) -> list[JobResult]:
+        """Answer a batch: cache first, then one portfolio fan-out."""
+        outcomes: dict[int, JobResult] = {}
+        pebble_misses: list[tuple[int, JobRequest]] = []
+        for index, request in enumerate(requests):
+            try:
+                if request.kind == "compile":
+                    outcomes[index] = self._run_compile(request)
+                else:
+                    hit = self._cached_pebble(request)
+                    if hit is not None:
+                        outcomes[index] = hit
+                    else:
+                        pebble_misses.append((index, request))
+            except Exception as error:  # noqa: BLE001 — per-request containment
+                outcomes[index] = JobResult(request, "error", "solver", error=str(error))
+        if pebble_misses:
+            tasks = [request.to_task() for _, request in pebble_misses]
+            self.stats.solver_jobs += len(tasks)
+            if self.store is not None and self.store_path is None:
+                # In-memory store: pool workers could not see it, so run the
+                # batch inline against the live store object instead.
+                records = [_execute_task(task, self.store) for task in tasks]
+            else:
+                records = run_portfolio(
+                    tasks, jobs=self.workers, store_path=self.store_path
+                )
+            for (index, request), record in zip(pebble_misses, records):
+                if record.outcome == "error":
+                    outcomes[index] = JobResult(
+                        request, "error", "solver", error=record.error
+                    )
+                else:
+                    outcomes[index] = JobResult(
+                        request, "ok", "solver", payload=record.as_dict()
+                    )
+        return [outcomes[index] for index in range(len(requests))]
+
+    def _cached_pebble(self, request: JobRequest) -> "JobResult | None":
+        """Answer a pebble request from the store without touching a solver."""
+        if self.store is None:
+            return None
+        task = request.to_task()
+        dag = load_workload_or_path(task.workload, scale=task.scale)
+        parameters = task_solve_parameters(task)
+        result = self.store.get_pebble(dag, **parameters)
+        if result is None:
+            return None
+        payload = record_from_result(task, result).as_dict()
+        return JobResult(request, "ok", "cache", payload=payload)
+
+    def _run_compile(self, request: JobRequest) -> JobResult:
+        """Run (or cache-answer) one compile request in the batch thread.
+
+        ``compile_workload`` does its own store lookup with the same
+        content address, so a repeat compiles nothing and solves nothing;
+        the source is attributed by probing the cache first.
+        """
+        cached = None
+        if self.store is not None:
+            dag = load_workload_or_path(request.workload, scale=request.scale)
+            network = load_workload_network(request.workload, scale=request.scale)
+            cached = self.store.get_compile(
+                dag,
+                network=network,
+                **compile_cache_request(
+                    pebbles=request.budget,
+                    weighted=request.weighted,
+                    decompose=request.decompose,
+                    single_move=request.single_move,
+                    cardinality=request.cardinality,
+                    schedule=request.schedule,
+                    step_increment=request.step_increment,
+                    max_steps=request.max_steps,
+                    verify=request.verify,
+                    workload=request.workload,
+                ),
+            )
+        if cached is not None:
+            return JobResult(request, "ok", "cache", payload=cached.as_dict())
+        report = compile_workload(
+            request.workload,
+            pebbles=request.budget,
+            scale=request.scale,
+            weighted=request.weighted,
+            decompose=request.decompose,
+            single_move=request.single_move,
+            cardinality=request.cardinality,
+            schedule=request.schedule,
+            step_increment=(
+                request.step_increment if request.step_increment != 1 else None
+            ),
+            time_limit=request.time_limit,
+            max_steps=request.max_steps,
+            verify=request.verify,
+            store=self.store,
+        )
+        return JobResult(request, "ok", "solver", payload=report.as_dict())
+
+
+# ---------------------------------------------------------------------------
+# request-file mode (the CLI's ``serve --json``)
+# ---------------------------------------------------------------------------
+def parse_request_file(path: "str | Path") -> list[JobRequest]:
+    """Parse a JSON request file: ``{"requests": [...]}`` or a bare list."""
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ServiceError(f"cannot read request file {path}: {exc}") from exc
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ServiceError(f"request file {path} is not valid JSON: {exc}") from exc
+    if isinstance(data, dict):
+        entries = data.get("requests")
+        if not isinstance(entries, list):
+            raise ServiceError(
+                'a request file object needs a "requests" list '
+                '(or use a bare JSON list of requests)'
+            )
+    elif isinstance(data, list):
+        entries = data
+    else:
+        raise ServiceError("a request file must hold a JSON object or list")
+    return [JobRequest.from_dict(entry) for entry in entries]
+
+
+def run_request_file(
+    path: "str | Path",
+    *,
+    store: "ResultStore | str | None" = None,
+    workers: int = 1,
+    batch_window: float = 0.01,
+) -> dict[str, object]:
+    """Drive a request file through a fresh service; return the JSON report.
+
+    All requests are submitted concurrently, so the file as a whole enjoys
+    deduplication, batching and cache service exactly like live traffic.
+    """
+    requests = parse_request_file(path)
+
+    async def _run() -> dict[str, object]:
+        async with PebblingService(
+            store=store, workers=workers, batch_window=batch_window
+        ) as service:
+            results = await service.run(requests)
+            report: dict[str, object] = {
+                "results": [result.as_dict() for result in results],
+                "stats": service.stats.as_dict(),
+            }
+            if service.store is not None:
+                report["store"] = service.store.stats().as_dict()
+            return report
+
+    return asyncio.run(_run())

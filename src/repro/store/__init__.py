@@ -1,0 +1,39 @@
+"""Content-addressed result store (cache + warm-start substrate).
+
+The store layer gives the pebbling stack memory across solves, processes
+and runs:
+
+* :mod:`repro.store.fingerprint` — isomorphism-invariant DAG fingerprints
+  (Weisfeiler–Leman colour refinement), label-sensitive exact digests,
+  network digests, and the content addresses of pebble/compile requests;
+* :mod:`repro.store.store` — :class:`ResultStore`, the SQLite-backed
+  cache with exact ``get``/``put``, LRU eviction, statistics, and
+  *warm-start extraction* (certified step bounds transferred between
+  budgets of the same DAG).
+
+Everything is opt-in: the solver, portfolio, pipeline and CLI accept a
+store (or a database path) and behave exactly as before without one.
+"""
+
+from repro.store.fingerprint import (
+    compile_request_key,
+    dag_fingerprint,
+    exact_dag_digest,
+    network_digest,
+    options_key,
+    pebble_request_key,
+)
+from repro.store.store import ResultStore, StoreError, StoreStats, WarmStart
+
+__all__ = [
+    "ResultStore",
+    "StoreError",
+    "StoreStats",
+    "WarmStart",
+    "compile_request_key",
+    "dag_fingerprint",
+    "exact_dag_digest",
+    "network_digest",
+    "options_key",
+    "pebble_request_key",
+]

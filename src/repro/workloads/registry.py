@@ -324,18 +324,35 @@ def load_workload(name: str, *, scale: float = 1.0) -> Dag:
 def load_workload_or_path(spec: str, *, scale: float = 1.0) -> Dag:
     """Load a workload by registry name, ``.bench`` path or DAG-JSON path.
 
-    This is the resolution rule shared by the CLI and the portfolio
-    workers: a ``.bench`` or ``.json`` suffix naming an existing file wins;
-    anything else is looked up in the registry.
+    This is the resolution rule shared by the CLI, the portfolio workers
+    and the serving layer: a ``.bench`` or ``.json`` suffix naming an
+    existing file wins; anything else is looked up in the registry.  A
+    path-looking spec whose file is missing raises a targeted error (the
+    historical behaviour fell through to the registry and reported the
+    file name as an unknown workload), and an unknown registry name lists
+    every valid workload and batch suite.
     """
     path = Path(spec)
-    if path.suffix == ".bench" and path.exists():
-        from repro.logic.bench import network_from_bench
+    if path.suffix in (".bench", ".json"):
+        if not path.exists():
+            raise WorkloadError(
+                f"workload file {spec!r} does not exist; a spec ending in "
+                ".bench or .json must name an existing file "
+                f"(registry workloads: {list_workloads()})"
+            )
+        if path.suffix == ".bench":
+            from repro.logic.bench import network_from_bench
 
-        return network_from_bench(path).to_dag()
-    if path.suffix == ".json" and path.exists():
+            return network_from_bench(path).to_dag()
         return dag_from_json(path)
-    return load_workload(spec, scale=scale)
+    try:
+        return load_workload(spec, scale=scale)
+    except WorkloadError as exc:
+        if "unknown workload" not in str(exc):
+            raise  # e.g. a bad scale: already a precise message
+        raise WorkloadError(
+            f"{exc} (batch suites for pebble-batch/cache warm: {list_suites()})"
+        ) from exc
 
 
 def load_workload_network(spec: str, *, scale: float = 1.0) -> LogicNetwork | None:

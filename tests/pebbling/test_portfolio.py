@@ -64,12 +64,72 @@ class TestRunPortfolio:
             PortfolioTask("fig2", 3, time_limit=30)  # an UNSAT sweep
         ]
         inline = run_portfolio(tasks, jobs=1)
-        pooled = run_portfolio(tasks, jobs=2)
+        # force_pool: on a single-core host jobs=2 would silently fall back
+        # to inline and this parity test would compare inline to itself.
+        pooled = run_portfolio(tasks, jobs=2, force_pool=True)
         assert [record.name for record in pooled] == [record.name for record in inline]
         for one, many in zip(inline, pooled):
             assert one.outcome == many.outcome
             assert one.steps == many.steps
             assert one.pebbles_used == many.pebbles_used
+
+    def test_single_core_host_falls_back_to_inline(self, monkeypatch):
+        import repro.pebbling.portfolio as portfolio_module
+
+        monkeypatch.setattr(portfolio_module, "_usable_cores", lambda: 1)
+
+        def _no_pool(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("ProcessPoolExecutor must not be used")
+
+        monkeypatch.setattr(portfolio_module, "ProcessPoolExecutor", _no_pool)
+        records = run_portfolio(
+            tasks_from_suite("smoke", time_limit=30), jobs=4
+        )
+        assert [record.outcome for record in records] == ["solution", "solution"]
+
+    def test_multi_core_host_uses_the_pool(self, monkeypatch):
+        import repro.pebbling.portfolio as portfolio_module
+
+        monkeypatch.setattr(portfolio_module, "_usable_cores", lambda: 8)
+        used = {}
+
+        class _SpyPool:
+            def __init__(self, max_workers):
+                used["max_workers"] = max_workers
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def submit(self, function, *args):
+                class _Future:
+                    @staticmethod
+                    def result():
+                        return function(*args)
+
+                return _Future()
+
+        monkeypatch.setattr(portfolio_module, "ProcessPoolExecutor", _SpyPool)
+        records = run_portfolio(
+            tasks_from_suite("smoke", time_limit=30), jobs=2
+        )
+        assert used["max_workers"] == 2
+        assert all(record.found for record in records)
+
+    def test_store_path_threads_the_cache_through_tasks(self, tmp_path):
+        db = str(tmp_path / "cache.db")
+        tasks = tasks_from_suite("smoke", time_limit=30)
+        cold = run_portfolio(tasks, jobs=1, store_path=db)
+        warm = run_portfolio(tasks, jobs=1, store_path=db)
+        for one, two in zip(cold, warm):
+            assert one.outcome == two.outcome
+            assert one.steps == two.steps
+        from repro.store import ResultStore
+
+        with ResultStore(db) as store:
+            assert store.stats().total_hits == len(tasks)
 
     def test_meaningless_schedule_parameters_become_error_records(self):
         # The validation of the search layer reaches portfolio tasks too:

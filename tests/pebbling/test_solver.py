@@ -291,3 +291,42 @@ class TestWeightedPebbling:
         ).solve(5, time_limit=60)
         assert incremental.found and monolithic.found
         assert incremental.num_steps == monolithic.num_steps
+
+
+class TestStepFloorAndMinimality:
+    def test_trusted_step_floor_skips_fruitless_bounds(self, fig2_dag):
+        solver = ReversiblePebblingSolver(fig2_dag)
+        cold = solver.solve(4, time_limit=60)
+        assert cold.num_steps == 6 and len(cold.attempts) == 3
+        floored = solver.solve(4, time_limit=60, step_floor=6)
+        assert floored.num_steps == 6
+        assert len(floored.attempts) == 1
+        assert floored.minimal
+
+    def test_loose_step_floor_is_harmless(self, fig2_dag):
+        result = ReversiblePebblingSolver(fig2_dag).solve(
+            4, time_limit=60, step_floor=2
+        )
+        assert result.num_steps == 6
+        assert result.minimal
+
+    def test_minimal_flag_per_schedule(self, fig2_dag):
+        solver = ReversiblePebblingSolver(fig2_dag)
+        assert solver.solve(4, time_limit=60).minimal  # linear, inc 1
+        assert solver.solve(
+            4, time_limit=60, strategy="geometric-refine"
+        ).minimal
+        # Geometric overshoot may stop above the minimum: never certified.
+        assert not solver.solve(4, time_limit=60, strategy="geometric").minimal
+        # A linear scan seeded above the floor only proves ">= seed".
+        seeded = solver.solve(4, time_limit=60, initial_steps=8)
+        assert seeded.found and not seeded.minimal
+        # Unsolved searches are never minimal.
+        assert not solver.solve(3, time_limit=60).minimal
+
+    def test_linear_coarse_increment_is_not_certified(self, fig2_dag):
+        result = ReversiblePebblingSolver(fig2_dag).solve(
+            4, time_limit=60, step_increment=2
+        )
+        assert result.found
+        assert not result.minimal

@@ -1,0 +1,293 @@
+"""Tests for the asyncio pebbling service (dedup, batching, cache-first)."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service import (
+    JobRequest,
+    PebblingService,
+    ServiceError,
+    parse_request_file,
+    run_request_file,
+)
+from repro.store import ResultStore
+
+
+def _run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestJobRequest:
+    def test_validation(self):
+        with pytest.raises(ServiceError, match="kind"):
+            JobRequest(kind="teleport", workload="fig2").validate()
+        with pytest.raises(ServiceError, match="workload"):
+            JobRequest(kind="pebble").validate()
+        with pytest.raises(ServiceError, match="budget"):
+            JobRequest(kind="pebble", workload="fig2").validate()
+        with pytest.raises(ServiceError, match="min_budget"):
+            JobRequest(kind="sweep", workload="fig2", budget=4).validate()
+        JobRequest(kind="sweep", workload="fig2").validate()
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ServiceError, match="pebbels"):
+            JobRequest.from_dict({"workload": "fig2", "pebbels": 4})
+        request = JobRequest.from_dict(
+            {"kind": "pebble", "workload": "fig2", "budget": 4}
+        )
+        assert request.budget == 4
+        assert request.as_dict()["workload"] == "fig2"
+
+    def test_requests_are_hashable_dedup_keys(self):
+        a = JobRequest(kind="pebble", workload="fig2", budget=4)
+        b = JobRequest(kind="pebble", workload="fig2", budget=4)
+        assert a == b and hash(a) == hash(b)
+        assert a != JobRequest(kind="pebble", workload="fig2", budget=5)
+
+
+class TestService:
+    def test_single_pebble_request(self):
+        async def scenario():
+            async with PebblingService(batch_window=0.0) as service:
+                result = await service.submit(
+                    JobRequest(kind="pebble", workload="fig2", budget=4,
+                               time_limit=30)
+                )
+                return service, result
+
+        service, result = _run(scenario())
+        assert result.ok and result.source == "solver"
+        assert result.payload["outcome"] == "solution"
+        assert result.payload["steps"] == 6
+        assert service.stats.solver_jobs == 1
+
+    def test_identical_inflight_requests_deduplicate(self):
+        request = JobRequest(kind="pebble", workload="fig2", budget=4,
+                             time_limit=30)
+
+        async def scenario():
+            async with PebblingService(batch_window=0.05) as service:
+                results = await service.run([request, request, request])
+                return service, results
+
+        service, results = _run(scenario())
+        assert all(result.ok for result in results)
+        assert {json.dumps(r.payload, sort_keys=True) for r in results} \
+            == {json.dumps(results[0].payload, sort_keys=True)}
+        assert service.stats.deduplicated == 2
+        assert service.stats.solver_jobs == 1
+
+    def test_distinct_requests_batch_into_one_round(self):
+        requests = [
+            JobRequest(kind="pebble", workload="fig2", budget=budget,
+                       time_limit=30)
+            for budget in (4, 5, 6)
+        ]
+
+        async def scenario():
+            async with PebblingService(batch_window=0.1) as service:
+                results = await service.run(requests)
+                return service, results
+
+        service, results = _run(scenario())
+        assert [r.payload["steps"] for r in results] == [6, 5, 5]
+        assert service.stats.batches == 1
+        assert service.stats.solver_jobs == 3
+
+    def test_cache_hits_skip_the_solver(self, tmp_path):
+        db = str(tmp_path / "cache.db")
+        request = JobRequest(kind="pebble", workload="fig2", budget=4,
+                             time_limit=30)
+
+        async def scenario():
+            async with PebblingService(store=db, batch_window=0.0) as service:
+                first = await service.submit(request)
+                second = await service.submit(request)
+                return service, first, second
+
+        service, first, second = _run(scenario())
+        assert first.source == "solver" and second.source == "cache"
+        assert service.stats.cache_hits == 1
+        assert service.stats.solver_jobs == 1
+        # The cached answer matches the solved one field for field.
+        assert second.payload == first.payload
+
+    def test_in_memory_store_object_is_shared(self):
+        request = JobRequest(kind="pebble", workload="c17", budget=4,
+                             time_limit=30)
+
+        async def scenario():
+            with ResultStore(":memory:") as store:
+                async with PebblingService(store=store, batch_window=0.0) as service:
+                    first = await service.submit(request)
+                    second = await service.submit(request)
+                    return first.source, second.source
+
+        assert _run(scenario()) == ("solver", "cache")
+
+    def test_sweep_expands_dedups_and_aggregates(self, tmp_path):
+        db = str(tmp_path / "cache.db")
+        sweep = JobRequest(kind="sweep", workload="fig2", min_budget=3,
+                           max_budget=6, time_limit=30)
+
+        async def scenario():
+            async with PebblingService(store=db, batch_window=0.05) as service:
+                overlapping = JobRequest(kind="pebble", workload="fig2",
+                                         budget=4, time_limit=30)
+                sweep_result, single = await asyncio.gather(
+                    service.submit(sweep), service.submit(overlapping)
+                )
+                return service, sweep_result, single
+
+        service, sweep_result, single = _run(scenario())
+        assert sweep_result.ok and sweep_result.source == "aggregate"
+        payload = sweep_result.payload
+        assert payload["minimum_feasible_budget"] == 4
+        assert [p["request"]["budget"] for p in payload["points"]] == [3, 4, 5, 6]
+        assert single.ok
+        assert service.stats.expanded == 4
+        # The overlapping single request shared work with the sweep, one
+        # way or the other (dedup if concurrent, cache if sequenced).
+        assert service.stats.deduplicated + service.stats.cache_hits >= 1
+
+    def test_compile_requests_and_cache(self, tmp_path):
+        db = str(tmp_path / "cache.db")
+        request = JobRequest(kind="compile", workload="fig2", budget=4,
+                             decompose=True, time_limit=30)
+
+        async def scenario():
+            async with PebblingService(store=db, batch_window=0.0) as service:
+                first = await service.submit(request)
+                second = await service.submit(request)
+                return first, second
+
+        first, second = _run(scenario())
+        assert first.ok and first.source == "solver"
+        assert first.payload["verified"] is True
+        assert second.source == "cache"
+        assert second.payload == first.payload
+
+    def test_errors_are_contained_results(self):
+        async def scenario():
+            async with PebblingService(batch_window=0.0) as service:
+                bad, good = await service.run([
+                    JobRequest(kind="pebble", workload="no-such", budget=4),
+                    JobRequest(kind="pebble", workload="fig2", budget=4,
+                               time_limit=30),
+                ])
+                return service, bad, good
+
+        service, bad, good = _run(scenario())
+        assert bad.status == "error" and "no-such" in bad.error
+        assert good.ok
+        assert service.stats.errors == 1
+
+    def test_sweep_with_failing_children_reports_error(self):
+        async def scenario():
+            async with PebblingService(batch_window=0.0) as service:
+                return await service.submit(
+                    JobRequest(kind="sweep", workload="missing_dag.json",
+                               min_budget=3, max_budget=4)
+                )
+
+        result = _run(scenario())
+        assert result.status == "error"
+        assert "2 of 2 budget searches failed" in result.error
+        assert all(
+            "does not exist" in point["error"]
+            for point in result.payload["points"]
+        )
+
+    def test_sweep_with_erroring_budget_points_reports_error(self, monkeypatch):
+        # Bounds resolve fine, but every per-budget child crashes: the
+        # aggregate must not read as "ok" (mirrors pebble-batch's exit 1).
+        import repro.service.scheduler as scheduler_module
+
+        def _boom(task, store=None):
+            raise RuntimeError("worker crashed")
+
+        monkeypatch.setattr(scheduler_module, "run_portfolio",
+                            lambda tasks, **kwargs: [_boom(t) for t in tasks])
+
+        async def scenario():
+            async with PebblingService(batch_window=0.0) as service:
+                return await service.submit(
+                    JobRequest(kind="sweep", workload="fig2", min_budget=3,
+                               max_budget=4, time_limit=10)
+                )
+
+        result = _run(scenario())
+        assert result.status == "error"
+        assert "2 of 2 budget searches failed" in result.error
+
+    def test_close_fails_pending_futures(self):
+        async def scenario():
+            service = PebblingService(batch_window=0.0)
+            pending = asyncio.create_task(service.submit(
+                JobRequest(kind="pebble", workload="and9", budget=4,
+                           time_limit=5)  # an UNSAT sweep: ~1 s of work
+            ))
+            await asyncio.sleep(0)  # let the request enqueue
+            await service.close()
+            with pytest.raises(ServiceError, match="closed with requests pending"):
+                await pending
+
+        _run(scenario())
+
+    def test_submit_after_close_raises(self):
+        async def scenario():
+            service = PebblingService()
+            await service.close()
+            with pytest.raises(ServiceError):
+                await service.submit(
+                    JobRequest(kind="pebble", workload="fig2", budget=4)
+                )
+
+        _run(scenario())
+
+
+class TestRequestFile:
+    def test_parse_rejects_malformed_files(self, tmp_path):
+        path = tmp_path / "requests.json"
+        path.write_text('{"nope": []}')
+        with pytest.raises(ServiceError, match="requests"):
+            parse_request_file(path)
+        path.write_text('"just a string"')
+        with pytest.raises(ServiceError, match="object or list"):
+            parse_request_file(path)
+        path.write_text('{"requests": [5]}')
+        with pytest.raises(ServiceError, match="JSON object"):
+            parse_request_file(path)
+        path.write_text("{not json")
+        with pytest.raises(ServiceError, match="not valid JSON"):
+            parse_request_file(path)
+        with pytest.raises(ServiceError, match="cannot read"):
+            parse_request_file(path.parent / "absent.json")
+
+    def test_end_to_end_report(self, tmp_path):
+        db = str(tmp_path / "cache.db")
+        path = tmp_path / "requests.json"
+        path.write_text(json.dumps({
+            "requests": [
+                {"kind": "pebble", "workload": "fig2", "budget": 4,
+                 "time_limit": 30},
+                {"kind": "pebble", "workload": "fig2", "budget": 4,
+                 "time_limit": 30},
+                {"kind": "pebble", "workload": "c17", "budget": 4,
+                 "time_limit": 30},
+            ]
+        }))
+        report = run_request_file(path, store=db, workers=2, batch_window=0.05)
+        assert [r["status"] for r in report["results"]] == ["ok"] * 3
+        assert report["stats"]["deduplicated"] == 1
+        assert report["store"]["entries"] >= 2
+        # A second run of the same file is answered entirely from cache.
+        again = run_request_file(path, store=db, workers=2, batch_window=0.05)
+        assert again["stats"]["cache_hits"] >= 1
+        assert again["stats"]["solver_jobs"] == 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    pytest.main([__file__, "-q"])

@@ -1,0 +1,95 @@
+"""Round-trip tests for the JSON forms of results and reports."""
+
+import json
+
+import pytest
+
+from repro.circuits.pipeline import CompilationReport, compile_workload
+from repro.errors import PebblingError
+from repro.pebbling.solver import (
+    PebblingOutcome,
+    PebblingResult,
+    ReversiblePebblingSolver,
+)
+from repro.workloads import example_dag, load_workload
+
+
+def _round_trip(result: PebblingResult, dag) -> PebblingResult:
+    payload = json.dumps(result.to_json(), sort_keys=True)
+    return PebblingResult.from_json(json.loads(payload), dag)
+
+
+class TestPebblingResultJson:
+    def test_solution_round_trip_is_lossless(self, fig2_dag):
+        result = ReversiblePebblingSolver(fig2_dag).solve(4, time_limit=60)
+        assert result.found
+        rebuilt = _round_trip(result, fig2_dag)
+        assert json.dumps(rebuilt.to_json(), sort_keys=True) == json.dumps(
+            result.to_json(), sort_keys=True
+        )
+        assert rebuilt.strategy.configurations == result.strategy.configurations
+        assert rebuilt.num_steps == result.num_steps
+        assert rebuilt.runtime == result.runtime
+        assert [a.solver_stats for a in rebuilt.attempts] == [
+            a.solver_stats for a in result.attempts
+        ]
+
+    def test_unsolved_round_trip(self, fig2_dag):
+        result = ReversiblePebblingSolver(fig2_dag).solve(3, time_limit=60)
+        assert result.outcome is PebblingOutcome.STEP_LIMIT
+        rebuilt = _round_trip(result, fig2_dag)
+        assert rebuilt.strategy is None
+        assert rebuilt.outcome is PebblingOutcome.STEP_LIMIT
+        assert rebuilt.complete is result.complete is True
+
+    def test_single_move_strategies_keep_their_move_cap(self, fig2_dag):
+        from repro.pebbling.encoding import EncodingOptions
+
+        result = ReversiblePebblingSolver(
+            fig2_dag, options=EncodingOptions(max_moves_per_step=1)
+        ).solve(4, time_limit=60)
+        rebuilt = _round_trip(result, fig2_dag)
+        assert rebuilt.strategy.max_moves_per_step == 1
+
+    def test_foreign_dag_is_rejected(self, fig2_dag, chain_dag):
+        result = ReversiblePebblingSolver(fig2_dag).solve(4, time_limit=60)
+        with pytest.raises(PebblingError, match="different DAG"):
+            PebblingResult.from_json(result.to_json(), chain_dag)
+
+
+class TestCompilationReportJson:
+    def test_verified_report_round_trip(self):
+        report = compile_workload(
+            "fig2", pebbles=4, decompose=True, time_limit=60
+        )
+        assert report.found and report.verified
+        dag = load_workload("fig2")
+        rebuilt = CompilationReport.from_json(report.to_json(), dag)
+        assert json.dumps(rebuilt.to_json(), sort_keys=True) == json.dumps(
+            report.to_json(), sort_keys=True
+        )
+        assert rebuilt.as_dict() == report.as_dict()
+        # The strategy travels (grids can be reprinted from cache)...
+        assert rebuilt.strategy is not None
+        assert rebuilt.strategy.num_steps == report.steps
+        # ... the compiled circuit object does not (recompute on demand).
+        assert rebuilt.circuit is None
+
+    def test_foreign_dag_is_rejected(self, chain_dag):
+        report = compile_workload("fig2", pebbles=4, time_limit=60)
+        with pytest.raises(PebblingError, match="different DAG"):
+            CompilationReport.from_json(report.to_json(), chain_dag)
+
+    def test_unsolved_report_round_trip(self):
+        report = compile_workload("fig2", pebbles=3, time_limit=60)
+        assert not report.found
+        rebuilt = CompilationReport.from_json(
+            report.to_json(), load_workload("fig2")
+        )
+        assert rebuilt.strategy is None
+        assert rebuilt.outcome == report.outcome
+        assert rebuilt.qubits is None
+
+
+if __name__ == "__main__":  # pragma: no cover
+    pytest.main([__file__, "-q"])

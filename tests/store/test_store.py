@@ -1,0 +1,270 @@
+"""Tests for the SQLite result store: round trips, warm starts, eviction."""
+
+import json
+
+import pytest
+
+from repro.pebbling.encoding import EncodingOptions
+from repro.pebbling.portfolio import task_solve_parameters, tasks_from_suite
+from repro.pebbling.search import LinearSearch
+from repro.pebbling.solver import PebblingOutcome, ReversiblePebblingSolver
+from repro.store import ResultStore, StoreError
+from repro.workloads import example_dag, load_workload
+from repro.workloads.registry import load_workload_or_path
+
+
+def _solve(dag, budget, *, store=None, schedule="linear", **kwargs):
+    solver = ReversiblePebblingSolver(dag)
+    return solver.solve(
+        budget, strategy=schedule, time_limit=60, store=store, **kwargs
+    )
+
+
+class TestExactReuse:
+    def test_hit_is_byte_identical_and_solver_free(self, fig2_dag):
+        with ResultStore(":memory:") as store:
+            cold = _solve(fig2_dag, 4, store=store)
+            assert store.stats().entries == 1
+            hit = _solve(fig2_dag, 4, store=store)
+            assert json.dumps(cold.to_json(), sort_keys=True) == json.dumps(
+                hit.to_json(), sort_keys=True
+            )
+            # Exactly one put, one miss, one hit — the second solve never
+            # built an encoder or ran a SAT call of its own.
+            assert store.session["hits"] == 1
+            assert store.session["puts"] == 1
+
+    def test_infeasible_budgets_are_cached_too(self, fig2_dag):
+        with ResultStore(":memory:") as store:
+            cold = _solve(fig2_dag, 1, store=store)
+            assert cold.outcome is PebblingOutcome.INFEASIBLE
+            hit = _solve(fig2_dag, 1, store=store)
+            assert hit.outcome is PebblingOutcome.INFEASIBLE
+            assert store.session["hits"] == 1
+
+    def test_different_parameters_miss(self, fig2_dag):
+        with ResultStore(":memory:") as store:
+            _solve(fig2_dag, 4, store=store)
+            assert store.session["hits"] == 0
+            _solve(fig2_dag, 5, store=store)  # other budget
+            _solve(fig2_dag, 4, store=store, schedule="geometric-refine")
+            assert store.session["hits"] == 0
+            assert store.stats().entries == 3
+
+    def test_relabelled_dag_does_not_share_exact_results(self, fig2_dag):
+        mapping = {"A": "a", "B": "b", "C": "c", "D": "d", "E": "e", "F": "f"}
+        relabelled = fig2_dag.relabel(mapping)
+        with ResultStore(":memory:") as store:
+            _solve(fig2_dag, 4, store=store)
+            result = _solve(relabelled, 4, store=store)
+            # No exact hit (labels differ) — but a fresh, valid result.
+            assert store.session["hits"] == 0
+            assert result.found
+            assert all(
+                str(node).islower()
+                for configuration in result.strategy.configurations
+                for node in configuration
+            )
+
+    def test_incomplete_results_are_not_stored(self, and9_dag):
+        with ResultStore(":memory:") as store:
+            result = ReversiblePebblingSolver(and9_dag).solve(
+                5, time_limit=0.0, store=store
+            )
+            assert result.outcome is PebblingOutcome.TIMEOUT
+            assert store.stats().entries == 0
+
+
+class TestWarmStart:
+    def test_bracketed_budget_needs_one_sat_call(self, fig2_dag):
+        cold = _solve(fig2_dag, 5, schedule="geometric-refine")
+        with ResultStore(":memory:") as store:
+            _solve(fig2_dag, 4, store=store, schedule="geometric-refine")
+            _solve(fig2_dag, 6, store=store, schedule="geometric-refine")
+            warm = _solve(fig2_dag, 5, store=store, schedule="geometric-refine")
+        assert warm.num_steps == cold.num_steps == 5
+        assert len(warm.attempts) < len(cold.attempts)
+        assert len(warm.attempts) == 1
+        assert warm.minimal
+
+    def test_warm_bounds_transfer_to_relabelled_dags(self, fig2_dag):
+        relabelled = fig2_dag.relabel(lambda node: f"renamed_{node}")
+        with ResultStore(":memory:") as store:
+            _solve(fig2_dag, 4, store=store, schedule="geometric-refine")
+            _solve(fig2_dag, 6, store=store, schedule="geometric-refine")
+            warm = _solve(relabelled, 5, store=store, schedule="geometric-refine")
+        assert warm.found and warm.num_steps == 5
+        assert len(warm.attempts) == 1
+
+    def test_warm_start_extraction_directions(self, fig2_dag):
+        with ResultStore(":memory:") as store:
+            _solve(fig2_dag, 4, store=store)  # minimal solution, 6 steps
+            options = EncodingOptions()
+            # Tighter-or-equal cached budget bounds looser requests above.
+            above = store.warm_start(fig2_dag, budget=6, options=options)
+            assert above.step_ceiling == 6 and above.step_floor is None
+            # Looser-or-equal cached budget floors tighter requests.
+            below = store.warm_start(fig2_dag, budget=3, options=options)
+            assert below.step_floor == 6 and below.step_ceiling is None
+            # Different game semantics: nothing transfers.
+            assert (
+                store.warm_start(
+                    fig2_dag, budget=5,
+                    options=EncodingOptions(max_moves_per_step=1),
+                )
+                is None
+            )
+
+    def test_overshooting_schedules_ignore_warm_bounds(self, fig2_dag):
+        # A warm floor shifts the probe grid of geometric / coarse-linear
+        # schedules and would change (worsen) the answer for the *same*
+        # request — so those schedules must not consume warm bounds.
+        from repro.pebbling.search import GeometricSearch
+
+        for schedule in (GeometricSearch(), LinearSearch(step_increment=2)):
+            cold = _solve(fig2_dag, 4, schedule=schedule)
+            with ResultStore(":memory:") as store:
+                _solve(fig2_dag, 5, store=store, schedule="geometric-refine")
+                _solve(fig2_dag, 6, store=store, schedule="geometric-refine")
+                warmed = _solve(fig2_dag, 4, store=store, schedule=schedule)
+            assert warmed.num_steps == cold.num_steps
+            assert [a.num_steps for a in warmed.attempts] == [
+                a.num_steps for a in cold.attempts
+            ]
+
+    def test_uncertified_steps_do_not_floor(self, fig2_dag):
+        with ResultStore(":memory:") as store:
+            loose = _solve(fig2_dag, 4, store=store, schedule="geometric")
+            assert loose.found and not loose.minimal
+            warm = store.warm_start(fig2_dag, budget=3, options=EncodingOptions())
+            assert warm is None or warm.step_floor is None
+
+
+class TestMaintenance:
+    def test_eviction_keeps_most_recent(self, fig2_dag):
+        with ResultStore(":memory:", max_entries=2) as store:
+            _solve(fig2_dag, 4, store=store)
+            _solve(fig2_dag, 5, store=store)
+            _solve(fig2_dag, 6, store=store)
+            stats = store.stats()
+            assert stats.entries == 2
+            assert store.session["evictions"] == 1
+            # The oldest row (budget 4) was evicted; 5 and 6 still hit.
+            assert store.warm_start(
+                fig2_dag, budget=4, options=EncodingOptions()
+            ).step_floor is not None
+            _solve(fig2_dag, 5, store=store)
+            _solve(fig2_dag, 6, store=store)
+            assert store.session["hits"] == 2
+
+    def test_warm_reads_refresh_lru_recency(self, fig2_dag, chain_dag):
+        with ResultStore(":memory:", max_entries=2) as store:
+            _solve(fig2_dag, 4, store=store)  # anchor: oldest row, 6 steps
+            _solve(fig2_dag, 6, store=store)
+            # A pure warm probe uses the p4 row as its (unique) certified
+            # floor — that read must count as a use for LRU purposes.
+            warm = store.warm_start(fig2_dag, budget=3, options=EncodingOptions())
+            assert warm.floor_budget == 4
+            # An unrelated insert trips eviction: without the warm-read
+            # recency refresh the p4 anchor would be the LRU row and die.
+            _solve(chain_dag, 5, store=store)
+            assert store.session["evictions"] == 1
+            assert store.session["hits"] == 0
+            _solve(fig2_dag, 4, store=store)
+            assert store.session["hits"] == 1, "warm-read anchor was evicted"
+
+    def test_clear_and_stats(self, fig2_dag, tmp_path):
+        path = tmp_path / "cache.db"
+        with ResultStore(path) as store:
+            _solve(fig2_dag, 4, store=store)
+            stats = store.stats()
+            assert stats.entries == stats.pebble_entries == 1
+            assert stats.size_bytes > 0
+            assert store.clear() == 1
+            assert store.stats().entries == 0
+
+    def test_persistence_across_connections(self, fig2_dag, tmp_path):
+        path = tmp_path / "cache.db"
+        with ResultStore(path) as store:
+            cold = _solve(fig2_dag, 4, store=store)
+        with ResultStore(path) as reopened:
+            hit = _solve(fig2_dag, 4, store=reopened)
+            assert reopened.session["hits"] == 1
+        assert json.dumps(cold.to_json(), sort_keys=True) == json.dumps(
+            hit.to_json(), sort_keys=True
+        )
+
+    def test_reput_preserves_hit_counts(self, fig2_dag):
+        # Two workers racing on the same miss both put; the second write
+        # must not zero the hits the row accumulated in between.
+        with ResultStore(":memory:") as store:
+            cold = _solve(fig2_dag, 4, store=store)
+            _solve(fig2_dag, 4, store=store)  # a hit: row hits -> 1
+            parameters = dict(
+                budget=4,
+                options=EncodingOptions(),
+                search=LinearSearch(),
+                incremental=True,
+                initial_steps=None,
+                max_steps=None,
+                step_floor=None,
+            )
+            assert store.put_pebble(fig2_dag, cold, **parameters)  # racing re-put
+            assert store.stats().total_hits == 1
+
+    def test_closed_store_raises(self):
+        store = ResultStore(":memory:")
+        store.close()
+        with pytest.raises(StoreError):
+            store.stats()
+
+    def test_bad_max_entries_rejected(self):
+        with pytest.raises(StoreError):
+            ResultStore(":memory:", max_entries=0)
+
+
+class TestCacheParity:
+    """Acceptance criterion: cache hits are byte-identical per suite task."""
+
+    @pytest.mark.parametrize(
+        "task", tasks_from_suite("default", time_limit=60.0), ids=lambda t: t.name
+    )
+    def test_default_suite_hits_are_byte_identical(self, task):
+        dag = load_workload_or_path(task.workload, scale=task.scale)
+        parameters = task_solve_parameters(task)
+        with ResultStore(":memory:") as store:
+            solver = ReversiblePebblingSolver(
+                dag, options=parameters["options"], incremental=task.incremental
+            )
+            cold = solver.solve(
+                task.pebbles,
+                strategy=parameters["search"],
+                time_limit=task.time_limit,
+                store=store,
+            )
+            hit = solver.solve(
+                task.pebbles,
+                strategy=parameters["search"],
+                time_limit=task.time_limit,
+                store=store,
+            )
+            assert store.session["hits"] == 1, "second solve must be a pure hit"
+        assert json.dumps(cold.to_json(), sort_keys=True) == json.dumps(
+            hit.to_json(), sort_keys=True
+        )
+        # And the store never changed what gets computed: a store-free
+        # solve agrees on every semantic field (runtimes aside).
+        bare = ReversiblePebblingSolver(
+            dag, options=parameters["options"], incremental=task.incremental
+        ).solve(
+            task.pebbles,
+            strategy=parameters["search"],
+            time_limit=task.time_limit,
+        )
+        assert bare.outcome == cold.outcome
+        assert bare.num_steps == cold.num_steps
+        assert len(bare.attempts) == len(cold.attempts)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    pytest.main([__file__, "-q"])

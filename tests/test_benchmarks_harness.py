@@ -118,9 +118,29 @@ class TestCompileScenario:
             assert case["verified"] is True
             assert case["gates"] > 0 and case["t_count"] >= 0
 
-    def test_schema_version_is_three(self, quick_report):
-        assert quick_report["schema_version"] == 3
+    def test_schema_version_is_four(self, quick_report):
+        assert quick_report["schema_version"] == 4
 
     def test_quick_compile_cases_are_a_strict_subset(self, run_bench):
         quick = [case for case in run_bench.COMPILE_CASES if case[4]]
         assert 0 < len(quick) < len(run_bench.COMPILE_CASES)
+
+
+class TestCacheScenario:
+    def test_quick_report_contains_cache_section(self, quick_report):
+        cache_scenario = quick_report["cache"]
+        assert cache_scenario["cache_ok"] is True
+        assert {case["workload"] for case in cache_scenario["cases"]} == {
+            "fig2", "c17"
+        }
+        for case in cache_scenario["cases"]:
+            assert case["ok"] is True
+            # The acceptance bar: warm-started geometric-refine searches
+            # must issue strictly fewer SAT calls than cold ones.
+            assert case["warm"]["sat_calls"] < case["cold"]["sat_calls"]
+            assert case["hit"]["byte_identical"] is True
+            assert case["steps"] is not None
+
+    def test_quick_cache_cases_are_a_strict_subset(self, run_bench):
+        quick = [case for case in run_bench.CACHE_CASES if case[4]]
+        assert 0 < len(quick) < len(run_bench.CACHE_CASES)

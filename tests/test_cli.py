@@ -272,3 +272,97 @@ class TestPebbleWeighted:
         summary = json.loads(capsys.readouterr().out)
         assert summary["weighted"] is True
         assert summary["weight_used"] == 4.0
+
+
+class TestCacheCommand:
+    def test_warm_then_stats_then_clear(self, capsys, tmp_path):
+        db = str(tmp_path / "cache.db")
+        assert main(["cache", "warm", "--db", db, "--suite", "smoke",
+                     "--timeout", "30"]) == 0
+        assert "2 tasks, 2 solved" in capsys.readouterr().out
+        assert main(["cache", "stats", "--db", db, "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] == 2 and stats["pebble_entries"] == 2
+        assert main(["cache", "clear", "--db", db]) == 0
+        assert "cleared 2 entries" in capsys.readouterr().out
+        assert main(["cache", "stats", "--db", db, "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["entries"] == 0
+
+    def test_pebble_db_round_trip_hits(self, capsys, tmp_path):
+        db = str(tmp_path / "cache.db")
+        assert main(["pebble", "fig2", "--pebbles", "4", "--timeout", "30",
+                     "--db", db]) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert main(["pebble", "fig2", "--pebbles", "4", "--timeout", "30",
+                     "--db", db]) == 0
+        hit = json.loads(capsys.readouterr().out)
+        assert hit == cold  # summaries include runtime: stored verbatim
+        assert main(["cache", "stats", "--db", db, "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["total_hits"] == 1
+
+    def test_batch_db_populates_store(self, capsys, tmp_path):
+        db = str(tmp_path / "cache.db")
+        assert main(["pebble-batch", "--suite", "smoke", "--timeout", "30",
+                     "--db", db, "--json"]) == 0
+        first = json.loads(capsys.readouterr().out)["results"]
+        assert main(["pebble-batch", "--suite", "smoke", "--timeout", "30",
+                     "--db", db, "--json"]) == 0
+        second = json.loads(capsys.readouterr().out)["results"]
+        for one, two in zip(first, second):
+            assert one["outcome"] == two["outcome"]
+            assert one["steps"] == two["steps"]
+        assert main(["cache", "stats", "--db", db, "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["total_hits"] >= 2
+
+    def test_compile_db_round_trip(self, capsys, tmp_path):
+        db = str(tmp_path / "cache.db")
+        argv = ["compile", "fig2", "--pebbles", "4", "--decompose",
+                "--timeout", "30", "--json", "--db", db]
+        assert main(argv) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert main(argv) == 0
+        hit = json.loads(capsys.readouterr().out)
+        assert hit == cold
+        assert hit["verified"] is True
+
+    def test_cache_warm_unknown_suite_fails(self, capsys, tmp_path):
+        db = str(tmp_path / "cache.db")
+        assert main(["cache", "warm", "--db", db, "--suite", "nope"]) == 1
+        assert "valid names" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_request_file_mode(self, capsys, tmp_path):
+        db = str(tmp_path / "cache.db")
+        requests = tmp_path / "requests.json"
+        requests.write_text(json.dumps({"requests": [
+            {"kind": "pebble", "workload": "fig2", "budget": 4,
+             "time_limit": 30},
+            {"kind": "pebble", "workload": "fig2", "budget": 4,
+             "time_limit": 30},
+        ]}))
+        assert main(["serve", "--json", str(requests), "--db", db]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert [r["status"] for r in report["results"]] == ["ok", "ok"]
+        assert report["stats"]["deduplicated"] == 1
+        assert report["store"]["entries"] >= 1
+
+    def test_missing_request_file_is_a_clean_cli_error(self, capsys, tmp_path):
+        assert main(["serve", "--json", str(tmp_path / "nope.json")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_malformed_request_file_is_a_clean_cli_error(self, capsys, tmp_path):
+        requests = tmp_path / "requests.json"
+        requests.write_text("{not json")
+        assert main(["serve", "--json", str(requests)]) == 1
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_error_requests_fail_the_exit_code(self, capsys, tmp_path):
+        requests = tmp_path / "requests.json"
+        requests.write_text(json.dumps([
+            {"kind": "pebble", "workload": "no-such-workload", "budget": 4},
+        ]))
+        assert main(["serve", "--json", str(requests)]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["results"][0]["status"] == "error"
+        assert "no-such-workload" in report["results"][0]["error"]

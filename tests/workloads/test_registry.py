@@ -137,3 +137,47 @@ class TestBatchSuites:
         for suite in list_suites():
             names = [entry.name for entry in suite_entries(suite)]
             assert len(names) == len(set(names))
+
+
+class TestLoadWorkloadOrPathErrors:
+    def test_missing_bench_file_is_a_targeted_error(self):
+        from repro.errors import WorkloadError
+        from repro.workloads.registry import load_workload_or_path
+
+        with pytest.raises(WorkloadError, match="does not exist"):
+            load_workload_or_path("missing_netlist.bench")
+
+    def test_missing_json_file_lists_registry_workloads(self):
+        from repro.errors import WorkloadError
+        from repro.workloads.registry import load_workload_or_path
+
+        with pytest.raises(WorkloadError, match="fig2"):
+            load_workload_or_path("missing_dag.json")
+
+    def test_unknown_name_lists_workloads_and_suites(self):
+        from repro.errors import WorkloadError
+        from repro.workloads.registry import load_workload_or_path
+
+        with pytest.raises(WorkloadError) as caught:
+            load_workload_or_path("definitely-not-a-workload")
+        message = str(caught.value)
+        assert "fig2" in message  # workload names
+        assert "smoke" in message  # batch suite names
+
+    def test_bad_scale_is_not_wrapped(self):
+        from repro.errors import WorkloadError
+        from repro.workloads.registry import load_workload_or_path
+
+        with pytest.raises(WorkloadError, match="scale must be positive") as caught:
+            load_workload_or_path("fig2", scale=0.0)
+        assert "smoke" not in str(caught.value)
+
+    def test_existing_paths_still_resolve(self, tmp_path):
+        from repro.dag.io import dag_to_json
+        from repro.workloads import example_dag
+        from repro.workloads.registry import load_workload_or_path
+
+        path = tmp_path / "example.json"
+        dag_to_json(example_dag(), path)
+        dag = load_workload_or_path(str(path))
+        assert dag.num_nodes == 6
