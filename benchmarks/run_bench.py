@@ -36,6 +36,14 @@ search cold (no store), warm (store seeded with the neighbouring budgets,
 as a budget sweep would leave it) and as an exact cache hit, and requires
 the warm search to issue strictly fewer SAT calls than the cold one with
 identical steps.
+
+Since schema v5 the report additionally tracks the pluggable backend layer
+(:mod:`repro.sat.backend`): a backend-comparison scenario solves the small
+instances on the native CDCL, the DPLL oracle and the checked-in external
+DIMACS stub and requires identical verdicts and step counts everywhere,
+and a core-guided scenario compares plain ``geometric-refine`` against its
+``core_guided`` variant — same certified minimum, never more SAT calls,
+strictly fewer on at least one case.
 """
 
 from __future__ import annotations
@@ -45,6 +53,7 @@ import json
 import math
 import os
 import re
+import shlex
 import sys
 import time
 from dataclasses import dataclass, field
@@ -66,10 +75,19 @@ from repro.pebbling.solver import ReversiblePebblingSolver  # noqa: E402
 from repro.sat.cnf import Cnf  # noqa: E402
 from repro.sat.instances import pigeonhole, random_3sat  # noqa: E402
 from repro.sat.solver import CdclSolver  # noqa: E402
+from repro.pebbling.search import GeometricRefine  # noqa: E402
 from repro.store import ResultStore  # noqa: E402
 from repro.workloads import load_workload  # noqa: E402
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
+
+#: The checked-in DIMACS stub driven by the external backend scenario
+#: (quoted: the spec is shlex-split by the backend, and checkout or
+#: interpreter paths may contain spaces).
+STUB_BACKEND_SPEC = (
+    f"external:{shlex.quote(sys.executable)} "
+    f"{shlex.quote(str(ROOT / 'tests' / 'external_stub_solver.py'))}"
+)
 
 
 # ---------------------------------------------------------------------------
@@ -388,6 +406,154 @@ def run_cache_bench(*, quick: bool = False) -> dict[str, object]:
 
 
 # ---------------------------------------------------------------------------
+# backend scenario: verdict/step parity across backends (schema v5)
+# ---------------------------------------------------------------------------
+#: (name, workload, budget, single_move, max_steps, dpll_max_steps, quick)
+#: — every instance of the ``default`` batch suite, solved on every
+#: applicable backend.  UNSAT sweeps carry a ``max_steps`` cap so the
+#: subprocess-per-call external stub stays tractable (the cap applies to
+#: every backend of the case, so verdicts remain comparable).
+#: ``dpll_max_steps`` gates the exponential DPLL oracle: ``None`` skips it
+#: (its exhaustive UNSAT proofs blow up beyond fig2-sized frames — a
+#: 6-step fig2 frame already takes ~1 s, a 7-step one ~30 s), a number
+#: tightens *its* sweep cap; capped sweeps still agree on the
+#: (step-limit, None) verdict.
+BACKEND_CASES: list[tuple[str, str, int, bool, "int | None", "int | None", bool]] = [
+    ("fig2_p4", "fig2", 4, False, None, 6, True),
+    ("fig2_p3", "fig2", 3, False, 12, 5, True),
+    ("fig2_p4_sm", "fig2", 4, True, 12, None, False),
+    ("and9_p5", "and9", 5, False, None, None, False),
+    ("and9_p4", "and9", 4, False, 12, None, False),
+    ("and9_p4_sm", "and9", 4, True, 12, None, False),
+    ("hadamard_p5", "hadamard", 5, False, 12, None, False),
+    ("c17_p4", "c17", 4, False, None, None, True),
+    ("c17_p3", "c17", 3, False, 12, None, False),
+]
+
+
+def run_backend_bench(*, quick: bool = False) -> dict[str, object]:
+    """Solve every default-suite instance on every applicable backend.
+
+    ``verdicts_match`` requires byte-equal (outcome, steps) on every
+    backend that ran a case; per-backend wall-clock is reported so the
+    external-process overhead stays visible in the trajectory.
+    """
+    rows: list[dict[str, object]] = []
+    verdicts_match = True
+    for name, workload, budget, single_move, cap, dpll_cap, is_quick in BACKEND_CASES:
+        if quick and not is_quick:
+            continue
+        dag = load_workload(workload)
+        options = EncodingOptions(max_moves_per_step=1 if single_move else None)
+        lanes: list[tuple[str, str, "int | None"]] = [
+            ("cdcl", "cdcl", cap),
+            ("external-stub", STUB_BACKEND_SPEC, cap),
+        ]
+        if dpll_cap is not None:
+            lanes.insert(1, ("dpll", "dpll", min(cap, dpll_cap) if cap else dpll_cap))
+        runs: dict[str, dict[str, object]] = {}
+        reference: tuple[str, object] | None = None
+        for label, spec, max_steps in lanes:
+            solver = ReversiblePebblingSolver(dag, options=options, backend=spec)
+            started = time.perf_counter()
+            result = solver.solve(budget, time_limit=120.0, max_steps=max_steps)
+            elapsed = time.perf_counter() - started
+            verdict = (result.outcome.value, result.num_steps)
+            if reference is None:
+                reference = verdict
+            elif verdict != reference:
+                verdicts_match = False
+            runs[label] = {
+                "verdict": result.outcome.value,
+                "steps": result.num_steps,
+                "seconds": round(elapsed, 3),
+                "sat_calls": len(result.attempts),
+            }
+        assert reference is not None
+        ok = all(
+            (run["verdict"], run["steps"]) == reference for run in runs.values()
+        )
+        rows.append({"name": name, "runs": runs, "ok": ok})
+        summary = "  ".join(
+            f"{label}={run['verdict']}/{run['steps']} {run['seconds']:.3f}s"
+            for label, run in runs.items()
+        )
+        print(f"backend {name:12s} {summary}  {'ok' if ok else 'MISMATCH'}")
+    return {"cases": rows, "verdicts_match": verdicts_match}
+
+
+# ---------------------------------------------------------------------------
+# core-guided scenario: plain vs core-guided GeometricRefine (schema v5)
+# ---------------------------------------------------------------------------
+#: (workload, budget, quick) cases for the core-guided comparison; all are
+#: feasible budgets, so both searches certify a minimum.
+CORE_GUIDED_CASES: list[tuple[str, int, bool]] = [
+    ("fig2", 4, True),
+    ("c17", 4, True),
+    ("c17", 5, False),
+    ("and9", 5, False),
+    ("and9", 6, False),
+]
+
+
+def run_core_guided_bench(*, quick: bool = False) -> dict[str, object]:
+    """Compare plain ``geometric-refine`` against the core-guided variant.
+
+    ``core_ok`` requires, per case, the same certified minimal step count
+    with *at most* the plain variant's SAT calls; across the whole
+    scenario at least one case must save calls strictly (the ladder cores
+    earn their keep, they do not just break even).
+    """
+    rows: list[dict[str, object]] = []
+    core_ok = True
+    strictly_fewer = 0
+    for workload, budget, is_quick in CORE_GUIDED_CASES:
+        if quick and not is_quick:
+            continue
+        dag = load_workload(workload)
+
+        def _timed(strategy):
+            solver = ReversiblePebblingSolver(dag)
+            started = time.perf_counter()
+            result = solver.solve(budget, strategy=strategy, time_limit=120.0)
+            return result, time.perf_counter() - started
+
+        plain, plain_seconds = _timed(GeometricRefine())
+        core, core_seconds = _timed(GeometricRefine(core_guided=True))
+        ok = (
+            plain.found
+            and core.found
+            and plain.minimal
+            and core.minimal
+            and plain.num_steps == core.num_steps
+            and len(core.attempts) <= len(plain.attempts)
+        )
+        if ok and len(core.attempts) < len(plain.attempts):
+            strictly_fewer += 1
+        core_ok = core_ok and ok
+        rows.append(
+            {
+                "name": f"{workload}_p{budget}",
+                "steps": plain.num_steps,
+                "plain": {"sat_calls": len(plain.attempts),
+                          "seconds": round(plain_seconds, 3)},
+                "core_guided": {"sat_calls": len(core.attempts),
+                                "seconds": round(core_seconds, 3)},
+                "ok": ok,
+            }
+        )
+        print(f"core-guided {workload:10s} p{budget}  plain {len(plain.attempts)} "
+              f"calls {plain_seconds:7.3f}s  core {len(core.attempts)} calls "
+              f"{core_seconds:7.3f}s  {'ok' if ok else 'FAILED'}")
+    core_ok = core_ok and strictly_fewer >= 1
+    return {
+        "cases": rows,
+        "strictly_fewer_cases": strictly_fewer,
+        "core_ok": core_ok,
+    }
+
+
+# ---------------------------------------------------------------------------
 # harness
 # ---------------------------------------------------------------------------
 def _best_of(run: Callable[[type], dict[str, object]], engine: type, repeat: int) -> dict[str, object]:
@@ -466,6 +632,12 @@ def run_benchmarks(*, quick: bool = False, repeat: int = 1) -> dict[str, object]
     print()
     cache_scenario = run_cache_bench(quick=quick)
     all_match = all_match and cache_scenario["cache_ok"]
+    print()
+    backend_scenario = run_backend_bench(quick=quick)
+    all_match = all_match and backend_scenario["verdicts_match"]
+    print()
+    core_scenario = run_core_guided_bench(quick=quick)
+    all_match = all_match and core_scenario["core_ok"]
     report = {
         "schema_version": SCHEMA_VERSION,
         "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -477,6 +649,8 @@ def run_benchmarks(*, quick: bool = False, repeat: int = 1) -> dict[str, object]
         "portfolio": portfolio,
         "compile": compile_scenario,
         "cache": cache_scenario,
+        "backends": backend_scenario,
+        "core_guided": core_scenario,
         "all_verdicts_match": all_match,
     }
     print(f"\ngeometric-mean speedup: x{geomean:.2f}  "

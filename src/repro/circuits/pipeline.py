@@ -85,6 +85,10 @@ class CompilationReport:
     solve_runtime: float = 0.0
     runtime: float = 0.0
     search_complete: bool = False
+    #: Backend spec that ran the SAT search (metadata only: the store's
+    #: compile addresses are backend-invariant, so a cached report may
+    #: name a different producer than the requester).
+    backend: str = "cdcl"
     strategy: PebblingStrategy | None = field(
         default=None, repr=False, compare=False
     )
@@ -122,6 +126,7 @@ class CompilationReport:
             "solve_runtime": round(self.solve_runtime, 3),
             "runtime": round(self.runtime, 3),
             "search_complete": self.search_complete,
+            "backend": self.backend,
         }
 
     def to_json(self) -> dict[str, object]:
@@ -172,6 +177,7 @@ class CompilationReport:
             solve_runtime=float(data["solve_runtime"]),
             runtime=float(data["runtime"]),
             search_complete=bool(data["search_complete"]),
+            backend=str(data.get("backend", "cdcl")),
             strategy=strategy,
         )
 
@@ -295,6 +301,7 @@ def compile_dag(
     cost_model: CostModel | None = None,
     workload: str | None = None,
     name: str | None = None,
+    backend: str | None = None,
     store=None,
 ) -> CompilationReport:
     """Run the full pipeline on one DAG and return its report.
@@ -315,6 +322,12 @@ def compile_dag(
     fresh run's inner SAT search still gets exact/warm cache service.
     Reports are only cached under the default cost model (a custom
     ``cost_model`` is not part of the content address).
+
+    ``backend`` selects the incremental-SAT backend by registry spec (see
+    :mod:`repro.sat.backend`).  It is deliberately *not* part of the cache
+    address — any backend produces the same verdicts, so reports transfer
+    across backends; :attr:`CompilationReport.backend` records the actual
+    producer.
     """
     started = time.monotonic()
     cacheable = store is not None and cost_model is None
@@ -343,7 +356,7 @@ def compile_dag(
         max_moves_per_step=1 if single_move else None,
         weighted=weighted,
     )
-    solver = ReversiblePebblingSolver(dag, options=options)
+    solver = ReversiblePebblingSolver(dag, options=options, backend=backend)
     result = solver.solve(
         pebbles,
         strategy=schedule,
@@ -366,6 +379,7 @@ def compile_dag(
         conflicts=sum(record.conflicts for record in result.attempts),
         solve_runtime=result.runtime,
         search_complete=result.complete,
+        backend=result.backend,
     )
     if result.strategy is None:
         report.runtime = time.monotonic() - started
@@ -520,6 +534,7 @@ def pareto_sweep(
     max_steps: int | None = None,
     cost_model: CostModel | None = None,
     store_path: str | None = None,
+    backend: str = "cdcl",
 ) -> SweepReport:
     """Compile one workload at every budget and tabulate space vs. time.
 
@@ -566,6 +581,7 @@ def pareto_sweep(
             weighted=weighted,
             time_limit=time_limit,
             max_steps=max_steps,
+            backend=backend,
         )
         for budget in budgets
     ]

@@ -40,6 +40,16 @@ Sub-commands
     Write the pebbling encoding of a (workload, budget, steps) instance to
     a DIMACS CNF file (or stdout) for external solvers.
 
+``backends``
+    List the registered incremental-SAT backends and whether each is
+    usable on this host.  The solving subcommands (``pebble``,
+    ``compile``, ``sweep``, ``pebble-batch``, ``cache warm``, ``serve``)
+    accept ``--backend SPEC`` to pick one (``cdcl`` — the default native
+    engine, ``dpll`` — the debug oracle, ``external[:<command>]`` — any
+    minisat-style DIMACS binary), and ``pebble-batch`` additionally
+    accepts ``--race-backends SPEC,SPEC,...`` to race every task across
+    several backends and keep the first complete answer.
+
 ``cache {stats,clear,warm} --db PATH``
     Inspect, empty or pre-populate the content-addressed result store
     (``warm`` runs a batch suite through the portfolio with the store
@@ -125,9 +135,19 @@ def _add_search_arguments(parser: argparse.ArgumentParser) -> None:
                              "(weighted budgets with non-unit weights always "
                              "use the generalised sequential counter)")
     parser.add_argument("--schedule", choices=list(STRATEGY_NAMES), default="linear",
-                        help="step-bound search strategy")
+                        help="step-bound search strategy ('linear-core' and "
+                             "'core-refine' use UNSAT cores over the bound "
+                             "guards to skip provably-UNSAT bounds)")
     parser.add_argument("--step-increment", type=int, default=None,
                         help="bound increment per UNSAT answer (linear schedule only)")
+    _add_backend_argument(parser)
+
+
+def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--backend", default="cdcl", metavar="SPEC",
+                        help="incremental-SAT backend spec: 'cdcl' (default), "
+                             "'dpll', or 'external[:<command>]' "
+                             "(see 'repro-pebble backends')")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -139,6 +159,12 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("list", help="list bundled workloads")
+
+    backends = subparsers.add_parser(
+        "backends", help="list registered SAT backends and their availability"
+    )
+    backends.add_argument("--json", action="store_true", dest="as_json",
+                          help="emit the backend table as JSON")
 
     info = subparsers.add_parser("info", help="print DAG statistics")
     _add_common_arguments(info)
@@ -236,6 +262,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="at-most-k encoding for every task")
     batch.add_argument("--step-increment", type=int, default=None,
                        help="bound increment per UNSAT answer (linear schedule only)")
+    _add_backend_argument(batch)
+    batch.add_argument("--race-backends", default=None, metavar="SPEC,SPEC,...",
+                       help="race every task across these backend specs; the "
+                            "first complete result wins (overrides --backend; "
+                            "raced lanes bypass --db, since the store's "
+                            "backend-invariant cache would answer the later "
+                            "lanes from the first one)")
     batch.add_argument("--json", action="store_true", dest="as_json",
                        help="emit the result table as JSON")
     batch.add_argument("--list-suites", action="store_true",
@@ -258,6 +291,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-task time budget for 'warm' in seconds")
     cache.add_argument("--schedule", choices=list(STRATEGY_NAMES), default="linear",
                        help="step-bound search strategy for 'warm'")
+    _add_backend_argument(cache)
     cache.add_argument("--json", action="store_true", dest="as_json",
                        help="emit machine-readable JSON")
 
@@ -274,6 +308,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--batch-window", type=float, default=0.01,
                        help="seconds the dispatcher waits for a batch to "
                             "fill (default 0.01)")
+    serve.add_argument("--backend", default=None, metavar="SPEC",
+                       help="default SAT backend for requests that do not "
+                            "name their own (see 'repro-pebble backends')")
 
     dimacs = subparsers.add_parser(
         "dimacs", help="write a pebbling instance as a DIMACS CNF file"
@@ -306,14 +343,29 @@ def _aggregate_solver_stats(attempts) -> dict[str, float]:
 
 
 def _format_stats_line(attempts) -> str:
+    """Aggregated solver-counter line for ``pebble --stats``.
+
+    Only the counters the backend actually reported are printed (in the
+    canonical CDCL order first, then any extras alphabetically): a
+    backend without CDCL internals must not have its missing counters
+    padded with zeros-as-lies.
+    """
     totals = _aggregate_solver_stats(attempts)
     ordered = [
         "decisions", "propagations", "conflicts", "restarts",
-        "learned_clauses", "deleted_clauses", "blocker_hits",
-        "heap_decisions", "deadline_checks_skipped",
+        "learned_clauses", "deleted_clauses", "max_decision_level",
+        "blocker_hits", "heap_decisions", "deadline_checks_skipped",
     ]
-    parts = [f"{key}={int(totals.get(key, 0))}" for key in ordered]
-    parts.append(f"solve_time={totals.get('solve_time', 0.0):.3f}s")
+    parts = [f"{key}={int(totals[key])}" for key in ordered if key in totals]
+    parts.extend(
+        f"{key}={totals[key]:g}"
+        for key in sorted(totals)
+        if key not in ordered and key != "solve_time"
+    )
+    if "solve_time" in totals:
+        parts.append(f"solve_time={totals['solve_time']:.3f}s")
+    if not parts:
+        return "stats: (this backend reports no counters)"
     return "stats: " + " ".join(parts)
 
 
@@ -322,6 +374,11 @@ def _run_batch(arguments: argparse.Namespace) -> int:
         for name in list_suites():
             print(name)
         return 0
+    race = None
+    if arguments.race_backends:
+        race = [
+            spec.strip() for spec in arguments.race_backends.split(",") if spec.strip()
+        ]
     tasks = tasks_from_suite(
         arguments.suite,
         time_limit=arguments.timeout,
@@ -330,8 +387,11 @@ def _run_batch(arguments: argparse.Namespace) -> int:
         step_increment=(
             1 if arguments.step_increment is None else arguments.step_increment
         ),
+        backend=arguments.backend,
     )
-    records = run_portfolio(tasks, jobs=arguments.jobs, store_path=arguments.db)
+    records = run_portfolio(
+        tasks, jobs=arguments.jobs, store_path=arguments.db, race_backends=race
+    )
     rows = [record.as_dict() for record in records]
     if arguments.as_json:
         print(json.dumps({"suite": arguments.suite, "jobs": arguments.jobs,
@@ -339,8 +399,9 @@ def _run_batch(arguments: argparse.Namespace) -> int:
     else:
         for row in rows:
             steps = "-" if row["steps"] is None else row["steps"]
+            tail = f" [{row['backend']}]" if race else ""
             print(f"{row['name']:24s} {row['outcome']:10s} steps={steps!s:>4s} "
-                  f"sat_calls={row['sat_calls']:<3d} {row['runtime']:7.3f}s")
+                  f"sat_calls={row['sat_calls']:<3d} {row['runtime']:7.3f}s{tail}")
         solved = sum(1 for row in rows if row["outcome"] == "solution")
         print(f"{len(rows)} tasks, {solved} solved "
               f"(suite={arguments.suite}, jobs={arguments.jobs})")
@@ -363,6 +424,7 @@ def _run_compile(arguments: argparse.Namespace) -> int:
             time_limit=arguments.timeout,
             verify=arguments.verify,
             max_verify_patterns=arguments.verify_patterns,
+            backend=arguments.backend,
             store=store,
         )
     finally:
@@ -417,6 +479,7 @@ def _run_sweep(arguments: argparse.Namespace) -> int:
         cardinality=arguments.cardinality,
         step_increment=arguments.step_increment,
         store_path=arguments.db,
+        backend=arguments.backend,
     )
     front = report.pareto_front()
     if arguments.as_json:
@@ -453,6 +516,7 @@ def _run_cache(arguments: argparse.Namespace) -> int:
                 arguments.suite,
                 time_limit=arguments.timeout,
                 schedule=arguments.schedule,
+                backend=arguments.backend,
             )
             records = run_portfolio(
                 tasks, jobs=arguments.jobs, store_path=arguments.db
@@ -490,6 +554,7 @@ def _run_serve(arguments: argparse.Namespace) -> int:
         store=arguments.db,
         workers=arguments.workers,
         batch_window=arguments.batch_window,
+        default_backend=arguments.backend,
     )
     print(json.dumps(report, indent=2))
     failed = sum(
@@ -509,11 +574,29 @@ def main(argv: list[str] | None = None) -> int:
         return 1
 
 
+def _run_backends(arguments: argparse.Namespace) -> int:
+    from repro.sat.backend import describe_backends
+
+    rows = describe_backends()
+    if arguments.as_json:
+        print(json.dumps({"backends": rows}, indent=2))
+        return 0
+    for row in rows:
+        status = "available" if row["available"] else f"unavailable ({row['detail']})"
+        print(f"{row['name']:10s} {status:60s} {row['description']}")
+    print("select with --backend SPEC on pebble/compile/sweep/pebble-batch/"
+          "cache warm/serve; race with pebble-batch --race-backends")
+    return 0
+
+
 def _dispatch(arguments: argparse.Namespace) -> int:
     if arguments.command == "list":
         for name in list_workloads():
             print(name)
         return 0
+
+    if arguments.command == "backends":
+        return _run_backends(arguments)
 
     if arguments.command == "pebble-batch":
         return _run_batch(arguments)
@@ -552,7 +635,9 @@ def _dispatch(arguments: argparse.Namespace) -> int:
             cardinality=CardinalityEncoding.from_name(arguments.cardinality),
             weighted=arguments.weighted,
         )
-        solver = ReversiblePebblingSolver(dag, options=options)
+        solver = ReversiblePebblingSolver(
+            dag, options=options, backend=arguments.backend
+        )
         store = _open_store(arguments)
         try:
             result = solver.solve(
@@ -597,7 +682,9 @@ def _dispatch(arguments: argparse.Namespace) -> int:
         options = EncodingOptions(
             cardinality=CardinalityEncoding.from_name(arguments.cardinality),
         )
-        solver = ReversiblePebblingSolver(dag, options=options)
+        solver = ReversiblePebblingSolver(
+            dag, options=options, backend=arguments.backend
+        )
         best, attempts = solver.minimize_pebbles(
             timeout_per_budget=arguments.timeout,
             step_schedule=arguments.schedule,

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterable, Sequence
 
 from repro.errors import PebblingError
@@ -45,7 +45,14 @@ from repro.workloads.registry import (
 
 @dataclass(frozen=True)
 class PortfolioTask:
-    """One pebbling search of a sweep, as picklable plain data."""
+    """One pebbling search of a sweep, as picklable plain data.
+
+    ``backend`` is an incremental-SAT backend *spec string* from the
+    registry in :mod:`repro.sat.backend` — never a class or factory
+    callable.  Specs survive pickling into pool workers unchanged; an
+    unknown or host-unavailable spec surfaces as an ``error`` record from
+    the worker, it never silently falls back to the default engine.
+    """
 
     workload: str
     pebbles: int
@@ -59,10 +66,27 @@ class PortfolioTask:
     max_steps: int | None = None
     initial_steps: int | None = None
     weighted: bool = False
+    backend: str = "cdcl"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.backend, str):
+            # The historical trap: a callable solver factory pickles (or
+            # fails to) into workers that then quietly solve with the
+            # default engine.  Reject it loudly at construction time.
+            raise PebblingError(
+                "PortfolioTask.backend must be a registry backend spec "
+                f"string (e.g. 'cdcl', 'dpll', 'external:<command>'), got "
+                f"{self.backend!r}; solver classes/factories do not cross "
+                "process boundaries"
+            )
 
     @property
     def name(self) -> str:
-        """Stable display/merge key of the task (shared with BatchEntry)."""
+        """Stable display/merge key of the task (shared with BatchEntry).
+
+        Deliberately backend-free: a racing portfolio runs the *same* task
+        on several backends and merges by this name.
+        """
         return format_task_name(
             self.workload,
             self.pebbles,
@@ -74,7 +98,13 @@ class PortfolioTask:
 
 @dataclass
 class PortfolioRecord:
-    """The merged result of one portfolio task."""
+    """The merged result of one portfolio task.
+
+    ``backend`` names the spec that *produced* the payload (for a racing
+    task: the winning lane; for a cache-served task: the original
+    producer).  ``race`` holds the per-backend lane summaries of a
+    ``race_backends`` run, ``None`` for ordinary tasks.
+    """
 
     task: PortfolioTask
     outcome: str
@@ -86,6 +116,9 @@ class PortfolioRecord:
     sat_calls: int = 0
     configurations: list[list[str]] | None = None
     error: str | None = None
+    complete: bool = False
+    backend: str | None = None
+    race: dict[str, dict[str, object]] | None = None
 
     @property
     def name(self) -> str:
@@ -97,7 +130,7 @@ class PortfolioRecord:
 
     def as_dict(self) -> dict[str, object]:
         """Plain-dictionary row used by the CLI table and benchmark report."""
-        return {
+        row: dict[str, object] = {
             "name": self.name,
             "workload": self.task.workload,
             "pebbles": self.task.pebbles,
@@ -109,7 +142,12 @@ class PortfolioRecord:
             "runtime": round(self.runtime, 3),
             "sat_calls": self.sat_calls,
             "error": self.error,
+            "complete": self.complete,
+            "backend": self.backend,
         }
+        if self.race is not None:
+            row["race"] = self.race
+        return row
 
 
 #: Per-process cache of open result stores, keyed by database path: a pool
@@ -190,6 +228,8 @@ def record_from_result(task: PortfolioTask, result) -> PortfolioRecord:
         moves=result.num_moves,
         runtime=result.runtime,
         sat_calls=len(result.attempts),
+        complete=result.complete,
+        backend=result.backend,
     )
     if result.strategy is not None:
         record.pebbles_used = result.strategy.max_pebbles
@@ -214,6 +254,7 @@ def _execute_task(task: PortfolioTask, store: object = None) -> PortfolioRecord:
             dag,
             options=parameters["options"],
             incremental=task.incremental,
+            backend=task.backend,
         )
         result = solver.solve(
             task.pebbles,
@@ -234,6 +275,7 @@ def run_portfolio(
     jobs: int = 1,
     store_path: str | None = None,
     force_pool: bool = False,
+    race_backends: Sequence[str] | None = None,
 ) -> list[PortfolioRecord]:
     """Run every task, ``jobs`` at a time, and merge deterministically.
 
@@ -251,12 +293,32 @@ def run_portfolio(
     process opens its own connection (SQLite WAL handles the concurrency),
     answers exact repeats from the cache and warm-starts neighbouring
     budgets.
+
+    ``race_backends`` switches the portfolio into *racing* mode: every
+    task runs once per listed backend spec (one lane each, fanned out
+    across the same pool), and the lanes merge back into one record per
+    task — the first **complete** lane wins (complete = the search ran to
+    its natural end, not a timeout), ranked by lane runtime with the list
+    order as the deterministic tie-break; with no complete lane the best
+    partial lane is kept.  Each merged record carries the per-lane
+    summaries in ``race`` and the winner's spec in ``backend``.  Raced
+    lanes deliberately run **without** the result store: its content
+    addresses are backend-invariant, so a shared cache would answer every
+    lane after the first from the first lane's result and the race would
+    compare cache lookups instead of backends.
     """
     task_list = list(tasks)
     if jobs < 1:
         raise PebblingError("jobs must be >= 1")
     if not task_list:
         return []
+    if race_backends is not None:
+        return _run_race(
+            task_list,
+            list(race_backends),
+            jobs=jobs,
+            force_pool=force_pool,
+        )
     inline = jobs == 1 or len(task_list) <= 1 or _usable_cores() <= 1
     if inline and not force_pool:
         return [_execute_task(task, store_path) for task in task_list]
@@ -273,6 +335,95 @@ def run_portfolio(
     return records
 
 
+def _lane_summary(record: PortfolioRecord) -> dict[str, object]:
+    """The per-backend entry a merged race record reports."""
+    return {
+        "outcome": record.outcome,
+        "steps": record.steps,
+        "runtime": round(record.runtime, 3),
+        "sat_calls": record.sat_calls,
+        "complete": record.complete,
+        "error": record.error,
+        "produced_by": record.backend,
+    }
+
+
+def _merge_race(
+    task: PortfolioTask,
+    backends: Sequence[str],
+    lanes: Sequence[PortfolioRecord],
+) -> PortfolioRecord:
+    """Fold one task's backend lanes into its merged racing record.
+
+    The winner is the first lane to *complete* its search: lanes are
+    ranked by ``(not complete, no solution, runtime, lane index)``, so a
+    conclusive answer always beats a timeout, a timeout that still carries
+    a witness beats one that found nothing, faster answers beat slower
+    ones, and the caller's backend order breaks exact ties — the merge is
+    a pure function of the lane records.  Error lanes rank last but are
+    still reported in ``race``.
+    """
+    def rank(indexed: tuple[int, PortfolioRecord]) -> tuple[int, int, int, float, int]:
+        index, lane = indexed
+        return (
+            1 if lane.outcome == "error" else 0,
+            0 if lane.complete else 1,
+            0 if lane.outcome == "solution" else 1,
+            lane.runtime,
+            index,
+        )
+
+    winner_index, winner = min(enumerate(lanes), key=rank)
+    merged = PortfolioRecord(
+        task=task,
+        outcome=winner.outcome,
+        steps=winner.steps,
+        moves=winner.moves,
+        pebbles_used=winner.pebbles_used,
+        weight_used=winner.weight_used,
+        runtime=winner.runtime,
+        sat_calls=winner.sat_calls,
+        configurations=winner.configurations,
+        error=winner.error,
+        complete=winner.complete,
+        # The lane's own record names the actual producer; fall back to
+        # the lane spec for error lanes that never built a solver.
+        backend=winner.backend or backends[winner_index],
+        race={
+            spec: _lane_summary(lane) for spec, lane in zip(backends, lanes)
+        },
+    )
+    return merged
+
+
+def _run_race(
+    tasks: Sequence[PortfolioTask],
+    backends: Sequence[str],
+    *,
+    jobs: int,
+    force_pool: bool,
+) -> list[PortfolioRecord]:
+    """Race every task across ``backends`` (see :func:`run_portfolio`).
+
+    No ``store_path``: the store's backend-invariant addresses would turn
+    every lane after the first into a cache lookup of the first lane's
+    answer, crowning a "winner" that never solved anything.
+    """
+    if not backends:
+        raise PebblingError("race_backends needs at least one backend spec")
+    lanes_per_task = [
+        [replace(task, backend=spec) for spec in backends] for task in tasks
+    ]
+    flat = [lane for lanes in lanes_per_task for lane in lanes]
+    flat_records = run_portfolio(flat, jobs=jobs, force_pool=force_pool)
+    merged: list[PortfolioRecord] = []
+    width = len(backends)
+    for position, task in enumerate(tasks):
+        lanes = flat_records[position * width:(position + 1) * width]
+        merged.append(_merge_race(task, backends, lanes))
+    return merged
+
+
 def tasks_from_suite(
     suite: str | Sequence[BatchEntry],
     *,
@@ -281,6 +432,7 @@ def tasks_from_suite(
     cardinality: str = "sequential",
     step_increment: int = 1,
     incremental: bool = True,
+    backend: str = "cdcl",
 ) -> list[PortfolioTask]:
     """Turn a named batch suite (or explicit entries) into portfolio tasks."""
     entries = suite_entries(suite) if isinstance(suite, str) else list(suite)
@@ -295,6 +447,7 @@ def tasks_from_suite(
             cardinality=cardinality,
             step_increment=step_increment,
             incremental=incremental,
+            backend=backend,
         )
         for entry in entries
     ]

@@ -17,6 +17,24 @@ bounds; *how* that sequence evolves is a pluggable :class:`SearchStrategy`:
   across the whole search, giving geometric's call count *and* linear's
   minimality.
 
+Core-guided variants
+--------------------
+When idle steps are allowed, step-satisfiability is *monotone* in ``K``
+(a ``K``-step strategy pads to ``K+1`` with an idle step), so assuming the
+final-configuration guards of a whole **ladder** of bounds
+``{b, b+1, ..., t}`` at once is satisfiable exactly when the lowest bound
+``b`` is.  On UNSAT, the backend's failed-assumption core
+(:meth:`repro.sat.backend.IncrementalSatBackend.failed_assumptions`) names
+the guards its refutation actually used; if the lowest surviving guard is
+``m > b``, the refutation proves the *harder* bound ``m`` infeasible, and
+monotonicity extends that to every bound ``<= m`` — the search skips them
+without ever querying.  :class:`LinearSearch` with ``core_lookahead > 0``
+fast-forwards past bounds named in the core; :class:`GeometricRefine` with
+``core_guided=True`` tightens the refinement bracket's lower edge the same
+way (its ladder spans the whole open bracket, so a single good core can
+collapse several binary-search levels).  Both remain certificate-sound:
+every skipped bound is proven UNSAT by the core, never guessed.
+
 Strategies are immutable, picklable configuration objects; each search
 obtains a private :class:`SearchCursor` via :meth:`SearchStrategy.start`,
 so one strategy instance can drive many searches (e.g. every budget of a
@@ -38,6 +56,11 @@ class SearchCursor(ABC):
     SAT/UNSAT answer for the current bound and returns the next bound, or
     ``None`` when the search is complete (the engine then reports the best
     solution seen so far).
+
+    Core-aware cursors additionally publish a :meth:`ladder` of bounds to
+    co-assume with ``bound`` and accept the core's verdict through
+    :meth:`advance_core`; the default implementations make every cursor a
+    plain single-bound search.
     """
 
     bound: int
@@ -45,6 +68,26 @@ class SearchCursor(ABC):
     @abstractmethod
     def advance(self, sat: bool) -> int | None:
         """Record the oracle's answer for ``bound``; return the next bound."""
+
+    def ladder(self) -> list[int]:
+        """Step bounds whose guards the next query should assume together.
+
+        Always starts at ``bound``; only sound to widen when
+        step-satisfiability is monotone (idle steps allowed), which the
+        solver enforces via :attr:`SearchStrategy.needs_monotone_steps`.
+        """
+        return [self.bound]
+
+    def advance_core(self, sat: bool, refuted: int | None = None) -> int | None:
+        """Like :meth:`advance`, with the core's strongest refuted bound.
+
+        On UNSAT, ``refuted`` is the largest bound the failed-assumption
+        core proves infeasible (``>= bound``; by monotonicity every bound
+        up to it is infeasible too).  Cursors that ignore cores fall back
+        to :meth:`advance`.
+        """
+        del refuted
+        return self.advance(sat)
 
 
 class SearchStrategy(ABC):
@@ -69,6 +112,19 @@ class SearchStrategy(ABC):
         Holds for the linear schedule with unit increment and for
         geometric-refine (whose bracket closes on the minimum); geometric
         overshoot and coarse linear increments may stop above the minimum.
+        Core-guided skips preserve certification — every skipped bound is
+        refuted by an UNSAT core, not guessed.
+        """
+        return False
+
+    @property
+    def needs_monotone_steps(self) -> bool:
+        """``True`` when the schedule is only sound with idle steps allowed.
+
+        Bracket refinement and core ladders both rely on a ``K``-step
+        strategy padding to ``K+1`` steps; the solver rejects such
+        schedules when :attr:`EncodingOptions.forbid_idle_steps` breaks
+        that monotonicity.
         """
         return False
 
@@ -86,38 +142,75 @@ class SearchStrategy(ABC):
 
 
 class _LinearCursor(SearchCursor):
-    def __init__(self, initial: int, step_increment: int):
+    def __init__(
+        self,
+        initial: int,
+        step_increment: int,
+        lookahead: int = 0,
+        ceiling: int | None = None,
+    ):
         self.bound = initial
         self._increment = step_increment
+        self._lookahead = lookahead
+        self._ceiling = ceiling
+
+    def ladder(self) -> list[int]:
+        if self._lookahead <= 0:
+            return [self.bound]
+        top = self.bound + self._lookahead
+        if self._ceiling is not None:
+            top = min(top, self._ceiling)
+        return list(range(self.bound, max(self.bound, top) + 1))
 
     def advance(self, sat: bool) -> int | None:
+        return self.advance_core(sat, None)
+
+    def advance_core(self, sat: bool, refuted: int | None = None) -> int | None:
         if sat:
             return None
-        self.bound += self._increment
+        # Fast-forward past every bound the core proved infeasible.
+        unsat_through = self.bound if refuted is None else max(self.bound, refuted)
+        self.bound = unsat_through + self._increment
         return self.bound
 
 
 @dataclass(frozen=True)
 class LinearSearch(SearchStrategy):
-    """Add ``step_increment`` after every UNSAT answer (paper's Problem 1)."""
+    """Add ``step_increment`` after every UNSAT answer (paper's Problem 1).
+
+    With ``core_lookahead > 0`` each query co-assumes the guards of the
+    next ``core_lookahead`` bounds and fast-forwards past every bound the
+    UNSAT core refutes (see the module docstring); requires idle steps to
+    be allowed.
+    """
 
     step_increment: int = 1
+    core_lookahead: int = 0
     name = "linear"
 
     def __post_init__(self) -> None:
         if self.step_increment < 1:
             raise PebblingError("step_increment must be >= 1")
+        if self.core_lookahead < 0:
+            raise PebblingError("core_lookahead must be >= 0")
 
     @property
     def signature(self) -> str:
-        return f"linear:{self.step_increment}"
+        signature = f"linear:{self.step_increment}"
+        if self.core_lookahead:
+            signature += f":core{self.core_lookahead}"
+        return signature
 
     @property
     def certifies_minimality(self) -> bool:
         return self.step_increment == 1
 
+    @property
+    def needs_monotone_steps(self) -> bool:
+        return self.core_lookahead > 0
+
     def start(self, initial: int, floor: int, ceiling: int | None = None) -> SearchCursor:
-        return _LinearCursor(initial, self.step_increment)
+        return _LinearCursor(initial, self.step_increment, self.core_lookahead, ceiling)
 
 
 def _grow(bound: int, factor: float) -> int:
@@ -172,25 +265,51 @@ class _GeometricRefineCursor(SearchCursor):
     bound just below the budget.
     """
 
-    def __init__(self, initial: int, floor: int, factor: float, ceiling: int | None):
+    def __init__(
+        self,
+        initial: int,
+        floor: int,
+        factor: float,
+        ceiling: int | None,
+        core_guided: bool = False,
+        lookahead: int = 0,
+    ):
         self.bound = initial
         self._lo = min(floor, initial)
         self._hi: int | None = None
         self._factor = factor
         self._ceiling = ceiling
+        self._core_guided = core_guided
+        self._lookahead = lookahead
+
+    def ladder(self) -> list[int]:
+        if not self._core_guided:
+            return [self.bound]
+        if self._hi is not None:
+            # Refinement phase: span the whole open bracket, so the core
+            # can push the lower edge anywhere up to ``hi - 1``.
+            return list(range(self.bound, self._hi))
+        top = self.bound + self._lookahead
+        if self._ceiling is not None:
+            top = min(top, self._ceiling)
+        return list(range(self.bound, max(self.bound, top) + 1))
 
     def advance(self, sat: bool) -> int | None:
+        return self.advance_core(sat, None)
+
+    def advance_core(self, sat: bool, refuted: int | None = None) -> int | None:
         if sat:
             self._hi = self.bound
         else:
-            self._lo = self.bound + 1
-        if self._hi is None:
-            if self._ceiling is not None and self.bound >= self._ceiling:
-                return None  # UNSAT at the ceiling: nothing in budget works
-            self.bound = _grow(self.bound, self._factor)
-            if self._ceiling is not None:
-                self.bound = min(self.bound, self._ceiling)
-            return self.bound
+            unsat_through = self.bound if refuted is None else max(self.bound, refuted)
+            self._lo = unsat_through + 1
+            if self._hi is None:
+                if self._ceiling is not None and unsat_through >= self._ceiling:
+                    return None  # UNSAT at the ceiling: nothing in budget works
+                self.bound = _grow(unsat_through, self._factor)
+                if self._ceiling is not None:
+                    self.bound = min(self.bound, self._ceiling)
+                return self.bound
         if self._lo >= self._hi:
             return None
         self.bound = (self._lo + self._hi) // 2
@@ -199,29 +318,58 @@ class _GeometricRefineCursor(SearchCursor):
 
 @dataclass(frozen=True)
 class GeometricRefine(SearchStrategy):
-    """Overshoot geometrically, then binary-search down to the minimal K."""
+    """Overshoot geometrically, then binary-search down to the minimal K.
+
+    With ``core_guided=True`` every query co-assumes a ladder of bound
+    guards (``core_lookahead`` wide during overshoot, the whole bracket
+    during refinement) and the UNSAT core's strongest refuted bound
+    tightens the bracket's lower edge — same certified minimum, never more
+    SAT calls (the bracket can only shrink faster).
+    """
 
     factor: float = 1.5
+    core_guided: bool = False
+    core_lookahead: int = 4
     name = "geometric-refine"
 
     def __post_init__(self) -> None:
         if self.factor <= 1.0:
             raise PebblingError("geometric factor must be > 1")
+        if self.core_lookahead < 0:
+            raise PebblingError("core_lookahead must be >= 0")
 
     @property
     def signature(self) -> str:
-        return f"geometric-refine:{self.factor:g}"
+        signature = f"geometric-refine:{self.factor:g}"
+        if self.core_guided:
+            signature += f":core{self.core_lookahead}"
+        return signature
 
     @property
     def certifies_minimality(self) -> bool:
         return True
 
+    @property
+    def needs_monotone_steps(self) -> bool:
+        return True
+
     def start(self, initial: int, floor: int, ceiling: int | None = None) -> SearchCursor:
-        return _GeometricRefineCursor(initial, floor, self.factor, ceiling)
+        return _GeometricRefineCursor(
+            initial,
+            floor,
+            self.factor,
+            ceiling,
+            core_guided=self.core_guided,
+            lookahead=self.core_lookahead,
+        )
 
 
 #: Names accepted wherever a schedule can be given as a string.
-STRATEGY_NAMES = ("linear", "geometric", "geometric-refine")
+STRATEGY_NAMES = ("linear", "geometric", "geometric-refine", "linear-core", "core-refine")
+
+#: Ladder width used by the named core-guided schedules (``linear-core``,
+#: ``core-refine``): each query co-assumes this many extra bound guards.
+DEFAULT_CORE_LOOKAHEAD = 4
 
 
 def strategy_from_name(name: str, *, step_increment: int | None = None) -> SearchStrategy:
@@ -233,6 +381,11 @@ def strategy_from_name(name: str, *, step_increment: int | None = None) -> Searc
     """
     if name == "linear":
         return LinearSearch(step_increment=1 if step_increment is None else step_increment)
+    if name == "linear-core":
+        return LinearSearch(
+            step_increment=1 if step_increment is None else step_increment,
+            core_lookahead=DEFAULT_CORE_LOOKAHEAD,
+        )
     if step_increment is not None and step_increment != 1:
         raise PebblingError(
             f"step_increment={step_increment} has no effect on the {name!r} "
@@ -242,6 +395,8 @@ def strategy_from_name(name: str, *, step_increment: int | None = None) -> Searc
         return GeometricSearch()
     if name == "geometric-refine":
         return GeometricRefine()
+    if name == "core-refine":
+        return GeometricRefine(core_guided=True, core_lookahead=DEFAULT_CORE_LOOKAHEAD)
     raise PebblingError(
         f"step_schedule must be one of {', '.join(map(repr, STRATEGY_NAMES))}"
     )

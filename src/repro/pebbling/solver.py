@@ -12,16 +12,21 @@ paper's evaluation:
   for Table I: find the smallest ``P`` for which a strategy can be found
   within a per-budget timeout.
 
-Both loops support the incremental mode, which keeps a single
-:class:`~repro.sat.solver.CdclSolver` alive across step bounds: the clause
+Both loops support the incremental mode, which keeps a single incremental
+SAT backend (any :class:`~repro.sat.backend.IncrementalSatBackend`, the
+native CDCL engine by default) alive across step bounds: the clause
 frames come from one stateful :class:`~repro.pebbling.encoding.PebblingEncoder`
 (``extend_to`` emits only the new frames), the final-configuration
 constraint of each bound is guarded by an activation literal from
 ``final_guard`` and selected with assumptions, so learned clauses are
-reused when moving between bounds.  The non-incremental mode re-encodes
-from scratch for every ``K`` (the paper's plain approach) and is kept for
-the ablation benchmark.  How the step bound evolves between SAT calls is a
-pluggable :class:`~repro.pebbling.search.SearchStrategy`.
+reused when moving between bounds.  Core-aware search strategies assume a
+*ladder* of bound guards per query and use the backend's failed-assumption
+core to skip provably-UNSAT bounds (see :mod:`repro.pebbling.search`).
+The non-incremental mode re-encodes from scratch for every ``K`` (the
+paper's plain approach) and is kept for the ablation benchmark.  How the
+step bound evolves between SAT calls is a pluggable
+:class:`~repro.pebbling.search.SearchStrategy`; which oracle answers is a
+pluggable, picklable backend spec (see :mod:`repro.sat.backend`).
 """
 
 from __future__ import annotations
@@ -50,7 +55,13 @@ from repro.pebbling.strategy import (
     strategy_from_payload,
     strategy_payload,
 )
-from repro.sat.solver import CdclSolver, Status
+from repro.sat.backend import (
+    DEFAULT_BACKEND,
+    IncrementalSatBackend,
+    create_backend,
+    require_backend,
+)
+from repro.sat.solver import Status
 
 
 class PebblingOutcome(Enum):
@@ -129,6 +140,10 @@ class PebblingResult:
     complete: bool = False
     weighted: bool = False
     minimal: bool = False
+    #: Backend spec that produced this result (metadata only: the result
+    #: store's content addresses are deliberately backend-invariant, so a
+    #: cache hit may report a different producer than the requester).
+    backend: str = DEFAULT_BACKEND
 
     @property
     def found(self) -> bool:
@@ -168,6 +183,7 @@ class PebblingResult:
             "runtime": round(self.runtime, 3),
             "sat_calls": len(self.attempts),
             "complete": self.complete,
+            "backend": self.backend,
         }
         if self.weighted:
             summary["weighted"] = True
@@ -185,7 +201,7 @@ class PebblingResult:
             strategy_payload(self.strategy) if self.strategy is not None else None
         )
         return {
-            "schema": 1,
+            "schema": 2,
             "dag": self.dag_name,
             "max_pebbles": self.max_pebbles,
             "outcome": self.outcome.value,
@@ -193,6 +209,7 @@ class PebblingResult:
             "complete": self.complete,
             "weighted": self.weighted,
             "minimal": self.minimal,
+            "backend": self.backend,
             "strategy": strategy,
             "attempts": [record.as_dict() for record in self.attempts],
         }
@@ -221,6 +238,7 @@ class PebblingResult:
             complete=bool(data["complete"]),
             weighted=bool(data.get("weighted", False)),
             minimal=bool(data.get("minimal", False)),
+            backend=str(data.get("backend", DEFAULT_BACKEND)),
         )
 
 
@@ -234,18 +252,62 @@ class ReversiblePebblingSolver:
         options: EncodingOptions | None = None,
         incremental: bool = True,
         conflict_limit: int | None = None,
-        solver_factory: Callable[..., CdclSolver] | None = None,
+        solver_factory: Callable[..., IncrementalSatBackend] | None = None,
+        backend: str | None = None,
     ) -> None:
         dag.validate()
         self.dag = dag
         self.options = options or EncodingOptions()
         self.incremental = incremental
         self.conflict_limit = conflict_limit
-        # ``solver_factory`` must accept the ``CdclSolver`` constructor
-        # signature; the benchmark harness injects the frozen legacy engine
-        # here to measure engine-vs-engine speedups on identical searches.
-        self.solver_factory = solver_factory or CdclSolver
+        # Exactly one way to choose the oracle: a registry ``backend`` spec
+        # (picklable, the normal path — explicit argument wins over
+        # ``EncodingOptions.backend``), or a raw ``solver_factory`` callable
+        # accepting the ``CdclSolver`` constructor signature (the benchmark
+        # harness injects the frozen legacy engine here to measure
+        # engine-vs-engine speedups on identical searches).
+        if solver_factory is not None and (
+            backend is not None or self.options.backend is not None
+        ):
+            raise PebblingError(
+                "pass either solver_factory= or a backend spec "
+                "(backend= / EncodingOptions.backend), not both"
+            )
+        self.solver_factory = solver_factory
+        if solver_factory is not None:
+            factory_name = getattr(solver_factory, "__name__", "custom")
+            self.backend = f"factory:{factory_name}"
+        else:
+            self.backend = require_backend(
+                backend or self.options.backend or DEFAULT_BACKEND
+            )
         self._encoder = PebblingEncoder(dag, options=self.options)
+
+    def _make_solver(self, cnf=None) -> IncrementalSatBackend:
+        """A fresh oracle for one search (optionally preloaded with a CNF)."""
+        if self.solver_factory is not None:
+            if cnf is not None:
+                return self.solver_factory(cnf, conflict_limit=self.conflict_limit)
+            return self.solver_factory(conflict_limit=self.conflict_limit)
+        solver = create_backend(self.backend, conflict_limit=self.conflict_limit)
+        if cnf is not None:
+            solver.add_cnf(cnf)
+        return solver
+
+    @staticmethod
+    def _reported_counters(solver, result) -> dict[str, float]:
+        """The counter dict a backend reports for one solve call.
+
+        Backends expose :meth:`~repro.sat.backend.IncrementalSatBackend.counters`
+        with exactly the statistics they track; raw factories (the frozen
+        legacy engine) fall back to the full CDCL counter dict.
+        """
+        counters = getattr(solver, "counters", None)
+        if counters is not None:
+            reported = counters()
+            if reported:
+                return dict(reported)
+        return result.stats.as_dict()
 
     # ------------------------------------------------------------------
     # feasibility bounds
@@ -309,7 +371,7 @@ class ReversiblePebblingSolver:
     ) -> tuple[Status, PebblingStrategy | None, AttemptRecord]:
         """Ask the SAT oracle whether a ``num_steps``-step strategy exists."""
         encoding = self._encoder.encode(max_pebbles=max_pebbles, num_steps=num_steps)
-        solver = self.solver_factory(encoding.cnf, conflict_limit=self.conflict_limit)
+        solver = self._make_solver(encoding.cnf)
         started = time.monotonic()
         result = solver.solve(time_limit=time_limit, conflict_limit=self.conflict_limit)
         elapsed = time.monotonic() - started
@@ -319,7 +381,7 @@ class ReversiblePebblingSolver:
             status=result.status,
             runtime=elapsed,
             conflicts=result.stats.conflicts,
-            solver_stats=result.stats.as_dict(),
+            solver_stats=self._reported_counters(solver, result),
         )
         if not result.is_sat:
             return result.status, None, record
@@ -390,15 +452,16 @@ class ReversiblePebblingSolver:
         search = resolve_search_strategy(
             strategy, step_schedule=step_schedule, step_increment=step_increment
         )
-        if isinstance(search, GeometricRefine) and self.options.forbid_idle_steps:
+        if search.needs_monotone_steps and self.options.forbid_idle_steps:
             # With idle steps forbidden, a K-step strategy cannot always be
             # padded to K+1 steps, so step-satisfiability is not monotone in
-            # K (e.g. single-move strategies fix the parity of K) and the
-            # bracket refinement would certify wrong minima.
+            # K (e.g. single-move strategies fix the parity of K): bracket
+            # refinement would certify wrong minima and core ladders would
+            # return wrong verdicts outright.
             raise PebblingError(
-                "geometric-refine requires idle steps to be allowed "
-                "(forbid_idle_steps makes step-satisfiability non-monotone); "
-                "use the linear schedule instead"
+                f"the {search.name!r} schedule requires idle steps to be "
+                "allowed (forbid_idle_steps makes step-satisfiability "
+                "non-monotone); use the plain linear schedule instead"
             )
         # The cache key is built from the *requested* parameters, before any
         # defaulting or warm-start tightening below mutates them.
@@ -434,6 +497,7 @@ class ReversiblePebblingSolver:
             max_pebbles,
             PebblingOutcome.TIMEOUT,
             weighted=self.options.weighted,
+            backend=self.backend,
         )
 
         if max_pebbles < self.minimum_pebbles_lower_bound():
@@ -561,12 +625,23 @@ class ReversiblePebblingSolver:
         :class:`PebblingEncoder`: ``extend_to`` emits the new frames,
         ``final_guard`` the per-bound activation literal, and
         ``drain_new_clauses`` hands exactly the fresh clauses to the
-        incremental SAT solver.
+        incremental SAT backend.
+
+        Core-aware cursors publish a *ladder* of bounds per query; their
+        guards are assumed together (sound under step monotonicity, which
+        ``solve()`` validated).  The query is then SAT exactly when the
+        lowest laddered bound is feasible, and on UNSAT the backend's
+        failed-assumption core names the guards its refutation used — the
+        lowest surviving guard is a *harder* bound proven infeasible, so
+        the cursor fast-forwards past everything up to it.
         """
         encoder = PebblingEncoder(
             self.dag, max_pebbles=max_pebbles, options=self.options
         )
-        solver = self.solver_factory(conflict_limit=self.conflict_limit)
+        solver = self._make_solver()
+        guard_of_bound: dict[int, int] = {}
+        bound_of_guard: dict[int, int] = {}
+        negated: set[int] = set()
         best: PebblingStrategy | None = None
         bound: int | None = cursor.bound
         while bound is not None and bound <= max_steps:
@@ -580,13 +655,29 @@ class ReversiblePebblingSolver:
             # the later frames stay satisfiable by freezing the final
             # configuration (idle steps are always legal on this path —
             # solve() rejects refining strategies under forbid_idle_steps).
-            encoder.extend_to(bound)
-            guard = encoder.final_guard(bound)
+            ladder = [step for step in cursor.ladder() if step <= max_steps]
+            if not ladder:
+                ladder = [bound]
+            encoder.extend_to(max(ladder))
+            for step in ladder:
+                if step not in guard_of_bound:
+                    guard = encoder.final_guard(step)
+                    guard_of_bound[step] = guard
+                    bound_of_guard[guard] = step
+            # Highest bound first: the solver places assumptions in order,
+            # so the refutation tends to bind at the *loosest* infeasible
+            # guard it meets — and a core whose lowest bound is m > bound
+            # proves every bound <= m infeasible at once.  (Ascending order
+            # almost always binds at the probed bound itself, making the
+            # core information-free; measured in EXPERIMENTS.md.)
+            assumptions = [
+                guard_of_bound[step] for step in sorted(ladder, reverse=True)
+            ]
             for clause in encoder.drain_new_clauses():
                 solver.add_clause(clause.literals)
             call_started = time.monotonic()
             sat_result = solver.solve(
-                [guard], time_limit=remaining, conflict_limit=self.conflict_limit
+                assumptions, time_limit=remaining, conflict_limit=self.conflict_limit
             )
             elapsed = time.monotonic() - call_started
             result.attempts.append(
@@ -596,7 +687,7 @@ class ReversiblePebblingSolver:
                     status=sat_result.status,
                     runtime=elapsed,
                     conflicts=sat_result.stats.conflicts,
-                    solver_stats=sat_result.stats.as_dict(),
+                    solver_stats=self._reported_counters(solver, sat_result),
                 )
             )
             if sat_result.is_sat:
@@ -612,20 +703,39 @@ class ReversiblePebblingSolver:
                         max_moves_per_step=self.options.max_moves_per_step,
                     ),
                 )
-                bound = cursor.advance(True)
+                bound = cursor.advance_core(True)
             elif sat_result.is_unknown:
                 result.strategy = best
                 return (
                     PebblingOutcome.SOLUTION if best else PebblingOutcome.TIMEOUT
                 )
             else:
-                # The bound was UNSAT, so this guard will never be assumed
-                # again.  Asserting its negation as a unit lets the solver
-                # simplify the stale final-configuration clauses away at
-                # level 0 instead of dragging them through every later
+                refuted = bound
+                if len(assumptions) > 1:
+                    # Backends without real core extraction (the external
+                    # DIMACS path, raw factories) degrade to the trivial
+                    # full-assumption core — sound, never faster.
+                    extract = getattr(solver, "failed_assumptions", None)
+                    core = extract() if extract is not None else list(assumptions)
+                    core_bounds = [
+                        bound_of_guard[literal]
+                        for literal in core
+                        if literal in bound_of_guard
+                    ]
+                    # An empty core means the frames alone are contradictory
+                    # (impossible for this encoding, but a backend bug must
+                    # fail towards "only the probed bound is refuted").
+                    refuted = min(core_bounds) if core_bounds else bound
+                # Every guard at or below the refuted bound will never be
+                # assumed again.  Asserting the negations as units lets the
+                # solver simplify the stale final-configuration clauses away
+                # at level 0 instead of dragging them through every later
                 # propagation.
-                solver.add_clause([-guard])
-                bound = cursor.advance(False)
+                for step in sorted(guard_of_bound):
+                    if step <= refuted and step not in negated:
+                        solver.add_clause([-guard_of_bound[step]])
+                        negated.add(step)
+                bound = cursor.advance_core(False, refuted)
         result.strategy = best
         result.complete = True
         if best is not None:
@@ -736,10 +846,15 @@ def pebble_dag(
     *,
     options: EncodingOptions | None = None,
     time_limit: float | None = None,
+    backend: str | None = None,
     **solve_kwargs,
 ) -> PebblingResult:
-    """One-shot helper: pebble ``dag`` with at most ``max_pebbles`` pebbles."""
-    solver = ReversiblePebblingSolver(dag, options=options)
+    """One-shot helper: pebble ``dag`` with at most ``max_pebbles`` pebbles.
+
+    ``backend`` selects the incremental-SAT backend by registry spec (see
+    :mod:`repro.sat.backend`); the default is the native CDCL engine.
+    """
+    solver = ReversiblePebblingSolver(dag, options=options, backend=backend)
     return solver.solve(max_pebbles, time_limit=time_limit, **solve_kwargs)
 
 
@@ -748,8 +863,13 @@ def minimize_pebbles(
     *,
     options: EncodingOptions | None = None,
     timeout_per_budget: float | None = 120.0,
+    backend: str | None = None,
     **kwargs,
 ) -> tuple[PebblingResult | None, list[PebblingResult]]:
-    """One-shot helper mirroring the Table I methodology."""
-    solver = ReversiblePebblingSolver(dag, options=options)
+    """One-shot helper mirroring the Table I methodology.
+
+    ``backend`` selects the incremental-SAT backend by registry spec (see
+    :mod:`repro.sat.backend`) for every per-budget search of the scan.
+    """
+    solver = ReversiblePebblingSolver(dag, options=options, backend=backend)
     return solver.minimize_pebbles(timeout_per_budget=timeout_per_budget, **kwargs)

@@ -8,16 +8,32 @@ provides an equivalent, self-contained substrate:
 * :mod:`repro.sat.tseitin` -- Boolean expression to CNF conversion.
 * :mod:`repro.sat.cards` -- cardinality-constraint encodings (at-most-k).
 * :mod:`repro.sat.solver` -- a CDCL SAT solver with two-watched-literal
-  propagation, first-UIP clause learning, VSIDS branching, Luby restarts and
-  incremental solving under assumptions.
+  propagation, first-UIP clause learning, VSIDS branching, Luby restarts,
+  incremental solving under assumptions and failed-assumption cores.
 * :mod:`repro.sat.dpll` -- a tiny reference solver used to cross-check the
   CDCL implementation in the test-suite.
+* :mod:`repro.sat.backend` -- the :class:`IncrementalSatBackend` protocol
+  plus a string-keyed registry of backends (native CDCL, the DPLL oracle,
+  and external minisat-style DIMACS binaries), so every layer above can
+  carry a solver choice as a picklable spec string.
 
 All public entry points accept and produce plain DIMACS integers
 (``1, -1, 2, ...``), which keeps encodings written on top of this package
 easy to read and to dump for external solvers.
 """
 
+from repro.sat.backend import (
+    DEFAULT_BACKEND,
+    DpllBackend,
+    ExternalDimacsBackend,
+    IncrementalSatBackend,
+    backend_names,
+    backend_unavailable_reason,
+    create_backend,
+    describe_backends,
+    register_backend,
+    require_backend,
+)
 from repro.sat.cards import (
     CardinalityEncoding,
     at_least_k,
@@ -40,13 +56,23 @@ __all__ = [
     "CdclSolver",
     "Clause",
     "Cnf",
+    "DEFAULT_BACKEND",
+    "DpllBackend",
     "DpllSolver",
+    "ExternalDimacsBackend",
+    "IncrementalSatBackend",
     "SolveResult",
     "SolverStats",
     "Status",
     "TseitinEncoder",
     "VariablePool",
     "and_",
+    "backend_names",
+    "backend_unavailable_reason",
+    "create_backend",
+    "describe_backends",
+    "register_backend",
+    "require_backend",
     "at_least_k",
     "at_most_k",
     "at_most_k_weighted",

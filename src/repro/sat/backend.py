@@ -1,0 +1,585 @@
+"""Pluggable incremental-SAT backends behind one narrow protocol.
+
+The pebbling compiler is solver-agnostic: every search loop in
+:mod:`repro.pebbling` only needs *incremental solving under assumptions*
+plus, for the core-guided schedules, the subset of the assumptions an
+UNSAT answer actually used.  :class:`IncrementalSatBackend` freezes that
+surface, and a string-keyed registry maps picklable backend *specs* to
+implementations so the whole stack (solver → portfolio workers → service →
+CLI) can carry a backend across process boundaries as plain data:
+
+``"cdcl"``
+    The native :class:`~repro.sat.solver.CdclSolver` — the production
+    engine, with real conflict-analysis assumption cores.
+
+``"dpll"``
+    The reference :class:`~repro.sat.solver.DpllSolver` wrapped as a
+    debug/differential backend: deliberately simple, always conclusive,
+    with deletion-minimised assumption cores.  Exponential — small
+    instances only.
+
+``"external"`` / ``"external:<command>"``
+    Any minisat-style DIMACS binary driven through a tempfile: the
+    accumulated clauses plus the assumptions (as units) are written as
+    DIMACS CNF, the command is invoked as ``<command> <in.cnf> <out>``,
+    and both minisat-style output files (``SAT``/``UNSAT`` + model line)
+    and picosat-style stdout (``s SATISFIABLE`` / ``v ...`` lines) parse.
+    Without an argument the command comes from the ``REPRO_SAT_EXTERNAL``
+    environment variable; when no command is configured the backend
+    reports itself unavailable instead of failing mid-search.
+
+Specs are validated and availability-probed *before* a search starts
+(:func:`require_backend`), so a portfolio worker never silently falls
+back to the default engine.
+"""
+
+from __future__ import annotations
+
+import os
+import shlex
+import shutil
+import subprocess
+import tempfile
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+from repro.errors import SolverError
+from repro.sat.cnf import Cnf
+from repro.sat.dpll import DpllSolver
+from repro.sat.solver import CdclSolver, SolveResult, SolverStats, Status
+
+#: Spec used whenever a caller does not choose a backend explicitly.
+DEFAULT_BACKEND = "cdcl"
+
+#: Environment variable consulted by the argument-less ``external`` spec.
+EXTERNAL_SOLVER_ENV = "REPRO_SAT_EXTERNAL"
+
+
+class IncrementalSatBackend(ABC):
+    """The solving surface the pebbling engine requires of any backend.
+
+    The contract mirrors the subset of :class:`~repro.sat.solver.CdclSolver`
+    the search loops use: clauses accumulate across :meth:`solve` calls
+    (incrementality), assumptions are per-call unit hypotheses, and an
+    UNSAT answer exposes :meth:`failed_assumptions` — a subset of the
+    passed assumptions whose conjunction with the accumulated formula is
+    unsatisfiable.  ``conflict_limit`` and ``time_limit`` are best-effort
+    budgets: a backend that cannot honour one documents so and may return
+    conclusive answers anyway (never the reverse).
+    """
+
+    #: Registry name (specs render as ``name`` or ``name:argument``).
+    name: str = "abstract"
+
+    @abstractmethod
+    def add_variable(self) -> int:
+        """Allocate a fresh variable and return its index."""
+
+    @abstractmethod
+    def add_clause(self, literals: Iterable[int]) -> bool:
+        """Add a clause; ``False`` when the formula became trivially unsat."""
+
+    @abstractmethod
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        *,
+        conflict_limit: int | None = None,
+        time_limit: float | None = None,
+    ) -> SolveResult:
+        """Solve the accumulated formula under per-call assumptions."""
+
+    @abstractmethod
+    def failed_assumptions(self) -> list[int]:
+        """Assumption core of the last UNSAT :meth:`solve` call.
+
+        A subset of that call's assumptions whose conjunction with the
+        formula is unsatisfiable (empty when the formula alone is).  Only
+        defined after an UNSAT answer.
+        """
+
+    @property
+    def num_variables(self) -> int:
+        """Highest variable index known to the backend."""
+        return 0
+
+    def add_cnf(self, cnf: Cnf) -> None:
+        """Add every clause of ``cnf`` (and reserve its variable range)."""
+        while self.num_variables < cnf.num_variables:
+            self.add_variable()
+        for clause in cnf.clauses:
+            self.add_clause(clause.literals)
+
+    def counters(self) -> dict[str, float]:
+        """Counters of the last solve, trimmed to what this backend tracks.
+
+        Backends report only the statistics they actually maintain, so the
+        CLI's ``--stats`` line never pads missing CDCL counters with
+        zeros-as-lies.
+        """
+        return {}
+
+
+# The native solver satisfies the protocol structurally (it predates it);
+# registering it as a virtual subclass makes isinstance checks hold without
+# an import cycle between repro.sat.solver and this module.
+IncrementalSatBackend.register(CdclSolver)
+
+
+class DpllBackend(IncrementalSatBackend):
+    """The reference DPLL solver behind the backend protocol.
+
+    A debug/differential backend: obviously correct and conclusive within
+    its budget (``time_limit`` is honoured cooperatively and answers
+    UNKNOWN on expiry — essential for racing this exponential oracle;
+    ``conflict_limit`` is ignored), usable on small instances.
+    :meth:`failed_assumptions` is computed by deletion-based minimisation
+    (one re-solve per assumption, the whole pass deadline-bounded), so its
+    cores are subset-minimal whenever the probe budget suffices — always
+    sound either way.  The test-suite cross-checks the CDCL cores against
+    them.
+    """
+
+    name = "dpll"
+
+    def __init__(
+        self,
+        cnf: Cnf | None = None,
+        *,
+        conflict_limit: int | None = None,  # noqa: ARG002 — protocol surface
+        max_variables: int = 20000,
+    ) -> None:
+        self._solver = DpllSolver(max_variables=max_variables)
+        self._declared = 0
+        self._last_assumptions: list[int] | None = None
+        self._last_stats: SolverStats | None = None
+        self._last_status: Status | None = None
+        self._last_seconds = 0.0
+        self._last_time_limit: float | None = None
+        if cnf is not None:
+            self.add_cnf(cnf)
+
+    @property
+    def num_variables(self) -> int:
+        return max(self._declared, self._solver.num_variables)
+
+    def add_variable(self) -> int:
+        self._declared = self.num_variables + 1
+        return self._declared
+
+    def add_clause(self, literals: Iterable[int]) -> bool:
+        self._solver.add_clause(literals)
+        return True
+
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        *,
+        conflict_limit: int | None = None,  # noqa: ARG002 — not expressible
+        time_limit: float | None = None,
+    ) -> SolveResult:
+        started = time.monotonic()
+        result = self._solver.solve(assumptions, time_limit=time_limit)
+        self._last_seconds = time.monotonic() - started
+        self._last_time_limit = time_limit
+        result.stats.solve_time = self._last_seconds
+        self._last_assumptions = list(assumptions)
+        self._last_stats = result.stats
+        self._last_status = result.status
+        return result
+
+    def failed_assumptions(self) -> list[int]:
+        if self._last_status is not Status.UNSATISFIABLE:
+            raise SolverError(
+                "failed_assumptions() is only defined after an UNSAT solve() call"
+            )
+        assert self._last_assumptions is not None
+        # Deletion minimisation: drop each assumption whose removal keeps
+        # the formula unsatisfiable.  The probe solves are side-effect
+        # free, so the core stays answerable repeatedly.  Each probe is an
+        # exponential re-solve, so the whole pass is bounded by a deadline
+        # proportional to the original solve and clamped to that solve's
+        # own time budget — dropping an assumption is an optimisation,
+        # keeping it is always sound, and a caller's time budget must not
+        # be blown by core *minimisation*.
+        core = list(dict.fromkeys(self._last_assumptions))
+        budget = max(0.1, 4.0 * self._last_seconds)
+        if self._last_time_limit is not None:
+            # Clamp to what the solve call left unspent, so solve + core
+            # extraction together stay inside one per-call budget.
+            budget = min(budget, max(0.0, self._last_time_limit - self._last_seconds))
+        deadline = time.monotonic() + budget
+        index = 0
+        while index < len(core):
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break  # return the sound, partially minimised remainder
+            candidate = core[:index] + core[index + 1:]
+            if self._solver.solve(candidate, time_limit=remaining).is_unsat:
+                core = candidate
+            else:
+                # SAT, or UNKNOWN on probe timeout: keep the assumption.
+                index += 1
+        return core
+
+    def counters(self) -> dict[str, float]:
+        if self._last_stats is None:
+            return {}
+        return {
+            "decisions": self._last_stats.decisions,
+            "propagations": self._last_stats.propagations,
+            "solve_time": self._last_stats.solve_time,
+        }
+
+
+def _parse_external_output(text: str, returncode: int) -> tuple[Status, list[int]]:
+    """Parse a DIMACS solver's answer (output-file or stdout style).
+
+    Understands minisat output files (``SAT``/``UNSAT``/``INDET`` plus a
+    model line) and SAT-competition stdout (``s SATISFIABLE`` /
+    ``v 1 -2 ... 0``); falls back to the conventional exit codes 10 (SAT)
+    and 20 (UNSAT) when the text names no verdict.
+    """
+    verdict: Status | None = None
+    model: list[int] = []
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("s ") or line.startswith("S "):
+            line = line[2:].strip()
+        word = line.upper()
+        if word in ("SAT", "SATISFIABLE"):
+            verdict = Status.SATISFIABLE
+            continue
+        if word in ("UNSAT", "UNSATISFIABLE"):
+            verdict = Status.UNSATISFIABLE
+            continue
+        if word in ("UNKNOWN", "INDET", "INDETERMINATE"):
+            verdict = Status.UNKNOWN
+            continue
+        if line.startswith(("v ", "V ")):
+            line = line[2:]
+        try:
+            literals = [int(token) for token in line.split()]
+        except ValueError:
+            continue  # some other diagnostic line
+        model.extend(literal for literal in literals if literal != 0)
+    if verdict is None:
+        if returncode == 10:
+            verdict = Status.SATISFIABLE
+        elif returncode == 20:
+            verdict = Status.UNSATISFIABLE
+        else:
+            raise SolverError(
+                "external SAT solver produced no recognisable verdict "
+                f"(exit code {returncode}); output started with: {text[:200]!r}"
+            )
+    return verdict, model
+
+
+class ExternalDimacsBackend(IncrementalSatBackend):
+    """A minisat-style external binary driven through tempfile DIMACS.
+
+    Every :meth:`solve` writes the accumulated clauses plus the call's
+    assumptions (as unit clauses) to a fresh DIMACS file and invokes
+    ``<command> <in.cnf> <out>``.  The process-spawn-per-call overhead
+    makes this backend interesting for *hard* instances (where a fast
+    native binary amortises the spawn), for differential testing, and for
+    the racing portfolio.
+
+    ``conflict_limit`` is ignored; ``time_limit`` kills the subprocess and
+    reports :attr:`~repro.sat.solver.Status.UNKNOWN`.
+    :meth:`failed_assumptions` returns the *trivial* core — the full
+    assumption list — which is sound (the formula plus all assumptions is
+    indeed unsatisfiable) but never prunes: plain DIMACS solvers have no
+    assumption interface to do better through.
+    """
+
+    name = "external"
+
+    def __init__(
+        self,
+        command: str,
+        *,
+        conflict_limit: int | None = None,  # noqa: ARG002 — protocol surface
+    ) -> None:
+        if not command or not str(command).strip():
+            raise SolverError(
+                "the external backend needs a solver command: use "
+                f"'external:<command>' or set ${EXTERNAL_SOLVER_ENV}"
+            )
+        self.command = str(command)
+        self._argv = shlex.split(self.command)
+        self._clauses: list[list[int]] = []
+        self._num_vars = 0
+        self._last_assumptions: list[int] | None = None
+        self._last_status: Status | None = None
+        self._last_seconds = 0.0
+
+    @property
+    def num_variables(self) -> int:
+        return self._num_vars
+
+    def add_variable(self) -> int:
+        self._num_vars += 1
+        return self._num_vars
+
+    def add_clause(self, literals: Iterable[int]) -> bool:
+        clause: list[int] = []
+        for literal in literals:
+            if isinstance(literal, bool) or not isinstance(literal, int) or literal == 0:
+                raise SolverError(f"invalid literal {literal!r}")
+            clause.append(literal)
+            if abs(literal) > self._num_vars:
+                self._num_vars = abs(literal)
+        self._clauses.append(clause)
+        return True
+
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        *,
+        conflict_limit: int | None = None,  # noqa: ARG002 — not expressible
+        time_limit: float | None = None,
+    ) -> SolveResult:
+        started = time.monotonic()
+        self._last_status = None
+        self._last_seconds = 0.0
+        self._last_assumptions = list(assumptions)
+        for literal in assumptions:
+            if abs(literal) > self._num_vars:
+                self._num_vars = abs(literal)
+        stats = SolverStats()
+        with tempfile.TemporaryDirectory(prefix="repro-sat-") as workdir:
+            in_path = Path(workdir) / "instance.cnf"
+            out_path = Path(workdir) / "result.txt"
+            lines = [f"p cnf {self._num_vars} {len(self._clauses) + len(assumptions)}"]
+            lines.extend(
+                " ".join(map(str, clause)) + " 0" for clause in self._clauses
+            )
+            lines.extend(f"{literal} 0" for literal in assumptions)
+            in_path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+            try:
+                process = subprocess.run(
+                    self._argv + [str(in_path), str(out_path)],
+                    capture_output=True,
+                    text=True,
+                    timeout=time_limit,
+                )
+            except subprocess.TimeoutExpired:
+                stats.solve_time = self._last_seconds = time.monotonic() - started
+                self._last_status = Status.UNKNOWN
+                return SolveResult(Status.UNKNOWN, None, stats)
+            except OSError as exc:
+                raise SolverError(
+                    f"cannot run external SAT solver {self._argv[0]!r}: {exc}"
+                ) from exc
+            text = ""
+            if out_path.exists():
+                text = out_path.read_text(encoding="utf-8")
+            if not text.strip():
+                text = process.stdout
+            status, literals = _parse_external_output(text, process.returncode)
+        stats.solve_time = self._last_seconds = time.monotonic() - started
+        self._last_status = status
+        if status is not Status.SATISFIABLE:
+            return SolveResult(status, None, stats)
+        if not literals:
+            raise SolverError(
+                f"external SAT solver {self._argv[0]!r} reported SAT "
+                "without printing a model"
+            )
+        model = {variable: False for variable in range(1, self._num_vars + 1)}
+        for literal in literals:
+            if abs(literal) <= self._num_vars:
+                model[abs(literal)] = literal > 0
+        return SolveResult(status, model, stats)
+
+    def failed_assumptions(self) -> list[int]:
+        if self._last_status is not Status.UNSATISFIABLE:
+            raise SolverError(
+                "failed_assumptions() is only defined after an UNSAT solve() call"
+            )
+        assert self._last_assumptions is not None
+        return list(dict.fromkeys(self._last_assumptions))
+
+    def counters(self) -> dict[str, float]:
+        if self._last_status is None and not self._last_seconds:
+            return {}
+        return {"solve_time": self._last_seconds}
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class BackendInfo:
+    """One registered backend: construction plus availability probing."""
+
+    name: str
+    description: str
+    factory: Callable[["str | None", "int | None"], IncrementalSatBackend]
+    probe: Callable[["str | None"], "str | None"]  # None = available
+
+
+def _external_command(argument: str | None) -> str | None:
+    return argument or os.environ.get(EXTERNAL_SOLVER_ENV) or None
+
+
+def _probe_external(argument: str | None) -> str | None:
+    command = _external_command(argument)
+    if command is None:
+        return (
+            "no solver command configured (use 'external:<command>' or set "
+            f"${EXTERNAL_SOLVER_ENV})"
+        )
+    try:
+        argv = shlex.split(command)
+    except ValueError as exc:
+        return f"unparseable solver command {command!r}: {exc}"
+    if not argv:
+        return f"empty solver command {command!r}"
+    if shutil.which(argv[0]) is None and not Path(argv[0]).exists():
+        return f"solver binary {argv[0]!r} not found on PATH"
+    return None
+
+
+def _make_external(argument: str | None, conflict_limit: int | None) -> IncrementalSatBackend:
+    # A missing command (None) is rejected by the constructor's own guard,
+    # with the same message the availability probe gives.
+    command = _external_command(argument)
+    return ExternalDimacsBackend(command, conflict_limit=conflict_limit)  # type: ignore[arg-type]
+
+
+def _reject_argument(name: str, argument: str | None) -> None:
+    if argument is not None:
+        raise SolverError(
+            f"the {name!r} backend takes no spec argument (got {argument!r})"
+        )
+
+
+_REGISTRY: dict[str, BackendInfo] = {}
+
+
+def register_backend(
+    name: str,
+    factory: Callable[["str | None", "int | None"], IncrementalSatBackend],
+    *,
+    description: str = "",
+    probe: Callable[["str | None"], "str | None"] | None = None,
+) -> None:
+    """Register (or replace) a backend under ``name``.
+
+    ``factory(argument, conflict_limit)`` builds a fresh backend instance;
+    ``probe(argument)`` returns ``None`` when the backend is usable on
+    this host and a human-readable reason otherwise.
+    """
+    if not name or ":" in name:
+        raise SolverError(f"invalid backend name {name!r}")
+    _REGISTRY[name] = BackendInfo(
+        name=name,
+        description=description,
+        factory=factory,
+        probe=probe or (lambda argument: None),
+    )
+
+
+def _make_cdcl(argument: str | None, conflict_limit: int | None) -> IncrementalSatBackend:
+    _reject_argument("cdcl", argument)
+    return CdclSolver(conflict_limit=conflict_limit)
+
+
+def _make_dpll(argument: str | None, conflict_limit: int | None) -> IncrementalSatBackend:
+    _reject_argument("dpll", argument)
+    return DpllBackend(conflict_limit=conflict_limit)
+
+
+register_backend(
+    "cdcl",
+    _make_cdcl,
+    description="native CDCL engine (watched literals, VSIDS, assumption cores)",
+)
+register_backend(
+    "dpll",
+    _make_dpll,
+    description="reference DPLL oracle (debug/differential; small instances only)",
+)
+register_backend(
+    "external",
+    _make_external,
+    description=(
+        "minisat-style DIMACS binary via tempfiles "
+        f"('external:<command>' or ${EXTERNAL_SOLVER_ENV})"
+    ),
+    probe=_probe_external,
+)
+
+
+def backend_names() -> list[str]:
+    """Registered backend names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def split_backend_spec(spec: str) -> tuple[str, str | None]:
+    """Split ``"name"`` / ``"name:argument"`` and validate the name."""
+    if not isinstance(spec, str) or not spec.strip():
+        raise SolverError(
+            f"a backend spec must be a non-empty string, got {spec!r}; "
+            f"registered backends: {', '.join(backend_names())}"
+        )
+    name, _, argument = spec.partition(":")
+    name = name.strip()
+    if name not in _REGISTRY:
+        raise SolverError(
+            f"unknown SAT backend {name!r}; registered backends: "
+            f"{', '.join(backend_names())} (see 'repro-pebble backends')"
+        )
+    return name, (argument if argument else None)
+
+
+def backend_unavailable_reason(spec: str) -> str | None:
+    """``None`` when ``spec`` is usable on this host, else the reason."""
+    name, argument = split_backend_spec(spec)
+    return _REGISTRY[name].probe(argument)
+
+
+def require_backend(spec: str) -> str:
+    """Validate ``spec`` and its host availability; return it unchanged.
+
+    Raises :class:`~repro.errors.SolverError` with the probe's reason when
+    the backend cannot run here — callers fail fast instead of falling
+    back to a different engine mid-search.
+    """
+    reason = backend_unavailable_reason(spec)
+    if reason is not None:
+        raise SolverError(f"SAT backend {spec!r} is not usable on this host: {reason}")
+    return spec
+
+
+def create_backend(
+    spec: str = DEFAULT_BACKEND, *, conflict_limit: int | None = None
+) -> IncrementalSatBackend:
+    """Build a fresh backend instance from a registry spec string."""
+    name, argument = split_backend_spec(spec)
+    return _REGISTRY[name].factory(argument, conflict_limit)
+
+
+def describe_backends() -> list[dict[str, object]]:
+    """Availability table for the CLI's ``backends`` subcommand."""
+    rows: list[dict[str, object]] = []
+    for name in backend_names():
+        info = _REGISTRY[name]
+        reason = info.probe(None)
+        rows.append(
+            {
+                "name": name,
+                "available": reason is None,
+                "detail": reason,
+                "description": info.description,
+            }
+        )
+    return rows

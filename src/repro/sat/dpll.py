@@ -13,11 +13,16 @@ be used on formulas with at most a few dozen variables.
 
 from __future__ import annotations
 
+import time
 from typing import Iterable, Sequence
 
 from repro.errors import SolverError
 from repro.sat.cnf import Cnf
 from repro.sat.solver import SolveResult, SolverStats, Status
+
+
+class _Deadline(Exception):
+    """Internal: the optional time budget of a solve call expired."""
 
 
 class DpllSolver:
@@ -59,14 +64,26 @@ class DpllSolver:
             return
         self._clauses.append(clause)
 
-    def solve(self, assumptions: Sequence[int] = ()) -> SolveResult:
-        """Solve by exhaustive DPLL search; always conclusive."""
+    def solve(
+        self, assumptions: Sequence[int] = (), *, time_limit: float | None = None
+    ) -> SolveResult:
+        """Solve by exhaustive DPLL search.
+
+        Conclusive unless ``time_limit`` (seconds) is given and expires,
+        in which case the result status is :attr:`Status.UNKNOWN` — the
+        budget lets the backend protocol race this exponential oracle
+        against engines that would otherwise wait on it forever.
+        """
         stats = SolverStats()
         assignment: dict[int, bool] = {}
         clauses = [list(clause) for clause in self._clauses]
         for literal in assumptions:
             clauses.append([literal])
-        result = self._search(clauses, assignment, stats)
+        deadline = None if time_limit is None else time.monotonic() + time_limit
+        try:
+            result = self._search(clauses, assignment, stats, deadline)
+        except _Deadline:
+            return SolveResult(Status.UNKNOWN, None, stats)
         if result is None:
             return SolveResult(Status.UNSATISFIABLE, None, stats)
         model = {
@@ -80,7 +97,10 @@ class DpllSolver:
         clauses: list[list[int]],
         assignment: dict[int, bool],
         stats: SolverStats,
+        deadline: float | None = None,
     ) -> dict[int, bool] | None:
+        if deadline is not None and time.monotonic() > deadline:
+            raise _Deadline
         clauses, assignment, consistent = self._propagate(clauses, dict(assignment), stats)
         if not consistent:
             return None
@@ -95,7 +115,7 @@ class DpllSolver:
             reduced = self._reduce(clauses, literal)
             if reduced is None:
                 continue
-            result = self._search(reduced, extended, stats)
+            result = self._search(reduced, extended, stats, deadline)
             if result is not None:
                 return result
         return None

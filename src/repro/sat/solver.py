@@ -171,8 +171,15 @@ class CdclSolver:
     The solver is incremental: more clauses may be added after a
     :meth:`solve` call and subsequent calls reuse learned clauses.
     Assumptions allow solving under temporary unit hypotheses without
-    permanently adding them.
+    permanently adding them.  After an UNSAT answer under assumptions,
+    :meth:`failed_assumptions` returns the subset of the assumptions that
+    the final conflict analysis proved responsible (the solver's UNSAT
+    core over the assumption literals), which is the backend surface the
+    core-guided pebbling searches build on.
     """
+
+    #: Registry name under :mod:`repro.sat.backend` (the native backend).
+    name = "cdcl"
 
     def __init__(
         self,
@@ -230,6 +237,7 @@ class CdclSolver:
         self.default_time_limit = time_limit
         self.stats = SolverStats()
         self._rng_state = random_seed or 1
+        self._failed_assumptions: list[int] | None = None
         if cnf is not None:
             self.add_cnf(cnf)
 
@@ -810,8 +818,12 @@ class CdclSolver:
         stats = self.stats = SolverStats()
         conflict_limit = conflict_limit if conflict_limit is not None else self.default_conflict_limit
         time_limit = time_limit if time_limit is not None else self.default_time_limit
+        # Every UNSAT exit below records its assumption core first; paths
+        # where the formula alone is contradictory record the empty core.
+        self._failed_assumptions = None
 
         if not self._ok:
+            self._failed_assumptions = []
             stats.solve_time = time.monotonic() - start_time
             return SolveResult(Status.UNSATISFIABLE, None, stats)
 
@@ -821,11 +833,13 @@ class CdclSolver:
         for literal in self._pending_units:
             if not self._enqueue(_encode(literal)):
                 self._ok = False
+                self._failed_assumptions = []
                 stats.solve_time = time.monotonic() - start_time
                 return SolveResult(Status.UNSATISFIABLE, None, stats)
         self._pending_units.clear()
         if self._propagate() != _NO_CONFLICT:
             self._ok = False
+            self._failed_assumptions = []
             stats.solve_time = time.monotonic() - start_time
             return SolveResult(Status.UNSATISFIABLE, None, stats)
 
@@ -862,9 +876,11 @@ class CdclSolver:
                 stats.conflicts += 1
                 conflicts_since_restart += 1
                 if not self._trail_limits:
-                    # Conflict at decision level 0: under assumptions the
-                    # formula may still be satisfiable without them, but this
-                    # call is conclusive either way.
+                    # Conflict at decision level 0: the trail below the first
+                    # pseudo-decision only ever holds formula-derived facts,
+                    # so the formula alone is contradictory (empty core) and
+                    # this call is conclusive either way.
+                    self._failed_assumptions = []
                     self._backtrack(0)
                     stats.solve_time = time.monotonic() - start_time
                     if not encoded_assumptions:
@@ -874,6 +890,8 @@ class CdclSolver:
                 self._backtrack(backjump_level)
                 if len(learned) == 1:
                     if not self._enqueue(learned[0]):
+                        # Learned units are implied by the formula alone.
+                        self._failed_assumptions = []
                         stats.solve_time = time.monotonic() - start_time
                         return SolveResult(Status.UNSATISFIABLE, None, stats)
                     self._pending_units.append(_decode(learned[0]))
@@ -901,6 +919,9 @@ class CdclSolver:
             if next_assumption is not None:
                 value = self._value_of(next_assumption)
                 if value == 0:
+                    # The core must be read off the implication graph before
+                    # backtracking tears the trail down.
+                    self._failed_assumptions = self._analyze_final(next_assumption)
                     self._backtrack(0)
                     stats.solve_time = time.monotonic() - start_time
                     return SolveResult(Status.UNSATISFIABLE, None, stats)
@@ -921,6 +942,77 @@ class CdclSolver:
             phase = self._phase[variable]
             encoded = (variable << 1) | (0 if phase else 1)
             self._enqueue(encoded)
+
+    def _analyze_final(self, failed: int) -> list[int]:
+        """Assumption literals whose conjunction the search refuted.
+
+        ``failed`` is the encoded assumption found false while placing
+        assumptions.  Walking the implication graph backwards from its
+        (true) negation, every pseudo-decision reached is an assumption
+        that contributed to the refutation — real decisions cannot appear,
+        because assumptions are (re)placed before any branching decision
+        is made.  The returned DIMACS literals are a subset of the passed
+        assumptions, and the formula conjoined with them is unsatisfiable
+        (the minimisation is the conflict-analysis restriction itself; the
+        core is not guaranteed to be subset-minimal).
+        """
+        core = [_decode(failed)]
+        variable = failed >> 1
+        levels = self._levels
+        if levels[variable] == 0:
+            # The negation is a root-level fact of the formula: the failed
+            # assumption alone is already contradictory.
+            return core
+        seen = self._seen
+        reasons = self._reasons
+        arena = self._arena
+        seen[variable] = True
+        marked = [variable]
+        for encoded in reversed(self._trail):
+            trail_variable = encoded >> 1
+            if not seen[trail_variable]:
+                continue
+            reason_slot = reasons[trail_variable]
+            if reason_slot < 0:
+                # A pseudo-decision above level 0 is an assumption; its
+                # assigned polarity is the assumed literal itself (covers
+                # contradictory assumption pairs too).
+                if levels[trail_variable] > 0:
+                    core.append(_decode(encoded))
+            else:
+                reason = arena[reason_slot]
+                assert reason is not None
+                for other in reason:
+                    other_variable = other >> 1
+                    if (
+                        other_variable != trail_variable
+                        and levels[other_variable] > 0
+                        and not seen[other_variable]
+                    ):
+                        seen[other_variable] = True
+                        marked.append(other_variable)
+        for cleared in marked:
+            seen[cleared] = False
+        return core
+
+    def failed_assumptions(self) -> list[int]:
+        """The assumption core of the most recent UNSAT :meth:`solve` call.
+
+        The returned literals are a subset of the assumptions passed to
+        that call, and adding them to the formula as units makes it
+        unsatisfiable; an empty list means the formula is unsatisfiable on
+        its own.  Raises :class:`~repro.errors.SolverError` when the last
+        call did not return UNSAT.
+        """
+        if self._failed_assumptions is None:
+            raise SolverError(
+                "failed_assumptions() is only defined after an UNSAT solve() call"
+            )
+        return list(self._failed_assumptions)
+
+    def counters(self) -> dict[str, float]:
+        """Counters of the most recent solve (the full CDCL counter set)."""
+        return self.stats.as_dict()
 
     def _next_unassigned_assumption(self, encoded_assumptions: list[int]) -> int | None:
         for encoded in encoded_assumptions:

@@ -76,12 +76,22 @@ class JobRequest:
     max_steps: int | None = None
     decompose: bool = False
     verify: bool = True
+    #: Incremental-SAT backend spec (see :mod:`repro.sat.backend`).  Part
+    #: of request identity for dedup, but NOT of the store's content
+    #: address — cached results transfer across backends and record their
+    #: producer in metadata.
+    backend: str = "cdcl"
 
     def validate(self) -> None:
         if self.kind not in ("pebble", "compile", "sweep"):
             raise ServiceError(
                 f"unknown request kind {self.kind!r}; "
                 "expected 'pebble', 'compile' or 'sweep'"
+            )
+        if not isinstance(self.backend, str) or not self.backend.strip():
+            raise ServiceError(
+                "a request's backend must be a registry backend spec "
+                f"string, got {self.backend!r}"
             )
         if not self.workload:
             raise ServiceError("a request needs a workload")
@@ -132,6 +142,7 @@ class JobRequest:
             time_limit=self.time_limit,
             max_steps=self.max_steps,
             weighted=self.weighted,
+            backend=self.backend,
         )
 
 
@@ -316,6 +327,7 @@ class PebblingService:
                 step_increment=request.step_increment,
                 time_limit=request.time_limit,
                 max_steps=request.max_steps,
+                backend=request.backend,
             )
             for budget in range(low, high + 1)
         ]
@@ -494,6 +506,7 @@ class PebblingService:
             time_limit=request.time_limit,
             max_steps=request.max_steps,
             verify=request.verify,
+            backend=request.backend,
             store=self.store,
         )
         return JobResult(request, "ok", "solver", payload=report.as_dict())
@@ -502,8 +515,15 @@ class PebblingService:
 # ---------------------------------------------------------------------------
 # request-file mode (the CLI's ``serve --json``)
 # ---------------------------------------------------------------------------
-def parse_request_file(path: "str | Path") -> list[JobRequest]:
-    """Parse a JSON request file: ``{"requests": [...]}`` or a bare list."""
+def parse_request_file(
+    path: "str | Path", *, default_backend: str | None = None
+) -> list[JobRequest]:
+    """Parse a JSON request file: ``{"requests": [...]}`` or a bare list.
+
+    ``default_backend`` (the CLI's ``serve --backend``) applies to every
+    request that does not name its own ``backend`` field; explicit
+    per-request backends always win.
+    """
     try:
         text = Path(path).read_text(encoding="utf-8")
     except OSError as exc:
@@ -523,6 +543,13 @@ def parse_request_file(path: "str | Path") -> list[JobRequest]:
         entries = data
     else:
         raise ServiceError("a request file must hold a JSON object or list")
+    if default_backend is not None:
+        entries = [
+            {**entry, "backend": default_backend}
+            if isinstance(entry, dict) and "backend" not in entry
+            else entry
+            for entry in entries
+        ]
     return [JobRequest.from_dict(entry) for entry in entries]
 
 
@@ -532,13 +559,15 @@ def run_request_file(
     store: "ResultStore | str | None" = None,
     workers: int = 1,
     batch_window: float = 0.01,
+    default_backend: str | None = None,
 ) -> dict[str, object]:
     """Drive a request file through a fresh service; return the JSON report.
 
     All requests are submitted concurrently, so the file as a whole enjoys
     deduplication, batching and cache service exactly like live traffic.
+    ``default_backend`` fills the ``backend`` of requests that omit it.
     """
-    requests = parse_request_file(path)
+    requests = parse_request_file(path, default_backend=default_backend)
 
     async def _run() -> dict[str, object]:
         async with PebblingService(

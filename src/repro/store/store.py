@@ -51,8 +51,9 @@ from repro.store.fingerprint import (
 
 #: Bump on any incompatible change to the table layout or payload format;
 #: an existing database with a different version is wiped and rebuilt (a
-#: cache may always be dropped).
-STORE_SCHEMA = 1
+#: cache may always be dropped).  v2: result payloads record the producing
+#: SAT backend (content addresses stay backend-invariant).
+STORE_SCHEMA = 2
 
 
 class StoreError(ReproError):

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Minisat-style DIMACS solver stub for the external-backend tests and CI.
+
+Usage: ``python tests/external_stub_solver.py <input.cnf> [<output>]``
+
+Reads a DIMACS CNF, solves it with the repository's own CDCL engine, and
+answers in *both* conventions the external backend must parse:
+
+* with an output path (minisat convention): the file gets ``SAT`` plus a
+  model line (or ``UNSAT``), and stdout stays quiet;
+* without one (SAT-competition convention): stdout gets ``s SATISFIABLE``
+  plus ``v ...`` model lines (or ``s UNSATISFIABLE``).
+
+Exit code follows the solver convention: 10 for SAT, 20 for UNSAT.
+
+Setting ``STUB_SOLVER_STDOUT=1`` forces the stdout convention even when an
+output path is given, so tests can exercise the backend's fallback parse.
+"""
+
+import os
+import shlex
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.sat.dimacs import parse_dimacs  # noqa: E402
+from repro.sat.solver import CdclSolver  # noqa: E402
+
+
+def stub_command() -> str:
+    """The shell command that runs this stub (quoted: paths may have spaces)."""
+    return f"{shlex.quote(sys.executable)} {shlex.quote(__file__)}"
+
+
+def stub_backend_spec() -> str:
+    """The ``external:`` backend spec driving this stub — the single source
+    shared by every test suite (the benchmark harness builds its own from
+    the same quoting rule, since it cannot import the tests package)."""
+    return f"external:{stub_command()}"
+
+
+def main(argv: "list[str]") -> int:
+    if len(argv) < 1:
+        print("usage: external_stub_solver.py <input.cnf> [<output>]", file=sys.stderr)
+        return 1
+    cnf = parse_dimacs(Path(argv[0]))
+    result = CdclSolver(cnf).solve()
+    use_stdout = len(argv) < 2 or os.environ.get("STUB_SOLVER_STDOUT") == "1"
+    if result.is_sat:
+        assert result.model is not None
+        literals = [
+            variable if value else -variable
+            for variable, value in sorted(result.model.items())
+        ]
+        if use_stdout:
+            print("s SATISFIABLE")
+            print("v " + " ".join(map(str, literals)) + " 0")
+        else:
+            Path(argv[1]).write_text(
+                "SAT\n" + " ".join(map(str, literals)) + " 0\n", encoding="utf-8"
+            )
+        return 10
+    if use_stdout:
+        print("s UNSATISFIABLE")
+    else:
+        Path(argv[1]).write_text("UNSAT\n", encoding="utf-8")
+    return 20
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

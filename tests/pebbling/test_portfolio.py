@@ -211,3 +211,146 @@ class TestWeightedTasks:
         )[0]
         assert record.outcome == "error"
         assert "step_increment" in record.error
+
+
+class TestBackendTasks:
+    def test_task_carries_backend_spec(self):
+        task = PortfolioTask(workload="fig2", pebbles=4, backend="dpll")
+        record = run_portfolio([task])[0]
+        assert record.found and record.steps == 6
+        assert record.backend == "dpll"
+        assert record.complete
+
+    def test_backend_spec_survives_pickling(self):
+        import pickle
+
+        task = PortfolioTask(workload="fig2", pebbles=4, backend="dpll")
+        clone = pickle.loads(pickle.dumps(task))
+        assert clone.backend == "dpll"
+        assert clone == task
+
+    def test_non_string_backend_rejected_loudly(self):
+        from repro.sat.solver import CdclSolver
+
+        with pytest.raises(PebblingError, match="spec"):
+            PortfolioTask(workload="fig2", pebbles=4, backend=CdclSolver)
+
+    def test_unknown_backend_becomes_error_record(self):
+        task = PortfolioTask(workload="fig2", pebbles=4, backend="bogus")
+        record = run_portfolio([task])[0]
+        assert record.outcome == "error"
+        assert "registered backends" in record.error
+
+    def test_unavailable_backend_becomes_error_record(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SAT_EXTERNAL", raising=False)
+        task = PortfolioTask(workload="fig2", pebbles=4, backend="external")
+        record = run_portfolio([task])[0]
+        assert record.outcome == "error"
+        assert "not usable on this host" in record.error
+
+    def test_tasks_from_suite_threads_backend(self):
+        tasks = tasks_from_suite("smoke", backend="dpll")
+        assert all(task.backend == "dpll" for task in tasks)
+
+
+class TestRaceBackends:
+    def test_race_merges_first_complete_result(self):
+        tasks = [PortfolioTask(workload="fig2", pebbles=4, time_limit=60.0)]
+        records = run_portfolio(tasks, race_backends=["cdcl", "dpll"])
+        assert len(records) == 1
+        record = records[0]
+        assert record.found and record.steps == 6 and record.complete
+        assert record.backend in ("cdcl", "dpll")
+        assert set(record.race) == {"cdcl", "dpll"}
+        for lane in record.race.values():
+            assert lane["outcome"] == "solution"
+            assert lane["steps"] == 6
+
+    def test_race_merge_is_pure_function_of_lanes(self):
+        from repro.pebbling.portfolio import PortfolioRecord, _merge_race
+
+        task = PortfolioTask(workload="fig2", pebbles=4)
+        timeout_lane = PortfolioRecord(
+            task=task, outcome="timeout", runtime=0.1, complete=False
+        )
+        slow_complete = PortfolioRecord(
+            task=task, outcome="solution", steps=6, runtime=5.0, complete=True
+        )
+        merged = _merge_race(task, ["a", "b"], [timeout_lane, slow_complete])
+        assert merged.backend == "b"  # complete beats a faster timeout
+        assert merged.steps == 6
+        error_lane = PortfolioRecord(task=task, outcome="error", error="boom")
+        merged = _merge_race(task, ["a", "b"], [error_lane, timeout_lane])
+        assert merged.backend == "b"  # anything beats an error lane
+        tie_a = PortfolioRecord(
+            task=task, outcome="solution", steps=6, runtime=1.0, complete=True
+        )
+        tie_b = PortfolioRecord(
+            task=task, outcome="solution", steps=6, runtime=1.0, complete=True
+        )
+        merged = _merge_race(task, ["a", "b"], [tie_a, tie_b])
+        assert merged.backend == "a"  # exact ties break by list order
+
+    def test_race_losing_backend_error_does_not_poison(self):
+        tasks = [PortfolioTask(workload="fig2", pebbles=4)]
+        records = run_portfolio(tasks, race_backends=["bogus", "cdcl"])
+        record = records[0]
+        assert record.found and record.backend == "cdcl"
+        assert record.race["bogus"]["outcome"] == "error"
+
+    def test_race_preserves_task_order(self):
+        tasks = [
+            PortfolioTask(workload="fig2", pebbles=4),
+            PortfolioTask(workload="fig2", pebbles=2),
+        ]
+        records = run_portfolio(tasks, race_backends=["cdcl", "dpll"])
+        assert [record.task.pebbles for record in records] == [4, 2]
+        assert records[1].outcome == "infeasible"
+
+    def test_race_empty_backend_list_rejected(self):
+        with pytest.raises(PebblingError, match="at least one backend"):
+            run_portfolio(
+                [PortfolioTask(workload="fig2", pebbles=4)], race_backends=[]
+            )
+
+    def test_race_rows_report_backend(self):
+        tasks = [PortfolioTask(workload="fig2", pebbles=4)]
+        row = run_portfolio(tasks, race_backends=["cdcl"])[0].as_dict()
+        assert row["backend"] == "cdcl"
+        assert "race" in row
+
+    def test_race_lanes_bypass_the_store(self, tmp_path):
+        # The store's content addresses are backend-invariant, so raced
+        # lanes must not share it: a pre-warmed cache would answer every
+        # lane without solving and the "race" would compare SQLite reads.
+        from repro.store import ResultStore
+        from repro.workloads import load_workload
+        from repro.pebbling.solver import ReversiblePebblingSolver
+
+        db = str(tmp_path / "race.db")
+        with ResultStore(db) as store:
+            ReversiblePebblingSolver(load_workload("fig2")).solve(
+                4, time_limit=60, store=store
+            )
+        tasks = [PortfolioTask(workload="fig2", pebbles=4, time_limit=60.0)]
+        records = run_portfolio(
+            tasks, store_path=db, race_backends=["cdcl", "dpll"]
+        )
+        record = records[0]
+        for spec, lane in record.race.items():
+            assert lane["produced_by"] == spec, "lane answered from cache"
+            assert lane["sat_calls"] > 0, "lane never ran a solver"
+
+    def test_race_prefers_partial_solution_over_empty_timeout(self):
+        from repro.pebbling.portfolio import PortfolioRecord, _merge_race
+
+        task = PortfolioTask(workload="fig2", pebbles=4)
+        empty_fast = PortfolioRecord(
+            task=task, outcome="timeout", runtime=1.0, complete=False
+        )
+        witness_slow = PortfolioRecord(
+            task=task, outcome="solution", steps=10, runtime=2.0, complete=False
+        )
+        merged = _merge_race(task, ["a", "b"], [empty_fast, witness_slow])
+        assert merged.backend == "b"
+        assert merged.outcome == "solution" and merged.steps == 10

@@ -189,3 +189,124 @@ class TestSolverIntegration:
         first = pebble_dag(fig2_dag, 4, time_limit=30, strategy=strategy)
         second = pebble_dag(fig2_dag, 4, time_limit=30, strategy=strategy)
         assert first.num_steps == second.num_steps == 6
+
+
+def _drive_core(cursor, oracle, minimum):
+    """Drive a core-aware cursor; the oracle refutes the whole ladder.
+
+    ``oracle`` is the plain ``bound -> bool`` SAT oracle; on UNSAT the
+    strongest refuted ladder bound below ``minimum`` is reported, which is
+    exactly what a perfect failed-assumption core would certify.
+    """
+    queries = []
+    bound = cursor.bound
+    for _ in range(100):
+        queries.append(bound)
+        ladder = cursor.ladder()
+        assert ladder[0] == bound
+        assert ladder == sorted(ladder)
+        if oracle(bound):
+            bound = cursor.advance_core(True)
+        else:
+            refuted = max(step for step in ladder if step < minimum)
+            bound = cursor.advance_core(False, refuted)
+        if bound is None:
+            return queries
+    raise AssertionError("cursor did not terminate")
+
+
+class TestCoreAwareCursors:
+    def test_plain_cursors_expose_single_bound_ladder(self):
+        assert LinearSearch().start(3, 3).ladder() == [3]
+        assert GeometricRefine().start(3, 3).ladder() == [3]
+
+    def test_linear_core_ladder_and_fast_forward(self):
+        cursor = LinearSearch(core_lookahead=3).start(2, 2)
+        assert cursor.ladder() == [2, 3, 4, 5]
+        # The core refutes up to bound 4: the next probe skips 3 and 4.
+        assert cursor.advance_core(False, 4) == 5
+        assert cursor.advance_core(True) is None
+
+    def test_linear_core_ladder_clamped_to_ceiling(self):
+        cursor = LinearSearch(core_lookahead=10).start(2, 2, 5)
+        assert cursor.ladder() == [2, 3, 4, 5]
+
+    def test_linear_core_finds_same_minimum(self):
+        for minimum in (1, 4, 9, 23):
+            plain = _drive(LinearSearch().start(1, 1), lambda b: b >= minimum)
+            fast = _drive_core(
+                LinearSearch(core_lookahead=4).start(1, 1),
+                lambda b: b >= minimum,
+                minimum,
+            )
+            assert plain[-1] == fast[-1] == minimum
+            assert len(fast) <= len(plain)
+
+    def test_core_refine_ladder_spans_bracket(self):
+        cursor = GeometricRefine(core_guided=True, core_lookahead=2).start(3, 3)
+        assert cursor.ladder() == [3, 4, 5]  # overshoot: lookahead-wide
+        cursor.advance_core(True)  # SAT at 3 -> bracket [3, 3) closed
+        cursor2 = GeometricRefine(core_guided=True).start(4, 2)
+        bound = cursor2.advance_core(True)  # SAT at 4: refine [2, 4)
+        assert bound == 3
+        assert cursor2.ladder() == [3]  # bracket interior only
+
+    def test_core_refine_bracket_tightens_from_core(self):
+        # Minimum is 9.  Overshoot 3 -> 6 (core refutes through 5) -> 9 SAT;
+        # the bracket is then [6+1?..] — core said 5, so lo = 6... probe 7, 8.
+        cursor = GeometricRefine(core_guided=True, core_lookahead=4).start(3, 3)
+        queries = _drive_core(cursor, lambda b: b >= 9, 9)
+        plain = _drive(GeometricRefine().start(3, 3), lambda b: b >= 9)
+        assert queries[-1] == plain[-1] == 9 or 9 in queries
+        assert min(q for q in queries if q >= 9) == 9
+        assert len(queries) <= len(plain)
+
+    @pytest.mark.parametrize("minimum", [1, 2, 5, 17, 40])
+    @pytest.mark.parametrize("initial", [1, 3, 10])
+    def test_core_refine_always_certifies_minimum(self, minimum, initial):
+        cursor = GeometricRefine(core_guided=True).start(initial, min(initial, 1))
+        queries = _drive_core(cursor, lambda b: b >= minimum, minimum)
+        if initial <= minimum:
+            assert minimum in queries
+        assert min(q for q in queries if q >= minimum) == minimum
+
+    def test_core_refine_ceiling_cut(self):
+        cursor = GeometricRefine(core_guided=True).start(3, 3, 6)
+        assert cursor.ladder() == [3, 4, 5, 6]
+        assert cursor.advance_core(False, 6) is None  # core refuted the ceiling
+
+
+class TestCoreStrategyConfiguration:
+    def test_named_core_schedules_resolve(self):
+        fast = strategy_from_name("linear-core")
+        assert isinstance(fast, LinearSearch) and fast.core_lookahead > 0
+        refine = strategy_from_name("core-refine")
+        assert isinstance(refine, GeometricRefine) and refine.core_guided
+
+    def test_signatures_distinguish_core_variants(self):
+        assert LinearSearch().signature != LinearSearch(core_lookahead=4).signature
+        assert (
+            GeometricRefine().signature
+            != GeometricRefine(core_guided=True).signature
+        )
+
+    def test_core_variants_certify_minimality(self):
+        assert strategy_from_name("linear-core").certifies_minimality
+        assert strategy_from_name("core-refine").certifies_minimality
+
+    def test_monotonicity_requirements(self):
+        assert not LinearSearch().needs_monotone_steps
+        assert LinearSearch(core_lookahead=1).needs_monotone_steps
+        assert GeometricRefine().needs_monotone_steps
+        assert strategy_from_name("core-refine").needs_monotone_steps
+
+    def test_negative_lookahead_rejected(self):
+        with pytest.raises(PebblingError):
+            LinearSearch(core_lookahead=-1)
+        with pytest.raises(PebblingError):
+            GeometricRefine(core_lookahead=-2)
+
+    def test_linear_core_accepts_step_increment(self):
+        strategy = strategy_from_name("linear-core", step_increment=2)
+        assert strategy.step_increment == 2
+        assert not strategy.certifies_minimality

@@ -291,3 +291,82 @@ class TestRequestFile:
 
 if __name__ == "__main__":  # pragma: no cover
     pytest.main([__file__, "-q"])
+
+
+class TestBackendRequests:
+    def test_backend_is_part_of_request_identity(self):
+        base = JobRequest(kind="pebble", workload="fig2", budget=4)
+        dpll = JobRequest(kind="pebble", workload="fig2", budget=4, backend="dpll")
+        assert base != dpll
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ServiceError, match="backend"):
+            JobRequest(kind="pebble", workload="fig2", budget=4, backend="").validate()
+
+    def test_request_backend_reaches_the_solver(self):
+        async def scenario():
+            async with PebblingService(batch_window=0.0) as service:
+                result = await service.submit(
+                    JobRequest(
+                        kind="pebble", workload="fig2", budget=4,
+                        backend="dpll", time_limit=30,
+                    )
+                )
+                return result
+
+        result = _run(scenario())
+        assert result.ok
+        assert result.payload["backend"] == "dpll"
+        assert result.payload["steps"] == 6
+
+    def test_unknown_backend_is_error_result_not_exception(self):
+        async def scenario():
+            async with PebblingService(batch_window=0.0) as service:
+                return await service.submit(
+                    JobRequest(
+                        kind="pebble", workload="fig2", budget=4, backend="bogus"
+                    )
+                )
+
+        result = _run(scenario())
+        assert result.status == "error"
+        assert "registered backends" in result.error
+
+    def test_cache_transfers_across_backends(self):
+        async def scenario():
+            async with PebblingService(
+                store=ResultStore(":memory:"), batch_window=0.0
+            ) as service:
+                first = await service.submit(
+                    JobRequest(kind="pebble", workload="fig2", budget=4,
+                               backend="dpll", time_limit=30)
+                )
+                second = await service.submit(
+                    JobRequest(kind="pebble", workload="fig2", budget=4,
+                               backend="cdcl", time_limit=30)
+                )
+                return first, second, service.stats.cache_hits
+
+        first, second, cache_hits = _run(scenario())
+        assert first.source == "solver"
+        # Identical request modulo backend: the content address matches, so
+        # the second answer comes from the cache and names its producer.
+        assert cache_hits == 1 and second.source == "cache"
+        assert second.payload["backend"] == "dpll"
+
+    def test_request_file_default_backend(self, tmp_path):
+        path = tmp_path / "requests.json"
+        path.write_text(json.dumps({
+            "requests": [
+                {"kind": "pebble", "workload": "fig2", "budget": 4,
+                 "time_limit": 30},
+                {"kind": "pebble", "workload": "fig2", "budget": 4,
+                 "backend": "cdcl", "time_limit": 30},
+            ]
+        }))
+        requests = parse_request_file(path, default_backend="dpll")
+        assert requests[0].backend == "dpll"  # filled in
+        assert requests[1].backend == "cdcl"  # explicit wins
+        report = run_request_file(path, default_backend="dpll")
+        assert [r["status"] for r in report["results"]] == ["ok", "ok"]
+        assert report["results"][0]["payload"]["backend"] == "dpll"

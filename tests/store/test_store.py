@@ -268,3 +268,73 @@ class TestCacheParity:
 
 if __name__ == "__main__":  # pragma: no cover
     pytest.main([__file__, "-q"])
+
+
+class TestBackendInvariance:
+    """Content addresses ignore the backend; payloads record the producer."""
+
+    def test_hit_transfers_across_backends(self, fig2_dag):
+        with ResultStore(":memory:") as store:
+            produced = ReversiblePebblingSolver(fig2_dag, backend="dpll").solve(
+                4, time_limit=60, store=store
+            )
+            assert produced.backend == "dpll"
+            assert store.session["puts"] == 1
+            served = ReversiblePebblingSolver(fig2_dag, backend="cdcl").solve(
+                4, time_limit=60, store=store
+            )
+            assert store.session["hits"] == 1, "cross-backend request must hit"
+        # The served result is the stored one — metadata names the actual
+        # producer, not the requester.
+        assert served.backend == "dpll"
+        assert served.num_steps == produced.num_steps
+
+    def test_request_key_ignores_options_backend(self, fig2_dag):
+        from repro.store.fingerprint import exact_dag_digest, pebble_request_key
+
+        digest = exact_dag_digest(fig2_dag)
+        keys = {
+            pebble_request_key(
+                exact_digest=digest,
+                budget=4,
+                options=EncodingOptions(backend=backend),
+                search=LinearSearch(),
+                incremental=True,
+                initial_steps=None,
+                max_steps=None,
+                step_floor=None,
+            )
+            for backend in (None, "cdcl", "dpll", "external:whatever")
+        }
+        assert len(keys) == 1
+
+    def test_options_key_ignores_backend(self):
+        from repro.store.fingerprint import options_key
+
+        assert options_key(EncodingOptions()) == options_key(
+            EncodingOptions(backend="dpll")
+        )
+
+    def test_warm_start_transfers_across_backends(self, fig2_dag):
+        with ResultStore(":memory:") as store:
+            ReversiblePebblingSolver(fig2_dag, backend="dpll").solve(
+                5, time_limit=60, store=store
+            )
+            warm = store.warm_start(
+                fig2_dag, budget=4, options=EncodingOptions()
+            )
+        assert warm is not None
+        assert warm.step_floor is not None
+
+    def test_core_schedule_addresses_differ_from_plain(self, fig2_dag):
+        # Core-guided schedules change the attempt sequence, so they cache
+        # under their own signature — but stay backend-invariant.
+        from repro.pebbling.search import GeometricRefine
+
+        with ResultStore(":memory:") as store:
+            _solve(fig2_dag, 4, store=store, schedule=GeometricRefine())
+            assert store.stats().entries == 1
+            _solve(
+                fig2_dag, 4, store=store, schedule=GeometricRefine(core_guided=True)
+            )
+            assert store.stats().entries == 2

@@ -118,12 +118,49 @@ class TestCompileScenario:
             assert case["verified"] is True
             assert case["gates"] > 0 and case["t_count"] >= 0
 
-    def test_schema_version_is_four(self, quick_report):
-        assert quick_report["schema_version"] == 4
+    def test_schema_version_is_five(self, quick_report):
+        assert quick_report["schema_version"] == 5
 
     def test_quick_compile_cases_are_a_strict_subset(self, run_bench):
         quick = [case for case in run_bench.COMPILE_CASES if case[4]]
         assert 0 < len(quick) < len(run_bench.COMPILE_CASES)
+
+
+class TestBackendScenario:
+    def test_quick_report_compares_backends(self, quick_report):
+        scenario = quick_report["backends"]
+        assert scenario["verdicts_match"] is True
+        names = {case["name"] for case in scenario["cases"]}
+        assert names == {"fig2_p4", "fig2_p3", "c17_p4"}
+        for case in scenario["cases"]:
+            assert case["ok"] is True
+            assert "cdcl" in case["runs"]
+            assert "external-stub" in case["runs"]
+            verdicts = {
+                (run["verdict"], run["steps"]) for run in case["runs"].values()
+            }
+            assert len(verdicts) == 1
+
+    def test_dpll_runs_only_small_cases(self, quick_report):
+        by_name = {
+            case["name"]: case for case in quick_report["backends"]["cases"]
+        }
+        assert "dpll" in by_name["fig2_p4"]["runs"]
+        assert "dpll" not in by_name["c17_p4"]["runs"]
+
+
+class TestCoreGuidedScenario:
+    def test_quick_report_compares_core_guided_refine(self, quick_report):
+        scenario = quick_report["core_guided"]
+        assert scenario["core_ok"] is True
+        for case in scenario["cases"]:
+            assert case["ok"] is True
+            assert (
+                case["core_guided"]["sat_calls"] <= case["plain"]["sat_calls"]
+            )
+        # The acceptance bar: the ladder cores must save calls strictly on
+        # at least one case, not just break even everywhere.
+        assert scenario["strictly_fewer_cases"] >= 1
 
 
 class TestCacheScenario:

@@ -366,3 +366,90 @@ class TestServeCommand:
         report = json.loads(capsys.readouterr().out)
         assert report["results"][0]["status"] == "error"
         assert "no-such-workload" in report["results"][0]["error"]
+
+
+class TestBackendCli:
+    @staticmethod
+    def _stub_spec():
+        from tests.external_stub_solver import stub_backend_spec
+
+        return stub_backend_spec()
+
+    def test_backends_subcommand_lists_registry(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        for name in ("cdcl", "dpll", "external"):
+            assert name in out
+
+    def test_backends_subcommand_json(self, capsys):
+        assert main(["backends", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        names = {row["name"] for row in data["backends"]}
+        assert {"cdcl", "dpll", "external"} <= names
+        by_name = {row["name"]: row for row in data["backends"]}
+        assert by_name["cdcl"]["available"] is True
+
+    def test_pebble_with_dpll_backend(self, capsys):
+        assert main(["pebble", "fig2", "--pebbles", "4", "--timeout", "60",
+                     "--backend", "dpll"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["steps"] == 6
+        assert summary["backend"] == "dpll"
+
+    def test_pebble_with_external_stub_backend(self, capsys):
+        assert main(["pebble", "fig2", "--pebbles", "4", "--timeout", "60",
+                     "--backend", self._stub_spec()]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["steps"] == 6
+
+    def test_pebble_unknown_backend_lists_names(self, capsys):
+        assert main(["pebble", "fig2", "--pebbles", "4",
+                     "--backend", "bogus"]) == 1
+        err = capsys.readouterr().err
+        assert "registered backends" in err
+        assert "cdcl" in err and "dpll" in err
+
+    def test_stats_line_prints_only_reported_counters(self, capsys):
+        assert main(["pebble", "fig2", "--pebbles", "4", "--timeout", "60",
+                     "--backend", "dpll", "--stats"]) == 0
+        out = capsys.readouterr().out
+        stats_lines = [line for line in out.splitlines() if line.startswith("stats: ")]
+        assert len(stats_lines) == 1
+        assert "decisions=" in stats_lines[0]
+        assert "solve_time=" in stats_lines[0]
+        # CDCL-only counters must be absent, not reported as zero.
+        for counter in ("blocker_hits=", "heap_decisions=", "conflicts="):
+            assert counter not in stats_lines[0]
+
+    def test_pebble_core_schedule(self, capsys):
+        assert main(["pebble", "c17", "--pebbles", "4", "--timeout", "60",
+                     "--schedule", "core-refine"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["steps"] == 8
+
+    def test_batch_race_backends(self, capsys):
+        assert main(["pebble-batch", "--suite", "smoke", "--timeout", "20",
+                     "--race-backends", "cdcl,dpll", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert len(data["results"]) == 2
+        for row in data["results"]:
+            assert row["outcome"] == "solution"
+            assert set(row["race"]) == {"cdcl", "dpll"}
+            assert row["backend"] in ("cdcl", "dpll")
+
+    def test_compile_with_backend(self, capsys):
+        assert main(["compile", "fig2", "--pebbles", "4", "--timeout", "60",
+                     "--backend", "dpll", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["backend"] == "dpll"
+        assert report["verified"] is True
+
+    def test_serve_with_default_backend(self, capsys, tmp_path):
+        requests = tmp_path / "requests.json"
+        requests.write_text(json.dumps({
+            "requests": [{"kind": "pebble", "workload": "fig2", "budget": 4,
+                          "time_limit": 30}]
+        }))
+        assert main(["serve", "--json", str(requests), "--backend", "dpll"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["results"][0]["payload"]["backend"] == "dpll"
