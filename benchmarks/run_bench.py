@@ -44,11 +44,22 @@ DIMACS stub and requires identical verdicts and step counts everywhere,
 and a core-guided scenario compares plain ``geometric-refine`` against its
 ``core_guided`` variant — same certified minimum, never more SAT calls,
 strictly fewer on at least one case.
+
+Since schema v6 the report tracks the fault-tolerant execution layer: a
+chaos scenario re-runs the batch suite with the deterministic ``chaos``
+fault-injection backend (a flaky first solve on every task, plus seeded
+random crashes and slowdowns) under a :class:`RetryPolicy` and requires
+verdict/step parity with the fault-free baseline, at least one retry
+spent, and bounded wall-clock overhead; a spurious-timeout case must
+still certify its minima through retries; and a deadline-preempted
+service request must come back ``ok`` with a non-empty anytime partial
+instead of an error.
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import math
 import os
@@ -70,7 +81,12 @@ from legacy_solver import LegacyCdclSolver  # noqa: E402
 
 from repro.circuits.pipeline import compile_workload  # noqa: E402
 from repro.pebbling.encoding import EncodingOptions  # noqa: E402
-from repro.pebbling.portfolio import run_portfolio, tasks_from_suite  # noqa: E402
+from repro.pebbling.portfolio import (  # noqa: E402
+    PortfolioHealth,
+    RetryPolicy,
+    run_portfolio,
+    tasks_from_suite,
+)
 from repro.pebbling.solver import ReversiblePebblingSolver  # noqa: E402
 from repro.sat.cnf import Cnf  # noqa: E402
 from repro.sat.instances import pigeonhole, random_3sat  # noqa: E402
@@ -79,7 +95,7 @@ from repro.pebbling.search import GeometricRefine  # noqa: E402
 from repro.store import ResultStore  # noqa: E402
 from repro.workloads import load_workload  # noqa: E402
 
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 
 #: The checked-in DIMACS stub driven by the external backend scenario
 #: (quoted: the spec is shlex-split by the backend, and checkout or
@@ -554,6 +570,168 @@ def run_core_guided_bench(*, quick: bool = False) -> dict[str, object]:
 
 
 # ---------------------------------------------------------------------------
+# chaos scenario: fault injection, retries, anytime answers (schema v6)
+# ---------------------------------------------------------------------------
+#: Seed of every chaos lane; the injected fault schedule is a pure function
+#: of (seed, task name, attempt, call index), so the scenario is exactly
+#: reproducible.
+CHAOS_SEED = 7
+
+#: The suite-wide fault mix: a guaranteed flaky failure on every task's
+#: first attempt, a ~0.1% crash chance and a 0.5 ms slowdown per SAT call.
+CHAOS_SPEC = f"chaos:{CHAOS_SEED},flaky=1,crash=0.001,delay=0.0005"
+
+#: The spurious-timeout case: 30% of SAT calls return UNKNOWN, so whole
+#: search attempts die inconclusive and only retries can certify minima.
+#: The seed differs from :data:`CHAOS_SEED` — it is chosen so the schedule
+#: actually forces retries on the smoke tasks (the gate requires them:
+#: a schedule that injects nothing would certify vacuously).
+CHAOS_UNKNOWN_SPEC = "chaos:19,unknown=0.3"
+
+#: The retry budget both chaos lanes run under (small backoff: the bench
+#: measures fault-recovery, not sleeping).
+CHAOS_RETRY = RetryPolicy(max_attempts=6, base_delay=0.005, max_delay=0.05)
+
+
+def _deadline_probe() -> dict[str, object]:
+    """One deadline-preempted service request, as a structured gate.
+
+    ``and9_p4_sm`` needs ~1 s of sweep on this host class; a 0.2 s deadline
+    preempts it mid-search.  The gate requires the graceful degradation the
+    service promises: status ``ok`` (not an error), ``complete`` false, a
+    non-empty anytime ``partial`` snapshot, and the preemption visible in
+    the health counters.
+    """
+    from repro.service import JobRequest, PebblingService
+
+    async def _run():
+        async with PebblingService(workers=1, batch_window=0.0) as service:
+            request = JobRequest(
+                kind="pebble", workload="and9", budget=4, single_move=True,
+                time_limit=60.0, deadline=0.2,
+            )
+            result = await service.submit(request)
+            return result, service.health()
+
+    result, health = asyncio.run(_run())
+    payload = result.payload or {}
+    ok = (
+        result.ok
+        and payload.get("complete") is False
+        and bool(payload.get("partial"))
+        and health["preempted"] >= 1
+        and health["partial_answers"] >= 1
+    )
+    return {
+        "request": "and9_p4_sm",
+        "deadline": 0.2,
+        "status": result.status,
+        "outcome": payload.get("outcome"),
+        "partial": payload.get("partial"),
+        "ok": ok,
+    }
+
+
+def run_chaos_bench(*, quick: bool = False) -> dict[str, object]:
+    """Prove certified minima survive injected faults (current engine only).
+
+    Three gates, folded into ``chaos_ok``:
+
+    * **parity** — the batch suite re-run on the ``chaos`` backend (flaky
+      first attempts, seeded crashes, per-call slowdowns) under
+      :data:`CHAOS_RETRY` must reproduce the fault-free (outcome, steps)
+      verdict on every task, complete, with at least one retry spent and
+      wall-clock bounded by ``10x + 5 s`` of the baseline;
+    * **spurious timeouts** — the smoke tasks with 30% of SAT calls
+      returning UNKNOWN must still certify their minima through retries
+      (and at least one retry must actually have been forced);
+    * **deadline probe** — see :func:`_deadline_probe`.
+    """
+    suite = "smoke" if quick else "default"
+    baseline_tasks = tasks_from_suite(suite, time_limit=60.0)
+    started = time.perf_counter()
+    baseline = run_portfolio(baseline_tasks)
+    baseline_seconds = time.perf_counter() - started
+    chaos_tasks = tasks_from_suite(suite, time_limit=60.0, backend=CHAOS_SPEC)
+    health = PortfolioHealth()
+    started = time.perf_counter()
+    chaos = run_portfolio(chaos_tasks, retry=CHAOS_RETRY, health=health)
+    chaos_seconds = time.perf_counter() - started
+    rows: list[dict[str, object]] = []
+    parity = True
+    for base, record in zip(baseline, chaos):
+        ok = (
+            record.outcome == base.outcome
+            and record.steps == base.steps
+            and record.complete
+            and record.error is None
+        )
+        parity = parity and ok
+        rows.append(
+            {
+                "name": base.name,
+                "verdict": base.outcome,
+                "steps": base.steps,
+                "chaos_verdict": record.outcome,
+                "chaos_steps": record.steps,
+                "retries": record.retries,
+                "ok": ok,
+            }
+        )
+        print(f"chaos {base.name:16s} baseline={base.outcome}/{base.steps}  "
+              f"chaos={record.outcome}/{record.steps} retries={record.retries}  "
+              f"{'ok' if ok else 'MISMATCH'}")
+    overhead = chaos_seconds / max(baseline_seconds, 1e-9)
+    overhead_ok = chaos_seconds <= baseline_seconds * 10.0 + 5.0
+    unknown_tasks = tasks_from_suite(
+        "smoke", time_limit=60.0, backend=CHAOS_UNKNOWN_SPEC
+    )
+    unknown_records = run_portfolio(unknown_tasks, retry=CHAOS_RETRY)
+    unknown_ok = all(
+        record.outcome == "solution" and record.complete
+        for record in unknown_records
+    ) and any(record.retries >= 1 for record in unknown_records)
+    print(f"chaos spurious-timeout smoke: "
+          f"{'certified' if unknown_ok else 'LOST MINIMA'} "
+          f"(retries {[record.retries for record in unknown_records]})")
+    probe = _deadline_probe()
+    print(f"chaos deadline probe {probe['request']}: status={probe['status']} "
+          f"outcome={probe['outcome']}  "
+          f"{'partial answer' if probe['ok'] else 'FAILED'}")
+    chaos_ok = (
+        parity
+        and health.retry_attempts >= 1
+        and overhead_ok
+        and unknown_ok
+        and bool(probe["ok"])
+    )
+    print(f"chaos suite={suite}: baseline {baseline_seconds:.3f}s  "
+          f"chaos {chaos_seconds:.3f}s (x{overhead:.2f})  "
+          f"retries={health.retry_attempts}  "
+          f"{'ok' if chaos_ok else 'FAILED'}")
+    return {
+        "suite": suite,
+        "spec": CHAOS_SPEC,
+        "unknown_spec": CHAOS_UNKNOWN_SPEC,
+        "retry_policy": {
+            "max_attempts": CHAOS_RETRY.max_attempts,
+            "base_delay": CHAOS_RETRY.base_delay,
+            "max_delay": CHAOS_RETRY.max_delay,
+        },
+        "tasks": rows,
+        "baseline_seconds": round(baseline_seconds, 3),
+        "chaos_seconds": round(chaos_seconds, 3),
+        "overhead": round(overhead, 3),
+        "retry_attempts": health.retry_attempts,
+        "retried_tasks": health.retried_tasks,
+        "pool_rebuilds": health.pool_rebuilds,
+        "spurious_timeouts_certified": unknown_ok,
+        "deadline_probe": probe,
+        "chaos_ok": chaos_ok,
+    }
+
+
+# ---------------------------------------------------------------------------
 # harness
 # ---------------------------------------------------------------------------
 def _best_of(run: Callable[[type], dict[str, object]], engine: type, repeat: int) -> dict[str, object]:
@@ -638,6 +816,9 @@ def run_benchmarks(*, quick: bool = False, repeat: int = 1) -> dict[str, object]
     print()
     core_scenario = run_core_guided_bench(quick=quick)
     all_match = all_match and core_scenario["core_ok"]
+    print()
+    chaos_scenario = run_chaos_bench(quick=quick)
+    all_match = all_match and chaos_scenario["chaos_ok"]
     report = {
         "schema_version": SCHEMA_VERSION,
         "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -651,6 +832,7 @@ def run_benchmarks(*, quick: bool = False, repeat: int = 1) -> dict[str, object]
         "cache": cache_scenario,
         "backends": backend_scenario,
         "core_guided": core_scenario,
+        "chaos": chaos_scenario,
         "all_verdicts_match": all_match,
     }
     print(f"\ngeometric-mean speedup: x{geomean:.2f}  "

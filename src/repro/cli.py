@@ -146,8 +146,9 @@ def _add_search_arguments(parser: argparse.ArgumentParser) -> None:
 def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--backend", default="cdcl", metavar="SPEC",
                         help="incremental-SAT backend spec: 'cdcl' (default), "
-                             "'dpll', or 'external[:<command>]' "
-                             "(see 'repro-pebble backends')")
+                             "'dpll', 'external[:<command>]', or "
+                             "'chaos:<seed>,...' for deterministic fault "
+                             "injection (see 'repro-pebble backends')")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -269,6 +270,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "raced lanes bypass --db, since the store's "
                             "backend-invariant cache would answer the later "
                             "lanes from the first one)")
+    batch.add_argument("--retries", type=int, default=0, metavar="N",
+                       help="retry each failed task up to N extra times with "
+                            "exponential backoff (default 0 = no retries)")
     batch.add_argument("--json", action="store_true", dest="as_json",
                        help="emit the result table as JSON")
     batch.add_argument("--list-suites", action="store_true",
@@ -311,6 +315,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--backend", default=None, metavar="SPEC",
                        help="default SAT backend for requests that do not "
                             "name their own (see 'repro-pebble backends')")
+    serve.add_argument("--retries", type=int, default=0, metavar="N",
+                       help="retry each failed solver task up to N extra "
+                            "times with exponential backoff (default 0)")
+    serve.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                       help="default per-request deadline: requests still "
+                            "unfinished after this many seconds are preempted "
+                            "into anytime partial answers")
+    serve.add_argument("--max-queue", type=int, default=None, metavar="N",
+                       help="admission-control bound: shed new requests once "
+                            "N are already queued (default: unbounded)")
+    serve.add_argument("--health-json", default=None, metavar="FILE",
+                       help="write the service health snapshot (queue depth, "
+                            "sheds, preemptions, retries, pool rebuilds) to "
+                            "this file after the run")
 
     dimacs = subparsers.add_parser(
         "dimacs", help="write a pebbling instance as a DIMACS CNF file"
@@ -369,6 +387,17 @@ def _format_stats_line(attempts) -> str:
     return "stats: " + " ".join(parts)
 
 
+def _retry_policy(retries: int):
+    """A :class:`RetryPolicy` for ``--retries N``, or ``None`` for 0."""
+    if retries < 0:
+        raise ReproError("--retries must be >= 0")
+    if retries == 0:
+        return None
+    from repro.pebbling import RetryPolicy
+
+    return RetryPolicy(max_attempts=retries + 1)
+
+
 def _run_batch(arguments: argparse.Namespace) -> int:
     if arguments.list_suites:
         for name in list_suites():
@@ -390,7 +419,8 @@ def _run_batch(arguments: argparse.Namespace) -> int:
         backend=arguments.backend,
     )
     records = run_portfolio(
-        tasks, jobs=arguments.jobs, store_path=arguments.db, race_backends=race
+        tasks, jobs=arguments.jobs, store_path=arguments.db, race_backends=race,
+        retry=_retry_policy(arguments.retries),
     )
     rows = [record.as_dict() for record in records]
     if arguments.as_json:
@@ -400,6 +430,8 @@ def _run_batch(arguments: argparse.Namespace) -> int:
         for row in rows:
             steps = "-" if row["steps"] is None else row["steps"]
             tail = f" [{row['backend']}]" if race else ""
+            if row.get("retries"):
+                tail += f" retries={row['retries']}"
             print(f"{row['name']:24s} {row['outcome']:10s} steps={steps!s:>4s} "
                   f"sat_calls={row['sat_calls']:<3d} {row['runtime']:7.3f}s{tail}")
         solved = sum(1 for row in rows if row["outcome"] == "solution")
@@ -555,8 +587,15 @@ def _run_serve(arguments: argparse.Namespace) -> int:
         workers=arguments.workers,
         batch_window=arguments.batch_window,
         default_backend=arguments.backend,
+        retry=_retry_policy(arguments.retries),
+        deadline=arguments.deadline,
+        max_queue=arguments.max_queue,
     )
     print(json.dumps(report, indent=2))
+    if arguments.health_json is not None:
+        with open(arguments.health_json, "w", encoding="utf-8") as handle:
+            json.dump(report["health"], handle, indent=2)
+            handle.write("\n")
     failed = sum(
         1 for result in report["results"] if result["status"] != "ok"
     )

@@ -20,6 +20,20 @@ class SolverError(ReproError):
     """Raised when the SAT solver is used incorrectly (e.g. bad literal)."""
 
 
+class TransientSolverError(SolverError):
+    """A solver failure that is expected to clear on a retry.
+
+    Raised for injected/transient faults (a chaos-backend crash, a flaky
+    first solve): the formula is fine, the *attempt* failed.  Retry layers
+    treat any error as retryable, but this class lets callers and tests
+    distinguish deliberate fault injection from genuine misuse.
+    """
+
+
+class ChaosInjectedError(TransientSolverError):
+    """A failure injected on purpose by the ``chaos`` SAT backend."""
+
+
 class ResourceLimitError(ReproError):
     """Raised when a solver exhausts a conflict/time budget and the caller
     asked for limit violations to be raised instead of reported."""

@@ -22,8 +22,10 @@ from repro.pebbling.bennett import bennett_strategy, eager_bennett_strategy
 from repro.pebbling.encoding import EncodingOptions, PebblingEncoder
 from repro.pebbling.heuristic import greedy_pebbling_strategy
 from repro.pebbling.portfolio import (
+    PortfolioHealth,
     PortfolioRecord,
     PortfolioTask,
+    RetryPolicy,
     minimize_pebbles_portfolio,
     run_portfolio,
     tasks_from_suite,
@@ -54,8 +56,10 @@ __all__ = [
     "PebblingOutcome",
     "PebblingResult",
     "PebblingStrategy",
+    "PortfolioHealth",
     "PortfolioRecord",
     "PortfolioTask",
+    "RetryPolicy",
     "ReversiblePebblingSolver",
     "SearchStrategy",
     "bennett_strategy",

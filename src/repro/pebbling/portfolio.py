@@ -26,7 +26,11 @@ Design rules:
 from __future__ import annotations
 
 import os
+import random
+import time
+import traceback as traceback_module
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Sequence
 
@@ -34,6 +38,7 @@ from repro.errors import PebblingError
 from repro.pebbling.encoding import EncodingOptions
 from repro.pebbling.search import strategy_from_name
 from repro.pebbling.solver import ReversiblePebblingSolver
+from repro.sat.backend import set_chaos_scope
 from repro.sat.cards import CardinalityEncoding
 from repro.workloads.registry import (
     BatchEntry,
@@ -96,6 +101,95 @@ class PortfolioTask:
         )
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a portfolio worker retries one failing task.
+
+    Attempts are numbered from 0; before retry attempt ``n >= 1`` the
+    worker sleeps :meth:`delay_before` seconds — exponential backoff with
+    *deterministic* jitter (seeded by the task name and attempt number, so
+    two runs of the same sweep replay the same delays and the test-suite
+    can assert on them).  ``attempt_time_limit`` clamps each attempt's SAT
+    budget; ``total_time_limit`` bounds the whole attempt sequence
+    including backoff sleeps.  With ``retry_incomplete`` (default) a
+    preempted search (timeout / spurious UNKNOWN) is retried too, not just
+    hard errors — the best record across attempts is kept either way, so a
+    partial answer is never *lost* to a later failed attempt.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    backoff_factor: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.1
+    attempt_time_limit: float | None = None
+    total_time_limit: float | None = None
+    retry_incomplete: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise PebblingError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise PebblingError("backoff delays must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise PebblingError("backoff_factor must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise PebblingError("jitter must be in [0, 1]")
+        for name in ("attempt_time_limit", "total_time_limit"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise PebblingError(f"{name} must be > 0 (or None)")
+
+    def delay_before(self, attempt: int, key: str = "") -> float:
+        """Backoff sleep (seconds) before retry ``attempt`` (``>= 1``).
+
+        Deterministic in ``(key, attempt)`` and monotone non-decreasing in
+        ``attempt`` *by construction*: each attempt's jittered exponential
+        delay is folded through a running maximum, so the clamp to
+        ``max_delay`` plus an unlucky jitter draw can never make attempt
+        ``n + 1`` wait less than attempt ``n``.
+        """
+        if attempt <= 0:
+            return 0.0
+        delay = 0.0
+        for step in range(1, attempt + 1):
+            raw = min(
+                self.max_delay,
+                self.base_delay * self.backoff_factor ** (step - 1),
+            )
+            draw = random.Random(f"retry|{key}|{step}").random()
+            delay = max(delay, raw * (1.0 + self.jitter * draw))
+        return delay
+
+
+@dataclass
+class PortfolioHealth:
+    """Mutable fault-tolerance counters of one :func:`run_portfolio` call.
+
+    Pass an instance via ``run_portfolio(..., health=...)`` to collect how
+    hard the run had to fight: how often the process pool broke and was
+    rebuilt, how many tasks needed retries, and the total retry attempts
+    spent.  The service layer aggregates these into its health snapshot.
+    """
+
+    pool_rebuilds: int = 0
+    retried_tasks: int = 0
+    retry_attempts: int = 0
+
+    def absorb_records(self, records: "Sequence[PortfolioRecord]") -> None:
+        for record in records:
+            if record.retries:
+                self.retried_tasks += 1
+                self.retry_attempts += record.retries
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "pool_rebuilds": self.pool_rebuilds,
+            "retried_tasks": self.retried_tasks,
+            "retry_attempts": self.retry_attempts,
+        }
+
+
 @dataclass
 class PortfolioRecord:
     """The merged result of one portfolio task.
@@ -119,6 +213,14 @@ class PortfolioRecord:
     complete: bool = False
     backend: str | None = None
     race: dict[str, dict[str, object]] | None = None
+    #: Full worker-side traceback of an ``error`` record (``None`` for
+    #: successful tasks) — without it a remote failure is one opaque line.
+    traceback: str | None = None
+    #: Anytime snapshot of an incomplete search (see
+    #: :attr:`repro.pebbling.solver.PebblingResult.partial`).
+    partial: dict[str, object] | None = None
+    #: Retry attempts this record consumed beyond the first try.
+    retries: int = 0
 
     @property
     def name(self) -> str:
@@ -144,6 +246,9 @@ class PortfolioRecord:
             "error": self.error,
             "complete": self.complete,
             "backend": self.backend,
+            "traceback": self.traceback,
+            "partial": self.partial,
+            "retries": self.retries,
         }
         if self.race is not None:
             row["race"] = self.race
@@ -230,6 +335,7 @@ def record_from_result(task: PortfolioTask, result) -> PortfolioRecord:
         sat_calls=len(result.attempts),
         complete=result.complete,
         backend=result.backend,
+        partial=result.partial,
     )
     if result.strategy is not None:
         record.pebbles_used = result.strategy.max_pebbles
@@ -241,12 +347,15 @@ def record_from_result(task: PortfolioTask, result) -> PortfolioRecord:
     return record
 
 
-def _execute_task(task: PortfolioTask, store: object = None) -> PortfolioRecord:
-    """Run one task start-to-finish inside a worker process.
-
-    ``store`` is ``None``, a database path (what the process pool ships) or
-    an open :class:`~repro.store.ResultStore` (inline execution).
-    """
+def _attempt_task(
+    task: PortfolioTask,
+    store: object,
+    attempt: int,
+    epoch: int,
+    time_limit: float | None,
+) -> PortfolioRecord:
+    """One attempt of one task; never raises, always returns a record."""
+    set_chaos_scope(task.name, attempt=attempt, epoch=epoch)
     try:
         dag = load_workload_or_path(task.workload, scale=task.scale)
         parameters = task_solve_parameters(task)
@@ -259,14 +368,88 @@ def _execute_task(task: PortfolioTask, store: object = None) -> PortfolioRecord:
         result = solver.solve(
             task.pebbles,
             strategy=parameters["search"],
-            time_limit=task.time_limit,
+            time_limit=time_limit,
             max_steps=task.max_steps,
             initial_steps=task.initial_steps,
             store=_resolve_store(store),
         )
     except Exception as error:  # noqa: BLE001 — a crashed task must not kill the sweep
-        return PortfolioRecord(task=task, outcome="error", error=str(error))
+        return PortfolioRecord(
+            task=task,
+            outcome="error",
+            error=str(error),
+            traceback=traceback_module.format_exc(),
+        )
     return record_from_result(task, result)
+
+
+def _record_rank(record: PortfolioRecord) -> tuple[int, int, int]:
+    """Lower is better: errors < incomplete < no-solution, in that order."""
+    return (
+        1 if record.outcome == "error" else 0,
+        0 if record.complete else 1,
+        0 if record.found else 1,
+    )
+
+
+def _execute_task(
+    task: PortfolioTask,
+    store: object = None,
+    retry: "RetryPolicy | None" = None,
+    epoch: int = 0,
+) -> PortfolioRecord:
+    """Run one task — retrying per ``retry`` — inside a worker process.
+
+    ``store`` is ``None``, a database path (what the process pool ships) or
+    an open :class:`~repro.store.ResultStore` (inline execution).  ``epoch``
+    counts pool rebuilds; it feeds the chaos scope so resubmitted work does
+    not replay the fault that killed its first pool.
+
+    The *best* record across attempts wins (complete beats incomplete
+    beats error, latest on ties), and it reports the retries consumed —
+    a transient failure is healed invisibly, a persistent one still ends
+    as an ``error`` record with the last traceback attached.
+    """
+    policy = retry if retry is not None else RetryPolicy(max_attempts=1)
+    started = time.monotonic()
+    best: PortfolioRecord | None = None
+    attempts_used = 0
+    for attempt in range(policy.max_attempts):
+        if attempt:
+            delay = policy.delay_before(attempt, key=task.name)
+            if policy.total_time_limit is not None:
+                budget_left = policy.total_time_limit - (time.monotonic() - started)
+                if budget_left <= delay:
+                    break  # the sleep alone would blow the total budget
+            time.sleep(delay)
+        time_limit = task.time_limit
+        if policy.attempt_time_limit is not None:
+            time_limit = (
+                policy.attempt_time_limit
+                if time_limit is None
+                else min(time_limit, policy.attempt_time_limit)
+            )
+        if policy.total_time_limit is not None:
+            remaining = policy.total_time_limit - (time.monotonic() - started)
+            if remaining <= 0:
+                break
+            time_limit = remaining if time_limit is None else min(time_limit, remaining)
+        record = _attempt_task(task, store, attempt, epoch, time_limit)
+        attempts_used = attempt + 1
+        if best is None or _record_rank(record) <= _record_rank(best):
+            best = record
+        if record.outcome != "error" and (
+            record.complete or not policy.retry_incomplete
+        ):
+            break
+    if best is None:  # total_time_limit left no room for even one attempt
+        best = PortfolioRecord(
+            task=task,
+            outcome="error",
+            error="retry policy's total_time_limit expired before any attempt",
+        )
+    best.retries = max(0, attempts_used - 1)
+    return best
 
 
 def run_portfolio(
@@ -276,6 +459,9 @@ def run_portfolio(
     store_path: str | None = None,
     force_pool: bool = False,
     race_backends: Sequence[str] | None = None,
+    retry: "RetryPolicy | None" = None,
+    health: "PortfolioHealth | None" = None,
+    pool_rebuild_limit: int = 2,
 ) -> list[PortfolioRecord]:
     """Run every task, ``jobs`` at a time, and merge deterministically.
 
@@ -306,10 +492,21 @@ def run_portfolio(
     addresses are backend-invariant, so a shared cache would answer every
     lane after the first from the first lane's result and the race would
     compare cache lookups instead of backends.
+
+    ``retry`` applies a :class:`RetryPolicy` inside every worker (transient
+    faults heal without resubmission traffic); ``health`` collects
+    fault-tolerance counters into a caller-owned :class:`PortfolioHealth`.
+    A worker process dying outright (OOM-kill, segfault, a chaos ``exit``
+    fault) breaks the *whole* pool — every unfinished task is resubmitted
+    to a fresh pool, at most ``pool_rebuild_limit`` times, before the
+    remainder degrades to ``error`` records; finished results are never
+    recomputed.
     """
     task_list = list(tasks)
     if jobs < 1:
         raise PebblingError("jobs must be >= 1")
+    if pool_rebuild_limit < 0:
+        raise PebblingError("pool_rebuild_limit must be >= 0")
     if not task_list:
         return []
     if race_backends is not None:
@@ -318,20 +515,62 @@ def run_portfolio(
             list(race_backends),
             jobs=jobs,
             force_pool=force_pool,
+            retry=retry,
+            health=health,
         )
     inline = jobs == 1 or len(task_list) <= 1 or _usable_cores() <= 1
     if inline and not force_pool:
-        return [_execute_task(task, store_path) for task in task_list]
-    records: list[PortfolioRecord] = []
-    with ProcessPoolExecutor(max_workers=min(jobs, len(task_list))) as pool:
-        futures = [pool.submit(_execute_task, task, store_path) for task in task_list]
-        for task, future in zip(task_list, futures):
-            try:
-                records.append(future.result())
-            except Exception as error:  # noqa: BLE001 — e.g. a worker killed by the OS
-                records.append(
-                    PortfolioRecord(task=task, outcome="error", error=str(error))
-                )
+        records = [_execute_task(task, store_path, retry, 0) for task in task_list]
+        if health is not None:
+            health.absorb_records(records)
+        return records
+    results: dict[int, PortfolioRecord] = {}
+    pending = list(enumerate(task_list))
+    epoch = 0
+    while pending:
+        unfinished: list[tuple[int, PortfolioTask]] = []
+        pool_broke = False
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            submitted = [
+                (index, task, pool.submit(_execute_task, task, store_path, retry, epoch))
+                for index, task in pending
+            ]
+            for index, task, future in submitted:
+                try:
+                    results[index] = future.result()
+                except BrokenProcessPool:
+                    # The pool is gone; this task (and every sibling that
+                    # had not finished) must be resubmitted to a new one.
+                    pool_broke = True
+                    unfinished.append((index, task))
+                except Exception as error:  # noqa: BLE001 — e.g. an unpicklable result
+                    results[index] = PortfolioRecord(
+                        task=task,
+                        outcome="error",
+                        error=str(error),
+                        traceback=traceback_module.format_exc(),
+                    )
+        if pool_broke:
+            if epoch >= pool_rebuild_limit:
+                for index, task in unfinished:
+                    results[index] = PortfolioRecord(
+                        task=task,
+                        outcome="error",
+                        error=(
+                            "worker process pool broke "
+                            f"{epoch + 1} times (rebuild limit "
+                            f"{pool_rebuild_limit}); task abandoned"
+                        ),
+                    )
+                unfinished = []
+            else:
+                epoch += 1
+                if health is not None:
+                    health.pool_rebuilds += 1
+        pending = unfinished
+    records = [results[index] for index in range(len(task_list))]
+    if health is not None:
+        health.absorb_records(records)
     return records
 
 
@@ -356,19 +595,23 @@ def _merge_race(
     """Fold one task's backend lanes into its merged racing record.
 
     The winner is the first lane to *complete* its search: lanes are
-    ranked by ``(not complete, no solution, runtime, lane index)``, so a
-    conclusive answer always beats a timeout, a timeout that still carries
-    a witness beats one that found nothing, faster answers beat slower
-    ones, and the caller's backend order breaks exact ties — the merge is
-    a pure function of the lane records.  Error lanes rank last but are
-    still reported in ``race``.
+    ranked by ``(not complete, no solution, no anytime progress, runtime,
+    lane index)``, so a conclusive answer always beats a timeout, a
+    timeout that still carries a witness beats one that found nothing, a
+    lane with an anytime ``partial`` snapshot beats one with no progress
+    at all, faster answers beat slower ones, and the caller's backend
+    order breaks exact ties — the merge is a pure function of the lane
+    records.  Error lanes rank last but are still reported in ``race``.
     """
-    def rank(indexed: tuple[int, PortfolioRecord]) -> tuple[int, int, int, float, int]:
+    def rank(
+        indexed: tuple[int, PortfolioRecord]
+    ) -> tuple[int, int, int, int, float, int]:
         index, lane = indexed
         return (
             1 if lane.outcome == "error" else 0,
             0 if lane.complete else 1,
             0 if lane.outcome == "solution" else 1,
+            0 if (lane.outcome == "solution" or lane.partial is not None) else 1,
             lane.runtime,
             index,
         )
@@ -386,6 +629,9 @@ def _merge_race(
         configurations=winner.configurations,
         error=winner.error,
         complete=winner.complete,
+        traceback=winner.traceback,
+        partial=winner.partial,
+        retries=winner.retries,
         # The lane's own record names the actual producer; fall back to
         # the lane spec for error lanes that never built a solver.
         backend=winner.backend or backends[winner_index],
@@ -402,6 +648,8 @@ def _run_race(
     *,
     jobs: int,
     force_pool: bool,
+    retry: "RetryPolicy | None" = None,
+    health: "PortfolioHealth | None" = None,
 ) -> list[PortfolioRecord]:
     """Race every task across ``backends`` (see :func:`run_portfolio`).
 
@@ -415,7 +663,9 @@ def _run_race(
         [replace(task, backend=spec) for spec in backends] for task in tasks
     ]
     flat = [lane for lanes in lanes_per_task for lane in lanes]
-    flat_records = run_portfolio(flat, jobs=jobs, force_pool=force_pool)
+    flat_records = run_portfolio(
+        flat, jobs=jobs, force_pool=force_pool, retry=retry, health=health
+    )
     merged: list[PortfolioRecord] = []
     width = len(backends)
     for position, task in enumerate(tasks):

@@ -89,6 +89,18 @@ class SearchCursor(ABC):
         del refuted
         return self.advance(sat)
 
+    def checkpoint(self) -> dict[str, int | None]:
+        """Snapshot of search progress, for anytime partial answers.
+
+        ``next_bound`` is the bound the search would query next;
+        ``refuted_through`` the largest bound proven UNSAT so far (``None``
+        when no bound has been refuted); ``known_sat`` the smallest bound
+        known satisfiable (``None`` until one is).  A preempted search
+        reports this snapshot so a retry — or a human — can resume from the
+        narrowed interval instead of starting over.
+        """
+        return {"next_bound": self.bound, "refuted_through": None, "known_sat": None}
+
 
 class SearchStrategy(ABC):
     """Immutable configuration of a step-bound search schedule."""
@@ -153,6 +165,7 @@ class _LinearCursor(SearchCursor):
         self._increment = step_increment
         self._lookahead = lookahead
         self._ceiling = ceiling
+        self._refuted: int | None = None
 
     def ladder(self) -> list[int]:
         if self._lookahead <= 0:
@@ -170,8 +183,12 @@ class _LinearCursor(SearchCursor):
             return None
         # Fast-forward past every bound the core proved infeasible.
         unsat_through = self.bound if refuted is None else max(self.bound, refuted)
+        self._refuted = unsat_through
         self.bound = unsat_through + self._increment
         return self.bound
+
+    def checkpoint(self) -> dict[str, int | None]:
+        return {"next_bound": self.bound, "refuted_through": self._refuted, "known_sat": None}
 
 
 @dataclass(frozen=True)
@@ -221,12 +238,17 @@ class _GeometricCursor(SearchCursor):
     def __init__(self, initial: int, factor: float):
         self.bound = initial
         self._factor = factor
+        self._refuted: int | None = None
 
     def advance(self, sat: bool) -> int | None:
         if sat:
             return None
+        self._refuted = self.bound
         self.bound = _grow(self.bound, self._factor)
         return self.bound
+
+    def checkpoint(self) -> dict[str, int | None]:
+        return {"next_bound": self.bound, "refuted_through": self._refuted, "known_sat": None}
 
 
 @dataclass(frozen=True)
@@ -314,6 +336,11 @@ class _GeometricRefineCursor(SearchCursor):
             return None
         self.bound = (self._lo + self._hi) // 2
         return self.bound
+
+    def checkpoint(self) -> dict[str, int | None]:
+        # ``_lo`` starts at the structural floor, so ``_lo - 1`` is always a
+        # sound "everything below is infeasible" statement.
+        return {"next_bound": self.bound, "refuted_through": self._lo - 1, "known_sat": self._hi}
 
 
 @dataclass(frozen=True)

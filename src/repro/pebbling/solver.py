@@ -144,6 +144,12 @@ class PebblingResult:
     #: store's content addresses are deliberately backend-invariant, so a
     #: cache hit may report a different producer than the requester).
     backend: str = DEFAULT_BACKEND
+    #: Anytime progress snapshot, present only when the search was cut
+    #: short (``complete=False``): the cursor's checkpoint (next bound,
+    #: largest refuted bound, smallest known-SAT bound) plus the best step
+    #: count witnessed and the SAT calls spent.  A preempted request hands
+    #: this back instead of nothing.
+    partial: dict[str, object] | None = None
 
     @property
     def found(self) -> bool:
@@ -201,7 +207,7 @@ class PebblingResult:
             strategy_payload(self.strategy) if self.strategy is not None else None
         )
         return {
-            "schema": 2,
+            "schema": 3,
             "dag": self.dag_name,
             "max_pebbles": self.max_pebbles,
             "outcome": self.outcome.value,
@@ -210,6 +216,7 @@ class PebblingResult:
             "weighted": self.weighted,
             "minimal": self.minimal,
             "backend": self.backend,
+            "partial": self.partial,
             "strategy": strategy,
             "attempts": [record.as_dict() for record in self.attempts],
         }
@@ -239,6 +246,7 @@ class PebblingResult:
             weighted=bool(data.get("weighted", False)),
             minimal=bool(data.get("minimal", False)),
             backend=str(data.get("backend", DEFAULT_BACKEND)),
+            partial=data.get("partial"),  # type: ignore[arg-type]
         )
 
 
@@ -536,6 +544,17 @@ class ReversiblePebblingSolver:
                 result, max_pebbles, cursor, max_steps, time_limit, started
             )
         result.outcome = outcome
+        if not result.complete:
+            # Preempted (time limit / spurious UNKNOWN): hand back the
+            # search's progress so the caller gets an anytime answer — a
+            # narrowed bound interval plus the best witness seen — instead
+            # of a bare timeout.  Complete searches carry their answer in
+            # full, so no snapshot is attached.
+            result.partial = {
+                "checkpoint": cursor.checkpoint(),
+                "best_steps": result.num_steps,
+                "sat_calls": len(result.attempts),
+            }
         # Step-minimality certification: the schedule must close on the
         # minimum AND the scan must have started at (or below) a sound
         # floor.  GeometricRefine brackets from ``min(floor, initial)``, so

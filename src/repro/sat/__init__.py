@@ -24,15 +24,19 @@ easy to read and to dump for external solvers.
 
 from repro.sat.backend import (
     DEFAULT_BACKEND,
+    ChaosBackend,
+    ChaosSpec,
     DpllBackend,
     ExternalDimacsBackend,
     IncrementalSatBackend,
     backend_names,
     backend_unavailable_reason,
+    chaos_scope,
     create_backend,
     describe_backends,
     register_backend,
     require_backend,
+    set_chaos_scope,
 )
 from repro.sat.cards import (
     CardinalityEncoding,
@@ -54,6 +58,8 @@ __all__ = [
     "BoolExpr",
     "CardinalityEncoding",
     "CdclSolver",
+    "ChaosBackend",
+    "ChaosSpec",
     "Clause",
     "Cnf",
     "DEFAULT_BACKEND",
@@ -69,10 +75,12 @@ __all__ = [
     "and_",
     "backend_names",
     "backend_unavailable_reason",
+    "chaos_scope",
     "create_backend",
     "describe_backends",
     "register_backend",
     "require_backend",
+    "set_chaos_scope",
     "at_least_k",
     "at_most_k",
     "at_most_k_weighted",

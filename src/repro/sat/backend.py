@@ -28,6 +28,14 @@ CLI) can carry a backend across process boundaries as plain data:
     environment variable; when no command is configured the backend
     reports itself unavailable instead of failing mid-search.
 
+``"chaos[:seed,key=value,...]"``
+    Deterministic fault injection around any *inner* backend, for
+    exercising the retry/anytime machinery on demand:
+    ``chaos:7,inner=cdcl,flaky=1,unknown=0.05,delay=0.001``.  Faults are
+    drawn from a schedule seeded by ``(seed, scope, epoch, attempt,
+    call index)``, so a failing run replays bit-identically — see
+    :class:`ChaosSpec` and :func:`set_chaos_scope`.
+
 Specs are validated and availability-probed *before* a search starts
 (:func:`require_backend`), so a portfolio worker never silently falls
 back to the default engine.
@@ -35,7 +43,9 @@ back to the default engine.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
+import random
 import shlex
 import shutil
 import subprocess
@@ -46,7 +56,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterable, Sequence
 
-from repro.errors import SolverError
+from repro.errors import ChaosInjectedError, SolverError
 from repro.sat.cnf import Cnf
 from repro.sat.dpll import DpllSolver
 from repro.sat.solver import CdclSolver, SolveResult, SolverStats, Status
@@ -414,6 +424,239 @@ class ExternalDimacsBackend(IncrementalSatBackend):
 
 
 # ---------------------------------------------------------------------------
+# chaos backend — deterministic fault injection
+# ---------------------------------------------------------------------------
+
+#: Exit status used by the chaos ``exit`` fault — recognisable in
+#: ``BrokenProcessPool`` post-mortems as a deliberate kill.
+CHAOS_EXIT_CODE = 73
+
+# The chaos *scope* names the unit of work currently running (a portfolio
+# task), plus which retry attempt and which pool epoch it belongs to.  The
+# retry layer advances it before every attempt so injected faults do not
+# replay identically on retry — a flaky first solve heals on attempt 1, a
+# worker kill heals after the pool rebuild bumps the epoch — while the full
+# (seed, scope, epoch, attempt, call-index) tuple keeps every draw
+# reproducible across runs.  Module-level state is safe here: portfolio
+# workers are processes, and within one process attempts run sequentially.
+_CHAOS_SCOPE: dict[str, object] = {"token": "", "attempt": 0, "epoch": 0}
+
+
+def set_chaos_scope(token: str, *, attempt: int = 0, epoch: int = 0) -> None:
+    """Name the current unit of work for chaos-fault scheduling."""
+    _CHAOS_SCOPE["token"] = str(token)
+    _CHAOS_SCOPE["attempt"] = int(attempt)
+    _CHAOS_SCOPE["epoch"] = int(epoch)
+
+
+def chaos_scope() -> tuple[str, int, int]:
+    """The current ``(token, attempt, epoch)`` chaos scope."""
+    return (
+        str(_CHAOS_SCOPE["token"]),
+        int(_CHAOS_SCOPE["attempt"]),
+        int(_CHAOS_SCOPE["epoch"]),
+    )
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Parsed fault schedule of a ``chaos[:seed,key=value,...]`` spec.
+
+    The spec argument is a comma-separated list: one optional bare integer
+    (the ``seed``) plus ``key=value`` pairs.  The ``inner`` value is a full
+    backend spec and may itself contain colons (``inner=external:minisat``)
+    but not commas.
+    """
+
+    #: Root of every pseudo-random draw; same seed → same fault schedule.
+    seed: int = 0
+    #: Backend spec that does the actual solving.
+    inner: str = DEFAULT_BACKEND
+    #: Raise on the first N ``solve`` calls of attempt 0 / epoch 0.
+    flaky: int = 0
+    #: Per-call probability of raising :class:`ChaosInjectedError`.
+    crash: float = 0.0
+    #: Per-call probability of a spurious UNKNOWN (a fake timeout).
+    unknown: float = 0.0
+    #: Artificial seconds of sleep added to every ``solve`` call.
+    delay: float = 0.0
+    #: Hard-kill the worker process on the first N calls of epoch 0.
+    exit: int = 0
+
+    @classmethod
+    def parse(cls, argument: str | None) -> "ChaosSpec":
+        values: dict[str, object] = {}
+        for raw in (argument or "").split(","):
+            token = raw.strip()
+            if not token:
+                continue
+            key, equals, value = token.partition("=")
+            if not equals:
+                if "seed" in values:
+                    raise SolverError(
+                        f"chaos: seed given twice in spec argument {argument!r}"
+                    )
+                try:
+                    values["seed"] = int(token)
+                except ValueError:
+                    raise SolverError(
+                        "chaos: expected an integer seed or key=value, "
+                        f"got {token!r}"
+                    ) from None
+                continue
+            key, value = key.strip(), value.strip()
+            if key in values:
+                raise SolverError(f"chaos: {key!r} given twice in {argument!r}")
+            if key == "inner":
+                values[key] = value
+            elif key in ("seed", "flaky", "exit"):
+                try:
+                    parsed = int(value)
+                except ValueError:
+                    raise SolverError(
+                        f"chaos: {key} wants an integer, got {value!r}"
+                    ) from None
+                if key != "seed" and parsed < 0:
+                    raise SolverError(f"chaos: {key} must be >= 0, got {parsed}")
+                values[key] = parsed
+            elif key in ("crash", "unknown", "delay"):
+                try:
+                    rate = float(value)
+                except ValueError:
+                    raise SolverError(
+                        f"chaos: {key} wants a number, got {value!r}"
+                    ) from None
+                if rate < 0 or (key != "delay" and rate > 1):
+                    bound = ">= 0" if key == "delay" else "in [0, 1]"
+                    raise SolverError(f"chaos: {key} must be {bound}, got {rate}")
+                values[key] = rate
+            else:
+                raise SolverError(
+                    f"chaos: unknown key {key!r}; valid keys: "
+                    "inner, flaky, crash, unknown, delay, exit "
+                    "(plus one bare integer seed)"
+                )
+        spec = cls(**values)  # type: ignore[arg-type]
+        inner_name, _ = split_backend_spec(spec.inner)
+        if inner_name == "chaos":
+            raise SolverError("chaos: the inner backend cannot itself be chaos")
+        return spec
+
+    def render(self) -> str:
+        """The canonical ``chaos:...`` spec string for this schedule."""
+        parts = [str(self.seed)]
+        if self.inner != DEFAULT_BACKEND:
+            parts.append(f"inner={self.inner}")
+        for key in ("flaky", "crash", "unknown", "delay", "exit"):
+            value = getattr(self, key)
+            if value:
+                parts.append(f"{key}={value}")
+        return "chaos:" + ",".join(parts)
+
+
+class ChaosBackend(IncrementalSatBackend):
+    """Fault-injecting wrapper around an inner backend.
+
+    Every injected fault is a deterministic function of ``(spec.seed,
+    chaos scope, solve-call index)``: running the same task with the same
+    seed and retry policy replays the identical schedule, which is what
+    lets the chaos benchmark assert bit-identical minima and the test
+    suite provoke one specific failure mode at a time.  Faults are checked
+    in a fixed order per call — delay, exit, flaky, crash, unknown — and
+    ``exit`` only fires inside worker processes (never the test runner).
+    """
+
+    name = "chaos"
+
+    def __init__(
+        self,
+        spec: ChaosSpec,
+        *,
+        conflict_limit: int | None = None,
+    ) -> None:
+        self.spec = spec
+        self._inner = create_backend(spec.inner, conflict_limit=conflict_limit)
+        self._calls = 0
+        self._injected = {"flaky": 0, "crash": 0, "unknown": 0, "exit": 0}
+
+    @property
+    def num_variables(self) -> int:
+        return self._inner.num_variables
+
+    def add_variable(self) -> int:
+        return self._inner.add_variable()
+
+    def add_clause(self, literals: Iterable[int]) -> bool:
+        return self._inner.add_clause(literals)
+
+    def add_cnf(self, cnf: Cnf) -> None:
+        self._inner.add_cnf(cnf)
+
+    def failed_assumptions(self) -> list[int]:
+        return self._inner.failed_assumptions()
+
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        *,
+        conflict_limit: int | None = None,
+        time_limit: float | None = None,
+    ) -> SolveResult:
+        index = self._calls
+        self._calls += 1
+        token, attempt, epoch = chaos_scope()
+        # String seeding hashes via SHA-512 internally — stable across
+        # processes and interpreter runs, unlike hash() under PYTHONHASHSEED.
+        rng = random.Random(
+            f"chaos|{self.spec.seed}|{token}|e{epoch}|a{attempt}|{index}"
+        )
+        if self.spec.delay > 0.0:
+            time.sleep(self.spec.delay)
+        if (
+            self.spec.exit > 0
+            and epoch == 0
+            and index < self.spec.exit
+            and multiprocessing.parent_process() is not None
+        ):
+            # Simulated hard worker death (OOM-kill, segfault): skip all
+            # Python teardown so the parent sees BrokenProcessPool.  Guarded
+            # to child processes so an inline/test run is never killed.
+            os._exit(CHAOS_EXIT_CODE)
+        if (
+            self.spec.flaky > 0
+            and attempt == 0
+            and epoch == 0
+            and index < self.spec.flaky
+        ):
+            self._injected["flaky"] += 1
+            raise ChaosInjectedError(
+                f"chaos(seed={self.spec.seed}): injected flaky failure on "
+                f"solve call {index} of {token!r}"
+            )
+        if self.spec.crash > 0.0 and rng.random() < self.spec.crash:
+            self._injected["crash"] += 1
+            raise ChaosInjectedError(
+                f"chaos(seed={self.spec.seed}): injected crash on solve "
+                f"call {index} of {token!r} (attempt {attempt})"
+            )
+        if self.spec.unknown > 0.0 and rng.random() < self.spec.unknown:
+            self._injected["unknown"] += 1
+            stats = SolverStats()
+            return SolveResult(Status.UNKNOWN, None, stats)
+        return self._inner.solve(
+            assumptions, conflict_limit=conflict_limit, time_limit=time_limit
+        )
+
+    def counters(self) -> dict[str, float]:
+        merged = dict(self._inner.counters())
+        merged["chaos_calls"] = float(self._calls)
+        for fault, count in self._injected.items():
+            if count:
+                merged[f"chaos_{fault}"] = float(count)
+        return merged
+
+
+# ---------------------------------------------------------------------------
 # registry
 # ---------------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -508,6 +751,18 @@ register_backend(
     _make_dpll,
     description="reference DPLL oracle (debug/differential; small instances only)",
 )
+def _make_chaos(argument: str | None, conflict_limit: int | None) -> IncrementalSatBackend:
+    return ChaosBackend(ChaosSpec.parse(argument), conflict_limit=conflict_limit)
+
+
+def _probe_chaos(argument: str | None) -> str | None:
+    try:
+        spec = ChaosSpec.parse(argument)
+    except SolverError as exc:
+        return str(exc)
+    return backend_unavailable_reason(spec.inner)
+
+
 register_backend(
     "external",
     _make_external,
@@ -516,6 +771,15 @@ register_backend(
         f"('external:<command>' or ${EXTERNAL_SOLVER_ENV})"
     ),
     probe=_probe_external,
+)
+register_backend(
+    "chaos",
+    _make_chaos,
+    description=(
+        "deterministic fault injection around an inner backend "
+        "('chaos:<seed>,inner=...,flaky=N,crash=P,unknown=P,delay=S,exit=N')"
+    ),
+    probe=_probe_chaos,
 )
 
 

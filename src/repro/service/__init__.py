@@ -12,6 +12,7 @@ from repro.service.scheduler import (
     JobResult,
     PebblingService,
     ServiceError,
+    ServiceOverloadError,
     ServiceStats,
     parse_request_file,
     run_request_file,
@@ -22,6 +23,7 @@ __all__ = [
     "JobResult",
     "PebblingService",
     "ServiceError",
+    "ServiceOverloadError",
     "ServiceStats",
     "parse_request_file",
     "run_request_file",

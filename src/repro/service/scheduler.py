@@ -27,14 +27,17 @@ from __future__ import annotations
 
 import asyncio
 import json
-from dataclasses import asdict, dataclass, field, fields
+import time
+from dataclasses import asdict, dataclass, field, fields, replace
 from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.errors import ReproError
 from repro.circuits.pipeline import compile_cache_request, compile_workload
 from repro.pebbling.portfolio import (
+    PortfolioHealth,
     PortfolioTask,
+    RetryPolicy,
     record_from_result,
     run_portfolio,
     task_solve_parameters,
@@ -47,6 +50,17 @@ from repro.workloads.registry import load_workload_network, load_workload_or_pat
 
 class ServiceError(ReproError):
     """Raised for malformed service requests or misuse of the scheduler."""
+
+
+class ServiceOverloadError(ServiceError):
+    """Raised by :meth:`PebblingService.submit` when admission control sheds.
+
+    A bounded service under overload must fail *fast and loud* at the
+    door, not queue unboundedly and time every request out; callers can
+    catch exactly this class to retry elsewhere/later.
+    :meth:`PebblingService.run` converts sheds into per-request error
+    results so a gathered batch degrades instead of raising.
+    """
 
 
 @dataclass(frozen=True)
@@ -81,6 +95,14 @@ class JobRequest:
     #: address — cached results transfer across backends and record their
     #: producer in metadata.
     backend: str = "cdcl"
+    #: Per-request wall-clock budget in seconds, measured from submission.
+    #: When it runs out the search is preempted *gracefully*: the SAT time
+    #: limit is clamped to what is left, so the answer degrades to an
+    #: anytime partial (checkpointed bounds + best witness) instead of an
+    #: error.  ``None`` means no deadline.  Not part of the store's content
+    #: address (a deadline is about the caller's patience, not the
+    #: instance).
+    deadline: float | None = None
 
     def validate(self) -> None:
         if self.kind not in ("pebble", "compile", "sweep"):
@@ -107,6 +129,8 @@ class JobRequest:
             and self.max_budget < self.min_budget
         ):
             raise ServiceError("max_budget must be >= min_budget")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ServiceError("a request deadline must be > 0 seconds (or null)")
 
     @classmethod
     def from_dict(cls, data: dict[str, object]) -> "JobRequest":
@@ -182,6 +206,11 @@ class ServiceStats:
     solver_jobs: int = 0
     batches: int = 0
     expanded: int = 0  # sweep sub-requests spawned
+    sheds: int = 0  # requests rejected by admission control
+    preempted: int = 0  # deadline cut a search short (anytime answer)
+    partial_answers: int = 0  # answers carrying an anytime partial snapshot
+    retries: int = 0  # worker retry attempts spent (via RetryPolicy)
+    pool_rebuilds: int = 0  # broken process pools rebuilt
 
     def as_dict(self) -> dict[str, int]:
         return dict(asdict(self))
@@ -195,7 +224,12 @@ class PebblingService:
     for batched misses (the portfolio's single-core inline fallback
     applies).  ``batch_window`` is how long the dispatcher waits after the
     first queued miss for stragglers to join the batch; ``0`` batches only
-    what is already queued.
+    what is already queued.  ``max_queue`` bounds the dispatch queue —
+    admission control sheds excess submissions with
+    :class:`ServiceOverloadError` instead of queueing them to time out.
+    ``retry`` applies a :class:`~repro.pebbling.portfolio.RetryPolicy`
+    inside every solver job; :meth:`health` reports the resulting
+    fault-tolerance counters.
 
     Use as an async context manager, or call :meth:`close` when done —
     results are awaited through :meth:`submit`.  The service itself is
@@ -210,9 +244,13 @@ class PebblingService:
         store: "ResultStore | str | None" = None,
         workers: int = 1,
         batch_window: float = 0.01,
+        max_queue: int | None = None,
+        retry: "RetryPolicy | None" = None,
     ) -> None:
         if workers < 1:
             raise ServiceError("workers must be >= 1")
+        if max_queue is not None and max_queue < 1:
+            raise ServiceError("max_queue must be >= 1 (or None for unbounded)")
         if isinstance(store, str):
             store = ResultStore(store)
             self._owns_store = True
@@ -227,8 +265,13 @@ class PebblingService:
         )
         self.workers = workers
         self.batch_window = batch_window
+        self.max_queue = max_queue
+        self.retry = retry
         self.stats = ServiceStats()
-        self._queue: asyncio.Queue[tuple[JobRequest, asyncio.Future]] = asyncio.Queue()
+        self._health = PortfolioHealth()
+        self._queue: asyncio.Queue[tuple[JobRequest, asyncio.Future, float]] = (
+            asyncio.Queue()
+        )
         self._inflight: dict[JobRequest, asyncio.Future] = {}
         self._dispatcher: asyncio.Task | None = None
         self._closed = False
@@ -276,7 +319,12 @@ class PebblingService:
 
         Identical in-flight requests share a single execution; errors come
         back as ``status="error"`` results, never as raised exceptions
-        (one poisoned request must not break a gathered batch).
+        (one poisoned request must not break a gathered batch) — with one
+        deliberate exception: when ``max_queue`` is set and the queue is
+        full, admission control raises :class:`ServiceOverloadError`
+        *before* enqueueing (load shedding must be distinguishable from a
+        request that ran and failed).  Deduplicated requests piggyback on
+        in-flight work and are never shed.
         """
         if self._closed:
             raise ServiceError("the service is closed")
@@ -292,16 +340,54 @@ class PebblingService:
         if shared is not None:
             self.stats.deduplicated += 1
             return await shared
+        if self.max_queue is not None and self._queue.qsize() >= self.max_queue:
+            self.stats.sheds += 1
+            raise ServiceOverloadError(
+                f"service queue is full ({self._queue.qsize()} >= "
+                f"max_queue={self.max_queue}); request shed"
+            )
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._inflight[request] = future
-        self._queue.put_nowait((request, future))
+        self._queue.put_nowait((request, future, time.monotonic()))
         if self._dispatcher is None:
             self._dispatcher = asyncio.create_task(self._dispatch_loop())
         return await future
 
     async def run(self, requests: Iterable[JobRequest]) -> list[JobResult]:
-        """Submit many requests concurrently; results in request order."""
-        return list(await asyncio.gather(*(self.submit(r) for r in requests)))
+        """Submit many requests concurrently; results in request order.
+
+        Load sheds surface here as ``status="error"`` results with source
+        ``"shed"`` — a gathered batch degrades per-request instead of
+        raising out of the whole gather.
+        """
+
+        async def _guarded(request: JobRequest) -> JobResult:
+            try:
+                return await self.submit(request)
+            except ServiceOverloadError as error:
+                return JobResult(request, "error", "shed", error=str(error))
+
+        return list(await asyncio.gather(*(_guarded(r) for r in requests)))
+
+    def health(self) -> dict[str, object]:
+        """Structured liveness/saturation snapshot of this service.
+
+        Cheap to call at any time (no locks, no solver work): current
+        queue depth and in-flight count, the admission/retry configuration,
+        and the cumulative fault-tolerance counters.
+        """
+        return {
+            "queue_depth": self._queue.qsize(),
+            "in_flight": len(self._inflight),
+            "workers": self.workers,
+            "max_queue": self.max_queue,
+            "sheds": self.stats.sheds,
+            "preempted": self.stats.preempted,
+            "partial_answers": self.stats.partial_answers,
+            "retries": self.stats.retries,
+            "pool_rebuilds": self.stats.pool_rebuilds,
+            "stats": self.stats.as_dict(),
+        }
 
     # ------------------------------------------------------------------
     # sweep expansion
@@ -328,6 +414,7 @@ class PebblingService:
                 time_limit=request.time_limit,
                 max_steps=request.max_steps,
                 backend=request.backend,
+                deadline=request.deadline,
             )
             for budget in range(low, high + 1)
         ]
@@ -392,14 +479,16 @@ class PebblingService:
             self.stats.batches += 1
             try:
                 outcomes = await asyncio.get_running_loop().run_in_executor(
-                    None, self._process_batch, [request for request, _ in batch]
+                    None,
+                    self._process_batch,
+                    [(request, enqueued) for request, _, enqueued in batch],
                 )
             except Exception as error:  # noqa: BLE001 — defensive: never kill the loop
                 outcomes = [
                     JobResult(request, "error", "solver", error=str(error))
-                    for request, _ in batch
+                    for request, _, _ in batch
                 ]
-            for (request, future), outcome in zip(batch, outcomes):
+            for (request, future, _), outcome in zip(batch, outcomes):
                 if outcome.source == "cache":
                     self.stats.cache_hits += 1
                 if outcome.ok:
@@ -411,11 +500,33 @@ class PebblingService:
                     future.set_result(outcome)
 
     # -- blocking section (runs in the default executor) -------------------
-    def _process_batch(self, requests: Sequence[JobRequest]) -> list[JobResult]:
+    def _deadline_task(
+        self, request: JobRequest, enqueued: float
+    ) -> PortfolioTask:
+        """The portfolio task of a request, with its deadline folded in.
+
+        The time the request spent *queued* counts against its deadline;
+        whatever remains clamps the task's SAT time budget (floored at a
+        token 50 ms so an already-expired request still returns a
+        checkpointed partial instead of an instant empty timeout).  This is
+        graceful preemption: the search is bounded, never cancelled, so
+        the anytime machinery always gets to report progress.
+        """
+        task = request.to_task()
+        if request.deadline is None:
+            return task
+        remaining = max(request.deadline - (time.monotonic() - enqueued), 0.05)
+        if task.time_limit is None or remaining < task.time_limit:
+            task = replace(task, time_limit=remaining)
+        return task
+
+    def _process_batch(
+        self, items: Sequence[tuple[JobRequest, float]]
+    ) -> list[JobResult]:
         """Answer a batch: cache first, then one portfolio fan-out."""
         outcomes: dict[int, JobResult] = {}
-        pebble_misses: list[tuple[int, JobRequest]] = []
-        for index, request in enumerate(requests):
+        pebble_misses: list[tuple[int, JobRequest, float]] = []
+        for index, (request, enqueued) in enumerate(items):
             try:
                 if request.kind == "compile":
                     outcomes[index] = self._run_compile(request)
@@ -424,21 +535,41 @@ class PebblingService:
                     if hit is not None:
                         outcomes[index] = hit
                     else:
-                        pebble_misses.append((index, request))
+                        pebble_misses.append((index, request, enqueued))
             except Exception as error:  # noqa: BLE001 — per-request containment
                 outcomes[index] = JobResult(request, "error", "solver", error=str(error))
         if pebble_misses:
-            tasks = [request.to_task() for _, request in pebble_misses]
+            tasks = [
+                self._deadline_task(request, enqueued)
+                for _, request, enqueued in pebble_misses
+            ]
             self.stats.solver_jobs += len(tasks)
             if self.store is not None and self.store_path is None:
                 # In-memory store: pool workers could not see it, so run the
                 # batch inline against the live store object instead.
-                records = [_execute_task(task, self.store) for task in tasks]
+                records = [
+                    _execute_task(task, self.store, self.retry) for task in tasks
+                ]
+                self._health.absorb_records(records)
             else:
                 records = run_portfolio(
-                    tasks, jobs=self.workers, store_path=self.store_path
+                    tasks,
+                    jobs=self.workers,
+                    store_path=self.store_path,
+                    retry=self.retry,
+                    health=self._health,
                 )
-            for (index, request), record in zip(pebble_misses, records):
+            self.stats.retries = self._health.retry_attempts
+            self.stats.pool_rebuilds = self._health.pool_rebuilds
+            for (index, request, _), record in zip(pebble_misses, records):
+                if record.partial is not None:
+                    self.stats.partial_answers += 1
+                if (
+                    request.deadline is not None
+                    and record.outcome != "error"
+                    and not record.complete
+                ):
+                    self.stats.preempted += 1
                 if record.outcome == "error":
                     outcomes[index] = JobResult(
                         request, "error", "solver", error=record.error
@@ -447,7 +578,7 @@ class PebblingService:
                     outcomes[index] = JobResult(
                         request, "ok", "solver", payload=record.as_dict()
                     )
-        return [outcomes[index] for index in range(len(requests))]
+        return [outcomes[index] for index in range(len(items))]
 
     def _cached_pebble(self, request: JobRequest) -> "JobResult | None":
         """Answer a pebble request from the store without touching a solver."""
@@ -515,14 +646,19 @@ class PebblingService:
 # ---------------------------------------------------------------------------
 # request-file mode (the CLI's ``serve --json``)
 # ---------------------------------------------------------------------------
-def parse_request_file(
-    path: "str | Path", *, default_backend: str | None = None
-) -> list[JobRequest]:
-    """Parse a JSON request file: ``{"requests": [...]}`` or a bare list.
+def _request_file_entries(
+    path: "str | Path",
+    *,
+    default_backend: str | None = None,
+    default_deadline: float | None = None,
+) -> list[object]:
+    """Raw entries of a request file; file-level problems always raise.
 
-    ``default_backend`` (the CLI's ``serve --backend``) applies to every
-    request that does not name its own ``backend`` field; explicit
-    per-request backends always win.
+    An unreadable file, invalid JSON, or a top-level shape that is neither
+    ``{"requests": [...]}`` nor a bare list is a caller error no matter how
+    lenient entry handling is; *per-entry* strictness is the caller's
+    choice (:func:`parse_request_file` raises, :func:`run_request_file`
+    degrades to structured error records).
     """
     try:
         text = Path(path).read_text(encoding="utf-8")
@@ -543,14 +679,33 @@ def parse_request_file(
         entries = data
     else:
         raise ServiceError("a request file must hold a JSON object or list")
+    defaults: dict[str, object] = {}
     if default_backend is not None:
+        defaults["backend"] = default_backend
+    if default_deadline is not None:
+        defaults["deadline"] = default_deadline
+    if defaults:
         entries = [
-            {**entry, "backend": default_backend}
-            if isinstance(entry, dict) and "backend" not in entry
+            {**{k: v for k, v in defaults.items() if k not in entry}, **entry}
+            if isinstance(entry, dict)
             else entry
             for entry in entries
         ]
-    return [JobRequest.from_dict(entry) for entry in entries]
+    return entries
+
+
+def parse_request_file(
+    path: "str | Path", *, default_backend: str | None = None
+) -> list[JobRequest]:
+    """Parse a JSON request file: ``{"requests": [...]}`` or a bare list.
+
+    ``default_backend`` (the CLI's ``serve --backend``) applies to every
+    request that does not name its own ``backend`` field; explicit
+    per-request backends always win.  Strict: any malformed entry raises
+    (:func:`run_request_file` offers the lenient per-entry behaviour).
+    """
+    entries = _request_file_entries(path, default_backend=default_backend)
+    return [JobRequest.from_dict(entry) for entry in entries]  # type: ignore[arg-type]
 
 
 def run_request_file(
@@ -560,23 +715,56 @@ def run_request_file(
     workers: int = 1,
     batch_window: float = 0.01,
     default_backend: str | None = None,
+    retry: "RetryPolicy | None" = None,
+    deadline: float | None = None,
+    max_queue: int | None = None,
 ) -> dict[str, object]:
     """Drive a request file through a fresh service; return the JSON report.
 
     All requests are submitted concurrently, so the file as a whole enjoys
     deduplication, batching and cache service exactly like live traffic.
-    ``default_backend`` fills the ``backend`` of requests that omit it.
+    ``default_backend`` and ``deadline`` fill the corresponding fields of
+    requests that omit them; ``retry`` / ``max_queue`` configure the
+    service's fault tolerance and admission control.
+
+    A *malformed entry* does not abort the file: it is skipped with a
+    structured error record at its position (``"source": "request-file"``,
+    carrying the raw entry) while every well-formed sibling still runs.
+    The report's ``"health"`` key holds the service's final health
+    snapshot.
     """
-    requests = parse_request_file(path, default_backend=default_backend)
+    entries = _request_file_entries(
+        path, default_backend=default_backend, default_deadline=deadline
+    )
+    requests: list[tuple[int, JobRequest]] = []
+    placed: dict[int, dict[str, object]] = {}
+    for position, entry in enumerate(entries):
+        try:
+            requests.append((position, JobRequest.from_dict(entry)))  # type: ignore[arg-type]
+        except (ServiceError, TypeError) as error:
+            placed[position] = {
+                "request": entry,
+                "status": "error",
+                "source": "request-file",
+                "payload": None,
+                "error": str(error),
+            }
 
     async def _run() -> dict[str, object]:
         async with PebblingService(
-            store=store, workers=workers, batch_window=batch_window
+            store=store,
+            workers=workers,
+            batch_window=batch_window,
+            max_queue=max_queue,
+            retry=retry,
         ) as service:
-            results = await service.run(requests)
+            results = await service.run([request for _, request in requests])
+            for (position, _), result in zip(requests, results):
+                placed[position] = result.as_dict()
             report: dict[str, object] = {
-                "results": [result.as_dict() for result in results],
+                "results": [placed[position] for position in range(len(entries))],
                 "stats": service.stats.as_dict(),
+                "health": service.health(),
             }
             if service.store is not None:
                 report["store"] = service.store.stats().as_dict()

@@ -29,6 +29,7 @@ instance, just about the deadline.
 from __future__ import annotations
 
 import json
+import logging
 import sqlite3
 import time
 import weakref
@@ -52,8 +53,11 @@ from repro.store.fingerprint import (
 #: Bump on any incompatible change to the table layout or payload format;
 #: an existing database with a different version is wiped and rebuilt (a
 #: cache may always be dropped).  v2: result payloads record the producing
-#: SAT backend (content addresses stay backend-invariant).
-STORE_SCHEMA = 2
+#: SAT backend (content addresses stay backend-invariant).  v3: pebbling
+#: payloads carry the anytime ``partial`` snapshot field.
+STORE_SCHEMA = 3
+
+_LOG = logging.getLogger(__name__)
 
 
 class StoreError(ReproError):
@@ -147,6 +151,7 @@ class ResultStore:
             "warm_queries": 0,
             "warm_hits": 0,
             "evictions": 0,
+            "corrupt": 0,
         }
         self._connection = sqlite3.connect(self.path, check_same_thread=False)
         self._connection.execute("PRAGMA busy_timeout = 10000")
@@ -250,7 +255,7 @@ class ResultStore:
         payload = self._fetch(key)
         if payload is None:
             return None
-        return PebblingResult.from_json(json.loads(payload), dag)
+        return self._decode(key, payload, lambda data: PebblingResult.from_json(data, dag))
 
     def put_pebble(self, dag: Dag, result: PebblingResult, **request: object) -> bool:
         """Store a pebbling result under its request's content address.
@@ -351,7 +356,7 @@ class ResultStore:
         payload = self._fetch(key)
         if payload is None:
             return None
-        return CompilationReport.from_json(json.loads(payload), dag)
+        return self._decode(key, payload, lambda data: CompilationReport.from_json(data, dag))
 
     def put_compile(
         self,
@@ -390,6 +395,32 @@ class ResultStore:
     # ------------------------------------------------------------------
     # row plumbing
     # ------------------------------------------------------------------
+    def _decode(self, key: str, payload: str, decoder):
+        """Deserialise a fetched payload, quarantining poison on failure.
+
+        A truncated write, a bit-flipped file or a payload from a
+        different library version must degrade to a cache *miss*, not an
+        exception out of ``get`` — and the poisoned row is deleted so it
+        cannot re-trip every future lookup of the same key.
+        """
+        try:
+            return decoder(json.loads(payload))
+        except Exception as error:  # noqa: BLE001 — any poison ⇒ miss
+            _LOG.warning(
+                "result store %s: dropping corrupt payload row %s…: %s",
+                self.path,
+                key[:16],
+                error,
+            )
+            connection = self._require()
+            with connection:
+                connection.execute("DELETE FROM results WHERE key = ?", (key,))
+            # _fetch already booked this lookup as a hit; it was not one.
+            self.session["hits"] -= 1
+            self.session["misses"] += 1
+            self.session["corrupt"] += 1
+            return None
+
     def _fetch(self, key: str) -> "str | None":
         self.session["gets"] += 1
         connection = self._require()

@@ -1,0 +1,80 @@
+"""Regression tests: corrupt store payloads degrade to logged cache misses.
+
+A truncated write, a bit-flipped database or a payload from an older
+schema must never raise out of ``get`` — the poisoned row is quarantined
+(deleted) so it cannot re-trip every future lookup of the same key.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pebbling.solver import ReversiblePebblingSolver
+from repro.store import ResultStore
+
+
+def _seed(store, dag):
+    """Solve fig2 p4 through the store so exactly one row exists."""
+    result = ReversiblePebblingSolver(dag).solve(4, time_limit=60, store=store)
+    assert result.found
+    assert store.stats().entries == 1
+
+
+def _poison(store, payload: str) -> None:
+    connection = store._require()
+    with connection:
+        connection.execute("UPDATE results SET payload = ?", (payload,))
+
+
+@pytest.mark.parametrize("payload", [
+    '{"truncated',          # invalid JSON (torn write)
+    "{}",                   # valid JSON, wrong shape for from_json
+    '{"schema": 999}',      # future/unknown schema
+])
+def test_corrupt_payload_is_a_miss_and_the_row_is_quarantined(
+    fig2_dag, payload, caplog
+):
+    with ResultStore(":memory:") as store:
+        _seed(store, fig2_dag)
+        _poison(store, payload)
+        with caplog.at_level("WARNING", logger="repro.store.store"):
+            result = ReversiblePebblingSolver(fig2_dag).solve(
+                4, time_limit=60, store=store
+            )
+        # The lookup degraded to a miss: the solver re-solved and re-stored.
+        assert result.found
+        assert store.session["corrupt"] == 1
+        assert store.session["hits"] == 0
+        assert any("corrupt payload" in record.message for record in caplog.records)
+        # The poisoned row was replaced by the fresh solve, and a repeat
+        # is a clean hit again — the quarantine healed the store.
+        assert store.stats().entries == 1
+        repeat = ReversiblePebblingSolver(fig2_dag).solve(
+            4, time_limit=60, store=store
+        )
+        assert repeat.found
+        assert store.session["hits"] == 1
+        assert store.session["corrupt"] == 1
+
+
+def test_quarantine_deletes_the_row_not_the_table(fig2_dag, and9_dag):
+    with ResultStore(":memory:") as store:
+        _seed(store, fig2_dag)
+        healthy = ReversiblePebblingSolver(and9_dag).solve(
+            5, time_limit=60, store=store
+        )
+        assert healthy.found
+        assert store.stats().entries == 2
+        # Poison only the fig2 row.
+        connection = store._require()
+        with connection:
+            connection.execute(
+                "UPDATE results SET payload = '!' WHERE rowid = "
+                "(SELECT MIN(rowid) FROM results)"
+            )
+        before = store.session["corrupt"]
+        ReversiblePebblingSolver(fig2_dag).solve(4, time_limit=60, store=store)
+        ReversiblePebblingSolver(and9_dag).solve(5, time_limit=60, store=store)
+        assert store.session["corrupt"] == before + 1
+        assert store.session["hits"] == 1  # the healthy and9 row still hits
+        assert store.stats().entries == 2

@@ -118,8 +118,8 @@ class TestCompileScenario:
             assert case["verified"] is True
             assert case["gates"] > 0 and case["t_count"] >= 0
 
-    def test_schema_version_is_five(self, quick_report):
-        assert quick_report["schema_version"] == 5
+    def test_schema_version_is_six(self, quick_report):
+        assert quick_report["schema_version"] == 6
 
     def test_quick_compile_cases_are_a_strict_subset(self, run_bench):
         quick = [case for case in run_bench.COMPILE_CASES if case[4]]
@@ -181,3 +181,26 @@ class TestCacheScenario:
     def test_quick_cache_cases_are_a_strict_subset(self, run_bench):
         quick = [case for case in run_bench.CACHE_CASES if case[4]]
         assert 0 < len(quick) < len(run_bench.CACHE_CASES)
+
+
+class TestChaosScenario:
+    def test_quick_report_certifies_minima_under_faults(self, quick_report):
+        scenario = quick_report["chaos"]
+        assert scenario["chaos_ok"] is True
+        assert scenario["suite"] == "smoke"
+        for task in scenario["tasks"]:
+            assert task["ok"] is True
+            assert task["chaos_verdict"] == task["verdict"]
+            assert task["chaos_steps"] == task["steps"]
+            # flaky=1 guarantees every task's first attempt failed
+            assert task["retries"] >= 1
+        assert scenario["retry_attempts"] >= len(scenario["tasks"])
+        assert scenario["spurious_timeouts_certified"] is True
+
+    def test_deadline_probe_degrades_to_a_partial(self, quick_report):
+        probe = quick_report["chaos"]["deadline_probe"]
+        assert probe["ok"] is True
+        assert probe["status"] == "ok"
+        assert probe["outcome"] == "timeout"
+        checkpoint = probe["partial"]["checkpoint"]
+        assert set(checkpoint) == {"next_bound", "refuted_through", "known_sat"}
