@@ -54,6 +54,16 @@ spent, and bounded wall-clock overhead; a spurious-timeout case must
 still certify its minima through retries; and a deadline-preempted
 service request must come back ``ok`` with a non-empty anytime partial
 instead of an error.
+
+Since schema v7 the report adds a ``profile`` scenario: every instance is
+re-run on the current engine with per-phase timers enabled and the report
+records the propagate/analyze/reduce/inprocess wall-clock split,
+conflicts/sec and the LBD/inprocessing counters per instance — the
+before/after of every solver-layout change lands in the trajectory, not
+in prose.  Scenarios are individually selectable via ``--scenario``
+(see ``--list-scenarios``), and the harness gates the trajectory: a
+geometric-mean speedup more than 10% below the previous ``BENCH_<n>.json``
+fails the run.
 """
 
 from __future__ import annotations
@@ -95,7 +105,11 @@ from repro.pebbling.search import GeometricRefine  # noqa: E402
 from repro.store import ResultStore  # noqa: E402
 from repro.workloads import load_workload  # noqa: E402
 
-SCHEMA_VERSION = 6
+SCHEMA_VERSION = 7
+
+#: A full run fails when the geometric-mean speedup drops more than this
+#: fraction below the previous tracked ``BENCH_<n>.json``.
+TRAJECTORY_REGRESSION_THRESHOLD = 0.10
 
 #: The checked-in DIMACS stub driven by the external backend scenario
 #: (quoted: the spec is shlex-split by the backend, and checkout or
@@ -732,6 +746,107 @@ def run_chaos_bench(*, quick: bool = False) -> dict[str, object]:
 
 
 # ---------------------------------------------------------------------------
+# profile scenario: per-phase time splits on the current engine (schema v7)
+# ---------------------------------------------------------------------------
+#: The per-phase timers maintained by :class:`CdclSolver` in profile mode.
+PROFILE_PHASES = ("propagate", "analyze", "reduce", "inprocess")
+
+#: Per-solve counters accumulated across every SAT call of an instance.
+PROFILE_COUNTERS = (
+    "conflicts", "propagations", "decisions", "restarts",
+    "learned_clauses", "deleted_clauses",
+    "lbd_glue", "lbd_mid", "lbd_high", "lbd_sum",
+    "subsumed_clauses", "strengthened_clauses", "root_simplified",
+    "inprocessings",
+)
+
+
+def _profiled_engine() -> tuple[type, dict[str, float]]:
+    """A ``CdclSolver`` subclass that folds per-solve stats into one dict.
+
+    The pebbling searches build many solvers (one per step frame) and the
+    solver resets its stats on every ``solve`` call, so the accumulator
+    hooks the call itself: whatever the search loops do, every phase timer
+    and counter of every SAT call of the instance ends up in ``totals``.
+    """
+    totals: dict[str, float] = {phase: 0.0 for phase in PROFILE_PHASES}
+    totals.update({counter: 0 for counter in PROFILE_COUNTERS})
+    totals["solve_calls"] = 0
+
+    class ProfiledCdclSolver(CdclSolver):
+        def __init__(self, *args, **kwargs):
+            kwargs.setdefault("profile", True)
+            super().__init__(*args, **kwargs)
+
+        def solve(self, *args, **kwargs):
+            result = super().solve(*args, **kwargs)
+            stats = result.stats
+            totals["solve_calls"] += 1
+            for counter in PROFILE_COUNTERS:
+                totals[counter] += getattr(stats, counter)
+            for phase, seconds in (stats.phase_times or {}).items():
+                totals[phase] += seconds
+            return result
+
+    return ProfiledCdclSolver, totals
+
+
+def run_profile_bench(*, quick: bool = False) -> dict[str, object]:
+    """Re-run every instance with per-phase timers on the current engine.
+
+    Each instance row records where the wall-clock went — the
+    propagate/analyze/reduce/inprocess split (absolute seconds and the
+    share of the total timed solver work), conflicts/sec, and the
+    LBD/inprocessing counters — so each solver-layout change is measured
+    per move, per instance, in the tracked BENCH file.
+    ``phases_present`` confirms every row carries the full split.
+    """
+    instances = [
+        instance for instance in instance_set() if instance.quick or not quick
+    ]
+    rows: list[dict[str, object]] = []
+    phases_present = True
+    for instance in instances:
+        engine, totals = _profiled_engine()
+        started = time.perf_counter()
+        outcome = instance.run(engine)
+        elapsed = time.perf_counter() - started
+        timed = sum(totals[phase] for phase in PROFILE_PHASES)
+        phases = {
+            phase: {
+                "seconds": round(totals[phase], 4),
+                "share": round(totals[phase] / timed, 3) if timed > 0 else 0.0,
+            }
+            for phase in PROFILE_PHASES
+        }
+        conflicts = int(totals["conflicts"])
+        row = {
+            "name": instance.name,
+            "kind": instance.kind,
+            "seconds": round(elapsed, 3),
+            "verdict": outcome["verdict"],
+            "steps": outcome["steps"],
+            "solve_calls": int(totals["solve_calls"]),
+            "conflicts": conflicts,
+            "conflicts_per_sec": round(conflicts / elapsed, 1) if elapsed > 0 else 0.0,
+            "phases": phases,
+            "counters": {
+                counter: int(totals[counter])
+                for counter in PROFILE_COUNTERS
+                if counter != "conflicts"
+            },
+        }
+        phases_present = phases_present and set(phases) == set(PROFILE_PHASES)
+        rows.append(row)
+        split = "  ".join(
+            f"{phase[:4]}={phases[phase]['seconds']:7.3f}s" for phase in PROFILE_PHASES
+        )
+        print(f"profile {instance.name:26s} {elapsed:8.3f}s  {split}  "
+              f"{row['conflicts_per_sec']:9.1f} confl/s")
+    return {"instances": rows, "phases_present": phases_present}
+
+
+# ---------------------------------------------------------------------------
 # harness
 # ---------------------------------------------------------------------------
 def _best_of(run: Callable[[type], dict[str, object]], engine: type, repeat: int) -> dict[str, object]:
@@ -757,8 +872,14 @@ def next_bench_path(directory: Path) -> Path:
     return directory / f"BENCH_{index}.json"
 
 
-def run_benchmarks(*, quick: bool = False, repeat: int = 1) -> dict[str, object]:
-    """Run the instance set under both engines and return the report dict."""
+def run_engine_bench(
+    *, quick: bool = False, repeat: int = 1
+) -> tuple[list[dict[str, object]], float, bool]:
+    """Run the instance set under both engines (legacy vs current).
+
+    Returns the per-instance rows, the geometric-mean speedup over the
+    timer-reliable instances, and whether every verdict/step count matched.
+    """
     instances = [
         instance for instance in instance_set() if instance.quick or not quick
     ]
@@ -799,44 +920,152 @@ def run_benchmarks(*, quick: bool = False, repeat: int = 1) -> dict[str, object]
         if speedups
         else 1.0
     )
-    print()
-    portfolio = run_portfolio_bench(
-        quick=quick, jobs_list=(1, 2) if quick else (1, 4)
-    )
-    all_match = all_match and portfolio["results_match"]
-    print()
-    compile_scenario = run_compile_bench(quick=quick)
-    all_match = all_match and compile_scenario["all_verified"]
-    print()
-    cache_scenario = run_cache_bench(quick=quick)
-    all_match = all_match and cache_scenario["cache_ok"]
-    print()
-    backend_scenario = run_backend_bench(quick=quick)
-    all_match = all_match and backend_scenario["verdicts_match"]
-    print()
-    core_scenario = run_core_guided_bench(quick=quick)
-    all_match = all_match and core_scenario["core_ok"]
-    print()
-    chaos_scenario = run_chaos_bench(quick=quick)
-    all_match = all_match and chaos_scenario["chaos_ok"]
-    report = {
+    return rows, geomean, all_match
+
+
+#: Scenario registry: name -> (report key, gate key, one-line description).
+#: ``engine`` is special-cased in :func:`run_benchmarks` (it contributes
+#: both the ``instances`` rows and ``geometric_mean_speedup``).
+SCENARIOS: dict[str, tuple[str, str, str]] = {
+    "engine": ("instances", "verdict_match",
+               "legacy vs current CDCL on the fixed instance set"),
+    "portfolio": ("portfolio", "results_match",
+                  "batch suite at several --jobs widths"),
+    "compile": ("compile", "all_verified",
+                "end-to-end pipeline (pebble, compile, lower, verify, cost)"),
+    "cache": ("cache", "cache_ok",
+              "result store: cold vs warm-started vs cache-hit searches"),
+    "backends": ("backends", "verdicts_match",
+                 "verdict/step parity across cdcl, dpll and the external stub"),
+    "core_guided": ("core_guided", "core_ok",
+                    "plain vs core-guided geometric-refine"),
+    "chaos": ("chaos", "chaos_ok",
+              "fault injection, retries and anytime answers"),
+    "profile": ("profile", "phases_present",
+                "per-phase time splits and LBD counters, current engine only"),
+}
+
+
+def parse_scenarios(selector: str | None) -> list[str]:
+    """Validate a ``--scenario`` selector into an ordered scenario list."""
+    if selector is None:
+        return list(SCENARIOS)
+    chosen: list[str] = []
+    for token in selector.split(","):
+        name = token.strip()
+        if not name:
+            continue
+        if name not in SCENARIOS:
+            raise SystemExit(
+                f"unknown scenario {name!r}; known scenarios: "
+                f"{', '.join(SCENARIOS)}"
+            )
+        if name not in chosen:
+            chosen.append(name)
+    if not chosen:
+        raise SystemExit("--scenario selected nothing")
+    return [name for name in SCENARIOS if name in chosen]
+
+
+def check_trajectory(
+    geomean: float, directory: Path,
+    *, threshold: float = TRAJECTORY_REGRESSION_THRESHOLD,
+) -> dict[str, object]:
+    """Compare ``geomean`` against the newest tracked ``BENCH_<n>.json``.
+
+    Returns the gate record for the report: the previous file and its
+    geomean, the ratio, and ``ok`` — ``False`` only when the new geomean
+    dropped more than ``threshold`` below the previous one.  With no
+    usable previous report the gate passes vacuously.
+    """
+    previous_path: Path | None = None
+    previous_index = -1
+    for existing in directory.glob("BENCH_*.json"):
+        match = re.fullmatch(r"BENCH_(\d+)\.json", existing.name)
+        if match and int(match.group(1)) > previous_index:
+            previous_index = int(match.group(1))
+            previous_path = existing
+    record: dict[str, object] = {
+        "previous": previous_path.name if previous_path else None,
+        "previous_geomean": None,
+        "ratio": None,
+        "threshold": threshold,
+        "ok": True,
+    }
+    if previous_path is None:
+        return record
+    try:
+        previous_geomean = json.loads(previous_path.read_text(encoding="utf-8"))[
+            "geometric_mean_speedup"
+        ]
+    except (OSError, ValueError, KeyError):
+        return record
+    if not isinstance(previous_geomean, (int, float)) or previous_geomean <= 0:
+        return record
+    ratio = geomean / previous_geomean
+    record["previous_geomean"] = previous_geomean
+    record["ratio"] = round(ratio, 3)
+    record["ok"] = ratio >= 1.0 - threshold
+    return record
+
+
+def run_benchmarks(
+    *,
+    quick: bool = False,
+    repeat: int = 1,
+    scenarios: Sequence[str] | None = None,
+) -> dict[str, object]:
+    """Run the selected scenarios and return the report dict.
+
+    ``scenarios`` is an ordered subset of :data:`SCENARIOS` (``None`` runs
+    everything).  Skipped scenarios are absent from the report — their
+    gates do not vacuously pass, they simply are not part of this run —
+    and ``all_verdicts_match`` folds only over what actually ran.
+    """
+    selected = list(SCENARIOS) if scenarios is None else list(scenarios)
+    report: dict[str, object] = {
         "schema_version": SCHEMA_VERSION,
         "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "mode": "quick" if quick else "full",
         "repeat": repeat,
         "python": sys.version.split()[0],
-        "instances": rows,
-        "geometric_mean_speedup": round(geomean, 3),
-        "portfolio": portfolio,
-        "compile": compile_scenario,
-        "cache": cache_scenario,
-        "backends": backend_scenario,
-        "core_guided": core_scenario,
-        "chaos": chaos_scenario,
-        "all_verdicts_match": all_match,
+        "scenarios": selected,
     }
-    print(f"\ngeometric-mean speedup: x{geomean:.2f}  "
-          f"verdicts {'all match' if all_match else 'MISMATCH'}")
+    all_match = True
+    first = True
+    for name in selected:
+        if not first:
+            print()
+        first = False
+        if name == "engine":
+            rows, geomean, engine_match = run_engine_bench(
+                quick=quick, repeat=repeat
+            )
+            report["instances"] = rows
+            report["geometric_mean_speedup"] = round(geomean, 3)
+            all_match = all_match and engine_match
+            continue
+        runner = {
+            "portfolio": lambda: run_portfolio_bench(
+                quick=quick, jobs_list=(1, 2) if quick else (1, 4)
+            ),
+            "compile": lambda: run_compile_bench(quick=quick),
+            "cache": lambda: run_cache_bench(quick=quick),
+            "backends": lambda: run_backend_bench(quick=quick),
+            "core_guided": lambda: run_core_guided_bench(quick=quick),
+            "chaos": lambda: run_chaos_bench(quick=quick),
+            "profile": lambda: run_profile_bench(quick=quick),
+        }[name]
+        key, gate, _ = SCENARIOS[name]
+        scenario_report = runner()
+        report[key] = scenario_report
+        all_match = all_match and bool(scenario_report[gate])
+    report["all_verdicts_match"] = all_match
+    if "geometric_mean_speedup" in report:
+        print(f"\ngeometric-mean speedup: x{report['geometric_mean_speedup']:.2f}  "
+              f"verdicts {'all match' if all_match else 'MISMATCH'}")
+    else:
+        print(f"\nverdicts {'all match' if all_match else 'MISMATCH'}")
     return report
 
 
@@ -852,13 +1081,51 @@ def main(argv: list[str] | None = None) -> int:
                         help="write BENCH_<n>.json even in --quick mode")
     parser.add_argument("--out", type=Path, default=ROOT,
                         help="directory for BENCH_<n>.json (default: repo root)")
+    parser.add_argument("--out-file", type=Path, default=None,
+                        help="also write the report JSON to this exact path "
+                             "(CI artifacts; independent of --write)")
+    parser.add_argument("--scenario", default=None, metavar="NAME[,NAME...]",
+                        help="run only these scenarios (see --list-scenarios)")
+    parser.add_argument("--list-scenarios", action="store_true",
+                        help="list scenario names and exit")
     arguments = parser.parse_args(argv)
-    report = run_benchmarks(quick=arguments.quick, repeat=arguments.repeat)
+    if arguments.list_scenarios:
+        for name, (_, _, description) in SCENARIOS.items():
+            print(f"{name:12s} {description}")
+        return 0
+    selected = parse_scenarios(arguments.scenario)
+    report = run_benchmarks(
+        quick=arguments.quick, repeat=arguments.repeat, scenarios=selected
+    )
+    failed = not report["all_verdicts_match"]
+    # Trajectory gate: a full engine run must not regress the tracked
+    # geomean by more than the threshold.  Quick/smoke runs are exempt —
+    # their timings are noise — as are runs that skipped the engine
+    # scenario entirely.
+    if not arguments.quick and "geometric_mean_speedup" in report:
+        trajectory = check_trajectory(
+            report["geometric_mean_speedup"], arguments.out
+        )
+        report["trajectory"] = trajectory
+        if trajectory["previous_geomean"] is not None:
+            state = "ok" if trajectory["ok"] else "REGRESSION"
+            print(f"trajectory vs {trajectory['previous']}: "
+                  f"x{trajectory['previous_geomean']:.2f} -> "
+                  f"x{report['geometric_mean_speedup']:.2f} "
+                  f"(ratio {trajectory['ratio']})  {state}")
+        if not trajectory["ok"]:
+            failed = True
     if not arguments.quick or arguments.write:
         path = next_bench_path(arguments.out)
         path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
         print(f"wrote {path}")
-    return 0 if report["all_verdicts_match"] else 1
+    if arguments.out_file is not None:
+        arguments.out_file.parent.mkdir(parents=True, exist_ok=True)
+        arguments.out_file.write_text(
+            json.dumps(report, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {arguments.out_file}")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -8,9 +8,12 @@ surface, and a string-keyed registry maps picklable backend *specs* to
 implementations so the whole stack (solver → portfolio workers → service →
 CLI) can carry a backend across process boundaries as plain data:
 
-``"cdcl"``
+``"cdcl[:key=value,...]"``
     The native :class:`~repro.sat.solver.CdclSolver` — the production
-    engine, with real conflict-analysis assumption cores.
+    engine, with real conflict-analysis assumption cores.  The optional
+    argument tunes the search without code changes
+    (``cdcl:restart_base=200,var_decay=0.95,seed=7``); see
+    :class:`CdclSpec` for the accepted keys.
 
 ``"dpll"``
     The reference :class:`~repro.sat.solver.DpllSolver` wrapped as a
@@ -731,9 +734,124 @@ def register_backend(
     )
 
 
+@dataclass(frozen=True)
+class CdclSpec:
+    """Parsed tuning options of a ``cdcl[:key=value,...]`` spec.
+
+    The spec argument is a comma-separated list of ``key=value`` pairs
+    mapping onto :class:`~repro.sat.solver.CdclSolver` constructor knobs,
+    so bench lanes and ``--race-backends`` can tune the engine from the
+    command line: ``cdcl:restart_base=200,var_decay=0.95,seed=7``.
+    """
+
+    #: Luby restart unit (conflicts before the first restart).
+    restart_base: int = 100
+    #: VSIDS variable-activity decay, in (0, 1].
+    var_decay: float = 0.95
+    #: Learned-clause activity decay, in (0, 1].
+    clause_decay: float = 0.999
+    #: Seed of the solver's deterministic tie-breaking RNG.
+    seed: int = 2019
+    #: Minimum learned-clause count before a reduction may run.
+    reduce_min_learned: int = 50
+    #: Initial learned-clause limit (grows geometrically).
+    learned_limit_base: int = 1000
+    #: LBD at or below which learned clauses are kept forever.
+    glue_max: int = 2
+    #: Conflicts between root-level inprocessing passes (0 disables).
+    inprocess_interval: int = 3000
+    #: Record per-phase time splits in ``stats.phase_times``.
+    profile: bool = False
+
+    _INT_KEYS = ("restart_base", "seed", "reduce_min_learned",
+                 "learned_limit_base", "glue_max", "inprocess_interval")
+    _FLOAT_KEYS = ("var_decay", "clause_decay")
+
+    @classmethod
+    def parse(cls, argument: str | None) -> "CdclSpec":
+        values: dict[str, object] = {}
+        for raw in (argument or "").split(","):
+            token = raw.strip()
+            if not token:
+                continue
+            key, equals, value = token.partition("=")
+            key, value = key.strip(), value.strip()
+            if not equals:
+                raise SolverError(
+                    f"cdcl: expected key=value, got {token!r}; valid keys: "
+                    f"{', '.join(cls._INT_KEYS + cls._FLOAT_KEYS + ('profile',))}"
+                )
+            if key in values:
+                raise SolverError(f"cdcl: {key!r} given twice in {argument!r}")
+            if key in cls._INT_KEYS:
+                try:
+                    parsed = int(value)
+                except ValueError:
+                    raise SolverError(
+                        f"cdcl: {key} wants an integer, got {value!r}"
+                    ) from None
+                if key == "restart_base" and parsed < 1:
+                    raise SolverError(f"cdcl: restart_base must be >= 1, got {parsed}")
+                if key in ("reduce_min_learned", "learned_limit_base",
+                           "glue_max", "inprocess_interval") and parsed < 0:
+                    raise SolverError(f"cdcl: {key} must be >= 0, got {parsed}")
+                values[key] = parsed
+            elif key in cls._FLOAT_KEYS:
+                try:
+                    rate = float(value)
+                except ValueError:
+                    raise SolverError(
+                        f"cdcl: {key} wants a number, got {value!r}"
+                    ) from None
+                if not 0.0 < rate <= 1.0:
+                    raise SolverError(f"cdcl: {key} must be in (0, 1], got {rate}")
+                values[key] = rate
+            elif key == "profile":
+                if value not in ("0", "1"):
+                    raise SolverError(f"cdcl: profile wants 0 or 1, got {value!r}")
+                values[key] = value == "1"
+            else:
+                raise SolverError(
+                    f"cdcl: unknown key {key!r}; valid keys: "
+                    f"{', '.join(cls._INT_KEYS + cls._FLOAT_KEYS + ('profile',))}"
+                )
+        return cls(**values)  # type: ignore[arg-type]
+
+    def render(self) -> str:
+        """The canonical spec string (non-default options only)."""
+        parts = []
+        for key in self._INT_KEYS + self._FLOAT_KEYS + ("profile",):
+            value = getattr(self, key)
+            if value != getattr(type(self), key):
+                parts.append(f"{key}={int(value) if key == 'profile' else value}")
+        return "cdcl:" + ",".join(parts) if parts else "cdcl"
+
+    def build(self, conflict_limit: int | None = None) -> CdclSolver:
+        """Construct a :class:`CdclSolver` with these options."""
+        return CdclSolver(
+            conflict_limit=conflict_limit,
+            restart_base=self.restart_base,
+            variable_decay=self.var_decay,
+            clause_decay=self.clause_decay,
+            random_seed=self.seed,
+            reduce_min_learned=self.reduce_min_learned,
+            learned_limit_base=self.learned_limit_base,
+            glue_max=self.glue_max,
+            inprocess_interval=self.inprocess_interval,
+            profile=self.profile,
+        )
+
+
 def _make_cdcl(argument: str | None, conflict_limit: int | None) -> IncrementalSatBackend:
-    _reject_argument("cdcl", argument)
-    return CdclSolver(conflict_limit=conflict_limit)
+    return CdclSpec.parse(argument).build(conflict_limit)
+
+
+def _probe_cdcl(argument: str | None) -> str | None:
+    try:
+        CdclSpec.parse(argument)
+    except SolverError as exc:
+        return str(exc)
+    return None
 
 
 def _make_dpll(argument: str | None, conflict_limit: int | None) -> IncrementalSatBackend:
@@ -744,7 +862,11 @@ def _make_dpll(argument: str | None, conflict_limit: int | None) -> IncrementalS
 register_backend(
     "cdcl",
     _make_cdcl,
-    description="native CDCL engine (watched literals, VSIDS, assumption cores)",
+    description=(
+        "native CDCL engine (watched literals, VSIDS, LBD clause DB, "
+        "assumption cores); tunable via 'cdcl:restart_base=N,var_decay=F,...'"
+    ),
+    probe=_probe_cdcl,
 )
 register_backend(
     "dpll",

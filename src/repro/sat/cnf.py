@@ -27,9 +27,11 @@ class Clause:
 
     def __init__(self, literals: Iterable[int]):
         seen: dict[int, None] = {}
+        setdefault = seen.setdefault
         for literal in literals:
-            check_literal(literal)
-            seen.setdefault(literal, None)
+            if type(literal) is not int or literal == 0:
+                check_literal(literal)  # raises with the precise message
+            setdefault(literal, None)
         object.__setattr__(self, "literals", tuple(seen))
 
     def __iter__(self) -> Iterator[int]:
@@ -163,8 +165,16 @@ class Cnf:
     def add_clause(self, literals: Iterable[int]) -> Clause:
         """Add a clause (a disjunction of DIMACS literals) and return it."""
         clause = literals if isinstance(literals, Clause) else Clause(literals)
-        for literal in clause:
-            self.pool.reserve_through(lit_to_var(literal))
+        # One pool reservation per clause (reserve_through is monotone),
+        # not one per literal — this method is the hot path of every
+        # encoder.  Clause construction already validated the literals.
+        max_var = 0
+        for literal in clause.literals:
+            variable = -literal if literal < 0 else literal
+            if variable > max_var:
+                max_var = variable
+        if max_var:
+            self.pool.reserve_through(max_var)
         self.clauses.append(clause)
         return clause
 

@@ -19,7 +19,9 @@ def check_literal(literal: int) -> int:
     integer (booleans are rejected explicitly because ``True`` would silently
     behave like variable 1).
     """
-    if isinstance(literal, bool) or not isinstance(literal, int):
+    # Single fast-path check: ``type() is int`` rejects bool (a subclass)
+    # in the same comparison the int check needs anyway.
+    if type(literal) is not int:
         raise CnfError(f"literal must be an int, got {literal!r}")
     if literal == 0:
         raise CnfError("literal 0 is reserved as the DIMACS clause terminator")

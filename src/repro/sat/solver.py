@@ -2,17 +2,21 @@
 
 The solver implements the standard modern architecture:
 
-* two-watched-literal unit propagation with blocker literals
-  (most watcher visits are answered from the cached blocker without
-  touching the clause at all),
-* first-UIP conflict analysis with clause learning,
+* two-watched-literal unit propagation with blocker literals and a
+  dedicated binary-clause watch layer (binary implications resolve from
+  the watcher pair alone, without touching the clause arena),
+* first-UIP conflict analysis with clause learning and per-clause
+  literal-blocks-distance (LBD/"glue") computed at analyze time,
 * conflict-clause minimisation (self-subsumption against reasons),
 * VSIDS-style variable activities kept in an indexed binary max-heap
   with lazy re-insertion on backtrack, plus phase saving,
 * Luby-sequence restarts,
-* activity-based learned-clause database reduction over a flat clause
-  arena (clause activities live in a list parallel to the arena,
-  indexed by clause slot),
+* glucose-style learned-clause database reduction: glue clauses
+  (LBD <= ``glue_max``) are kept forever, the rest are ranked by
+  (LBD, activity) under a geometrically growing limit,
+* root-level inprocessing between restarts: bounded subsumption and
+  self-subsumption over problem and learned clauses, occurrence-list
+  based and deadline-bounded,
 * incremental solving under assumptions,
 * conflict and time budgets so callers can implement timeouts
   (the paper stops each pebbling instance after a wall-clock budget);
@@ -22,24 +26,40 @@ The solver implements the standard modern architecture:
 It is written in pure Python and optimised for the constant factors that
 dominate CPython execution: hot loops cache attribute lookups in locals,
 watcher lists are compacted in place instead of being rebuilt, and
-propagation enqueues assignments inline.  It solves the CNF instances
-produced by the pebbling encoding for DAGs with up to a few hundred nodes
-in seconds, which is sufficient for the scaled-down evaluation documented
-in EXPERIMENTS.md.
+propagation enqueues assignments inline.
 
 Literal conventions
 -------------------
 The public API uses DIMACS literals.  Internally a literal ``l`` is encoded
-as ``2*|l| + (l < 0)`` so that literals can index Python lists directly and
+as ``2*|l| + (l < 0)`` so that literals can index arrays directly and
 negation is a single XOR.
+
+Hot-state layout
+----------------
+Per-variable state lives in preallocated flat arenas grown in power-of-two
+chunks rather than per-variable containers resized ad hoc: truth values in
+one flat list indexed by encoded literal, decision levels / reasons / heap
+positions / activities / saved phases and the trail in flat lists indexed
+by variable, and analyze markers in a ``bytearray``.  Plain lists — not
+``array`` typecodes — are deliberate: on CPython a list index costs ~1.5-2x
+less than the same access on an ``array`` (small ints are cached, so the
+stored references are free, and no per-access box/unbox happens), and at
+these working-set sizes interpreter dispatch dominates cache behaviour.
+Watcher lists are flat stride-2 lists
+``[blocker, slot, blocker, slot, ...]`` — no tuple allocation per watcher —
+compacted in place during propagation; ``_detach`` is O(1) amortised via
+swap-remove on the flat layout.
 
 Clause storage
 --------------
 Clauses live in a flat arena ``self._arena``: a list of clauses indexed by
-*slot*.  Watcher lists, implication reasons and learned-clause activities
-all refer to clauses by slot, so clause metadata is a list access instead
-of an ``id()``-keyed dictionary lookup.  Slots of deleted learned clauses
-are recycled through a free list.
+*slot*.  Watcher lists, implication reasons, learned-clause activities and
+LBD scores all refer to clauses by slot, so clause metadata is an array
+access instead of an ``id()``-keyed dictionary lookup.  Slots of deleted
+clauses are recycled through a free list.  Binary clauses are watched in
+``self._bin_watches`` (the stored "blocker" is the only other literal, so
+propagation resolves them without loading the arena); clauses of length
+three and up are watched in ``self._watches``.
 """
 
 from __future__ import annotations
@@ -63,7 +83,16 @@ class Status(Enum):
 
 @dataclass
 class SolverStats:
-    """Counters describing the work performed by the solver."""
+    """Counters describing the work performed by the solver.
+
+    The ``lbd_*`` fields histogram the literal-blocks-distance of learned
+    clauses at learn time: ``lbd_glue`` counts LBD <= 2, ``lbd_mid``
+    counts 3..6, ``lbd_high`` counts >= 7, and ``lbd_sum`` accumulates the
+    raw values so callers can derive the mean.  ``phase_times`` is only
+    populated when the solver was constructed with ``profile=True``; it
+    maps phase names (``propagate``/``analyze``/``reduce``/``inprocess``)
+    to seconds spent in that phase during the last solve call.
+    """
 
     decisions: int = 0
     propagations: int = 0
@@ -76,10 +105,23 @@ class SolverStats:
     blocker_hits: int = 0
     heap_decisions: int = 0
     deadline_checks_skipped: int = 0
+    lbd_glue: int = 0
+    lbd_mid: int = 0
+    lbd_high: int = 0
+    lbd_sum: int = 0
+    subsumed_clauses: int = 0
+    strengthened_clauses: int = 0
+    root_simplified: int = 0
+    inprocessings: int = 0
+    phase_times: dict[str, float] | None = None
 
     def as_dict(self) -> dict[str, float]:
-        """Return the statistics as a plain dictionary."""
-        return {
+        """Return the statistics as a plain dictionary.
+
+        ``phase_times`` is flattened into ``time_<phase>`` keys and only
+        present when profiling was enabled (no zeros-as-lies).
+        """
+        data: dict[str, float] = {
             "decisions": self.decisions,
             "propagations": self.propagations,
             "conflicts": self.conflicts,
@@ -91,7 +133,19 @@ class SolverStats:
             "blocker_hits": self.blocker_hits,
             "heap_decisions": self.heap_decisions,
             "deadline_checks_skipped": self.deadline_checks_skipped,
+            "lbd_glue": self.lbd_glue,
+            "lbd_mid": self.lbd_mid,
+            "lbd_high": self.lbd_high,
+            "lbd_sum": self.lbd_sum,
+            "subsumed_clauses": self.subsumed_clauses,
+            "strengthened_clauses": self.strengthened_clauses,
+            "root_simplified": self.root_simplified,
+            "inprocessings": self.inprocessings,
         }
+        if self.phase_times is not None:
+            for phase_name, seconds in self.phase_times.items():
+                data[f"time_{phase_name}"] = seconds
+        return data
 
 
 @dataclass
@@ -128,6 +182,12 @@ _NO_CONFLICT = -1
 
 #: The wall clock is consulted once every this many main-loop iterations.
 _DEADLINE_CHECK_INTERVAL = 64
+
+#: Initial number of variable slots in the typed arenas.
+_INITIAL_VAR_CAPACITY = 64
+
+#: Wall-clock budget of a single inprocessing pass (seconds).
+_INPROCESS_BUDGET = 0.3
 
 
 def _encode(literal: int) -> int:
@@ -176,6 +236,12 @@ class CdclSolver:
     the final conflict analysis proved responsible (the solver's UNSAT
     core over the assumption literals), which is the backend surface the
     core-guided pebbling searches build on.
+
+    ``glue_max`` bounds the LBD below which learned clauses are kept
+    forever, ``inprocess_interval`` is the number of conflicts between
+    root-level subsumption passes (0 disables inprocessing), and
+    ``profile=True`` records per-phase wall-clock splits in
+    ``stats.phase_times``.
     """
 
     #: Registry name under :mod:`repro.sat.backend` (the native backend).
@@ -193,35 +259,55 @@ class CdclSolver:
         random_seed: int = 2019,
         reduce_min_learned: int = 50,
         learned_limit_base: int = 1000,
+        glue_max: int = 2,
+        inprocess_interval: int = 3000,
+        profile: bool = False,
     ) -> None:
+        capacity = _INITIAL_VAR_CAPACITY
         self._num_vars = 0
+        self._var_capacity = capacity
         # Truth values indexed by *encoded literal* (1 true, 0 false,
         # -1 unassigned): the propagation inner loop answers "is this
-        # literal true?" with a single list access instead of a variable
-        # lookup plus sign fix-up.  Entries for ``l`` and ``l ^ 1`` are
-        # kept complementary while assigned.
-        self._lit_values: list[int] = [_UNASSIGNED] * 4
+        # literal true?" with a single flat-list access.  Entries for
+        # ``l`` and ``l ^ 1`` are kept complementary while assigned.
+        # The hot per-variable state lives in preallocated flat *lists*
+        # grown by doubling — on CPython a list indexing op is ~1.5-2x
+        # cheaper than the same op on an ``array``/``bytearray`` (the
+        # small-int cache makes the stored references free, and no
+        # box/unbox conversion happens per access), and the interpreter
+        # dispatch cost dwarfs cache effects at these sizes.
+        self._lit_values: list[int] = [_UNASSIGNED] * (2 * capacity)
         # Indexed by variable (1-based).
-        self._levels: list[int] = [0, 0]
-        self._reasons: list[int] = [_NO_REASON, _NO_REASON]
-        self._activity: list[float] = [0.0, 0.0]
-        self._phase: list[bool] = [False, False]
-        self._seen: list[bool] = [False, False]
+        self._levels: list[int] = [0] * capacity
+        self._reasons: list[int] = [_NO_REASON] * capacity
+        self._activity: list[float] = [0.0] * capacity
+        self._phase: list[int] = [0] * capacity
+        self._seen = bytearray(capacity)
         # Variable-order heap: ``_heap`` holds variables in binary max-heap
         # order by activity, ``_heap_pos`` maps a variable to its heap index
         # (-1 when not enqueued).
         self._heap: list[int] = []
-        self._heap_pos: list[int] = [-1, -1]
-        # Indexed by encoded literal: lists of ``(blocker, slot)`` pairs.
-        self._watches: list[list[tuple[int, int]]] = [[], [], [], []]
+        self._heap_pos: list[int] = [-1] * capacity
+        # Watcher lists indexed by encoded literal: flat stride-2 arrays
+        # ``[blocker, slot, ...]``.  ``_watches`` holds clauses of length
+        # >= 3; ``_bin_watches`` holds binary clauses, where the "blocker"
+        # is the only other literal and implications resolve without
+        # loading the arena.
+        self._watches: list[list[int]] = [[] for _ in range(2 * capacity)]
+        self._bin_watches: list[list[int]] = [[] for _ in range(2 * capacity)]
         # Flat clause arena indexed by slot; ``None`` marks a freed slot.
         self._arena: list[list[int] | None] = []
         self._clause_act: list[float] = []
         self._learned_flag: list[bool] = []
+        self._lbd: list[int] = []
         self._learned_slots: list[int] = []
         self._free_slots: list[int] = []
         self._num_problem_clauses = 0
-        self._trail: list[int] = []
+        # Preallocated trail: ``_trail[:_trail_size]`` holds the assigned
+        # literals in assignment order (capacity tracks the variable
+        # arenas — every variable is assigned at most once).
+        self._trail: list[int] = [0] * capacity
+        self._trail_size = 0
         self._trail_limits: list[int] = []
         self._propagation_head = 0
         self._var_inc = 1.0
@@ -231,6 +317,13 @@ class CdclSolver:
         self._restart_base = restart_base
         self._reduce_min_learned = reduce_min_learned
         self._learned_limit_base = learned_limit_base
+        self._learned_limit = 0
+        self._glue_max = glue_max
+        self._glue_count = 0
+        self._inprocess_interval = inprocess_interval
+        self._total_conflicts = 0
+        self._last_inprocess_conflicts = 0
+        self._profile = profile
         self._ok = True
         self._pending_units: list[int] = []
         self.default_conflict_limit = conflict_limit
@@ -259,20 +352,33 @@ class CdclSolver:
         """Number of currently retained learned clauses."""
         return len(self._learned_slots)
 
+    def _grow(self, min_variable: int) -> None:
+        """Grow every per-variable arena so ``min_variable`` is indexable."""
+        old = self._var_capacity
+        new = old
+        while new <= min_variable:
+            new *= 2
+        grow = new - old
+        self._lit_values.extend([_UNASSIGNED] * (2 * grow))
+        self._levels.extend([0] * grow)
+        self._reasons.extend([_NO_REASON] * grow)
+        self._activity.extend([0.0] * grow)
+        self._phase.extend([0] * grow)
+        self._seen.extend(bytes(grow))
+        self._heap_pos.extend((-1,) * grow)
+        self._trail.extend((0,) * grow)
+        self._watches.extend([] for _ in range(2 * grow))
+        self._bin_watches.extend([] for _ in range(2 * grow))
+        self._var_capacity = new
+
     def _ensure_var(self, variable: int) -> None:
-        while self._num_vars < variable:
-            self._num_vars += 1
-            self._lit_values.append(_UNASSIGNED)
-            self._lit_values.append(_UNASSIGNED)
-            self._levels.append(0)
-            self._reasons.append(_NO_REASON)
-            self._activity.append(0.0)
-            self._phase.append(False)
-            self._seen.append(False)
-            self._heap_pos.append(-1)
-            self._watches.append([])
-            self._watches.append([])
-            self._heap_insert(self._num_vars)
+        if variable <= self._num_vars:
+            return
+        if variable >= self._var_capacity:
+            self._grow(variable)
+        for fresh in range(self._num_vars + 1, variable + 1):
+            self._heap_insert(fresh)
+        self._num_vars = variable
 
     def add_variable(self) -> int:
         """Allocate a fresh variable and return its index."""
@@ -293,17 +399,29 @@ class CdclSolver:
         """
         if not self._ok:
             return False
-        unique: dict[int, None] = {}
+        # Single validation/dedup/tautology pass — this method is called
+        # once per emitted frame clause by the incremental encoders, so
+        # every redundant sweep over the literals shows up in profiles.
+        seen: set[int] = set()
+        clause: list[int] = []
+        max_var = 0
+        tautology = False
         for literal in literals:
-            if isinstance(literal, bool) or not isinstance(literal, int) or literal == 0:
+            if type(literal) is not int or literal == 0:
                 raise SolverError(f"invalid literal {literal!r}")
-            unique.setdefault(literal, None)
-        clause = list(unique)
-        for literal in clause:
-            self._ensure_var(abs(literal))
-        literal_set = set(clause)
-        if any(-literal in literal_set for literal in clause):
-            return True  # tautology
+            if literal in seen:
+                continue
+            if -literal in seen:
+                tautology = True
+            seen.add(literal)
+            variable = -literal if literal < 0 else literal
+            if variable > max_var:
+                max_var = variable
+            clause.append(literal)
+        if max_var > self._num_vars:
+            self._ensure_var(max_var)
+        if tautology:
+            return True
         # Root-level simplification: literals already false at decision
         # level 0 can never become true again, so they are dropped; a
         # literal true at level 0 satisfies the clause forever.  Without
@@ -314,7 +432,7 @@ class CdclSolver:
         levels = self._levels
         encoded = []
         for literal in clause:
-            enc = _encode(literal)
+            enc = (literal + literal) if literal > 0 else (1 - literal - literal)
             value = lit_values[enc]
             if value >= 0 and levels[enc >> 1] == 0:
                 if value == 1:
@@ -330,7 +448,7 @@ class CdclSolver:
         self._attach(encoded, learned=False)
         return True
 
-    def _attach(self, encoded_clause: list[int], *, learned: bool) -> int:
+    def _attach(self, encoded_clause: list[int], *, learned: bool, lbd: int = 0) -> int:
         """Store a clause in the arena and watch its first two literals.
 
         Returns the clause slot.  The blocker stored with each watcher is
@@ -342,22 +460,32 @@ class CdclSolver:
             self._arena[slot] = encoded_clause
             self._clause_act[slot] = self._cla_inc if learned else 0.0
             self._learned_flag[slot] = learned
+            self._lbd[slot] = lbd
         else:
             slot = len(self._arena)
             self._arena.append(encoded_clause)
             self._clause_act.append(self._cla_inc if learned else 0.0)
             self._learned_flag.append(learned)
-        # Binary clauses are marked with the one's complement of their slot:
-        # propagation can then resolve them from the watcher pair alone
-        # (the blocker IS the only other literal) without loading the arena.
-        tag = ~slot if len(encoded_clause) == 2 else slot
-        self._watches[encoded_clause[0] ^ 1].append((encoded_clause[1], tag))
-        self._watches[encoded_clause[1] ^ 1].append((encoded_clause[0], tag))
+            self._lbd.append(lbd)
+        self._watch_clause(encoded_clause, slot)
         if learned:
             self._learned_slots.append(slot)
+            if lbd <= self._glue_max:
+                self._glue_count += 1
         else:
             self._num_problem_clauses += 1
         return slot
+
+    def _watch_clause(self, encoded_clause: list[int], slot: int) -> None:
+        """Append the watcher pairs for ``encoded_clause`` at ``slot``."""
+        first, second = encoded_clause[0], encoded_clause[1]
+        lists = self._bin_watches if len(encoded_clause) == 2 else self._watches
+        watch_list = lists[first ^ 1]
+        watch_list.append(second)
+        watch_list.append(slot)
+        watch_list = lists[second ^ 1]
+        watch_list.append(first)
+        watch_list.append(slot)
 
     # ------------------------------------------------------------------
     # assignment handling
@@ -376,8 +504,9 @@ class CdclSolver:
         lit_values[encoded ^ 1] = 0
         self._levels[variable] = len(self._trail_limits)
         self._reasons[variable] = reason_slot
-        self._phase[variable] = not (encoded & 1)
-        self._trail.append(encoded)
+        self._phase[variable] = (encoded & 1) ^ 1
+        self._trail[self._trail_size] = encoded
+        self._trail_size += 1
         return True
 
     def _propagate(self) -> int:
@@ -387,56 +516,66 @@ class CdclSolver:
         reasons = self._reasons
         phase = self._phase
         watches = self._watches
+        bin_watches = self._bin_watches
         arena = self._arena
         trail = self._trail
-        trail_limits_depth = len(self._trail_limits)
+        depth = len(self._trail_limits)
         propagations = 0
         blocker_hits = 0
         conflict = _NO_CONFLICT
         head = self._propagation_head
-        while head < len(trail):
+        size = self._trail_size
+        while head < size:
             propagated = trail[head]
             head += 1
             propagations += 1
+            # Binary pass: the stored "blocker" is the only other literal,
+            # so the clause is satisfied, unit or conflicting right away
+            # and the arena is never loaded.  Binary watchers are never
+            # moved, so no compaction is needed.
+            bin_list = bin_watches[propagated]
+            pairs = iter(bin_list)
+            for other, slot in zip(pairs, pairs):
+                value = lit_values[other]
+                if value > 0:
+                    blocker_hits += 1
+                    continue
+                if value < 0:
+                    lit_values[other] = 1
+                    lit_values[other ^ 1] = 0
+                    variable = other >> 1
+                    levels[variable] = depth
+                    reasons[variable] = slot
+                    phase[variable] = (other & 1) ^ 1
+                    trail[size] = other
+                    size += 1
+                    continue
+                conflict = slot
+                break
+            if conflict >= 0:
+                break
             watch_list = watches[propagated]
             total = len(watch_list)
             read = write = 0
+            false_literal = propagated ^ 1
             while read < total:
-                entry = watch_list[read]
-                read += 1
-                blocker = entry[0]
+                blocker = watch_list[read]
                 value = lit_values[blocker]
                 if value > 0:
                     # The cached blocker is true: the clause is satisfied
-                    # without ever being loaded from the arena.
-                    watch_list[write] = entry
-                    write += 1
+                    # without ever being loaded from the arena.  Until the
+                    # first watcher relocates, write tracks read and the
+                    # pair is already in place — no copy needed.
+                    if write != read:
+                        watch_list[write] = blocker
+                        watch_list[write + 1] = watch_list[read + 1]
+                    write += 2
+                    read += 2
                     blocker_hits += 1
                     continue
-                slot = entry[1]
-                if slot < 0:
-                    # Binary clause: the blocker is the only other literal,
-                    # so it is unit (blocker unassigned) or conflicting
-                    # (blocker false) right away.
-                    watch_list[write] = entry
-                    write += 1
-                    if value < 0:
-                        lit_values[blocker] = 1
-                        lit_values[blocker ^ 1] = 0
-                        variable = blocker >> 1
-                        levels[variable] = trail_limits_depth
-                        reasons[variable] = ~slot
-                        phase[variable] = not (blocker & 1)
-                        trail.append(blocker)
-                        continue
-                    conflict = ~slot
-                    while read < total:
-                        watch_list[write] = watch_list[read]
-                        write += 1
-                        read += 1
-                    break
+                slot = watch_list[read + 1]
+                read += 2
                 clause = arena[slot]
-                false_literal = propagated ^ 1
                 if clause[0] == false_literal:
                     clause[0] = clause[1]
                     clause[1] = false_literal
@@ -444,8 +583,9 @@ class CdclSolver:
                 if first != blocker:
                     value = lit_values[first]
                     if value > 0:
-                        watch_list[write] = (first, slot)
-                        write += 1
+                        watch_list[write] = first
+                        watch_list[write + 1] = slot
+                        write += 2
                         continue
                 # Look for a new literal to watch (any non-false literal).
                 found = False
@@ -454,34 +594,45 @@ class CdclSolver:
                     if lit_values[candidate] != 0:
                         clause[1] = candidate
                         clause[position] = false_literal
-                        watches[candidate ^ 1].append((first, slot))
+                        moved = watches[candidate ^ 1]
+                        moved.append(first)
+                        moved.append(slot)
                         found = True
                         break
                 if found:
                     continue
                 # Clause is unit or conflicting on ``first``.
-                watch_list[write] = (first, slot)
-                write += 1
+                watch_list[write] = first
+                watch_list[write + 1] = slot
+                write += 2
                 if value < 0:
                     lit_values[first] = 1
                     lit_values[first ^ 1] = 0
                     variable = first >> 1
-                    levels[variable] = trail_limits_depth
+                    levels[variable] = depth
                     reasons[variable] = slot
-                    phase[variable] = not (first & 1)
-                    trail.append(first)
+                    phase[variable] = (first & 1) ^ 1
+                    trail[size] = first
+                    size += 1
                 else:
                     conflict = slot
-                    while read < total:
-                        watch_list[write] = watch_list[read]
-                        write += 1
-                        read += 1
+                    # Preserve the unvisited tail with one C-level slice
+                    # move instead of a Python copy loop.
+                    if write != read:
+                        watch_list[write : write + total - read] = (
+                            watch_list[read:total]
+                        )
+                    write += total - read
+                    read = total
                     break
             del watch_list[write:]
             if conflict >= 0:
-                head = len(trail)
                 break
-        self._propagation_head = head
+        self._trail_size = size
+        # On a conflict the remaining trail entries are skipped: they were
+        # all enqueued at the current decision depth, so the backjump that
+        # follows removes them anyway.
+        self._propagation_head = size if conflict >= 0 else head
         self.stats.propagations += propagations
         self.stats.blocker_hits += blocker_hits
         return conflict
@@ -584,21 +735,23 @@ class CdclSolver:
     def _decay_clause_activity(self) -> None:
         self._cla_inc /= self._cla_decay
 
-    def _analyze(self, conflict_slot: int) -> tuple[list[int], int]:
+    def _analyze(self, conflict_slot: int) -> tuple[list[int], int, int]:
         """First-UIP conflict analysis.
 
         Returns the learned clause (encoded literals, asserting literal
-        first) and the backjump level.
+        first), the backjump level, and the clause's literal-blocks-distance
+        (the number of distinct decision levels among its literals).
         """
         learned: list[int] = [0]  # placeholder for the asserting literal
         seen = self._seen
         levels = self._levels
         reasons = self._reasons
         arena = self._arena
+        trail = self._trail
         current_level = len(self._trail_limits)
         counter = 0
         literal = -1
-        trail_index = len(self._trail) - 1
+        trail_index = self._trail_size - 1
         clause = arena[conflict_slot]
         self._bump_clause(conflict_slot)
 
@@ -609,19 +762,19 @@ class CdclSolver:
                 other = clause[position]
                 variable = other >> 1
                 if not seen[variable] and levels[variable] > 0:
-                    seen[variable] = True
+                    seen[variable] = 1
                     self._bump_variable(variable)
                     if levels[variable] >= current_level:
                         counter += 1
                     else:
                         learned.append(other)
             # Pick the next literal from the trail to resolve on.
-            while not seen[self._trail[trail_index] >> 1]:
+            while not seen[trail[trail_index] >> 1]:
                 trail_index -= 1
-            literal = self._trail[trail_index]
+            literal = trail[trail_index]
             trail_index -= 1
             variable = literal >> 1
-            seen[variable] = False
+            seen[variable] = 0
             counter -= 1
             if counter == 0:
                 break
@@ -656,10 +809,19 @@ class CdclSolver:
         # analysis (including the ones dropped by minimisation), otherwise
         # stale markers corrupt the next conflict analysis.
         for other in learned:
-            seen[other >> 1] = False
+            seen[other >> 1] = 0
         for variable in to_clear:
-            seen[variable] = False
+            seen[variable] = 0
         learned = minimized
+
+        # Literal-blocks-distance: the number of distinct decision levels
+        # in the minimised clause (the asserting literal contributes the
+        # current level).  Glue clauses (lbd <= glue_max) are retained
+        # forever by ``_reduce_learned``.
+        distinct_levels = {current_level}
+        for other in learned[1:]:
+            distinct_levels.add(levels[other >> 1])
+        lbd = len(distinct_levels)
 
         if len(learned) == 1:
             backjump_level = 0
@@ -675,7 +837,7 @@ class CdclSolver:
                     best_index = position
             learned[1], learned[best_index] = learned[best_index], learned[1]
             backjump_level = best_level
-        return learned, backjump_level
+        return learned, backjump_level, lbd
 
     def _literal_redundant(
         self, literal: int, abstract_levels: int, to_clear: list[int]
@@ -710,10 +872,10 @@ class CdclSolver:
                     # representative in the clause: not redundant.  Undo the
                     # speculative marks made during this candidate's walk.
                     for marked in to_clear[top:]:
-                        seen[marked] = False
+                        seen[marked] = 0
                     del to_clear[top:]
                     return False
-                seen[variable] = True
+                seen[variable] = 1
                 to_clear.append(variable)
                 stack.append(other)
         return True
@@ -725,7 +887,9 @@ class CdclSolver:
         lit_values = self._lit_values
         reasons = self._reasons
         heap_pos = self._heap_pos
-        for encoded in reversed(self._trail[limit:]):
+        trail = self._trail
+        for index in range(self._trail_size - 1, limit - 1, -1):
+            encoded = trail[index]
             variable = encoded >> 1
             lit_values[encoded] = _UNASSIGNED
             lit_values[encoded ^ 1] = _UNASSIGNED
@@ -734,9 +898,10 @@ class CdclSolver:
             # search becomes eligible again the moment it is unassigned.
             if heap_pos[variable] < 0:
                 self._heap_insert(variable)
-        del self._trail[limit:]
+        self._trail_size = limit
         del self._trail_limits[level:]
-        self._propagation_head = min(self._propagation_head, len(self._trail))
+        if self._propagation_head > limit:
+            self._propagation_head = limit
 
     # ------------------------------------------------------------------
     # decision heuristics
@@ -764,40 +929,350 @@ class CdclSolver:
     # ------------------------------------------------------------------
     # learned clause database management
     # ------------------------------------------------------------------
+    def _locked_slots(self) -> set[int]:
+        """Slots currently serving as the reason of a trail assignment."""
+        locked: set[int] = set()
+        reasons = self._reasons
+        trail = self._trail
+        for index in range(self._trail_size):
+            slot = reasons[trail[index] >> 1]
+            if slot >= 0:
+                locked.add(slot)
+        return locked
+
     def _reduce_learned(self) -> None:
-        if len(self._learned_slots) < self._reduce_min_learned:
+        """Glucose-style reduction: drop the worse half by (LBD, activity).
+
+        Glue clauses (LBD <= ``glue_max``), binary clauses and clauses
+        locked as reasons are never deleted.
+        """
+        learned_slots = self._learned_slots
+        if len(learned_slots) < self._reduce_min_learned:
             return
         arena = self._arena
+        lbd = self._lbd
         clause_act = self._clause_act
-        locked = {slot for slot in self._reasons if slot >= 0}
-        ranked = sorted(self._learned_slots, key=clause_act.__getitem__)
-        removed: set[int] = set()
-        for slot in ranked[: len(ranked) // 2]:
-            clause = arena[slot]
-            if slot in locked or clause is None or len(clause) <= 2:
-                continue
-            self._detach(slot)
-            arena[slot] = None
-            self._learned_flag[slot] = False
-            self._clause_act[slot] = 0.0
-            self._free_slots.append(slot)
-            removed.add(slot)
+        glue_max = self._glue_max
+        locked = self._locked_slots()
+        candidates = [
+            slot
+            for slot in learned_slots
+            if lbd[slot] > glue_max and slot not in locked and len(arena[slot]) > 2
+        ]
+        if len(candidates) < 2:
+            return
+        # Highest LBD first; ties broken by lowest activity first.
+        candidates.sort(key=lambda slot: (-lbd[slot], clause_act[slot]))
+        removed = set(candidates[: len(candidates) // 2])
         if not removed:
             return
-        self._learned_slots = [slot for slot in self._learned_slots if slot not in removed]
+        if len(removed) > 16:
+            self._detach_batch(removed)
+        else:
+            for slot in removed:
+                self._detach(slot)
+        for slot in removed:
+            self._free_slot(slot)
+        self._learned_slots = [slot for slot in learned_slots if slot not in removed]
         self.stats.deleted_clauses += len(removed)
 
+    def _free_slot(self, slot: int) -> None:
+        """Release an (already detached) clause slot back to the free list."""
+        if self._learned_flag[slot]:
+            if self._lbd[slot] <= self._glue_max:
+                self._glue_count -= 1
+            self._learned_flag[slot] = False
+        else:
+            self._num_problem_clauses -= 1
+        self._arena[slot] = None
+        self._clause_act[slot] = 0.0
+        self._lbd[slot] = 0
+        self._free_slots.append(slot)
+
+    def _promote(self, slot: int) -> None:
+        """Make a learned clause irredundant (it subsumed a problem clause)."""
+        if not self._learned_flag[slot]:
+            return
+        self._learned_flag[slot] = False
+        if self._lbd[slot] <= self._glue_max:
+            self._glue_count -= 1
+        self._clause_act[slot] = 0.0
+        self._num_problem_clauses += 1
+
     def _detach(self, slot: int) -> None:
+        """Remove the two watcher pairs of ``slot`` (swap-remove, O(1) each)."""
         clause = self._arena[slot]
         assert clause is not None
-        tag = ~slot if len(clause) == 2 else slot
+        lists = self._bin_watches if len(clause) == 2 else self._watches
         for watch_literal in (clause[0] ^ 1, clause[1] ^ 1):
-            watch_list = self._watches[watch_literal]
-            for index, entry in enumerate(watch_list):
-                if entry[1] == tag:
+            watch_list = lists[watch_literal]
+            for index in range(1, len(watch_list), 2):
+                if watch_list[index] == slot:
+                    watch_list[index - 1] = watch_list[-2]
                     watch_list[index] = watch_list[-1]
-                    watch_list.pop()
+                    del watch_list[-2:]
                     break
+
+    def _detach_batch(self, removed: set[int]) -> None:
+        """Drop every watcher pair referencing a slot in ``removed``.
+
+        One compacting sweep over all watch lists — cheaper than repeated
+        ``_detach`` scans when a reduction removes many clauses at once.
+        """
+        for lists in (self._watches, self._bin_watches):
+            for watch_list in lists:
+                if not watch_list:
+                    continue
+                total = len(watch_list)
+                write = 0
+                for read in range(0, total, 2):
+                    if watch_list[read + 1] not in removed:
+                        watch_list[write] = watch_list[read]
+                        watch_list[write + 1] = watch_list[read + 1]
+                        write += 2
+                if write != total:
+                    del watch_list[write:]
+
+    # ------------------------------------------------------------------
+    # root-level inprocessing (subsumption + self-subsumption)
+    # ------------------------------------------------------------------
+    def _shrink_clause(self, slot: int, kept: list[int]) -> bool:
+        """Replace the clause in ``slot`` with ``kept`` (no false literals).
+
+        Handles re-watching, the unit and empty cases, and LBD/glue
+        bookkeeping.  Returns ``False`` when the shrink proved the formula
+        unsatisfiable.
+        """
+        self._detach(slot)
+        if not kept:
+            self._free_slot(slot)
+            self._ok = False
+            return False
+        if len(kept) == 1:
+            self._free_slot(slot)
+            if not self._enqueue(kept[0]):
+                self._ok = False
+                return False
+            return True
+        self._arena[slot] = kept
+        self._watch_clause(kept, slot)
+        if self._learned_flag[slot]:
+            new_lbd = min(self._lbd[slot], len(kept))
+            if self._lbd[slot] > self._glue_max >= new_lbd:
+                self._glue_count += 1
+            self._lbd[slot] = new_lbd
+        return True
+
+    def _rebuild_learned_slots(self) -> None:
+        self._learned_slots = [
+            slot
+            for slot in self._learned_slots
+            if self._arena[slot] is not None and self._learned_flag[slot]
+        ]
+
+    def _inprocess(self, deadline: float | None) -> bool:
+        """Bounded subsumption pass at decision level 0.
+
+        Must only be called with an empty ``_trail_limits`` (every current
+        assignment is a permanent root fact, so assumption machinery is
+        untouched).  Runs three phases: root simplification (drop satisfied
+        clauses, strip false literals), forward subsumption (``C ⊆ D``
+        deletes ``D``; a learned subsumer of a problem clause is promoted
+        to irredundant first), and self-subsumption
+        (``(C \\ {l}) ⊆ D`` with ``¬l ∈ D`` strengthens ``D`` by ``¬l``).
+        Returns ``False`` when the formula was proven unsatisfiable.
+        """
+        stats = self.stats
+        arena = self._arena
+        lit_values = self._lit_values
+        reasons = self._reasons
+        trail = self._trail
+        learned_flag = self._learned_flag
+        # Root facts never participate in conflict analysis again (their
+        # level-0 variables are skipped by every implication-graph walk),
+        # so their reason slots can be released.  This unlocks every clause
+        # for simplification and guarantees no freed slot stays reachable
+        # through ``_reasons``.
+        for index in range(self._trail_size):
+            reasons[trail[index] >> 1] = _NO_REASON
+
+        # Phase 1: root simplification.
+        for slot in range(len(arena)):
+            clause = arena[slot]
+            if clause is None:
+                continue
+            satisfied = False
+            falsified = False
+            for lit in clause:
+                value = lit_values[lit]
+                if value == 1:
+                    satisfied = True
+                    break
+                if value == 0:
+                    falsified = True
+            if satisfied:
+                self._detach(slot)
+                self._free_slot(slot)
+                stats.root_simplified += 1
+            elif falsified:
+                kept = [lit for lit in clause if lit_values[lit] != 0]
+                if not self._shrink_clause(slot, kept):
+                    self._rebuild_learned_slots()
+                    return False
+                stats.root_simplified += 1
+        if self._propagate() != _NO_CONFLICT:
+            self._rebuild_learned_slots()
+            self._ok = False
+            return False
+
+        # Occurrence lists, 64-bit signatures and literal sets over the
+        # live clauses.  Signatures give a cheap necessary condition for
+        # the subset tests: ``sig(C) & ~sig(D) == 0`` whenever C ⊆ D.
+        occur: dict[int, list[int]] = {}
+        sigs: dict[int, int] = {}
+        clause_sets: dict[int, set[int]] = {}
+        live: list[int] = []
+        for slot in range(len(arena)):
+            clause = arena[slot]
+            if clause is None:
+                continue
+            signature = 0
+            for lit in clause:
+                signature |= 1 << (lit & 63)
+                occur.setdefault(lit, []).append(slot)
+            sigs[slot] = signature
+            clause_sets[slot] = set(clause)
+            live.append(slot)
+        # Shortest clauses subsume the most; process them first so the
+        # deadline cuts off the least profitable work.
+        live.sort(key=lambda slot: len(clause_sets[slot]))
+
+        monotonic = time.monotonic
+        for processed, c_slot in enumerate(live):
+            if deadline is not None and processed % 32 == 31 and monotonic() > deadline:
+                break
+            if arena[c_slot] is None:
+                continue
+            c_set = clause_sets[c_slot]
+            c_sig = sigs[c_slot]
+            c_len = len(c_set)
+            # Phase 2: forward subsumption through the rarest literal of C
+            # (every superset of C must contain it).
+            rare = min(c_set, key=lambda lit: len(occur.get(lit, ())))
+            for d_slot in occur.get(rare, ()):
+                if d_slot == c_slot or arena[d_slot] is None:
+                    continue
+                d_set = clause_sets[d_slot]
+                if len(d_set) < c_len or (c_sig & ~sigs[d_slot]):
+                    continue
+                if c_set <= d_set:
+                    if learned_flag[c_slot] and not learned_flag[d_slot]:
+                        # Keeping only the learned subsumer would weaken the
+                        # formula if a later reduction deleted it; make it
+                        # irredundant first.
+                        self._promote(c_slot)
+                    self._detach(d_slot)
+                    self._free_slot(d_slot)
+                    stats.subsumed_clauses += 1
+            # Phase 3: self-subsumption — resolving C and D on l yields a
+            # clause that subsumes D, so D can drop ¬l.
+            for lit in list(c_set):
+                negated = lit ^ 1
+                rest_sig = c_sig & ~(1 << (lit & 63))
+                for d_slot in occur.get(negated, ()):
+                    if d_slot == c_slot:
+                        continue
+                    clause_d = arena[d_slot]
+                    if clause_d is None:
+                        continue
+                    d_set = clause_sets[d_slot]
+                    if negated not in d_set:
+                        continue  # stale occurrence left by a strengthening
+                    if len(d_set) < c_len or (rest_sig & ~sigs[d_slot]):
+                        continue
+                    if not (c_set - {lit}) <= d_set:
+                        continue
+                    kept = []
+                    satisfied = False
+                    for other in clause_d:
+                        if other == negated:
+                            continue
+                        value = lit_values[other]
+                        if value == 1:
+                            satisfied = True
+                            break
+                        if value != 0:
+                            kept.append(other)
+                    if satisfied:
+                        # A root unit enqueued earlier in this pass already
+                        # satisfies D; drop it instead of strengthening.
+                        self._detach(d_slot)
+                        self._free_slot(d_slot)
+                        stats.root_simplified += 1
+                        continue
+                    if not self._shrink_clause(d_slot, kept):
+                        self._rebuild_learned_slots()
+                        return False
+                    stats.strengthened_clauses += 1
+                    if arena[d_slot] is not None:
+                        remaining = set(arena[d_slot])
+                        clause_sets[d_slot] = remaining
+                        signature = 0
+                        for other in remaining:
+                            signature |= 1 << (other & 63)
+                        sigs[d_slot] = signature
+        self._rebuild_learned_slots()
+        stats.inprocessings += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # debug invariants (test support)
+    # ------------------------------------------------------------------
+    def _debug_check_watches(self) -> None:
+        """Assert the watcher invariants; raises AssertionError on violation.
+
+        Every live clause must be watched exactly twice — on the negations
+        of its first two literals, in the binary lists for binary clauses
+        and in the long lists otherwise — and no watcher pair may reference
+        a freed slot.  Test helper; not called from the hot path.
+        """
+        counts: dict[int, int] = {}
+        for literal, watch_list in enumerate(self._watches):
+            if len(watch_list) % 2:
+                raise AssertionError(f"odd watch list length at literal {literal}")
+            for index in range(0, len(watch_list), 2):
+                slot = watch_list[index + 1]
+                clause = self._arena[slot]
+                if clause is None:
+                    raise AssertionError(f"watcher references freed slot {slot}")
+                if len(clause) == 2:
+                    raise AssertionError(f"binary clause {slot} in long watch list")
+                if (literal ^ 1) not in (clause[0], clause[1]):
+                    raise AssertionError(
+                        f"slot {slot} watched on literal {literal ^ 1} "
+                        "which is not in its first two positions"
+                    )
+                counts[slot] = counts.get(slot, 0) + 1
+        for literal, watch_list in enumerate(self._bin_watches):
+            if len(watch_list) % 2:
+                raise AssertionError(f"odd binary watch list length at literal {literal}")
+            for index in range(0, len(watch_list), 2):
+                slot = watch_list[index + 1]
+                clause = self._arena[slot]
+                if clause is None:
+                    raise AssertionError(f"binary watcher references freed slot {slot}")
+                if len(clause) != 2:
+                    raise AssertionError(f"non-binary clause {slot} in binary watch list")
+                if (literal ^ 1) not in clause or watch_list[index] not in clause:
+                    raise AssertionError(f"binary watcher of slot {slot} is inconsistent")
+                counts[slot] = counts.get(slot, 0) + 1
+        for slot, clause in enumerate(self._arena):
+            expected = 0 if clause is None else 2
+            actual = counts.get(slot, 0)
+            if actual != expected:
+                raise AssertionError(
+                    f"slot {slot} watched {actual} times, expected {expected}"
+                )
 
     # ------------------------------------------------------------------
     # main search loop
@@ -818,6 +1293,12 @@ class CdclSolver:
         stats = self.stats = SolverStats()
         conflict_limit = conflict_limit if conflict_limit is not None else self.default_conflict_limit
         time_limit = time_limit if time_limit is not None else self.default_time_limit
+        profile = self._profile
+        phase_times: dict[str, float] | None = None
+        if profile:
+            phase_times = {"propagate": 0.0, "analyze": 0.0, "reduce": 0.0, "inprocess": 0.0}
+            stats.phase_times = phase_times
+        perf = time.perf_counter
         # Every UNSAT exit below records its assumption core first; paths
         # where the formula alone is contradictory record the empty core.
         self._failed_assumptions = None
@@ -850,7 +1331,12 @@ class CdclSolver:
         restart_count = 0
         conflicts_until_restart = self._restart_base * luby(restart_count + 1)
         conflicts_since_restart = 0
-        learned_limit = max(self._learned_limit_base, self.num_clauses // 2)
+        # The learned-clause limit grows geometrically across reductions
+        # and persists across solve calls; glue clauses are exempt from
+        # both the trigger and the deletion.
+        self._learned_limit = max(
+            self._learned_limit, self._learned_limit_base, self.num_clauses // 2
+        )
         iterations = 0
 
         while True:
@@ -871,39 +1357,62 @@ class CdclSolver:
                 stats.solve_time = time.monotonic() - start_time
                 return SolveResult(Status.UNKNOWN, None, stats)
 
-            conflict_slot = self._propagate()
+            if profile:
+                mark = perf()
+                conflict_slot = self._propagate()
+                phase_times["propagate"] += perf() - mark
+            else:
+                conflict_slot = self._propagate()
             if conflict_slot != _NO_CONFLICT:
                 stats.conflicts += 1
+                self._total_conflicts += 1
                 conflicts_since_restart += 1
                 if not self._trail_limits:
                     # Conflict at decision level 0: the trail below the first
                     # pseudo-decision only ever holds formula-derived facts,
                     # so the formula alone is contradictory (empty core) and
-                    # this call is conclusive either way.
+                    # every future call is conclusive too.
                     self._failed_assumptions = []
+                    self._ok = False
                     self._backtrack(0)
                     stats.solve_time = time.monotonic() - start_time
-                    if not encoded_assumptions:
-                        self._ok = False
                     return SolveResult(Status.UNSATISFIABLE, None, stats)
-                learned, backjump_level = self._analyze(conflict_slot)
+                if profile:
+                    mark = perf()
+                    learned, backjump_level, lbd_value = self._analyze(conflict_slot)
+                    phase_times["analyze"] += perf() - mark
+                else:
+                    learned, backjump_level, lbd_value = self._analyze(conflict_slot)
                 self._backtrack(backjump_level)
+                stats.lbd_sum += lbd_value
+                if lbd_value <= 2:
+                    stats.lbd_glue += 1
+                elif lbd_value <= 6:
+                    stats.lbd_mid += 1
+                else:
+                    stats.lbd_high += 1
                 if len(learned) == 1:
                     if not self._enqueue(learned[0]):
                         # Learned units are implied by the formula alone.
+                        self._ok = False
                         self._failed_assumptions = []
                         stats.solve_time = time.monotonic() - start_time
                         return SolveResult(Status.UNSATISFIABLE, None, stats)
                     self._pending_units.append(_decode(learned[0]))
                 else:
-                    slot = self._attach(learned, learned=True)
+                    slot = self._attach(learned, learned=True, lbd=lbd_value)
                     stats.learned_clauses += 1
                     self._enqueue(learned[0], slot)
                 self._decay_variable_activity()
                 self._decay_clause_activity()
-                if len(self._learned_slots) > learned_limit:
-                    self._reduce_learned()
-                    learned_limit = int(learned_limit * 1.3)
+                if len(self._learned_slots) - self._glue_count > self._learned_limit:
+                    if profile:
+                        mark = perf()
+                        self._reduce_learned()
+                        phase_times["reduce"] += perf() - mark
+                    else:
+                        self._reduce_learned()
+                    self._learned_limit = int(self._learned_limit * 1.3) + 1
                 continue
 
             if conflicts_since_restart >= conflicts_until_restart:
@@ -912,12 +1421,36 @@ class CdclSolver:
                 conflicts_since_restart = 0
                 conflicts_until_restart = self._restart_base * luby(restart_count + 1)
                 self._backtrack(0)
+                if (
+                    self._inprocess_interval > 0
+                    and self._total_conflicts - self._last_inprocess_conflicts
+                    >= self._inprocess_interval
+                ):
+                    self._last_inprocess_conflicts = self._total_conflicts
+                    budget = _INPROCESS_BUDGET
+                    if time_limit is not None:
+                        remaining = time_limit - (time.monotonic() - start_time)
+                        if remaining <= 0.05:
+                            continue
+                        budget = min(budget, 0.5 * remaining)
+                    inprocess_deadline = time.monotonic() + budget
+                    if profile:
+                        mark = perf()
+                        inprocess_ok = self._inprocess(inprocess_deadline)
+                        phase_times["inprocess"] += perf() - mark
+                    else:
+                        inprocess_ok = self._inprocess(inprocess_deadline)
+                    if not inprocess_ok:
+                        self._ok = False
+                        self._failed_assumptions = []
+                        stats.solve_time = time.monotonic() - start_time
+                        return SolveResult(Status.UNSATISFIABLE, None, stats)
                 continue
 
             # Place pending assumptions as pseudo-decisions.
             next_assumption = self._next_unassigned_assumption(encoded_assumptions)
             if next_assumption is not None:
-                value = self._value_of(next_assumption)
+                value = self._lit_values[next_assumption]
                 if value == 0:
                     # The core must be read off the implication graph before
                     # backtracking tears the trail down.
@@ -925,7 +1458,7 @@ class CdclSolver:
                     self._backtrack(0)
                     stats.solve_time = time.monotonic() - start_time
                     return SolveResult(Status.UNSATISFIABLE, None, stats)
-                self._trail_limits.append(len(self._trail))
+                self._trail_limits.append(self._trail_size)
                 self._enqueue(next_assumption)
                 continue
 
@@ -936,11 +1469,10 @@ class CdclSolver:
                 stats.solve_time = time.monotonic() - start_time
                 return SolveResult(Status.SATISFIABLE, model, stats)
             stats.decisions += 1
-            self._trail_limits.append(len(self._trail))
+            self._trail_limits.append(self._trail_size)
             if len(self._trail_limits) > stats.max_decision_level:
                 stats.max_decision_level = len(self._trail_limits)
-            phase = self._phase[variable]
-            encoded = (variable << 1) | (0 if phase else 1)
+            encoded = (variable << 1) | (self._phase[variable] ^ 1)
             self._enqueue(encoded)
 
     def _analyze_final(self, failed: int) -> list[int]:
@@ -966,9 +1498,11 @@ class CdclSolver:
         seen = self._seen
         reasons = self._reasons
         arena = self._arena
-        seen[variable] = True
+        trail = self._trail
+        seen[variable] = 1
         marked = [variable]
-        for encoded in reversed(self._trail):
+        for index in range(self._trail_size - 1, -1, -1):
+            encoded = trail[index]
             trail_variable = encoded >> 1
             if not seen[trail_variable]:
                 continue
@@ -989,10 +1523,10 @@ class CdclSolver:
                         and levels[other_variable] > 0
                         and not seen[other_variable]
                     ):
-                        seen[other_variable] = True
+                        seen[other_variable] = 1
                         marked.append(other_variable)
         for cleared in marked:
-            seen[cleared] = False
+            seen[cleared] = 0
         return core
 
     def failed_assumptions(self) -> list[int]:
@@ -1016,16 +1550,18 @@ class CdclSolver:
 
     def _next_unassigned_assumption(self, encoded_assumptions: list[int]) -> int | None:
         for encoded in encoded_assumptions:
-            value = self._value_of(encoded)
+            value = self._lit_values[encoded]
             if value == _UNASSIGNED or value == 0:
                 return encoded
         return None
 
     def _extract_model(self) -> dict[int, bool]:
         model: dict[int, bool] = {}
+        lit_values = self._lit_values
+        phase = self._phase
         for variable in range(1, self._num_vars + 1):
-            value = self._lit_values[variable << 1]
-            model[variable] = bool(value) if value != _UNASSIGNED else bool(self._phase[variable])
+            value = lit_values[variable << 1]
+            model[variable] = bool(value) if value != _UNASSIGNED else bool(phase[variable])
         return model
 
 

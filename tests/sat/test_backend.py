@@ -16,6 +16,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.errors import SolverError
 from repro.sat.backend import (
+    CdclSpec,
     DpllBackend,
     ExternalDimacsBackend,
     IncrementalSatBackend,
@@ -47,8 +48,8 @@ class TestRegistry:
         assert split_backend_spec("cdcl") == ("cdcl", None)
         assert split_backend_spec("external:minisat -v") == ("external", "minisat -v")
 
-    def test_cdcl_rejects_argument(self):
-        with pytest.raises(SolverError, match="takes no spec argument"):
+    def test_cdcl_rejects_malformed_argument(self):
+        with pytest.raises(SolverError, match="expected key=value"):
             create_backend("cdcl:foo")
 
     def test_external_unavailable_without_command(self, monkeypatch):
@@ -83,6 +84,72 @@ class TestRegistry:
     def test_conflict_limit_forwarded_to_cdcl(self):
         backend = create_backend("cdcl", conflict_limit=7)
         assert backend.default_conflict_limit == 7
+
+
+class TestCdclSpec:
+    def test_defaults(self):
+        spec = CdclSpec.parse(None)
+        assert spec == CdclSpec()
+        assert spec.render() == "cdcl"
+
+    def test_parse_and_render_round_trip(self):
+        spec = CdclSpec.parse("restart_base=200, var_decay=0.9, seed=7")
+        assert spec.restart_base == 200
+        assert spec.var_decay == 0.9
+        assert spec.seed == 7
+        rendered = spec.render()
+        assert rendered == "cdcl:restart_base=200,seed=7,var_decay=0.9"
+        name, argument = split_backend_spec(rendered)
+        assert name == "cdcl"
+        assert CdclSpec.parse(argument) == spec
+
+    def test_profile_flag(self):
+        assert CdclSpec.parse("profile=1").profile is True
+        assert CdclSpec.parse("profile=0").profile is False
+        assert CdclSpec.parse("profile=1").render() == "cdcl:profile=1"
+        with pytest.raises(SolverError, match="profile wants 0 or 1"):
+            CdclSpec.parse("profile=2")
+
+    @pytest.mark.parametrize(
+        ("argument", "message"),
+        [
+            ("restart_base=0", "restart_base must be >= 1"),
+            ("glue_max=-1", "glue_max must be >= 0"),
+            ("var_decay=1.5", r"var_decay must be in \(0, 1\]"),
+            ("clause_decay=0", r"clause_decay must be in \(0, 1\]"),
+            ("seed=x", "seed wants an integer"),
+            ("var_decay=fast", "var_decay wants a number"),
+            ("seed=1,seed=2", "given twice"),
+            ("bogus=3", "unknown key"),
+        ],
+    )
+    def test_rejections(self, argument, message):
+        with pytest.raises(SolverError, match=message):
+            CdclSpec.parse(argument)
+
+    def test_build_forwards_options(self):
+        solver = CdclSpec.parse(
+            "restart_base=50,seed=11,glue_max=3,inprocess_interval=0"
+        ).build(conflict_limit=9)
+        assert isinstance(solver, CdclSolver)
+        assert solver._restart_base == 50
+        assert solver._glue_max == 3
+        assert solver._inprocess_interval == 0
+        assert solver.default_conflict_limit == 9
+
+    def test_tuned_spec_solves_through_registry(self):
+        backend = create_backend(
+            "cdcl:restart_base=4,reduce_min_learned=8,learned_limit_base=8"
+        )
+        for clause in ([1, 2], [-1, 2], [-2, 3]):
+            backend.add_clause(clause)
+        assert backend.solve().is_sat
+
+    def test_probe_reports_bad_specs(self):
+        reason = backend_unavailable_reason("cdcl:bogus=1")
+        assert reason is not None and "unknown key" in reason
+        assert backend_unavailable_reason("cdcl:glue_max=3") is None
+        require_backend("cdcl:glue_max=3")
 
 
 def _load_simple(backend: IncrementalSatBackend) -> None:

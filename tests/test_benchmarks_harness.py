@@ -118,8 +118,59 @@ class TestCompileScenario:
             assert case["verified"] is True
             assert case["gates"] > 0 and case["t_count"] >= 0
 
-    def test_schema_version_is_six(self, quick_report):
-        assert quick_report["schema_version"] == 6
+    def test_schema_version_is_seven(self, quick_report):
+        assert quick_report["schema_version"] == 7
+
+    def test_quick_report_contains_profile_section(self, quick_report):
+        profile = quick_report["profile"]
+        assert profile["phases_present"] is True
+        names = {row["name"] for row in profile["instances"]}
+        assert "fig2_p4" in names
+        assert "php_7_6" in names
+        for row in profile["instances"]:
+            assert set(row["phases"]) == {
+                "propagate", "analyze", "reduce", "inprocess"
+            }
+            shares = [phase["share"] for phase in row["phases"].values()]
+            assert all(0.0 <= share <= 1.0 for share in shares)
+            assert row["conflicts_per_sec"] >= 0
+            assert "conflicts" not in row["counters"]
+            assert row["counters"]["learned_clauses"] >= 0
+
+    def test_scenario_selector(self, run_bench):
+        assert run_bench.parse_scenarios(None) == list(run_bench.SCENARIOS)
+        assert run_bench.parse_scenarios("profile,engine") == [
+            "engine", "profile"
+        ]
+        with pytest.raises(SystemExit):
+            run_bench.parse_scenarios("bogus")
+        with pytest.raises(SystemExit):
+            run_bench.parse_scenarios(" , ")
+
+    def test_scenario_subset_report_only_contains_selection(self, run_bench):
+        report = run_bench.run_benchmarks(
+            quick=True, scenarios=["backends"]
+        )
+        assert report["scenarios"] == ["backends"]
+        assert "instances" not in report
+        assert "portfolio" not in report
+        assert report["all_verdicts_match"] is True
+
+    def test_trajectory_gate(self, run_bench, tmp_path):
+        # No previous report: vacuous pass.
+        record = run_bench.check_trajectory(2.0, tmp_path)
+        assert record["ok"] is True and record["previous"] is None
+        (tmp_path / "BENCH_1.json").write_text(
+            json.dumps({"geometric_mean_speedup": 2.0})
+        )
+        assert run_bench.check_trajectory(1.9, tmp_path)["ok"] is True
+        bad = run_bench.check_trajectory(1.5, tmp_path)
+        assert bad["ok"] is False
+        assert bad["previous"] == "BENCH_1.json"
+        assert bad["ratio"] == 0.75
+        # The newest index wins, and corrupt files pass vacuously.
+        (tmp_path / "BENCH_2.json").write_text("not json")
+        assert run_bench.check_trajectory(0.1, tmp_path)["ok"] is True
 
     def test_quick_compile_cases_are_a_strict_subset(self, run_bench):
         quick = [case for case in run_bench.COMPILE_CASES if case[4]]
