@@ -27,14 +27,16 @@ from __future__ import annotations
 
 import os
 import random
+import tempfile
 import time
 import traceback as traceback_module
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from repro.errors import PebblingError
+from repro.pebbling.cancel import CancellationToken, resolve_token
 from repro.pebbling.encoding import EncodingOptions
 from repro.pebbling.search import strategy_from_name
 from repro.pebbling.solver import ReversiblePebblingSolver
@@ -72,8 +74,17 @@ class PortfolioTask:
     initial_steps: int | None = None
     weighted: bool = False
     backend: str = "cdcl"
+    #: Cube-and-conquer width for this task's step search: ``0`` (the
+    #: default) solves sequentially, ``N > 1`` splits the instance into an
+    #: exhaustive cube cover raced through the shared bound board (see
+    #: :mod:`repro.pebbling.cubes`).  Inline portfolio execution gives the
+    #: cube lanes the portfolio's ``jobs`` as their pool width; tasks that
+    #: already run inside a pool worker run their lanes inline.
+    cubes: int = 0
 
     def __post_init__(self) -> None:
+        if self.cubes < 0:
+            raise PebblingError("PortfolioTask.cubes must be >= 0")
         if not isinstance(self.backend, str):
             # The historical trap: a callable solver factory pickles (or
             # fails to) into workers that then quietly solve with the
@@ -221,6 +232,14 @@ class PortfolioRecord:
     partial: dict[str, object] | None = None
     #: Retry attempts this record consumed beyond the first try.
     retries: int = 0
+    #: Backend specs of race lanes stopped by first-winner cancellation
+    #: (``None`` for non-raced records).
+    cancelled: list[str] | None = None
+    #: Cross-lane bound-board hits of a cube-and-conquer search.
+    shared_bound_hits: int = 0
+    #: Cube metadata of a cube-and-conquer search (see
+    #: :attr:`repro.pebbling.solver.PebblingResult.cubes`).
+    cubes: dict[str, object] | None = None
 
     @property
     def name(self) -> str:
@@ -252,6 +271,11 @@ class PortfolioRecord:
         }
         if self.race is not None:
             row["race"] = self.race
+            row["cancelled"] = list(self.cancelled or [])
+        if self.shared_bound_hits:
+            row["shared_bound_hits"] = self.shared_bound_hits
+        if self.cubes is not None:
+            row["cubes"] = self.cubes
         return row
 
 
@@ -336,6 +360,8 @@ def record_from_result(task: PortfolioTask, result) -> PortfolioRecord:
         complete=result.complete,
         backend=result.backend,
         partial=result.partial,
+        shared_bound_hits=result.shared_bound_hits,
+        cubes=result.cubes,
     )
     if result.strategy is not None:
         record.pebbles_used = result.strategy.max_pebbles
@@ -353,6 +379,8 @@ def _attempt_task(
     attempt: int,
     epoch: int,
     time_limit: float | None,
+    cancel: str | None = None,
+    cube_jobs: int = 1,
 ) -> PortfolioRecord:
     """One attempt of one task; never raises, always returns a record."""
     set_chaos_scope(task.name, attempt=attempt, epoch=epoch)
@@ -372,6 +400,9 @@ def _attempt_task(
             max_steps=task.max_steps,
             initial_steps=task.initial_steps,
             store=_resolve_store(store),
+            cubes=task.cubes if task.cubes > 1 else None,
+            cube_jobs=cube_jobs,
+            cancel=cancel,
         )
     except Exception as error:  # noqa: BLE001 — a crashed task must not kill the sweep
         return PortfolioRecord(
@@ -397,6 +428,8 @@ def _execute_task(
     store: object = None,
     retry: "RetryPolicy | None" = None,
     epoch: int = 0,
+    cancel: str | None = None,
+    cube_jobs: int = 1,
 ) -> PortfolioRecord:
     """Run one task — retrying per ``retry`` — inside a worker process.
 
@@ -405,16 +438,26 @@ def _execute_task(
     counts pool rebuilds; it feeds the chaos scope so resubmitted work does
     not replay the fault that killed its first pool.
 
+    ``cancel`` is a first-winner cancellation token path (see
+    :mod:`repro.pebbling.cancel`): it is checked between retry attempts
+    here and between SAT calls inside the solver, so a losing race lane
+    stops mid-search instead of running its full time budget.
+
     The *best* record across attempts wins (complete beats incomplete
     beats error, latest on ties), and it reports the retries consumed —
     a transient failure is healed invisibly, a persistent one still ends
     as an ``error`` record with the last traceback attached.
     """
     policy = retry if retry is not None else RetryPolicy(max_attempts=1)
+    token = resolve_token(cancel)
     started = time.monotonic()
     best: PortfolioRecord | None = None
     attempts_used = 0
     for attempt in range(policy.max_attempts):
+        if token is not None and token.cancelled():
+            if best is None:
+                best = PortfolioRecord(task=task, outcome="cancelled")
+            break
         if attempt:
             delay = policy.delay_before(attempt, key=task.name)
             if policy.total_time_limit is not None:
@@ -434,10 +477,16 @@ def _execute_task(
             if remaining <= 0:
                 break
             time_limit = remaining if time_limit is None else min(time_limit, remaining)
-        record = _attempt_task(task, store, attempt, epoch, time_limit)
+        record = _attempt_task(
+            task, store, attempt, epoch, time_limit, cancel, cube_jobs
+        )
         attempts_used = attempt + 1
         if best is None or _record_rank(record) <= _record_rank(best):
             best = record
+        if record.outcome == "cancelled":
+            # A sibling already answered mid-attempt; retrying would only
+            # observe the token again.
+            break
         if record.outcome != "error" and (
             record.complete or not policy.retry_incomplete
         ):
@@ -462,6 +511,8 @@ def run_portfolio(
     retry: "RetryPolicy | None" = None,
     health: "PortfolioHealth | None" = None,
     pool_rebuild_limit: int = 2,
+    cancel_paths: Sequence[str | None] | None = None,
+    on_record: "Callable[[int, PortfolioRecord], None] | None" = None,
 ) -> list[PortfolioRecord]:
     """Run every task, ``jobs`` at a time, and merge deterministically.
 
@@ -501,6 +552,15 @@ def run_portfolio(
     to a fresh pool, at most ``pool_rebuild_limit`` times, before the
     remainder degrades to ``error`` records; finished results are never
     recomputed.
+
+    ``cancel_paths`` aligns one cancellation-token path (or ``None``) with
+    each task; workers poll their token between SAT calls and retry
+    attempts.  ``on_record`` is called as ``on_record(index, record)`` the
+    moment each task finishes — in *completion* order, which is what lets
+    the racing layer cancel losing lanes while they are still running.
+    Results are absorbed with :func:`concurrent.futures.as_completed`, so
+    one slow early task no longer delays sibling absorption; the returned
+    list is still ordered like ``tasks``.
     """
     task_list = list(tasks)
     if jobs < 1:
@@ -518,9 +578,24 @@ def run_portfolio(
             retry=retry,
             health=health,
         )
+    if cancel_paths is not None and len(cancel_paths) != len(task_list):
+        raise PebblingError("cancel_paths must align with tasks")
+
+    def cancel_of(index: int) -> str | None:
+        return cancel_paths[index] if cancel_paths is not None else None
+
     inline = jobs == 1 or len(task_list) <= 1 or _usable_cores() <= 1
     if inline and not force_pool:
-        records = [_execute_task(task, store_path, retry, 0) for task in task_list]
+        records = []
+        for index, task in enumerate(task_list):
+            # Inline tasks run one at a time, so a cube task may use the
+            # portfolio's whole ``jobs`` width for its own lanes.
+            record = _execute_task(
+                task, store_path, retry, 0, cancel_of(index), jobs
+            )
+            records.append(record)
+            if on_record is not None:
+                on_record(index, record)
         if health is not None:
             health.absorb_records(records)
         return records
@@ -531,11 +606,17 @@ def run_portfolio(
         unfinished: list[tuple[int, PortfolioTask]] = []
         pool_broke = False
         with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-            submitted = [
-                (index, task, pool.submit(_execute_task, task, store_path, retry, epoch))
+            submitted = {
+                pool.submit(
+                    _execute_task, task, store_path, retry, epoch, cancel_of(index)
+                ): (index, task)
                 for index, task in pending
-            ]
-            for index, task, future in submitted:
+            }
+            # Completion order, not submission order: a slow early task no
+            # longer delays sibling absorption — and therefore no longer
+            # delays first-winner cancellation of the tasks behind it.
+            for future in as_completed(submitted):
+                index, task = submitted[future]
                 try:
                     results[index] = future.result()
                 except BrokenProcessPool:
@@ -543,6 +624,7 @@ def run_portfolio(
                     # had not finished) must be resubmitted to a new one.
                     pool_broke = True
                     unfinished.append((index, task))
+                    continue
                 except Exception as error:  # noqa: BLE001 — e.g. an unpicklable result
                     results[index] = PortfolioRecord(
                         task=task,
@@ -550,6 +632,11 @@ def run_portfolio(
                         error=str(error),
                         traceback=traceback_module.format_exc(),
                     )
+                if on_record is not None:
+                    on_record(index, results[index])
+        # as_completed surfaces broken-pool tasks in arbitrary order;
+        # resubmit them in task order so rebuilt epochs stay deterministic.
+        unfinished.sort(key=lambda pair: pair[0])
         if pool_broke:
             if epoch >= pool_rebuild_limit:
                 for index, task in unfinished:
@@ -601,7 +688,10 @@ def _merge_race(
     lane with an anytime ``partial`` snapshot beats one with no progress
     at all, faster answers beat slower ones, and the caller's backend
     order breaks exact ties — the merge is a pure function of the lane
-    records.  Error lanes rank last but are still reported in ``race``.
+    records.  Error lanes rank last but are still reported in ``race``;
+    lanes stopped by first-winner cancellation are listed in the merged
+    record's ``cancelled`` (a cancelled lane is by construction
+    incomplete, so it can never outrank the winner that cancelled it).
     """
     def rank(
         indexed: tuple[int, PortfolioRecord]
@@ -638,6 +728,12 @@ def _merge_race(
         race={
             spec: _lane_summary(lane) for spec, lane in zip(backends, lanes)
         },
+        cancelled=[
+            spec
+            for spec, lane in zip(backends, lanes)
+            if lane.outcome == "cancelled"
+            or (lane.partial or {}).get("cancelled")
+        ],
     )
     return merged
 
@@ -656,18 +752,41 @@ def _run_race(
     No ``store_path``: the store's backend-invariant addresses would turn
     every lane after the first into a cache lookup of the first lane's
     answer, crowning a "winner" that never solved anything.
+
+    Each task group shares one first-winner cancellation token: the moment
+    any lane returns a *complete* record, the group's token is raised and
+    sibling lanes — queued or mid-search — stop at their next poll instead
+    of running their full time budget (previously up to
+    ``(width - 1) / width`` of the pool was spent finishing known losers).
     """
     if not backends:
         raise PebblingError("race_backends needs at least one backend spec")
+    width = len(backends)
     lanes_per_task = [
         [replace(task, backend=spec) for spec in backends] for task in tasks
     ]
     flat = [lane for lanes in lanes_per_task for lane in lanes]
-    flat_records = run_portfolio(
-        flat, jobs=jobs, force_pool=force_pool, retry=retry, health=health
-    )
+    with tempfile.TemporaryDirectory(prefix="repro-race-") as scratch:
+        tokens = [
+            CancellationToken(os.path.join(scratch, f"winner-{position}.cancel"))
+            for position in range(len(tasks))
+        ]
+        cancel_paths = [tokens[index // width].path for index in range(len(flat))]
+
+        def crown(flat_index: int, record: PortfolioRecord) -> None:
+            if record.complete:
+                tokens[flat_index // width].cancel()
+
+        flat_records = run_portfolio(
+            flat,
+            jobs=jobs,
+            force_pool=force_pool,
+            retry=retry,
+            health=health,
+            cancel_paths=cancel_paths,
+            on_record=crown,
+        )
     merged: list[PortfolioRecord] = []
-    width = len(backends)
     for position, task in enumerate(tasks):
         lanes = flat_records[position * width:(position + 1) * width]
         merged.append(_merge_race(task, backends, lanes))
@@ -683,6 +802,7 @@ def tasks_from_suite(
     step_increment: int = 1,
     incremental: bool = True,
     backend: str = "cdcl",
+    cubes: int = 0,
 ) -> list[PortfolioTask]:
     """Turn a named batch suite (or explicit entries) into portfolio tasks."""
     entries = suite_entries(suite) if isinstance(suite, str) else list(suite)
@@ -698,6 +818,7 @@ def tasks_from_suite(
             step_increment=step_increment,
             incremental=incremental,
             backend=backend,
+            cubes=cubes,
         )
         for entry in entries
     ]

@@ -39,6 +39,7 @@ from typing import Callable
 from repro.errors import PebblingError
 from repro.dag.graph import Dag
 from repro.pebbling.bennett import eager_bennett_strategy
+from repro.pebbling.cancel import resolve_token
 from repro.pebbling.encoding import (
     EncodingOptions,
     PebblingEncoder,
@@ -63,6 +64,12 @@ from repro.sat.backend import (
 )
 from repro.sat.solver import Status
 
+#: First time slice of a SAT query issued under a cancellation token or a
+#: shared bound board; slices double on every retry, so non-resumable
+#: backends waste at most one final slice of rework while the lane keeps
+#: reacting to siblings mid-query.
+_CANCEL_POLL_SLICE = 0.5
+
 
 class PebblingOutcome(Enum):
     """Outcome of a pebbling search."""
@@ -71,6 +78,11 @@ class PebblingOutcome(Enum):
     INFEASIBLE = "infeasible"
     STEP_LIMIT = "step-limit"
     TIMEOUT = "timeout"
+    #: The search was stopped by a cross-process cancellation token (a
+    #: sibling race lane or cube lane already answered); a cancelled
+    #: search that found a witness first reports SOLUTION instead, with
+    #: ``complete=False`` and ``partial["cancelled"]`` set.
+    CANCELLED = "cancelled"
 
 
 @dataclass
@@ -150,6 +162,13 @@ class PebblingResult:
     #: count witnessed and the SAT calls spent.  A preempted request hands
     #: this back instead of nothing.
     partial: dict[str, object] | None = None
+    #: How many times a bound published by *another* cube lane moved this
+    #: search's cursor (skipped SAT calls it would otherwise have paid
+    #: for); aggregated across lanes on a merged cube result.
+    shared_bound_hits: int = 0
+    #: Cube-and-conquer metadata on merged results (lane summaries, the
+    #: winning cube, board traffic); ``None`` for ordinary searches.
+    cubes: dict[str, object] | None = None
 
     @property
     def found(self) -> bool:
@@ -194,6 +213,10 @@ class PebblingResult:
         if self.weighted:
             summary["weighted"] = True
             summary["weight_used"] = self.weight_used
+        if self.shared_bound_hits:
+            summary["shared_bound_hits"] = self.shared_bound_hits
+        if self.cubes is not None:
+            summary["cubes"] = self.cubes.get("count")
         return summary
 
     def to_json(self) -> dict[str, object]:
@@ -217,6 +240,8 @@ class PebblingResult:
             "minimal": self.minimal,
             "backend": self.backend,
             "partial": self.partial,
+            "shared_bound_hits": self.shared_bound_hits,
+            "cubes": self.cubes,
             "strategy": strategy,
             "attempts": [record.as_dict() for record in self.attempts],
         }
@@ -247,6 +272,8 @@ class PebblingResult:
             minimal=bool(data.get("minimal", False)),
             backend=str(data.get("backend", DEFAULT_BACKEND)),
             partial=data.get("partial"),  # type: ignore[arg-type]
+            shared_bound_hits=int(data.get("shared_bound_hits", 0)),
+            cubes=data.get("cubes"),  # type: ignore[arg-type]
         )
 
 
@@ -417,6 +444,11 @@ class ReversiblePebblingSolver:
         time_limit: float | None = None,
         step_floor: int | None = None,
         store=None,
+        cubes=None,
+        cube_jobs: int = 1,
+        cube=None,
+        board=None,
+        cancel=None,
     ) -> PebblingResult:
         """Find a strategy with at most ``max_pebbles`` pebbles.
 
@@ -454,6 +486,22 @@ class ReversiblePebblingSolver:
         surface): an exact cache hit is returned without touching a SAT
         solver, a warm hit seeds the step bounds so the search starts near
         the answer, and any complete fresh result is written back.
+
+        ``cubes`` (an int or a pre-built
+        :class:`~repro.pebbling.cubes.CubeSet`) switches the search to
+        cube-and-conquer: the instance is split into an exhaustive cube
+        cover and the lanes race across ``cube_jobs`` processes, sharing
+        bounds through the cross-process board (see
+        :func:`~repro.pebbling.cubes.run_cube_search`).  ``cubes`` is
+        deliberately *not* part of the store's cache key — a merged cube
+        result answers the same question as a sequential search, so the
+        two are interchangeable cache entries.
+
+        ``cube`` / ``board`` / ``cancel`` are the lane-side half of that
+        machinery (one cube's assumptions, this lane's board channel, and
+        the first-winner cancellation token); callers other than
+        :func:`run_cube_search` and the portfolio race normally only pass
+        ``cancel``.
         """
         if max_pebbles < 1:
             raise PebblingError("max_pebbles must be >= 1")
@@ -482,6 +530,38 @@ class ReversiblePebblingSolver:
             "max_steps": max_steps,
             "step_floor": step_floor,
         }
+        if (cube is not None or board is not None) and not self.incremental:
+            raise PebblingError(
+                "cube assumptions and the bound board need the incremental "
+                "engine (they ride the assumption interface)"
+            )
+        if cube is not None and store is not None:
+            # A lane's answer is conditioned on its cube — caching it under
+            # the unsplit request key would poison the store.
+            store = None
+        if cubes is not None:
+            from repro.pebbling.cubes import run_cube_search
+
+            if store is not None:
+                cached = store.get_pebble(self.dag, **request)
+                if cached is not None:
+                    return cached
+            merged = run_cube_search(
+                self,
+                max_pebbles,
+                cubes=cubes,
+                jobs=cube_jobs,
+                search=search,
+                initial_steps=initial_steps,
+                max_steps=max_steps,
+                time_limit=time_limit,
+                step_floor=step_floor,
+                cancel=cancel,
+            )
+            if store is not None and merged.complete:
+                store.put_pebble(self.dag, merged, **request)
+            return merged
+        token = resolve_token(cancel)
         warm = None
         if store is not None:
             cached = store.get_pebble(self.dag, **request)
@@ -537,11 +617,19 @@ class ReversiblePebblingSolver:
 
         if self.incremental:
             outcome = self._solve_incremental(
-                result, max_pebbles, cursor, max_steps, time_limit, started
+                result,
+                max_pebbles,
+                cursor,
+                max_steps,
+                time_limit,
+                started,
+                cube=cube,
+                board=board,
+                token=token,
             )
         else:
             outcome = self._solve_monolithic(
-                result, max_pebbles, cursor, max_steps, time_limit, started
+                result, max_pebbles, cursor, max_steps, time_limit, started, token
             )
         result.outcome = outcome
         if not result.complete:
@@ -555,6 +643,8 @@ class ReversiblePebblingSolver:
                 "best_steps": result.num_steps,
                 "sat_calls": len(result.attempts),
             }
+            if token is not None and token.cancelled():
+                result.partial["cancelled"] = True
         # Step-minimality certification: the schedule must close on the
         # minimum AND the scan must have started at (or below) a sound
         # floor.  GeometricRefine brackets from ``min(floor, initial)``, so
@@ -598,10 +688,16 @@ class ReversiblePebblingSolver:
         max_steps: int,
         time_limit: float | None,
         started: float,
+        token=None,
     ) -> PebblingOutcome:
         best: PebblingStrategy | None = None
         bound: int | None = cursor.bound
         while bound is not None and bound <= max_steps:
+            if token is not None and token.cancelled():
+                result.strategy = best
+                return (
+                    PebblingOutcome.SOLUTION if best else PebblingOutcome.CANCELLED
+                )
             remaining = self._remaining(time_limit, started)
             if remaining is not None and remaining <= 0:
                 result.strategy = best
@@ -637,6 +733,10 @@ class ReversiblePebblingSolver:
         max_steps: int,
         time_limit: float | None,
         started: float,
+        *,
+        cube=None,
+        board=None,
+        token=None,
     ) -> PebblingOutcome:
         """Drive the search over one live solver fed by the frame encoder.
 
@@ -653,6 +753,13 @@ class ReversiblePebblingSolver:
         failed-assumption core names the guards its refutation used — the
         lowest surviving guard is a *harder* bound proven infeasible, so
         the cursor fast-forwards past everything up to it.
+
+        In a cube-and-conquer lane, ``cube`` fixes early-frame pebble
+        variables via extra assumptions, ``board`` is the lane's channel
+        onto the shared bound board (polled before every query through
+        :meth:`~repro.pebbling.search.SearchCursor.observe`, published to
+        after every verdict), and ``token`` stops the lane once a sibling
+        has certified the global answer.
         """
         encoder = PebblingEncoder(
             self.dag, max_pebbles=max_pebbles, options=self.options
@@ -661,9 +768,30 @@ class ReversiblePebblingSolver:
         guard_of_bound: dict[int, int] = {}
         bound_of_guard: dict[int, int] = {}
         negated: set[int] = set()
+        cube_literals: list[int] = []
+        cube_frame = 0
+        if cube is not None and cube.assignments:
+            cube_frame = max(step for _, step, _ in cube.assignments)
         best: PebblingStrategy | None = None
         bound: int | None = cursor.bound
         while bound is not None and bound <= max_steps:
+            if token is not None and token.cancelled():
+                result.strategy = best
+                return (
+                    PebblingOutcome.SOLUTION if best else PebblingOutcome.CANCELLED
+                )
+            if board is not None:
+                view = board.poll()
+                if view.refuted is not None or view.known_sat is not None:
+                    observed = cursor.observe(
+                        refuted=view.refuted, known_sat=view.known_sat
+                    )
+                    if observed != bound:
+                        # A sibling lane killed (or answered) this bound;
+                        # observe() is idempotent, so one skip per fact.
+                        result.shared_bound_hits += 1
+                        bound = observed
+                        continue
             remaining = self._remaining(time_limit, started)
             if remaining is not None and remaining <= 0:
                 result.strategy = best
@@ -677,7 +805,12 @@ class ReversiblePebblingSolver:
             ladder = [step for step in cursor.ladder() if step <= max_steps]
             if not ladder:
                 ladder = [bound]
-            encoder.extend_to(max(ladder))
+            encoder.extend_to(max(max(ladder), cube_frame))
+            if cube_frame and not cube_literals:
+                cube_literals = [
+                    encoder.variable(node, step) * (1 if value else -1)
+                    for node, step, value in cube.assignments
+                ]
             for step in ladder:
                 if step not in guard_of_bound:
                     guard = encoder.final_guard(step)
@@ -688,27 +821,76 @@ class ReversiblePebblingSolver:
             # guard it meets — and a core whose lowest bound is m > bound
             # proves every bound <= m infeasible at once.  (Ascending order
             # almost always binds at the probed bound itself, making the
-            # core information-free; measured in EXPERIMENTS.md.)
-            assumptions = [
+            # core information-free; measured in EXPERIMENTS.md.)  Cube
+            # literals ride along in every query of the lane.
+            assumptions = cube_literals + [
                 guard_of_bound[step] for step in sorted(ladder, reverse=True)
             ]
             for clause in encoder.drain_new_clauses():
                 solver.add_clause(clause.literals)
             call_started = time.monotonic()
-            sat_result = solver.solve(
-                assumptions, time_limit=remaining, conflict_limit=self.conflict_limit
+            # With a shared board or a cancellation token, long queries run
+            # in growing time slices so the lane reacts mid-call: a slice
+            # that expires polls the token and the board, then re-issues
+            # the same query.  The native incremental engine resumes from
+            # its learned clauses, so a retry costs almost nothing; for
+            # backends that restart from scratch the doubling bounds the
+            # total rework by the cost of the final slice.
+            chunked = (
+                (board is not None or token is not None)
+                and self.conflict_limit is None
             )
+            slice_budget = _CANCEL_POLL_SLICE
+            interrupted = False
+            probed = bound
+            while True:
+                call_limit = remaining
+                if chunked:
+                    call_limit = (
+                        slice_budget
+                        if remaining is None
+                        else min(remaining, slice_budget)
+                    )
+                sat_result = solver.solve(
+                    assumptions,
+                    time_limit=call_limit,
+                    conflict_limit=self.conflict_limit,
+                )
+                if not chunked or not sat_result.is_unknown:
+                    break
+                remaining = self._remaining(time_limit, started)
+                if remaining is not None and remaining <= 0:
+                    break  # genuine timeout, handled as UNKNOWN below
+                if token is not None and token.cancelled():
+                    interrupted = True
+                    break
+                if board is not None:
+                    view = board.poll()
+                    if view.refuted is not None or view.known_sat is not None:
+                        observed = cursor.observe(
+                            refuted=view.refuted, known_sat=view.known_sat
+                        )
+                        if observed != bound:
+                            # A sibling settled this bound while we were
+                            # inside the query: abandon the call.
+                            result.shared_bound_hits += 1
+                            bound = observed
+                            interrupted = True
+                            break
+                slice_budget *= 2
             elapsed = time.monotonic() - call_started
             result.attempts.append(
                 AttemptRecord(
                     max_pebbles=max_pebbles,
-                    num_steps=bound,
+                    num_steps=probed,
                     status=sat_result.status,
                     runtime=elapsed,
                     conflicts=sat_result.stats.conflicts,
                     solver_stats=self._reported_counters(solver, sat_result),
                 )
             )
+            if interrupted:
+                continue
             if sat_result.is_sat:
                 assert sat_result.model is not None
                 configurations = encoder.configurations_from_model(
@@ -722,6 +904,21 @@ class ReversiblePebblingSolver:
                         max_moves_per_step=self.options.max_moves_per_step,
                     ),
                 )
+                if board is not None and best is not None:
+                    # A witness under cube assumptions is a witness for
+                    # the whole instance (the cube only *restricts* it).
+                    board.publish_sat(best.num_steps)
+                    if token is not None:
+                        view = board.poll()
+                        if (
+                            view.known_sat is not None
+                            and view.refuted is not None
+                            and view.refuted >= view.known_sat - 1
+                        ):
+                            # Pooled refutations meet the shared witness:
+                            # the global minimum is pinned, stop every
+                            # sibling lane still probing.
+                            token.cancel()
                 bound = cursor.advance_core(True)
             elif sat_result.is_unknown:
                 result.strategy = best
@@ -730,6 +927,9 @@ class ReversiblePebblingSolver:
                 )
             else:
                 refuted = bound
+                # Until the core proves otherwise, a cube lane's refutation
+                # is only valid under its cube assumptions.
+                core_used_cube = bool(cube_literals)
                 if len(assumptions) > 1:
                     # Backends without real core extraction (the external
                     # DIMACS path, raw factories) degrade to the trivial
@@ -741,10 +941,80 @@ class ReversiblePebblingSolver:
                         for literal in core
                         if literal in bound_of_guard
                     ]
+                    if cube_literals:
+                        lane_literals = set(cube_literals)
+                        core_used_cube = any(
+                            literal in lane_literals for literal in core
+                        )
+                    if cube_literals and not core_bounds and core:
+                        # The refutation used no final-configuration guard:
+                        # the cube itself is contradictory at every bound.
+                        # Close the lane for its whole range so the board's
+                        # min-over-cubes aggregation never waits on it.
+                        if board is not None:
+                            board.publish_refuted(max_steps)
+                        result.strategy = best
+                        result.complete = True
+                        return PebblingOutcome.STEP_LIMIT
                     # An empty core means the frames alone are contradictory
                     # (impossible for this encoding, but a backend bug must
                     # fail towards "only the probed bound is refuted").
                     refuted = min(core_bounds) if core_bounds else bound
+                if board is not None and cube_literals and core_used_cube:
+                    # The core leaned on the cube, but the refutation is
+                    # often cube-free anyway: re-ask the same bound without
+                    # the cube literals.  The incremental engine answers
+                    # from its learned clauses (measured at milliseconds),
+                    # and the slice cap bounds the rare unlucky recheck.
+                    # UNSAT promotes the bound to the instance-global row;
+                    # SAT hands this lane a witness for the whole instance
+                    # that its own cube excludes.
+                    recheck_limit = max(_CANCEL_POLL_SLICE, 0.5 * elapsed)
+                    remaining = self._remaining(time_limit, started)
+                    if remaining is not None:
+                        recheck_limit = min(recheck_limit, remaining)
+                    if recheck_limit > 0:
+                        recheck = solver.solve(
+                            [guard_of_bound[refuted]],
+                            time_limit=recheck_limit,
+                            conflict_limit=self.conflict_limit,
+                        )
+                        if recheck.is_sat:
+                            assert recheck.model is not None
+                            configurations = encoder.configurations_from_model(
+                                recheck.model, num_steps=refuted
+                            )
+                            best = self._keep_best(
+                                best,
+                                PebblingStrategy(
+                                    self.dag,
+                                    configurations,
+                                    max_moves_per_step=(
+                                        self.options.max_moves_per_step
+                                    ),
+                                ),
+                            )
+                            board.publish_refuted(refuted)
+                            if best is not None:
+                                board.publish_sat(best.num_steps)
+                                if token is not None:
+                                    view = board.poll()
+                                    if (
+                                        view.known_sat is not None
+                                        and view.refuted is not None
+                                        and view.refuted >= view.known_sat - 1
+                                    ):
+                                        token.cancel()
+                            # The lane's own cube stays refuted through
+                            # ``refuted``; with the adopted witness there
+                            # too, the cursor closes unless the bracket
+                            # still has room below.
+                            bound = cursor.advance_core(False, refuted)
+                            if bound is not None:
+                                bound = cursor.observe(known_sat=refuted)
+                            continue
+                        if not recheck.is_unknown:
+                            core_used_cube = False
                 # Every guard at or below the refuted bound will never be
                 # assumed again.  Asserting the negations as units lets the
                 # solver simplify the stale final-configuration clauses away
@@ -754,6 +1024,16 @@ class ReversiblePebblingSolver:
                     if step <= refuted and step not in negated:
                         solver.add_clause([-guard_of_bound[step]])
                         negated.add(step)
+                if board is not None:
+                    # Valid under this lane's assumptions; the channel
+                    # routes it to the per-cube row — or straight to the
+                    # global row when the UNSAT core used no cube literal
+                    # (the proof never touched the split, so it holds for
+                    # the unsplit instance and every sibling can skip the
+                    # bound instead of re-proving it).
+                    board.publish_refuted(
+                        refuted, assumption_free=not core_used_cube
+                    )
                 bound = cursor.advance_core(False, refuted)
         result.strategy = best
         result.complete = True
@@ -777,6 +1057,8 @@ class ReversiblePebblingSolver:
         stop_after_failures: int = 1,
         warm_start: bool = True,
         store=None,
+        cubes=None,
+        cube_jobs: int = 1,
     ) -> tuple[PebblingResult | None, list[PebblingResult]]:
         """Find the smallest pebble budget solvable within a per-budget timeout.
 
@@ -802,6 +1084,11 @@ class ReversiblePebblingSolver:
         into every per-budget search, so a repeated scan over the same DAG
         answers from the cache and a partial scan warm-starts its
         neighbours.
+
+        ``cubes`` / ``cube_jobs`` switch every per-budget step search to
+        cube-and-conquer (see :meth:`solve`); the scan itself stays
+        sequential over budgets, so the parallelism lands exactly on the
+        hard per-budget searches the Table I methodology times out on.
 
         Returns ``(best_result, all_results)``.
         """
@@ -842,6 +1129,8 @@ class ReversiblePebblingSolver:
                 strategy=search,
                 initial_steps=steps_hint if warm_start else None,
                 store=store,
+                cubes=cubes,
+                cube_jobs=cube_jobs,
             )
             all_results.append(outcome)
             if outcome.found:

@@ -103,6 +103,12 @@ class JobRequest:
     #: address (a deadline is about the caller's patience, not the
     #: instance).
     deadline: float | None = None
+    #: Cube-and-conquer width for the request's step search (``0`` =
+    #: sequential; ``N > 1`` splits the instance into an exhaustive cube
+    #: cover, see :mod:`repro.pebbling.cubes`).  Part of request identity
+    #: for dedup, but like ``backend`` NOT of the store's content address:
+    #: a merged cube answer is interchangeable with a sequential one.
+    cubes: int = 0
 
     def validate(self) -> None:
         if self.kind not in ("pebble", "compile", "sweep"):
@@ -131,6 +137,8 @@ class JobRequest:
             raise ServiceError("max_budget must be >= min_budget")
         if self.deadline is not None and self.deadline <= 0:
             raise ServiceError("a request deadline must be > 0 seconds (or null)")
+        if self.cubes < 0:
+            raise ServiceError("a request's cubes must be >= 0")
 
     @classmethod
     def from_dict(cls, data: dict[str, object]) -> "JobRequest":
@@ -167,6 +175,7 @@ class JobRequest:
             max_steps=self.max_steps,
             weighted=self.weighted,
             backend=self.backend,
+            cubes=self.cubes,
         )
 
 
@@ -651,6 +660,7 @@ def _request_file_entries(
     *,
     default_backend: str | None = None,
     default_deadline: float | None = None,
+    default_cubes: int | None = None,
 ) -> list[object]:
     """Raw entries of a request file; file-level problems always raise.
 
@@ -684,6 +694,8 @@ def _request_file_entries(
         defaults["backend"] = default_backend
     if default_deadline is not None:
         defaults["deadline"] = default_deadline
+    if default_cubes is not None:
+        defaults["cubes"] = default_cubes
     if defaults:
         entries = [
             {**{k: v for k, v in defaults.items() if k not in entry}, **entry}
@@ -718,14 +730,16 @@ def run_request_file(
     retry: "RetryPolicy | None" = None,
     deadline: float | None = None,
     max_queue: int | None = None,
+    default_cubes: int | None = None,
 ) -> dict[str, object]:
     """Drive a request file through a fresh service; return the JSON report.
 
     All requests are submitted concurrently, so the file as a whole enjoys
     deduplication, batching and cache service exactly like live traffic.
-    ``default_backend`` and ``deadline`` fill the corresponding fields of
-    requests that omit them; ``retry`` / ``max_queue`` configure the
-    service's fault tolerance and admission control.
+    ``default_backend``, ``deadline`` and ``default_cubes`` fill the
+    corresponding fields of requests that omit them; ``retry`` /
+    ``max_queue`` configure the service's fault tolerance and admission
+    control.
 
     A *malformed entry* does not abort the file: it is skipped with a
     structured error record at its position (``"source": "request-file"``,
@@ -734,7 +748,10 @@ def run_request_file(
     snapshot.
     """
     entries = _request_file_entries(
-        path, default_backend=default_backend, default_deadline=deadline
+        path,
+        default_backend=default_backend,
+        default_deadline=deadline,
+        default_cubes=default_cubes,
     )
     requests: list[tuple[int, JobRequest]] = []
     placed: dict[int, dict[str, object]] = {}

@@ -1,0 +1,314 @@
+"""Tests for the cube-and-conquer layer (cubes, bound board, cancellation).
+
+Soundness of the whole construction rests on three claims, each pinned
+here: the cube cover is exhaustive (every assignment of the split
+variables falls in at least one cube), bounds published on the board by
+one process are observed by another, and a cube-parallel search certifies
+the *same* minimum as the sequential one on any instance.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dag.generators import layered_random_dag
+from repro.errors import PebblingError
+from repro.pebbling import (
+    CancellationToken,
+    CubeSet,
+    EncodingOptions,
+    ReversiblePebblingSolver,
+    cubes_cover_exhaustively,
+    generate_cubes,
+)
+from repro.pebbling.cubes import BoardChannel, BoundBoard, Cube, instance_key
+from repro.workloads import load_workload, suite_entries
+
+
+class TestCubeGeneration:
+    def test_variable_cubes_cover_exhaustively_on_small_dags(self):
+        for name in ("fig2", "and9", "c17"):
+            dag = load_workload(name)
+            for count in (2, 4, 8):
+                cube_set = generate_cubes(dag, count)
+                assert cube_set.mode == "variables"
+                assert cubes_cover_exhaustively(cube_set)
+
+    def test_variable_cubes_emit_every_sign_combination(self):
+        dag = load_workload("fig2")
+        cube_set = generate_cubes(dag, 4)
+        assert len(cube_set) == 4
+        assert len(cube_set.split_points) == 2
+        signs = {
+            tuple(value for _, _, value in cube.assignments)
+            for cube in cube_set.cubes
+        }
+        assert signs == {(True, True), (True, False), (False, True), (False, False)}
+
+    def test_non_power_of_two_count_rounds_down(self):
+        dag = load_workload("and9")
+        assert len(generate_cubes(dag, 7)) == 4
+        assert len(generate_cubes(dag, 5)) == 4
+
+    def test_single_cube_is_unconstrained(self):
+        dag = load_workload("fig2")
+        cube_set = generate_cubes(dag, 1)
+        assert len(cube_set) == 1
+        assert cube_set.cubes[0].assignments == ()
+        assert cubes_cover_exhaustively(cube_set)
+
+    def test_bracket_cubes_tile_the_bound_range(self):
+        dag = load_workload("fig2")
+        cube_set = generate_cubes(dag, 4, mode="brackets", floor=6, ceiling=40)
+        assert cube_set.mode == "brackets"
+        assert len(cube_set) == 4
+        assert cubes_cover_exhaustively(cube_set)
+        assert cube_set.cubes[0].step_lo == 6
+        assert cube_set.cubes[-1].step_hi is None  # last bracket open-ended
+
+    def test_bracket_cubes_need_a_floor(self):
+        dag = load_workload("fig2")
+        with pytest.raises(PebblingError):
+            generate_cubes(dag, 4, mode="brackets")
+
+    def test_cover_checker_rejects_a_gapped_cover(self):
+        # Drop one sign combination: the checker must notice the hole.
+        dag = load_workload("fig2")
+        cube_set = generate_cubes(dag, 4)
+        gapped = CubeSet(
+            mode="variables",
+            cubes=cube_set.cubes[:-1],
+            split_points=cube_set.split_points,
+        )
+        assert not cubes_cover_exhaustively(gapped)
+
+    def test_cover_checker_rejects_a_gapped_bracket(self):
+        gapped = CubeSet(
+            mode="brackets",
+            cubes=(
+                Cube(index=0, step_lo=6, step_hi=9),
+                Cube(index=1, step_lo=12, step_hi=None),
+            ),
+            floor=6,
+        )
+        assert not cubes_cover_exhaustively(gapped)
+
+    def test_cube_set_id_distinguishes_splits(self):
+        dag = load_workload("fig2")
+        two = generate_cubes(dag, 2)
+        four = generate_cubes(dag, 4)
+        assert two.cube_set_id != four.cube_set_id
+        assert four.cube_set_id == generate_cubes(dag, 4).cube_set_id
+
+    def test_split_frames_respect_single_move_reachability(self):
+        dag = load_workload("fig2")
+        multi = generate_cubes(dag, 4)
+        single = generate_cubes(
+            dag, 4, options=EncodingOptions(max_moves_per_step=1)
+        )
+        levels = dag.levels()
+        for node, step in multi.split_points:
+            assert step == levels[node]
+        for node, step in single.split_points:
+            assert step == len(dag.transitive_fanin(node)) + 1
+
+
+def _publish_in_child(path: str, instance: str, cube_set: str) -> None:
+    board = BoundBoard(path)
+    board.publish_refuted(instance, cube_set, -1, 9)
+    board.publish_sat(instance, cube_set, 14)
+    board.close()
+
+
+class TestBoundBoard:
+    def test_refuted_aggregates_max_and_sat_min(self, tmp_path):
+        board = BoundBoard(str(tmp_path / "board.db"))
+        board.publish_refuted("inst", "set", -1, 5)
+        board.publish_refuted("inst", "set", -1, 3)  # weaker: ignored
+        board.publish_sat("inst", "set", 20)
+        board.publish_sat("inst", "set", 12)
+        board.publish_sat("inst", "set", 15)  # weaker: ignored
+        view = board.poll("inst", "set", 0)
+        assert view.refuted == 5
+        assert view.known_sat == 12
+        board.close()
+
+    def test_per_cube_refutations_aggregate_only_when_complete(self, tmp_path):
+        board = BoundBoard(str(tmp_path / "board.db"))
+        board.publish_refuted("inst", "set", 0, 10)
+        board.publish_refuted("inst", "set", 1, 8)
+        # One of three cubes still silent: no instance-level refutation.
+        assert board.poll("inst", "set", 3).refuted is None
+        board.publish_refuted("inst", "set", 2, 12)
+        # All three reported: the *weakest* cube bounds the instance.
+        assert board.poll("inst", "set", 3).refuted == 8
+        board.close()
+
+    def test_global_row_and_cube_rows_combine(self, tmp_path):
+        board = BoundBoard(str(tmp_path / "board.db"))
+        board.publish_refuted("inst", "set", -1, 11)  # assumption-free
+        board.publish_refuted("inst", "set", 0, 6)
+        board.publish_refuted("inst", "set", 1, 7)
+        assert board.poll("inst", "set", 2).refuted == 11
+        board.close()
+
+    def test_bounds_published_by_another_process_are_observed(self, tmp_path):
+        path = str(tmp_path / "board.db")
+        dag = load_workload("fig2")
+        instance = instance_key(dag, EncodingOptions(), 4)
+        cube_set = generate_cubes(dag, 4).cube_set_id
+        context = multiprocessing.get_context()
+        child = context.Process(
+            target=_publish_in_child, args=(path, instance, cube_set)
+        )
+        child.start()
+        child.join(timeout=30)
+        assert child.exitcode == 0
+        channel = BoardChannel(
+            path=path, instance=instance, cube_set=cube_set, cube=-1, cube_count=0
+        )
+        view = channel.poll()
+        assert view.refuted == 9
+        assert view.known_sat == 14
+
+    def test_instance_key_separates_budgets_and_options(self):
+        dag = load_workload("fig2")
+        options = EncodingOptions()
+        assert instance_key(dag, options, 4) != instance_key(dag, options, 5)
+        assert instance_key(dag, options, 4) == instance_key(dag, options, 4)
+        single = EncodingOptions(max_moves_per_step=1)
+        assert instance_key(dag, options, 4) != instance_key(dag, single, 4)
+
+
+class TestCancellationToken:
+    def test_round_trips_through_its_path(self, tmp_path):
+        token = CancellationToken(str(tmp_path / "winner.cancel"))
+        assert not token.cancelled()
+        token.cancel()
+        token.cancel()  # idempotent
+        assert token.cancelled()
+        assert CancellationToken(token.path).cancelled()
+
+    def test_cancel_survives_a_vanished_scratch_dir(self, tmp_path):
+        token = CancellationToken(str(tmp_path / "gone" / "winner.cancel"))
+        token.cancel()  # parent directory missing: no-op, no raise
+        assert not token.cancelled()
+
+
+class TestCubeSearchSoundness:
+    def test_cube_search_matches_sequential_on_the_default_suite(self):
+        for entry in suite_entries("default"):
+            dag = load_workload(entry.workload)
+            options = EncodingOptions(
+                max_moves_per_step=1 if entry.single_move else None
+            )
+            sequential = ReversiblePebblingSolver(dag, options=options).solve(
+                entry.pebbles, time_limit=60
+            )
+            cubed = ReversiblePebblingSolver(dag, options=options).solve(
+                entry.pebbles, time_limit=60, cubes=4
+            )
+            assert cubed.outcome.value == sequential.outcome.value, entry
+            assert cubed.num_steps == sequential.num_steps, entry
+            if sequential.minimal:
+                assert cubed.minimal, entry
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        num_nodes=st.integers(min_value=3, max_value=10),
+        depth=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=10_000),
+        count=st.sampled_from([2, 4]),
+    )
+    def test_cube_search_certifies_the_sequential_minimum(
+        self, num_nodes, depth, seed, count
+    ):
+        dag = layered_random_dag(num_nodes, 1, depth=depth, seed=seed)
+        budget = ReversiblePebblingSolver(dag).minimum_pebbles_lower_bound() + 1
+        sequential = ReversiblePebblingSolver(dag).solve(budget, time_limit=60)
+        cubed = ReversiblePebblingSolver(dag).solve(
+            budget, time_limit=60, cubes=count
+        )
+        assert cubed.outcome.value == sequential.outcome.value
+        assert cubed.num_steps == sequential.num_steps
+        if sequential.found and sequential.minimal:
+            assert cubed.minimal
+
+    def test_bracket_mode_matches_sequential(self):
+        dag = load_workload("fig2")
+        sequential = ReversiblePebblingSolver(dag).solve(4, time_limit=60)
+        solver = ReversiblePebblingSolver(dag)
+        from repro.pebbling import run_cube_search
+
+        merged = run_cube_search(
+            solver, 4, cubes=4, mode="brackets", time_limit=60
+        )
+        assert merged.num_steps == sequential.num_steps
+        assert merged.minimal
+
+    def test_cube_search_over_a_process_pool(self):
+        dag = load_workload("fig2")
+        result = ReversiblePebblingSolver(dag).solve(
+            4, cubes=4, cube_jobs=4, time_limit=60
+        )
+        assert result.found and result.num_steps == 6 and result.minimal
+        assert result.cubes["jobs"] == 4
+
+    def test_cube_result_reports_lane_metadata(self):
+        dag = load_workload("fig2")
+        result = ReversiblePebblingSolver(dag).solve(4, cubes=4, time_limit=60)
+        meta = result.cubes
+        assert meta["count"] == 4
+        assert meta["certified"] is True
+        assert len(meta["lanes"]) == 4
+        assert meta["winner"] in range(4)
+        assert meta["board"]["published"] > 0
+        # Lanes after the winner either clamp to a shared bound or are
+        # cancelled outright once the board certificate closes (the latter
+        # happens when the winner's refutation cores never touched its cube
+        # literals, so its whole ladder published to the global row).
+        assert result.shared_bound_hits >= 1 or meta["cancelled"]
+
+    def test_infeasible_budget_short_circuits(self):
+        dag = load_workload("fig2")
+        result = ReversiblePebblingSolver(dag).solve(1, cubes=4)
+        assert result.outcome.value == "infeasible"
+        assert result.complete and not result.attempts
+
+    def test_cube_search_rejects_non_incremental(self):
+        dag = load_workload("fig2")
+        solver = ReversiblePebblingSolver(dag, incremental=False)
+        with pytest.raises(PebblingError):
+            solver.solve(4, cubes=4)
+
+    def test_cube_results_share_the_sequential_cache_key(self, tmp_path):
+        from repro.store import ResultStore
+
+        dag = load_workload("fig2")
+        db = str(tmp_path / "cache.db")
+        with ResultStore(db) as store:
+            cubed = ReversiblePebblingSolver(dag).solve(
+                4, cubes=4, time_limit=60, store=store
+            )
+            assert cubed.found
+            hits_before = store.stats().total_hits
+            sequential = ReversiblePebblingSolver(dag).solve(
+                4, time_limit=60, store=store
+            )
+            assert store.stats().total_hits == hits_before + 1
+            assert sequential.num_steps == cubed.num_steps
+
+    def test_cancelled_lanes_report_cancelled_outcome(self, tmp_path):
+        # A pre-raised token stops the search before its first SAT call.
+        token = CancellationToken(str(tmp_path / "winner.cancel"))
+        token.cancel()
+        dag = load_workload("fig2")
+        result = ReversiblePebblingSolver(dag).solve(4, cancel=token)
+        assert result.outcome.value == "cancelled"
+        assert not result.complete
+        assert not result.attempts
+        assert result.partial["cancelled"] is True

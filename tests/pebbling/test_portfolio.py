@@ -1,5 +1,7 @@
 """Tests for the parallel portfolio orchestration layer."""
 
+import concurrent.futures
+
 import pytest
 
 from repro.errors import PebblingError, WorkloadError
@@ -104,12 +106,11 @@ class TestRunPortfolio:
                 return False
 
             def submit(self, function, *args):
-                class _Future:
-                    @staticmethod
-                    def result():
-                        return function(*args)
-
-                return _Future()
+                # A real Future: run_portfolio absorbs results through
+                # as_completed, which needs the genuine wait machinery.
+                future = concurrent.futures.Future()
+                future.set_result(function(*args))
+                return future
 
         monkeypatch.setattr(portfolio_module, "ProcessPoolExecutor", _SpyPool)
         records = run_portfolio(
@@ -262,9 +263,33 @@ class TestRaceBackends:
         assert record.found and record.steps == 6 and record.complete
         assert record.backend in ("cdcl", "dpll")
         assert set(record.race) == {"cdcl", "dpll"}
-        for lane in record.race.values():
-            assert lane["outcome"] == "solution"
-            assert lane["steps"] == 6
+        # First-winner cancellation: the winning lane completes with the
+        # known answer; losing lanes either also finished (inline races
+        # run lanes one at a time, so the loser may observe the token
+        # before its first SAT call) or were cancelled mid-flight.
+        winner_lane = record.race[record.backend]
+        assert winner_lane["outcome"] == "solution"
+        assert winner_lane["steps"] == 6
+        for spec, lane in record.race.items():
+            assert lane["outcome"] in ("solution", "cancelled")
+            if lane["outcome"] == "cancelled":
+                assert spec in record.cancelled
+        assert record.as_dict()["cancelled"] == record.cancelled
+
+    def test_race_cancels_losing_lanes_after_first_complete_win(self):
+        # Inline execution runs lanes in submission order; the first lane
+        # completes, cancels the shared token, and every later lane must
+        # stop before paying for a single SAT call.
+        tasks = [PortfolioTask(workload="fig2", pebbles=4, time_limit=60.0)]
+        records = run_portfolio(tasks, race_backends=["cdcl", "dpll"])
+        record = records[0]
+        assert record.complete and record.steps == 6
+        cancelled = [
+            lane for lane in record.race.values() if lane["outcome"] == "cancelled"
+        ]
+        assert len(cancelled) == 1
+        assert all(lane["sat_calls"] == 0 for lane in cancelled)
+        assert record.cancelled == ["dpll"]
 
     def test_race_merge_is_pure_function_of_lanes(self):
         from repro.pebbling.portfolio import PortfolioRecord, _merge_race
@@ -337,9 +362,14 @@ class TestRaceBackends:
             tasks, store_path=db, race_backends=["cdcl", "dpll"]
         )
         record = records[0]
+        ran = 0
         for spec, lane in record.race.items():
+            if lane["outcome"] == "cancelled":
+                continue  # stopped by the winner before touching a solver
             assert lane["produced_by"] == spec, "lane answered from cache"
             assert lane["sat_calls"] > 0, "lane never ran a solver"
+            ran += 1
+        assert ran >= 1
 
     def test_race_prefers_partial_solution_over_empty_timeout(self):
         from repro.pebbling.portfolio import PortfolioRecord, _merge_race
