@@ -61,6 +61,12 @@ Sub-commands
     requests are answered without a solver, and misses batch into the
     portfolio pool.
 
+``trace {summarize,phases,critical-path} FILE``
+    Inspect a JSONL trace written with ``--trace`` (accepted by
+    ``pebble``, ``sweep``, ``pebble-batch`` and ``serve``): span/event
+    totals and tree health, per-phase time aggregates with self-time, or
+    the latest-finishing root-to-leaf chain of the slowest request.
+
 The SAT-solving subcommands (``pebble``, ``compile``, ``sweep``,
 ``pebble-batch``) additionally accept ``--db PATH`` to opt into the result
 store: exact repeats are answered from the cache and neighbouring budgets
@@ -151,6 +157,13 @@ def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
                              "injection (see 'repro-pebble backends')")
 
 
+def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", default=None, metavar="FILE",
+                        help="write a JSONL trace of this run (spans + events "
+                             "from every worker process, merged on exit; "
+                             "inspect with 'repro-pebble trace summarize FILE')")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -195,6 +208,7 @@ def build_parser() -> argparse.ArgumentParser:
     pebble.add_argument("--stats", action="store_true",
                         help="print aggregated SAT-solver counters")
     _add_store_argument(pebble)
+    _add_trace_argument(pebble)
 
     compare = subparsers.add_parser("compare", help="Bennett vs minimum-pebble SAT solution")
     _add_common_arguments(compare)
@@ -252,6 +266,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--json", action="store_true", dest="as_json",
                        help="emit the sweep table as JSON")
     _add_store_argument(sweep)
+    _add_trace_argument(sweep)
 
     batch = subparsers.add_parser(
         "pebble-batch", help="sweep a batch suite across worker processes"
@@ -289,6 +304,7 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--list-suites", action="store_true",
                        help="list registered suites and exit")
     _add_store_argument(batch)
+    _add_trace_argument(batch)
 
     cache = subparsers.add_parser(
         "cache", help="inspect or manage the content-addressed result store"
@@ -341,8 +357,23 @@ def build_parser() -> argparse.ArgumentParser:
                             "do not name their own 'cubes' field")
     serve.add_argument("--health-json", default=None, metavar="FILE",
                        help="write the service health snapshot (queue depth, "
-                            "sheds, preemptions, retries, pool rebuilds) to "
-                            "this file after the run")
+                            "sheds, preemptions, retries, pool rebuilds, and "
+                            "the cross-layer metrics registry) to this file "
+                            "after the run")
+    _add_trace_argument(serve)
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="inspect a JSONL trace written with --trace"
+    )
+    trace_parser.add_argument(
+        "action", choices=["summarize", "phases", "critical-path"],
+        help="summarize: span/event totals and tree health; phases: "
+             "per-span-name time aggregate; critical-path: the longest "
+             "root-to-leaf chain of the slowest trace",
+    )
+    trace_parser.add_argument("file", help="merged trace file (JSONL)")
+    trace_parser.add_argument("--json", action="store_true", dest="as_json",
+                              help="emit machine-readable JSON")
 
     dimacs = subparsers.add_parser(
         "dimacs", help="write a pebbling instance as a DIMACS CNF file"
@@ -621,12 +652,79 @@ def _run_serve(arguments: argparse.Namespace) -> int:
     return 0 if failed == 0 else 1
 
 
+def _run_trace(arguments: argparse.Namespace) -> int:
+    from repro.obs.analyze import critical_path, load_trace, phase_aggregate, summarize
+
+    try:
+        trace = load_trace(arguments.file)
+    except OSError as error:
+        raise ReproError(f"cannot read trace file {arguments.file}: {error}")
+
+    if arguments.action == "summarize":
+        report = summarize(trace)
+        if arguments.as_json:
+            print(json.dumps(report, indent=2))
+        else:
+            print(f"schema     : {report['schema']}")
+            print(f"traces     : {report['traces']}")
+            print(f"spans      : {report['spans']} across "
+                  f"{report['processes']} processes")
+            print(f"events     : {report['events']}")
+            print(f"complete   : {report['complete']}")
+            for problem in report["problems"]:
+                print(f"problem    : {problem}")
+            print()
+            print(f"{'span':24s} {'count':>6s} {'total':>9s} {'mean':>9s} errors")
+            for name, row in report["span_names"].items():
+                print(f"{name:24s} {row['count']:6d} {row['total_s']:8.3f}s "
+                      f"{row['mean_s']:8.3f}s {row['errors']:6d}")
+            if report["event_names"]:
+                print()
+                events = ", ".join(
+                    f"{name}×{count}"
+                    for name, count in report["event_names"].items()
+                )
+                print(f"events     : {events}")
+        return 0 if report["complete"] and report["spans"] else 1
+
+    if arguments.action == "phases":
+        rows = phase_aggregate(trace)
+        if arguments.as_json:
+            print(json.dumps(rows, indent=2))
+        else:
+            print(f"{'phase':24s} {'count':>6s} {'total':>9s} {'self':>9s} "
+                  f"{'max':>9s} errors")
+            for row in rows:
+                print(f"{row['phase']:24s} {row['count']:6d} "
+                      f"{row['total_s']:8.3f}s {row['self_s']:8.3f}s "
+                      f"{row['max_s']:8.3f}s {row['errors']:6d}")
+        return 0
+
+    path = critical_path(trace)
+    if arguments.as_json:
+        print(json.dumps(path, indent=2))
+    else:
+        for depth, row in enumerate(path):
+            attrs = " ".join(f"{k}={v}" for k, v in sorted(row["attrs"].items()))
+            indent = "  " * depth
+            print(f"{indent}{row['name']} {row['dur_s']:.3f}s "
+                  f"(self {row['self_s']:.3f}s, pid {row['pid']})"
+                  + (f" [{attrs}]" if attrs else ""))
+    return 0 if path else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    from repro.obs.trace import tracer
+
     parser = build_parser()
     arguments = parser.parse_args(argv)
     try:
-        return _dispatch(arguments)
+        # Solving subcommands accept --trace FILE; wrapping the dispatch in
+        # the tracer means every span of the run — including pool workers
+        # re-activating the shipped context — merges into one file on exit.
+        with tracer(getattr(arguments, "trace", None)):
+            return _dispatch(arguments)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
@@ -670,6 +768,9 @@ def _dispatch(arguments: argparse.Namespace) -> int:
 
     if arguments.command == "serve":
         return _run_serve(arguments)
+
+    if arguments.command == "trace":
+        return _run_trace(arguments)
 
     dag = _load(arguments.workload, arguments.scale)
 

@@ -1,0 +1,31 @@
+"""Zero-dependency observability: tracing, metrics, trace analysis.
+
+``repro.obs.trace`` writes JSONL span/event records with cross-process
+merge; ``repro.obs.metrics`` is the process-wide counter/gauge/histogram
+registry; ``repro.obs.analyze`` turns merged traces back into span trees,
+per-phase aggregates, and critical paths.  Both runtime modules are no-op
+cheap when disabled, so instrumentation stays in place unconditionally.
+"""
+
+from repro.obs import metrics, trace
+from repro.obs.analyze import critical_path, load_trace, phase_aggregate, summarize
+from repro.obs.metrics import MetricsRegistry, merge_counters
+from repro.obs.trace import TraceContext, Tracer, activated, current_context, event, span, tracer
+
+__all__ = [
+    "metrics",
+    "trace",
+    "MetricsRegistry",
+    "merge_counters",
+    "TraceContext",
+    "Tracer",
+    "activated",
+    "current_context",
+    "event",
+    "span",
+    "tracer",
+    "load_trace",
+    "summarize",
+    "phase_aggregate",
+    "critical_path",
+]

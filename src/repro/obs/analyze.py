@@ -1,0 +1,238 @@
+"""Offline analysis of merged trace files: tree, aggregates, critical path.
+
+Everything here consumes the JSONL format written by
+:mod:`repro.obs.trace` and is pure data-in/data-out so both the ``repro
+trace`` CLI and the bench/CI gates share one implementation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "SpanNode",
+    "Trace",
+    "load_trace",
+    "summarize",
+    "phase_aggregate",
+    "critical_path",
+]
+
+
+@dataclass
+class SpanNode:
+    """One span plus its resolved children."""
+
+    record: dict[str, Any]
+    children: list["SpanNode"] = field(default_factory=list)
+    events: list[dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def span_id(self) -> str:
+        return self.record["span"]
+
+    @property
+    def name(self) -> str:
+        return self.record["name"]
+
+    @property
+    def ts(self) -> float:
+        return self.record["ts"]
+
+    @property
+    def dur(self) -> float:
+        return self.record.get("dur", 0.0)
+
+    @property
+    def end(self) -> float:
+        return self.ts + self.dur
+
+    @property
+    def attrs(self) -> dict[str, Any]:
+        return self.record.get("attrs", {})
+
+
+@dataclass
+class Trace:
+    """A parsed trace file."""
+
+    meta: dict[str, Any]
+    spans: list[dict[str, Any]]
+    events: list[dict[str, Any]]
+    by_id: dict[str, SpanNode]
+    roots: list[SpanNode]
+    problems: list[str]
+
+    @property
+    def trace_ids(self) -> list[str]:
+        seen: list[str] = []
+        for root in self.roots:
+            trace_id = root.record.get("trace")
+            if trace_id not in seen:
+                seen.append(trace_id)
+        return seen
+
+    @property
+    def complete(self) -> bool:
+        """True when every span's parent link resolves."""
+
+        return not self.problems
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Parse a merged JSONL trace and build the span tree.
+
+    Orphaned spans (parent id missing from the file) and events pointing
+    at unknown spans are reported in ``problems`` rather than raising —
+    a trace from a crashed run should still be inspectable.
+    """
+
+    meta: dict[str, Any] = {}
+    spans: list[dict[str, Any]] = []
+    events: list[dict[str, Any]] = []
+    problems: list[str] = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            problems.append(f"unparsable line: {line[:80]}")
+            continue
+        kind = record.get("type")
+        if kind == "meta":
+            meta = record
+        elif kind == "span":
+            spans.append(record)
+        elif kind == "event":
+            events.append(record)
+        else:
+            problems.append(f"unknown record type: {kind!r}")
+
+    by_id = {record["span"]: SpanNode(record) for record in spans}
+    if len(by_id) != len(spans):
+        problems.append("duplicate span ids")
+    roots: list[SpanNode] = []
+    for record in spans:
+        node = by_id[record["span"]]
+        parent = record.get("parent")
+        if parent is None:
+            roots.append(node)
+        elif parent in by_id:
+            by_id[parent].children.append(node)
+        else:
+            problems.append(f"span {record['span']} ({record['name']}) "
+                            f"has unresolved parent {parent}")
+            roots.append(node)
+    for record in events:
+        owner = record.get("span")
+        if owner is None:
+            continue
+        if owner in by_id:
+            by_id[owner].events.append(record)
+        else:
+            problems.append(f"event {record['name']} points at unknown span {owner}")
+    for node in by_id.values():
+        node.children.sort(key=lambda child: (child.ts, child.span_id))
+    roots.sort(key=lambda node: (node.ts, node.span_id))
+    return Trace(meta, spans, events, by_id, roots, problems)
+
+
+def summarize(trace: Trace) -> dict[str, Any]:
+    """Whole-file overview: counts, per-name aggregates, completeness."""
+
+    per_name: dict[str, dict[str, Any]] = {}
+    for record in trace.spans:
+        row = per_name.setdefault(
+            record["name"], {"count": 0, "total_s": 0.0, "errors": 0}
+        )
+        row["count"] += 1
+        row["total_s"] += record.get("dur", 0.0)
+        if record.get("status") == "error":
+            row["errors"] += 1
+    for row in per_name.values():
+        row["total_s"] = round(row["total_s"], 6)
+        row["mean_s"] = round(row["total_s"] / max(row["count"], 1), 6)
+    event_counts: dict[str, int] = {}
+    for record in trace.events:
+        event_counts[record["name"]] = event_counts.get(record["name"], 0) + 1
+    pids = sorted({r.get("pid") for r in trace.spans + trace.events if "pid" in r})
+    return {
+        "schema": trace.meta.get("schema"),
+        "traces": len(trace.trace_ids),
+        "spans": len(trace.spans),
+        "events": len(trace.events),
+        "processes": len(pids),
+        "roots": [root.name for root in trace.roots],
+        "span_names": dict(sorted(per_name.items())),
+        "event_names": dict(sorted(event_counts.items())),
+        "complete": trace.complete,
+        "problems": trace.problems,
+    }
+
+
+def phase_aggregate(trace: Trace) -> list[dict[str, Any]]:
+    """Per-phase (span name) aggregate with self-time, sorted by total.
+
+    Self-time is a span's duration minus its children's — the time spent
+    in that phase itself rather than in phases it invoked.
+    """
+
+    rows: dict[str, dict[str, Any]] = {}
+    for node in trace.by_id.values():
+        child_total = sum(child.dur for child in node.children)
+        row = rows.setdefault(
+            node.name,
+            {"phase": node.name, "count": 0, "total_s": 0.0, "self_s": 0.0,
+             "max_s": 0.0, "errors": 0},
+        )
+        row["count"] += 1
+        row["total_s"] += node.dur
+        row["self_s"] += max(0.0, node.dur - child_total)
+        row["max_s"] = max(row["max_s"], node.dur)
+        if node.record.get("status") == "error":
+            row["errors"] += 1
+    out = sorted(rows.values(), key=lambda row: -row["total_s"])
+    for row in out:
+        for key in ("total_s", "self_s", "max_s"):
+            row[key] = round(row[key], 6)
+    return out
+
+
+def critical_path(trace: Trace, trace_id: str | None = None) -> list[dict[str, Any]]:
+    """Latest-finishing descent from a request's root span.
+
+    Picks the root (of ``trace_id``, or the longest root in the file) and
+    repeatedly descends into the child that finishes last — the chain that
+    determined the request's end-to-end latency.  Each step reports the
+    span, its duration, and its self-time relative to the next step.
+    """
+
+    candidates = trace.roots
+    if trace_id is not None:
+        candidates = [r for r in candidates if r.record.get("trace") == trace_id]
+    if not candidates:
+        return []
+    root = max(candidates, key=lambda node: node.dur)
+    path: list[dict[str, Any]] = []
+    node = root
+    while True:
+        nxt = max(node.children, key=lambda child: child.end, default=None)
+        path.append(
+            {
+                "span": node.span_id,
+                "name": node.name,
+                "dur_s": round(node.dur, 6),
+                "self_s": round(node.dur - (nxt.dur if nxt else 0.0), 6),
+                "attrs": node.attrs,
+                "pid": node.record.get("pid"),
+            }
+        )
+        if nxt is None:
+            break
+        node = nxt
+    return path

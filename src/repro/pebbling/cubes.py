@@ -54,6 +54,8 @@ from dataclasses import dataclass, field
 
 from repro.dag.graph import Dag
 from repro.errors import PebblingError
+from repro.obs import metrics as _metrics
+from repro.obs import trace as obs_trace
 from repro.pebbling.cancel import CancellationToken, resolve_token
 from repro.pebbling.encoding import EncodingOptions
 from repro.pebbling.search import (
@@ -519,28 +521,40 @@ def _cube_lane_worker(payload: dict) -> tuple:
     """Solve one cube lane; never raises, returns ('ok', result) or an error."""
     from repro.pebbling.solver import ReversiblePebblingSolver
 
-    try:
-        solver = ReversiblePebblingSolver(
-            payload["dag"],
-            options=payload["options"],
-            incremental=True,
-            conflict_limit=payload["conflict_limit"],
+    with obs_trace.activated(payload.get("trace")):
+        with obs_trace.span(
+            "cube.lane",
+            cube=payload["channel"].cube,
             backend=payload["backend"],
-        )
-        result = solver.solve(
-            payload["budget"],
-            strategy=payload["search"],
-            initial_steps=payload["initial_steps"],
-            max_steps=payload["max_steps"],
-            time_limit=payload["time_limit"],
-            step_floor=payload["step_floor"],
-            cube=payload["cube"],
-            board=payload["channel"],
-            cancel=payload["cancel_path"],
-        )
-        return ("ok", result)
-    except Exception as error:  # noqa: BLE001 — a dead lane must not kill the search
-        return ("error", str(error), traceback_module.format_exc())
+        ) as lane_span:
+            try:
+                solver = ReversiblePebblingSolver(
+                    payload["dag"],
+                    options=payload["options"],
+                    incremental=True,
+                    conflict_limit=payload["conflict_limit"],
+                    backend=payload["backend"],
+                )
+                result = solver.solve(
+                    payload["budget"],
+                    strategy=payload["search"],
+                    initial_steps=payload["initial_steps"],
+                    max_steps=payload["max_steps"],
+                    time_limit=payload["time_limit"],
+                    step_floor=payload["step_floor"],
+                    cube=payload["cube"],
+                    board=payload["channel"],
+                    cancel=payload["cancel_path"],
+                )
+                lane_span.set(
+                    outcome=result.outcome.value,
+                    sat_calls=len(result.attempts),
+                    shared_bound_hits=result.shared_bound_hits,
+                )
+                return ("ok", result)
+            except Exception as error:  # noqa: BLE001 — a dead lane must not kill the search
+                lane_span.set(outcome="error")
+                return ("error", str(error), traceback_module.format_exc())
 
 
 def _lane_payloads(
@@ -591,6 +605,10 @@ def _lane_payloads(
                     cube_count=cube_count,
                 ),
                 "cancel_path": cancel_path,
+                # Lane workers re-activate this so their spans parent
+                # under the search that split them (None when tracing is
+                # off — ``activated(None)`` is a no-op).
+                "trace": obs_trace.current_context(),
             }
         )
     return payloads
@@ -777,8 +795,10 @@ def run_cube_search(
             cancel_path=token.path,
         )
 
+        certified_announced = False
+
         def absorb(index: int, outcome: tuple) -> None:
-            nonlocal best_index
+            nonlocal best_index, certified_announced
             if outcome[0] != "ok":
                 lane_errors[index] = outcome[1]
                 return
@@ -801,6 +821,15 @@ def run_cube_search(
                 if view.refuted is not None:
                     pooled = max(pooled, view.refuted)
                 if pooled >= witness - 1:
+                    if not token.cancelled():
+                        obs_trace.event(
+                            "cubes.certified",
+                            witness=witness,
+                            pooled_refuted=pooled,
+                            winner=best_index,
+                        )
+                        certified_announced = True
+                        _metrics.counter("repro_cancellations_total").inc()
                     token.cancel()
 
         use_pool = jobs > 1 and lane_count > 1
@@ -847,6 +876,17 @@ def run_cube_search(
     certified = (
         witness_steps is not None and pooled_refuted >= witness_steps - 1
     )
+    if certified and not certified_announced:
+        # Certification can become visible only at the final poll — e.g.
+        # the refuting lane's rows land after the winner's absorb — in
+        # which case no lane was left to cancel; the trace still records
+        # that the board pinned the minimum.
+        obs_trace.event(
+            "cubes.certified",
+            witness=witness_steps,
+            pooled_refuted=pooled_refuted,
+            winner=best_index,
+        )
     ok_lanes = [result for result in lane_results if result is not None]
     all_complete = not lane_errors and all(
         result.complete for result in ok_lanes
@@ -882,6 +922,7 @@ def run_cube_search(
     merged.shared_bound_hits = sum(
         result.shared_bound_hits for result in ok_lanes
     )
+    _metrics.counter("repro_shared_bound_hits_total").inc(merged.shared_bound_hits)
     merged.cubes = {
         "count": lane_count,
         "mode": cube_set.mode,

@@ -36,6 +36,10 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Sequence
 
 from repro.errors import PebblingError
+from repro.obs import metrics as _metrics
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import merge_counters
+from repro.obs.trace import TraceContext
 from repro.pebbling.cancel import CancellationToken, resolve_token
 from repro.pebbling.encoding import EncodingOptions
 from repro.pebbling.search import strategy_from_name
@@ -81,6 +85,11 @@ class PortfolioTask:
     #: cube lanes the portfolio's ``jobs`` as their pool width; tasks that
     #: already run inside a pool worker run their lanes inline.
     cubes: int = 0
+    #: Trace context shipped into the worker (see :mod:`repro.obs.trace`):
+    #: the worker re-activates it so its spans parent under the portfolio
+    #: run that submitted the task.  Excluded from equality/hash/repr, so
+    #: tracing never changes task identity, dedup, or merge keys.
+    trace: TraceContext | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.cubes < 0:
@@ -240,6 +249,13 @@ class PortfolioRecord:
     #: Cube metadata of a cube-and-conquer search (see
     #: :attr:`repro.pebbling.solver.PebblingResult.cubes`).
     cubes: dict[str, object] | None = None
+    #: Solver counters aggregated across *every* SAT call this record paid
+    #: for — all retry attempts, and for raced tasks all lanes including
+    #: the losers (``None`` when no attempt reported counters).
+    counters: dict[str, float] | None = None
+    #: Per-attempt breakdown ``[{attempt, outcome, sat_calls, counters},
+    #: ...]`` preserved when a task needed more than one attempt.
+    attempt_stats: list[dict[str, object]] | None = None
 
     @property
     def name(self) -> str:
@@ -276,6 +292,10 @@ class PortfolioRecord:
             row["shared_bound_hits"] = self.shared_bound_hits
         if self.cubes is not None:
             row["cubes"] = self.cubes
+        if self.counters is not None:
+            row["counters"] = self.counters
+        if self.attempt_stats is not None:
+            row["attempt_stats"] = self.attempt_stats
         return row
 
 
@@ -348,8 +368,29 @@ def task_solve_parameters(task: PortfolioTask) -> dict[str, object]:
     }
 
 
+#: Counter keys derived from the wall clock rather than from solver work.
+#: Records must stay byte-identical for identical (task, chaos seed, policy)
+#: triples modulo the stripped ``runtime`` field, so timing floats never
+#: enter ``PortfolioRecord.counters``; wall time is reported via ``runtime``.
+_WALL_CLOCK_COUNTERS = frozenset({"solve_time"})
+
+
+def _deterministic_counters(stats) -> dict[str, float]:
+    """``stats`` without wall-clock keys (incl. ``time_<phase>`` profiles)."""
+    if not stats:
+        return {}
+    return {
+        key: value
+        for key, value in stats.items()
+        if key not in _WALL_CLOCK_COUNTERS and not key.startswith("time_")
+    }
+
+
 def record_from_result(task: PortfolioTask, result) -> PortfolioRecord:
     """Fold a :class:`~repro.pebbling.solver.PebblingResult` into a record."""
+    counters: dict[str, float] = {}
+    for attempt in result.attempts:
+        merge_counters(counters, _deterministic_counters(attempt.solver_stats))
     record = PortfolioRecord(
         task=task,
         outcome=result.outcome.value,
@@ -362,6 +403,7 @@ def record_from_result(task: PortfolioTask, result) -> PortfolioRecord:
         partial=result.partial,
         shared_bound_hits=result.shared_bound_hits,
         cubes=result.cubes,
+        counters=counters or None,
     )
     if result.strategy is not None:
         record.pebbles_used = result.strategy.max_pebbles
@@ -446,15 +488,32 @@ def _execute_task(
     The *best* record across attempts wins (complete beats incomplete
     beats error, latest on ties), and it reports the retries consumed —
     a transient failure is healed invisibly, a persistent one still ends
-    as an ``error`` record with the last traceback attached.
+    as an ``error`` record with the last traceback attached.  Counters of
+    *every* attempt (not just the winning one) are merged into the
+    returned record, with the per-attempt breakdown in ``attempt_stats``
+    when more than one attempt ran.
     """
+    with obs_trace.activated(task.trace):
+        return _execute_attempts(task, store, retry, epoch, cancel, cube_jobs)
+
+
+def _execute_attempts(
+    task: PortfolioTask,
+    store: object,
+    retry: "RetryPolicy | None",
+    epoch: int,
+    cancel: str | None,
+    cube_jobs: int,
+) -> PortfolioRecord:
     policy = retry if retry is not None else RetryPolicy(max_attempts=1)
     token = resolve_token(cancel)
     started = time.monotonic()
     best: PortfolioRecord | None = None
+    attempted: list[PortfolioRecord] = []
     attempts_used = 0
     for attempt in range(policy.max_attempts):
         if token is not None and token.cancelled():
+            obs_trace.event("task.cancelled", task=task.name, attempt=attempt)
             if best is None:
                 best = PortfolioRecord(task=task, outcome="cancelled")
             break
@@ -464,6 +523,10 @@ def _execute_task(
                 budget_left = policy.total_time_limit - (time.monotonic() - started)
                 if budget_left <= delay:
                     break  # the sleep alone would blow the total budget
+            obs_trace.event(
+                "task.retry", task=task.name, attempt=attempt, delay=round(delay, 4)
+            )
+            _metrics.counter("repro_retries_total").inc()
             time.sleep(delay)
         time_limit = task.time_limit
         if policy.attempt_time_limit is not None:
@@ -477,9 +540,18 @@ def _execute_task(
             if remaining <= 0:
                 break
             time_limit = remaining if time_limit is None else min(time_limit, remaining)
-        record = _attempt_task(
-            task, store, attempt, epoch, time_limit, cancel, cube_jobs
-        )
+        with obs_trace.span(
+            "task.attempt",
+            task=task.name,
+            attempt=attempt,
+            backend=task.backend,
+            epoch=epoch,
+        ) as attempt_span:
+            record = _attempt_task(
+                task, store, attempt, epoch, time_limit, cancel, cube_jobs
+            )
+            attempt_span.set(outcome=record.outcome, sat_calls=record.sat_calls)
+        attempted.append(record)
         attempts_used = attempt + 1
         if best is None or _record_rank(record) <= _record_rank(best):
             best = record
@@ -498,6 +570,23 @@ def _execute_task(
             error="retry policy's total_time_limit expired before any attempt",
         )
     best.retries = max(0, attempts_used - 1)
+    if len(attempted) > 1:
+        # The losing attempts' solver work used to vanish with their
+        # records; fold every attempt's counters into the survivor and
+        # keep the per-attempt breakdown alongside.
+        merged: dict[str, float] = {}
+        for record in attempted:
+            merge_counters(merged, record.counters)
+        best.counters = merged or None
+        best.attempt_stats = [
+            {
+                "attempt": index,
+                "outcome": record.outcome,
+                "sat_calls": record.sat_calls,
+                "counters": record.counters,
+            }
+            for index, record in enumerate(attempted)
+        ]
     return best
 
 
@@ -569,6 +658,67 @@ def run_portfolio(
         raise PebblingError("pool_rebuild_limit must be >= 0")
     if not task_list:
         return []
+    with obs_trace.span(
+        "portfolio.run",
+        tasks=len(task_list),
+        jobs=jobs,
+        race=race_backends is not None,
+    ) as run_span:
+        records = _run_portfolio_tasks(
+            task_list,
+            jobs=jobs,
+            store_path=store_path,
+            force_pool=force_pool,
+            race_backends=race_backends,
+            retry=retry,
+            health=health,
+            pool_rebuild_limit=pool_rebuild_limit,
+            cancel_paths=cancel_paths,
+            on_record=on_record,
+        )
+        run_span.set(
+            solved=sum(1 for record in records if record.found),
+            errors=sum(1 for record in records if record.outcome == "error"),
+        )
+    if race_backends is None:
+        # A racing run already counted its lanes through the inner
+        # run_portfolio call; counting the merged records again would
+        # double every lane's solver work.
+        _metrics.counter("repro_portfolio_tasks_total").inc(len(records))
+        for record in records:
+            if record.outcome == "error":
+                _metrics.counter("repro_portfolio_errors_total").inc()
+            if record.retries:
+                _metrics.counter("repro_portfolio_retried_tasks_total").inc()
+            _metrics.counter("repro_portfolio_sat_calls_total").inc(record.sat_calls)
+            _metrics.registry().absorb_counters(record.counters)
+    return records
+
+
+def _run_portfolio_tasks(
+    task_list: list[PortfolioTask],
+    *,
+    jobs: int,
+    store_path: str | None,
+    force_pool: bool,
+    race_backends: Sequence[str] | None,
+    retry: "RetryPolicy | None",
+    health: "PortfolioHealth | None",
+    pool_rebuild_limit: int,
+    cancel_paths: Sequence[str | None] | None,
+    on_record: "Callable[[int, PortfolioRecord], None] | None",
+) -> list[PortfolioRecord]:
+    """Validated body of :func:`run_portfolio` (runs inside its span)."""
+    ctx = obs_trace.current_context()
+    if ctx is not None:
+        # Every task carries the trace context so worker-side spans parent
+        # under this portfolio run regardless of process boundaries.  A
+        # task that already has one (the service stamps its own request
+        # span) keeps it — per-request parentage beats per-batch.
+        task_list = [
+            task if task.trace is not None else replace(task, trace=ctx)
+            for task in task_list
+        ]
     if race_backends is not None:
         return _run_race(
             task_list,
@@ -652,6 +802,10 @@ def run_portfolio(
                 unfinished = []
             else:
                 epoch += 1
+                obs_trace.event(
+                    "pool.rebuild", epoch=epoch, resubmitted=len(unfinished)
+                )
+                _metrics.counter("repro_pool_rebuilds_total").inc()
                 if health is not None:
                     health.pool_rebuilds += 1
         pending = unfinished
@@ -663,7 +817,7 @@ def run_portfolio(
 
 def _lane_summary(record: PortfolioRecord) -> dict[str, object]:
     """The per-backend entry a merged race record reports."""
-    return {
+    summary: dict[str, object] = {
         "outcome": record.outcome,
         "steps": record.steps,
         "runtime": round(record.runtime, 3),
@@ -672,6 +826,11 @@ def _lane_summary(record: PortfolioRecord) -> dict[str, object]:
         "error": record.error,
         "produced_by": record.backend,
     }
+    if record.counters is not None:
+        summary["counters"] = record.counters
+    if record.attempt_stats is not None:
+        summary["attempt_stats"] = record.attempt_stats
+    return summary
 
 
 def _merge_race(
@@ -692,6 +851,11 @@ def _merge_race(
     lanes stopped by first-winner cancellation are listed in the merged
     record's ``cancelled`` (a cancelled lane is by construction
     incomplete, so it can never outrank the winner that cancelled it).
+
+    Counters from *every* lane — losers and cancelled lanes included —
+    are merged into the winning record's ``counters``: the race paid for
+    all of that solver work, so the merged record accounts for it (each
+    lane's own share stays visible in its ``race`` entry).
     """
     def rank(
         indexed: tuple[int, PortfolioRecord]
@@ -707,6 +871,9 @@ def _merge_race(
         )
 
     winner_index, winner = min(enumerate(lanes), key=rank)
+    merged_counters: dict[str, float] = {}
+    for lane in lanes:
+        merge_counters(merged_counters, lane.counters)
     merged = PortfolioRecord(
         task=task,
         outcome=winner.outcome,
@@ -734,6 +901,8 @@ def _merge_race(
             if lane.outcome == "cancelled"
             or (lane.partial or {}).get("cancelled")
         ],
+        counters=merged_counters or None,
+        attempt_stats=winner.attempt_stats,
     )
     return merged
 
@@ -775,7 +944,14 @@ def _run_race(
 
         def crown(flat_index: int, record: PortfolioRecord) -> None:
             if record.complete:
-                tokens[flat_index // width].cancel()
+                token = tokens[flat_index // width]
+                if not token.cancelled():
+                    obs_trace.event(
+                        "race.win",
+                        task=record.name,
+                        backend=record.backend or backends[flat_index % width],
+                    )
+                token.cancel()
 
         flat_records = run_portfolio(
             flat,

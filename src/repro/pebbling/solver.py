@@ -38,6 +38,8 @@ from typing import Callable
 
 from repro.errors import PebblingError
 from repro.dag.graph import Dag
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.pebbling.bennett import eager_bennett_strategy
 from repro.pebbling.cancel import resolve_token
 from repro.pebbling.encoding import (
@@ -169,6 +171,11 @@ class PebblingResult:
     #: Cube-and-conquer metadata on merged results (lane summaries, the
     #: winning cube, board traffic); ``None`` for ordinary searches.
     cubes: dict[str, object] | None = None
+    #: ``True`` when this object was answered from the result store rather
+    #: than computed.  Never serialised — a cache hit is byte-identical to
+    #: the stored payload by contract, so the flag lives outside
+    #: :meth:`to_json` and exists purely so callers can report the hit.
+    from_cache: bool = field(default=False, compare=False, repr=False)
 
     @property
     def found(self) -> bool:
@@ -217,6 +224,8 @@ class PebblingResult:
             summary["shared_bound_hits"] = self.shared_bound_hits
         if self.cubes is not None:
             summary["cubes"] = self.cubes.get("count")
+        if self.from_cache:
+            summary["cached"] = True
         return summary
 
     def to_json(self) -> dict[str, object]:
@@ -545,19 +554,32 @@ class ReversiblePebblingSolver:
             if store is not None:
                 cached = store.get_pebble(self.dag, **request)
                 if cached is not None:
-                    return cached
-            merged = run_cube_search(
-                self,
-                max_pebbles,
-                cubes=cubes,
-                jobs=cube_jobs,
-                search=search,
-                initial_steps=initial_steps,
-                max_steps=max_steps,
-                time_limit=time_limit,
-                step_floor=step_floor,
-                cancel=cancel,
-            )
+                    return self._cache_answer(cached)
+            with _trace.span(
+                "cubes.run",
+                dag=self.dag.name,
+                budget=max_pebbles,
+                backend=self.backend,
+                schedule=search.name,
+            ) as cube_span:
+                merged = run_cube_search(
+                    self,
+                    max_pebbles,
+                    cubes=cubes,
+                    jobs=cube_jobs,
+                    search=search,
+                    initial_steps=initial_steps,
+                    max_steps=max_steps,
+                    time_limit=time_limit,
+                    step_floor=step_floor,
+                    cancel=cancel,
+                )
+                cube_span.set(
+                    outcome=merged.outcome.value,
+                    sat_calls=len(merged.attempts),
+                    certified=merged.minimal,
+                    shared_bound_hits=merged.shared_bound_hits,
+                )
             if store is not None and merged.complete:
                 store.put_pebble(self.dag, merged, **request)
             return merged
@@ -566,7 +588,8 @@ class ReversiblePebblingSolver:
         if store is not None:
             cached = store.get_pebble(self.dag, **request)
             if cached is not None:
-                return cached
+                return self._cache_answer(cached)
+            _metrics.counter("repro_store_misses_total").inc()
             # Warm bounds are only safe for schedules whose answer is
             # invariant under a sound floor/ceiling: unit-increment linear
             # scans and geometric-refine converge to the same minimum from
@@ -579,6 +602,14 @@ class ReversiblePebblingSolver:
                 warm = store.warm_start(
                     self.dag, budget=max_pebbles, options=self.options
                 )
+                if warm is not None and _trace.active():
+                    _trace.event(
+                        "store.warm",
+                        dag=self.dag.name,
+                        budget=max_pebbles,
+                        step_floor=warm.step_floor,
+                        step_ceiling=warm.step_ceiling,
+                    )
         started = time.monotonic()
         result = PebblingResult(
             self.dag.name,
@@ -615,21 +646,35 @@ class ReversiblePebblingSolver:
         initial = initial_steps or floor
         cursor = search.start(initial, min(floor, initial), max_steps)
 
-        if self.incremental:
-            outcome = self._solve_incremental(
-                result,
-                max_pebbles,
-                cursor,
-                max_steps,
-                time_limit,
-                started,
-                cube=cube,
-                board=board,
-                token=token,
-            )
-        else:
-            outcome = self._solve_monolithic(
-                result, max_pebbles, cursor, max_steps, time_limit, started, token
+        with _trace.span(
+            "pebble.solve",
+            dag=self.dag.name,
+            budget=max_pebbles,
+            schedule=search.name,
+            backend=self.backend,
+            incremental=self.incremental,
+            cube=cube is not None,
+        ) as solve_span:
+            if self.incremental:
+                outcome = self._solve_incremental(
+                    result,
+                    max_pebbles,
+                    cursor,
+                    max_steps,
+                    time_limit,
+                    started,
+                    cube=cube,
+                    board=board,
+                    token=token,
+                )
+            else:
+                outcome = self._solve_monolithic(
+                    result, max_pebbles, cursor, max_steps, time_limit, started, token
+                )
+            solve_span.set(
+                outcome=outcome.value,
+                sat_calls=len(result.attempts),
+                shared_bound_hits=result.shared_bound_hits,
             )
         result.outcome = outcome
         if not result.complete:
@@ -672,6 +717,20 @@ class ReversiblePebblingSolver:
             return None
         return time_limit - (time.monotonic() - started)
 
+    def _cache_answer(self, cached: PebblingResult) -> PebblingResult:
+        """Flag and report a store hit; the payload itself is untouched."""
+        cached.from_cache = True
+        _metrics.counter("repro_store_hits_total").inc()
+        if _trace.active():
+            _trace.event(
+                "store.hit",
+                dag=cached.dag_name,
+                budget=cached.max_pebbles,
+                outcome=cached.outcome.value,
+                steps=cached.num_steps,
+            )
+        return cached
+
     @staticmethod
     def _keep_best(
         best: PebblingStrategy | None, candidate: PebblingStrategy
@@ -694,6 +753,9 @@ class ReversiblePebblingSolver:
         bound: int | None = cursor.bound
         while bound is not None and bound <= max_steps:
             if token is not None and token.cancelled():
+                if _trace.active():
+                    _trace.event("solve.cancelled", bound=bound, witness=best is not None)
+                _metrics.counter("repro_cancellations_total").inc()
                 result.strategy = best
                 return (
                     PebblingOutcome.SOLUTION if best else PebblingOutcome.CANCELLED
@@ -704,10 +766,16 @@ class ReversiblePebblingSolver:
                 return (
                     PebblingOutcome.SOLUTION if best else PebblingOutcome.TIMEOUT
                 )
-            status, strategy, record = self.solve_fixed(
-                max_pebbles=max_pebbles, num_steps=bound, time_limit=remaining
-            )
+            with _trace.span(
+                "sat.call", bound=bound, budget=max_pebbles, backend=self.backend
+            ) as call_span:
+                status, strategy, record = self.solve_fixed(
+                    max_pebbles=max_pebbles, num_steps=bound, time_limit=remaining
+                )
+                call_span.set(verdict=status.value, conflicts=record.conflicts)
             result.attempts.append(record)
+            _metrics.counter("repro_sat_calls_total").inc()
+            _metrics.histogram("repro_sat_call_seconds").observe(record.runtime)
             if status is Status.SATISFIABLE and strategy is not None:
                 best = self._keep_best(best, strategy)
                 bound = cursor.advance(True)
@@ -776,6 +844,9 @@ class ReversiblePebblingSolver:
         bound: int | None = cursor.bound
         while bound is not None and bound <= max_steps:
             if token is not None and token.cancelled():
+                if _trace.active():
+                    _trace.event("solve.cancelled", bound=bound, witness=best is not None)
+                _metrics.counter("repro_cancellations_total").inc()
                 result.strategy = best
                 return (
                     PebblingOutcome.SOLUTION if best else PebblingOutcome.CANCELLED
@@ -790,6 +861,7 @@ class ReversiblePebblingSolver:
                         # A sibling lane killed (or answered) this bound;
                         # observe() is idempotent, so one skip per fact.
                         result.shared_bound_hits += 1
+                        _trace.event("board.hit", bound=bound, observed=observed)
                         bound = observed
                         continue
             remaining = self._remaining(time_limit, started)
@@ -843,52 +915,80 @@ class ReversiblePebblingSolver:
             slice_budget = _CANCEL_POLL_SLICE
             interrupted = False
             probed = bound
-            while True:
-                call_limit = remaining
-                if chunked:
-                    call_limit = (
-                        slice_budget
-                        if remaining is None
-                        else min(remaining, slice_budget)
-                    )
-                sat_result = solver.solve(
-                    assumptions,
-                    time_limit=call_limit,
-                    conflict_limit=self.conflict_limit,
-                )
-                if not chunked or not sat_result.is_unknown:
-                    break
-                remaining = self._remaining(time_limit, started)
-                if remaining is not None and remaining <= 0:
-                    break  # genuine timeout, handled as UNKNOWN below
-                if token is not None and token.cancelled():
-                    interrupted = True
-                    break
-                if board is not None:
-                    view = board.poll()
-                    if view.refuted is not None or view.known_sat is not None:
-                        observed = cursor.observe(
-                            refuted=view.refuted, known_sat=view.known_sat
+            core: list[int] | None = None
+            with _trace.span(
+                "sat.call",
+                bound=probed,
+                budget=max_pebbles,
+                backend=self.backend,
+                ladder=len(ladder),
+            ) as call_span:
+                while True:
+                    call_limit = remaining
+                    if chunked:
+                        call_limit = (
+                            slice_budget
+                            if remaining is None
+                            else min(remaining, slice_budget)
                         )
-                        if observed != bound:
-                            # A sibling settled this bound while we were
-                            # inside the query: abandon the call.
-                            result.shared_bound_hits += 1
-                            bound = observed
-                            interrupted = True
-                            break
-                slice_budget *= 2
-            elapsed = time.monotonic() - call_started
-            result.attempts.append(
-                AttemptRecord(
-                    max_pebbles=max_pebbles,
-                    num_steps=probed,
-                    status=sat_result.status,
-                    runtime=elapsed,
+                    sat_result = solver.solve(
+                        assumptions,
+                        time_limit=call_limit,
+                        conflict_limit=self.conflict_limit,
+                    )
+                    if not chunked or not sat_result.is_unknown:
+                        break
+                    remaining = self._remaining(time_limit, started)
+                    if remaining is not None and remaining <= 0:
+                        break  # genuine timeout, handled as UNKNOWN below
+                    if token is not None and token.cancelled():
+                        interrupted = True
+                        break
+                    if board is not None:
+                        view = board.poll()
+                        if view.refuted is not None or view.known_sat is not None:
+                            observed = cursor.observe(
+                                refuted=view.refuted, known_sat=view.known_sat
+                            )
+                            if observed != bound:
+                                # A sibling settled this bound while we were
+                                # inside the query: abandon the call.
+                                result.shared_bound_hits += 1
+                                _trace.event(
+                                    "board.hit", bound=probed, observed=observed
+                                )
+                                bound = observed
+                                interrupted = True
+                                break
+                    slice_budget *= 2
+                elapsed = time.monotonic() - call_started
+                if (
+                    not interrupted
+                    and sat_result.status is Status.UNSATISFIABLE
+                    and len(assumptions) > 1
+                ):
+                    # The span charges core extraction to the call that paid
+                    # for it (the minimising backend probes the solver here).
+                    extract = getattr(solver, "failed_assumptions", None)
+                    core = extract() if extract is not None else list(assumptions)
+                    call_span.set(core_size=len(core))
+                call_span.set(
+                    verdict=sat_result.status.value,
                     conflicts=sat_result.stats.conflicts,
-                    solver_stats=self._reported_counters(solver, sat_result),
+                    interrupted=interrupted,
                 )
-            )
+                result.attempts.append(
+                    AttemptRecord(
+                        max_pebbles=max_pebbles,
+                        num_steps=probed,
+                        status=sat_result.status,
+                        runtime=elapsed,
+                        conflicts=sat_result.stats.conflicts,
+                        solver_stats=self._reported_counters(solver, sat_result),
+                    )
+                )
+            _metrics.counter("repro_sat_calls_total").inc()
+            _metrics.histogram("repro_sat_call_seconds").observe(elapsed)
             if interrupted:
                 continue
             if sat_result.is_sat:
@@ -930,12 +1030,11 @@ class ReversiblePebblingSolver:
                 # Until the core proves otherwise, a cube lane's refutation
                 # is only valid under its cube assumptions.
                 core_used_cube = bool(cube_literals)
-                if len(assumptions) > 1:
+                if core is not None:
                     # Backends without real core extraction (the external
                     # DIMACS path, raw factories) degrade to the trivial
-                    # full-assumption core — sound, never faster.
-                    extract = getattr(solver, "failed_assumptions", None)
-                    core = extract() if extract is not None else list(assumptions)
+                    # full-assumption core — sound, never faster.  The core
+                    # itself was extracted inside the ``sat.call`` span.
                     core_bounds = [
                         bound_of_guard[literal]
                         for literal in core

@@ -70,6 +70,7 @@ from enum import Enum
 from typing import Iterable, Sequence
 
 from repro.errors import SolverError
+from repro.obs import trace as _trace
 from repro.sat.cnf import Cnf
 
 
@@ -975,6 +976,13 @@ class CdclSolver:
             self._free_slot(slot)
         self._learned_slots = [slot for slot in learned_slots if slot not in removed]
         self.stats.deleted_clauses += len(removed)
+        if _trace.active():
+            _trace.event(
+                "solver.reduce",
+                deleted=len(removed),
+                kept=len(self._learned_slots),
+                conflicts=self._total_conflicts,
+            )
 
     def _free_slot(self, slot: int) -> None:
         """Release an (already detached) clause slot back to the free list."""
@@ -1223,6 +1231,14 @@ class CdclSolver:
                         sigs[d_slot] = signature
         self._rebuild_learned_slots()
         stats.inprocessings += 1
+        if _trace.active():
+            _trace.event(
+                "solver.inprocess",
+                pass_number=stats.inprocessings,
+                subsumed=stats.subsumed_clauses,
+                strengthened=stats.strengthened_clauses,
+                root_simplified=stats.root_simplified,
+            )
         return True
 
     # ------------------------------------------------------------------
@@ -1421,6 +1437,13 @@ class CdclSolver:
                 conflicts_since_restart = 0
                 conflicts_until_restart = self._restart_base * luby(restart_count + 1)
                 self._backtrack(0)
+                if _trace.active():
+                    _trace.event(
+                        "solver.restart",
+                        restart=restart_count,
+                        conflicts=self._total_conflicts,
+                        next_interval=conflicts_until_restart,
+                    )
                 if (
                     self._inprocess_interval > 0
                     and self._total_conflicts - self._last_inprocess_conflicts

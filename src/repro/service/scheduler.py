@@ -34,6 +34,9 @@ from typing import Iterable, Sequence
 
 from repro.errors import ReproError
 from repro.circuits.pipeline import compile_cache_request, compile_workload
+from repro.obs import metrics as _metrics
+from repro.obs import trace as obs_trace
+from repro.obs.trace import TraceContext
 from repro.pebbling.portfolio import (
     PortfolioHealth,
     PortfolioTask,
@@ -109,6 +112,12 @@ class JobRequest:
     #: for dedup, but like ``backend`` NOT of the store's content address:
     #: a merged cube answer is interchangeable with a sequential one.
     cubes: int = 0
+    #: Trace context stamped by :meth:`PebblingService.submit` when tracing
+    #: is active, so solver spans from pool workers parent under this
+    #: request's ``service.request`` span.  Excluded from equality/hash
+    #: (dedup ignores it), from :meth:`as_dict` and from the JSON fields
+    #: :meth:`from_dict` accepts — it is runtime plumbing, not request data.
+    trace: TraceContext | None = field(default=None, compare=False, repr=False)
 
     def validate(self) -> None:
         if self.kind not in ("pebble", "compile", "sweep"):
@@ -147,7 +156,7 @@ class JobRequest:
             raise ServiceError(
                 f"a request must be a JSON object, got {type(data).__name__}"
             )
-        known = {entry.name for entry in fields(cls)}
+        known = {entry.name for entry in fields(cls)} - {"trace"}
         unknown = sorted(set(data) - known)
         if unknown:
             raise ServiceError(
@@ -158,7 +167,9 @@ class JobRequest:
         return request
 
     def as_dict(self) -> dict[str, object]:
-        return asdict(self)
+        data = asdict(self)
+        data.pop("trace", None)
+        return data
 
     def to_task(self) -> PortfolioTask:
         """The portfolio task equivalent of a ``pebble`` request."""
@@ -176,6 +187,7 @@ class JobRequest:
             weighted=self.weighted,
             backend=self.backend,
             cubes=self.cubes,
+            trace=self.trace,
         )
 
 
@@ -205,7 +217,15 @@ class JobResult:
 
 @dataclass
 class ServiceStats:
-    """Traffic counters of one service instance."""
+    """Traffic counters of one service instance.
+
+    Mirrored into the process-wide :mod:`repro.obs.metrics` registry as
+    ``repro_service_*`` instruments; prefer reading those (or the
+    ``metrics`` key of :meth:`PebblingService.health`) — this per-instance
+    dataclass stays for exact request accounting, but its duplicated
+    top-level copies in :meth:`PebblingService.health` are deprecated and
+    will be dropped after one release.
+    """
 
     submitted: int = 0
     completed: int = 0
@@ -284,6 +304,19 @@ class PebblingService:
         self._inflight: dict[JobRequest, asyncio.Future] = {}
         self._dispatcher: asyncio.Task | None = None
         self._closed = False
+        # A running service turns the process-wide metrics registry on:
+        # health() is the service's observability surface and an empty
+        # snapshot would defeat it.  Enabling is idempotent and sticky.
+        _metrics.enable()
+
+    def _saturation_gauges(self) -> None:
+        """Refresh the queue-depth / in-flight gauges (cheap, lock-free)."""
+        _metrics.gauge(
+            "repro_service_queue_depth", "Requests waiting for a dispatch round"
+        ).set(self._queue.qsize())
+        _metrics.gauge(
+            "repro_service_in_flight", "Admitted requests not yet answered"
+        ).set(len(self._inflight))
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -338,6 +371,9 @@ class PebblingService:
         if self._closed:
             raise ServiceError("the service is closed")
         self.stats.submitted += 1
+        _metrics.counter(
+            "repro_service_requests_total", "Requests submitted to the service"
+        ).inc()
         try:
             request.validate()
         except ServiceError as error:
@@ -348,19 +384,59 @@ class PebblingService:
         shared = self._inflight.get(request)
         if shared is not None:
             self.stats.deduplicated += 1
+            _metrics.counter(
+                "repro_service_dedup_total", "Requests served by in-flight dedup"
+            ).inc()
+            obs_trace.event(
+                "service.dedup",
+                kind=request.kind,
+                workload=request.workload,
+                budget=request.budget,
+            )
             return await shared
         if self.max_queue is not None and self._queue.qsize() >= self.max_queue:
             self.stats.sheds += 1
+            _metrics.counter(
+                "repro_service_sheds_total", "Requests shed by admission control"
+            ).inc()
+            obs_trace.event(
+                "service.shed",
+                kind=request.kind,
+                workload=request.workload,
+                queue_depth=self._queue.qsize(),
+                max_queue=self.max_queue,
+            )
             raise ServiceOverloadError(
                 f"service queue is full ({self._queue.qsize()} >= "
                 f"max_queue={self.max_queue}); request shed"
             )
-        future: asyncio.Future = asyncio.get_running_loop().create_future()
-        self._inflight[request] = future
-        self._queue.put_nowait((request, future, time.monotonic()))
-        if self._dispatcher is None:
-            self._dispatcher = asyncio.create_task(self._dispatch_loop())
-        return await future
+        # One span per admitted request, covering queueing + solving.  The
+        # trace context snapshotted *inside* the span is stamped onto the
+        # request, so solver spans from pool workers (or the inline path)
+        # parent under it.  Concurrent submits interleave save/restore of
+        # the tracer's current-span slot; that can momentarily misattribute
+        # parentage of records emitted between switches, but every parent
+        # id still resolves because parent span records are always written.
+        with obs_trace.span(
+            "service.request",
+            kind=request.kind,
+            workload=request.workload,
+            budget=request.budget,
+            backend=request.backend,
+        ) as req_span:
+            if request.trace is None:
+                ctx = obs_trace.current_context()
+                if ctx is not None:
+                    request = replace(request, trace=ctx)
+            future: asyncio.Future = asyncio.get_running_loop().create_future()
+            self._inflight[request] = future
+            self._queue.put_nowait((request, future, time.monotonic()))
+            self._saturation_gauges()
+            if self._dispatcher is None:
+                self._dispatcher = asyncio.create_task(self._dispatch_loop())
+            result = await future
+            req_span.set(status=result.status, source=result.source)
+            return result
 
     async def run(self, requests: Iterable[JobRequest]) -> list[JobResult]:
         """Submit many requests concurrently; results in request order.
@@ -383,8 +459,18 @@ class PebblingService:
 
         Cheap to call at any time (no locks, no solver work): current
         queue depth and in-flight count, the admission/retry configuration,
-        and the cumulative fault-tolerance counters.
+        the cumulative fault-tolerance counters, and — under ``metrics`` —
+        the process-wide :mod:`repro.obs.metrics` snapshot covering every
+        layer (``repro_service_*``, ``repro_portfolio_*``, ``repro_sat_*``,
+        ``repro_solver_*``).
+
+        .. deprecated::
+            The top-level ``sheds`` / ``preempted`` / ``partial_answers`` /
+            ``retries`` / ``pool_rebuilds`` duplicates of ``stats`` are
+            kept for one release; read them from ``stats`` (exact service
+            counters) or ``metrics`` (cross-layer registry) instead.
         """
+        self._saturation_gauges()
         return {
             "queue_depth": self._queue.qsize(),
             "in_flight": len(self._inflight),
@@ -396,6 +482,7 @@ class PebblingService:
             "retries": self.stats.retries,
             "pool_rebuilds": self.stats.pool_rebuilds,
             "stats": self.stats.as_dict(),
+            "metrics": _metrics.snapshot(),
         }
 
     # ------------------------------------------------------------------
@@ -409,6 +496,12 @@ class PebblingService:
         except Exception as error:  # noqa: BLE001 — unknown workload and friends
             self.stats.errors += 1
             return JobResult(request, "error", "aggregate", error=str(error))
+        obs_trace.event(
+            "service.sweep",
+            workload=request.workload,
+            min_budget=low,
+            max_budget=high,
+        )
         children = [
             JobRequest(
                 kind="pebble",
@@ -424,6 +517,7 @@ class PebblingService:
                 max_steps=request.max_steps,
                 backend=request.backend,
                 deadline=request.deadline,
+                trace=request.trace,
             )
             for budget in range(low, high + 1)
         ]
@@ -486,6 +580,11 @@ class PebblingService:
             while not self._queue.empty():
                 batch.append(self._queue.get_nowait())
             self.stats.batches += 1
+            _metrics.counter(
+                "repro_service_batches_total", "Dispatch rounds executed"
+            ).inc()
+            self._saturation_gauges()
+            batch_started = time.monotonic()
             try:
                 outcomes = await asyncio.get_running_loop().run_in_executor(
                     None,
@@ -497,6 +596,9 @@ class PebblingService:
                     JobResult(request, "error", "solver", error=str(error))
                     for request, _, _ in batch
                 ]
+            _metrics.histogram(
+                "repro_service_batch_seconds", "Wall time of one dispatch round"
+            ).observe(time.monotonic() - batch_started)
             for (request, future, _), outcome in zip(batch, outcomes):
                 if outcome.source == "cache":
                     self.stats.cache_hits += 1
@@ -507,6 +609,7 @@ class PebblingService:
                 self._inflight.pop(request, None)
                 if not future.cancelled():
                     future.set_result(outcome)
+            self._saturation_gauges()
 
     # -- blocking section (runs in the default executor) -------------------
     def _deadline_task(
@@ -553,6 +656,9 @@ class PebblingService:
                 for _, request, enqueued in pebble_misses
             ]
             self.stats.solver_jobs += len(tasks)
+            _metrics.counter(
+                "repro_service_solver_jobs_total", "Batched misses sent to solvers"
+            ).inc(len(tasks))
             if self.store is not None and self.store_path is None:
                 # In-memory store: pool workers could not see it, so run the
                 # batch inline against the live store object instead.
@@ -573,12 +679,26 @@ class PebblingService:
             for (index, request, _), record in zip(pebble_misses, records):
                 if record.partial is not None:
                     self.stats.partial_answers += 1
+                    _metrics.counter(
+                        "repro_service_partial_answers_total",
+                        "Answers carrying an anytime partial snapshot",
+                    ).inc()
                 if (
                     request.deadline is not None
                     and record.outcome != "error"
                     and not record.complete
                 ):
                     self.stats.preempted += 1
+                    _metrics.counter(
+                        "repro_service_preempted_total",
+                        "Searches cut short by a request deadline",
+                    ).inc()
+                    obs_trace.event(
+                        "service.preempt",
+                        workload=request.workload,
+                        budget=request.budget,
+                        deadline=request.deadline,
+                    )
                 if record.outcome == "error":
                     outcomes[index] = JobResult(
                         request, "error", "solver", error=record.error
@@ -599,6 +719,16 @@ class PebblingService:
         result = self.store.get_pebble(dag, **parameters)
         if result is None:
             return None
+        _metrics.counter(
+            "repro_service_cache_hits_total", "Requests answered from the store"
+        ).inc()
+        obs_trace.event(
+            "service.cache_hit",
+            kind=request.kind,
+            workload=request.workload,
+            budget=request.budget,
+            outcome=result.outcome.value,
+        )
         payload = record_from_result(task, result).as_dict()
         return JobResult(request, "ok", "cache", payload=payload)
 

@@ -1,0 +1,133 @@
+"""Offline trace analysis: tree building, aggregates, critical path."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.analyze import critical_path, load_trace, phase_aggregate, summarize
+
+
+def _write(path, records):
+    path.write_text(
+        "\n".join(json.dumps(record) for record in records) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def _span(span, name, ts, dur, parent=None, trace="t1", status="ok", **attrs):
+    return {
+        "type": "span", "name": name, "trace": trace, "span": span,
+        "parent": parent, "ts": ts, "dur": dur, "status": status,
+        "attrs": attrs, "pid": 100, "seq": 0,
+    }
+
+
+@pytest.fixture
+def request_trace(tmp_path):
+    """One request: root 10s, a 6s solve with two sat calls, a 1s store op."""
+
+    return _write(tmp_path / "trace.jsonl", [
+        {"type": "meta", "schema": 1, "records": 5},
+        _span("s1", "service.request", 0.0, 10.0, kind="pebble"),
+        _span("s2", "solve", 1.0, 6.0, parent="s1"),
+        _span("s3", "sat.call", 1.5, 2.0, parent="s2", bound=4, verdict="sat"),
+        _span("s4", "sat.call", 4.0, 2.5, parent="s2", bound=3, verdict="unsat"),
+        _span("s5", "store.write", 8.0, 1.0, parent="s1"),
+        {"type": "event", "name": "store.warm", "trace": "t1", "span": "s5",
+         "ts": 8.5, "attrs": {}, "pid": 100, "seq": 5},
+    ])
+
+
+class TestLoadTrace:
+    def test_builds_the_tree(self, request_trace):
+        trace = load_trace(request_trace)
+        assert trace.complete
+        assert trace.meta["schema"] == 1
+        assert [root.name for root in trace.roots] == ["service.request"]
+        root = trace.roots[0]
+        assert [child.name for child in root.children] == ["solve", "store.write"]
+        solve = root.children[0]
+        assert [child.attrs["bound"] for child in solve.children] == [4, 3]
+        assert trace.by_id["s5"].events[0]["name"] == "store.warm"
+        assert trace.trace_ids == ["t1"]
+
+    def test_orphans_are_reported_not_fatal(self, tmp_path):
+        path = _write(tmp_path / "bad.jsonl", [
+            _span("s1", "lost.child", 0.0, 1.0, parent="gone"),
+            {"type": "event", "name": "stray", "trace": "t1", "span": "also-gone",
+             "ts": 0.5, "attrs": {}, "pid": 100, "seq": 1},
+            {"type": "mystery"},
+        ])
+        trace = load_trace(path)
+        assert not trace.complete
+        assert len(trace.problems) == 3
+        # The orphaned span is still inspectable as a root.
+        assert [root.name for root in trace.roots] == ["lost.child"]
+
+    def test_duplicate_span_ids_flagged(self, tmp_path):
+        path = _write(tmp_path / "dup.jsonl", [
+            _span("s1", "a", 0.0, 1.0),
+            _span("s1", "b", 2.0, 1.0),
+        ])
+        assert "duplicate span ids" in load_trace(path).problems
+
+
+class TestSummarize:
+    def test_counts_and_per_name_aggregates(self, request_trace):
+        report = summarize(load_trace(request_trace))
+        assert report["schema"] == 1
+        assert report["traces"] == 1
+        assert report["spans"] == 5
+        assert report["events"] == 1
+        assert report["processes"] == 1
+        assert report["complete"] is True
+        sat = report["span_names"]["sat.call"]
+        assert sat["count"] == 2
+        assert sat["total_s"] == pytest.approx(4.5)
+        assert sat["mean_s"] == pytest.approx(2.25)
+        assert sat["errors"] == 0
+        assert report["event_names"] == {"store.warm": 1}
+
+    def test_error_spans_counted(self, tmp_path):
+        path = _write(tmp_path / "err.jsonl", [
+            _span("s1", "sat.call", 0.0, 1.0, status="error", bound=2),
+        ])
+        report = summarize(load_trace(path))
+        assert report["span_names"]["sat.call"]["errors"] == 1
+
+
+class TestPhaseAggregate:
+    def test_self_time_subtracts_children(self, request_trace):
+        rows = {row["phase"]: row for row in phase_aggregate(load_trace(request_trace))}
+        # The request span is 10s total but spends 7s in its children.
+        assert rows["service.request"]["total_s"] == pytest.approx(10.0)
+        assert rows["service.request"]["self_s"] == pytest.approx(3.0)
+        assert rows["solve"]["self_s"] == pytest.approx(1.5)
+        assert rows["sat.call"]["self_s"] == pytest.approx(4.5)
+        assert rows["sat.call"]["max_s"] == pytest.approx(2.5)
+
+    def test_sorted_by_total_descending(self, request_trace):
+        totals = [row["total_s"] for row in phase_aggregate(load_trace(request_trace))]
+        assert totals == sorted(totals, reverse=True)
+
+
+class TestCriticalPath:
+    def test_descends_into_the_latest_finishing_child(self, request_trace):
+        path = critical_path(load_trace(request_trace))
+        # store.write ends at 9.0, after solve (7.0): the request's latency
+        # was determined by the store write, not the solve.
+        assert [step["name"] for step in path] == ["service.request", "store.write"]
+        assert path[0]["dur_s"] == pytest.approx(10.0)
+
+    def test_filters_by_trace_id(self, tmp_path):
+        path = _write(tmp_path / "two.jsonl", [
+            _span("s1", "short", 0.0, 1.0, trace="t1"),
+            _span("s2", "long", 0.0, 5.0, trace="t2"),
+        ])
+        trace = load_trace(path)
+        assert [s["name"] for s in critical_path(trace)] == ["long"]
+        assert [s["name"] for s in critical_path(trace, "t1")] == ["short"]
+        assert critical_path(trace, "t-missing") == []

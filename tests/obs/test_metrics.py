@@ -1,0 +1,150 @@
+"""Metrics registry semantics: instruments, merging, disabled no-ops."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_counters,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        counter = Counter("repro_test_total")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        assert counter.sample() == 3.5
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge("repro_test_depth")
+        gauge.set(7)
+        gauge.dec(3)
+        gauge.inc()
+        assert gauge.value == 5
+
+    def test_histogram_buckets_are_cumulative(self):
+        histogram = Histogram("repro_test_seconds", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            histogram.observe(value)
+        sample = histogram.sample()
+        assert sample["count"] == 4
+        assert sample["sum"] == pytest.approx(6.05)
+        # Prometheus semantics: each bucket counts everything at or below
+        # its bound, and +Inf equals the total count.
+        assert sample["buckets"] == {"0.1": 1, "1": 3, "+Inf": 4}
+
+
+class TestRegistry:
+    def test_instruments_are_cached_by_name(self, fresh_registry):
+        assert fresh_registry.counter("repro_a_total") is fresh_registry.counter(
+            "repro_a_total"
+        )
+
+    def test_kind_mismatch_raises(self, fresh_registry):
+        fresh_registry.counter("repro_a_total")
+        with pytest.raises(TypeError, match="already registered"):
+            fresh_registry.gauge("repro_a_total")
+
+    def test_snapshot_is_sorted_and_json_ready(self, fresh_registry):
+        fresh_registry.counter("repro_b_total").inc()
+        fresh_registry.gauge("repro_a_depth").set(2)
+        fresh_registry.histogram("repro_c_seconds").observe(0.2)
+        snap = fresh_registry.snapshot()
+        assert list(snap) == ["repro_a_depth", "repro_b_total", "repro_c_seconds"]
+        assert snap["repro_b_total"] == 1
+        assert snap["repro_c_seconds"]["count"] == 1
+
+    def test_exposition_renders_prometheus_text(self, fresh_registry):
+        fresh_registry.counter("repro_a_total", help="things").inc(2)
+        fresh_registry.histogram("repro_b_seconds", buckets=(1.0,)).observe(0.5)
+        text = fresh_registry.exposition()
+        assert "# HELP repro_a_total things" in text
+        assert "# TYPE repro_a_total counter" in text
+        assert "repro_a_total 2" in text
+        assert 'repro_b_seconds_bucket{le="1"} 1' in text
+        assert 'repro_b_seconds_bucket{le="+Inf"} 1' in text
+        assert "repro_b_seconds_count 1" in text
+        assert text.endswith("\n")
+
+    def test_absorb_counters_sums_and_high_watermarks(self, fresh_registry):
+        fresh_registry.absorb_counters(
+            {"conflicts": 10, "max_decision_level": 5, "label": "skip-me"}
+        )
+        fresh_registry.absorb_counters({"conflicts": 7, "max_decision_level": 3})
+        snap = fresh_registry.snapshot()
+        assert snap["repro_solver_conflicts_total"] == 17
+        # High-water marks keep the max across absorbs, not the sum.
+        assert snap["repro_solver_max_decision_level"] == 5
+        assert not any("label" in name for name in snap)
+
+    def test_reset_clears_instruments(self, fresh_registry):
+        fresh_registry.counter("repro_a_total").inc()
+        fresh_registry.reset()
+        assert fresh_registry.snapshot() == {}
+
+
+class TestDisabledMode:
+    def test_disabled_registry_hands_out_the_shared_null(self, disabled_registry):
+        null = disabled_registry.counter("repro_a_total")
+        assert null is disabled_registry.gauge("repro_b_depth")
+        assert null is disabled_registry.histogram("repro_c_seconds")
+        null.inc()
+        null.set(5)
+        null.observe(1.0)
+        assert null.value == 0.0
+        assert disabled_registry.snapshot() == {}
+        assert disabled_registry.exposition() == ""
+
+    def test_disabled_absorb_is_a_no_op(self, disabled_registry):
+        disabled_registry.absorb_counters({"conflicts": 10})
+        assert disabled_registry.snapshot() == {}
+
+    def test_module_helpers_follow_the_global_registry(self, disabled_registry):
+        null = obs_metrics.counter("repro_x_total")
+        assert not obs_metrics.enabled()
+        obs_metrics.counter("repro_x_total").inc(99)
+        assert obs_metrics.snapshot() == {}
+        # Enabling is sticky for instruments fetched afterwards — call
+        # sites must fetch at use time instead of caching the null.
+        obs_metrics.enable()
+        assert obs_metrics.enabled()
+        live = obs_metrics.counter("repro_x_total")
+        assert live is not null
+        live.inc()
+        assert obs_metrics.snapshot() == {"repro_x_total": 1}
+
+
+class TestMergeCounters:
+    def test_sums_and_keeps_high_watermarks(self):
+        into: dict[str, float] = {}
+        merge_counters(into, {"conflicts": 3, "max_decision_level": 9})
+        merge_counters(into, {"conflicts": 4, "max_decision_level": 2})
+        assert into == {"conflicts": 7, "max_decision_level": 9}
+
+    def test_drops_non_numeric_and_bools(self):
+        into: dict[str, float] = {}
+        merge_counters(into, {"backend": "cdcl", "sticky": True, "n": 1})
+        assert into == {"n": 1}
+
+    def test_none_and_empty_are_no_ops(self):
+        into = {"n": 1.0}
+        assert merge_counters(into, None) is into
+        assert merge_counters(into, {}) == {"n": 1.0}
+
+
+def test_set_registry_swaps_and_returns_previous():
+    ours = MetricsRegistry(enabled=True)
+    previous = obs_metrics.set_registry(ours)
+    try:
+        assert obs_metrics.registry() is ours
+    finally:
+        restored = obs_metrics.set_registry(previous)
+        assert restored is ours
+    assert obs_metrics.registry() is previous

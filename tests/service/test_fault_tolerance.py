@@ -132,7 +132,7 @@ class TestHealthAndRetries:
         assert set(health) == {
             "queue_depth", "in_flight", "workers", "max_queue", "sheds",
             "preempted", "partial_answers", "retries", "pool_rebuilds",
-            "stats",
+            "stats", "metrics",
         }
         assert health["queue_depth"] == 0
         assert health["in_flight"] == 0

@@ -135,8 +135,8 @@ class TestCompileScenario:
             assert case["verified"] is True
             assert case["gates"] > 0 and case["t_count"] >= 0
 
-    def test_schema_version_is_eight(self, quick_report):
-        assert quick_report["schema_version"] == 8
+    def test_schema_version_is_nine(self, quick_report):
+        assert quick_report["schema_version"] == 9
 
     def test_quick_report_contains_profile_section(self, quick_report):
         profile = quick_report["profile"]

@@ -296,7 +296,8 @@ class TestCacheCommand:
         assert main(["pebble", "fig2", "--pebbles", "4", "--timeout", "30",
                      "--db", db]) == 0
         hit = json.loads(capsys.readouterr().out)
-        assert hit == cold  # summaries include runtime: stored verbatim
+        assert hit.pop("cached") is True  # hits are marked observably
+        assert hit == cold  # otherwise stored verbatim, runtime included
         assert main(["cache", "stats", "--db", db, "--json"]) == 0
         assert json.loads(capsys.readouterr().out)["total_hits"] == 1
 
