@@ -760,12 +760,26 @@ class CdclSpec:
     glue_max: int = 2
     #: Conflicts between root-level inprocessing passes (0 disables).
     inprocess_interval: int = 3000
+    #: Bounded variable elimination during inprocessing (0/1).
+    bve: bool = True
+    #: Extra resolvents an elimination may add beyond removed clauses.
+    bve_grow: int = 0
+    #: Clause vivification during inprocessing (0/1).
+    vivify: bool = True
+    #: Chronological-backtracking jump-distance threshold (0 disables).
+    chrono: int = 100
+    #: Base conflict interval of the rephasing schedule (0 disables).
+    rephase: int = 0
+    #: Route to the ctypes-loaded native CDCL core (0/1).
+    native: bool = False
     #: Record per-phase time splits in ``stats.phase_times``.
     profile: bool = False
 
     _INT_KEYS = ("restart_base", "seed", "reduce_min_learned",
-                 "learned_limit_base", "glue_max", "inprocess_interval")
+                 "learned_limit_base", "glue_max", "inprocess_interval",
+                 "bve_grow", "chrono", "rephase")
     _FLOAT_KEYS = ("var_decay", "clause_decay")
+    _BOOL_KEYS = ("bve", "vivify", "native", "profile")
 
     @classmethod
     def parse(cls, argument: str | None) -> "CdclSpec":
@@ -779,7 +793,7 @@ class CdclSpec:
             if not equals:
                 raise SolverError(
                     f"cdcl: expected key=value, got {token!r}; valid keys: "
-                    f"{', '.join(cls._INT_KEYS + cls._FLOAT_KEYS + ('profile',))}"
+                    f"{', '.join(cls._INT_KEYS + cls._FLOAT_KEYS + cls._BOOL_KEYS)}"
                 )
             if key in values:
                 raise SolverError(f"cdcl: {key!r} given twice in {argument!r}")
@@ -793,7 +807,8 @@ class CdclSpec:
                 if key == "restart_base" and parsed < 1:
                     raise SolverError(f"cdcl: restart_base must be >= 1, got {parsed}")
                 if key in ("reduce_min_learned", "learned_limit_base",
-                           "glue_max", "inprocess_interval") and parsed < 0:
+                           "glue_max", "inprocess_interval", "bve_grow",
+                           "chrono", "rephase") and parsed < 0:
                     raise SolverError(f"cdcl: {key} must be >= 0, got {parsed}")
                 values[key] = parsed
             elif key in cls._FLOAT_KEYS:
@@ -806,28 +821,42 @@ class CdclSpec:
                 if not 0.0 < rate <= 1.0:
                     raise SolverError(f"cdcl: {key} must be in (0, 1], got {rate}")
                 values[key] = rate
-            elif key == "profile":
+            elif key in cls._BOOL_KEYS:
                 if value not in ("0", "1"):
-                    raise SolverError(f"cdcl: profile wants 0 or 1, got {value!r}")
+                    raise SolverError(f"cdcl: {key} wants 0 or 1, got {value!r}")
                 values[key] = value == "1"
             else:
                 raise SolverError(
                     f"cdcl: unknown key {key!r}; valid keys: "
-                    f"{', '.join(cls._INT_KEYS + cls._FLOAT_KEYS + ('profile',))}"
+                    f"{', '.join(cls._INT_KEYS + cls._FLOAT_KEYS + cls._BOOL_KEYS)}"
                 )
         return cls(**values)  # type: ignore[arg-type]
 
     def render(self) -> str:
         """The canonical spec string (non-default options only)."""
         parts = []
-        for key in self._INT_KEYS + self._FLOAT_KEYS + ("profile",):
+        for key in self._INT_KEYS + self._FLOAT_KEYS + self._BOOL_KEYS:
             value = getattr(self, key)
             if value != getattr(type(self), key):
-                parts.append(f"{key}={int(value) if key == 'profile' else value}")
+                parts.append(f"{key}={int(value) if key in self._BOOL_KEYS else value}")
         return "cdcl:" + ",".join(parts) if parts else "cdcl"
 
-    def build(self, conflict_limit: int | None = None) -> CdclSolver:
-        """Construct a :class:`CdclSolver` with these options."""
+    def build(self, conflict_limit: int | None = None) -> IncrementalSatBackend:
+        """Construct the solver these options describe.
+
+        With ``native=1`` this returns the ctypes-loaded C core (the
+        registry probe reports unavailability before this is reached,
+        but direct callers get the same hard error — never a silent
+        fallback to the Python loop).
+        """
+        if self.native:
+            from repro.sat.native import NativeCdclSolver
+
+            return NativeCdclSolver(
+                conflict_limit=conflict_limit,
+                restart_base=self.restart_base,
+                random_seed=self.seed,
+            )
         return CdclSolver(
             conflict_limit=conflict_limit,
             restart_base=self.restart_base,
@@ -838,6 +867,11 @@ class CdclSpec:
             learned_limit_base=self.learned_limit_base,
             glue_max=self.glue_max,
             inprocess_interval=self.inprocess_interval,
+            bve=self.bve,
+            bve_grow=self.bve_grow,
+            vivify=self.vivify,
+            chrono=self.chrono,
+            rephase=self.rephase,
             profile=self.profile,
         )
 
@@ -848,9 +882,15 @@ def _make_cdcl(argument: str | None, conflict_limit: int | None) -> IncrementalS
 
 def _probe_cdcl(argument: str | None) -> str | None:
     try:
-        CdclSpec.parse(argument)
+        spec = CdclSpec.parse(argument)
     except SolverError as exc:
         return str(exc)
+    if spec.native:
+        from repro.sat.native import native_unavailable_reason
+
+        reason = native_unavailable_reason()
+        if reason is not None:
+            return f"native core unavailable: {reason}"
     return None
 
 

@@ -459,16 +459,16 @@ class PebblingService:
 
         Cheap to call at any time (no locks, no solver work): current
         queue depth and in-flight count, the admission/retry configuration,
-        the cumulative fault-tolerance counters, and — under ``metrics`` —
-        the process-wide :mod:`repro.obs.metrics` snapshot covering every
-        layer (``repro_service_*``, ``repro_portfolio_*``, ``repro_sat_*``,
-        ``repro_solver_*``).
+        the cumulative fault-tolerance counters (under ``stats``), and —
+        under ``metrics`` — the process-wide :mod:`repro.obs.metrics`
+        snapshot covering every layer (``repro_service_*``,
+        ``repro_portfolio_*``, ``repro_sat_*``, ``repro_solver_*``).
 
-        .. deprecated::
-            The top-level ``sheds`` / ``preempted`` / ``partial_answers`` /
-            ``retries`` / ``pool_rebuilds`` duplicates of ``stats`` are
-            kept for one release; read them from ``stats`` (exact service
-            counters) or ``metrics`` (cross-layer registry) instead.
+        The top-level duplicates of individual ``stats`` counters
+        (``sheds``/``preempted``/``partial_answers``/``retries``/
+        ``pool_rebuilds``) were deprecated for one release and are gone:
+        ``stats`` holds the exact service counters and ``metrics`` the
+        cross-layer registry.
         """
         self._saturation_gauges()
         return {
@@ -476,11 +476,6 @@ class PebblingService:
             "in_flight": len(self._inflight),
             "workers": self.workers,
             "max_queue": self.max_queue,
-            "sheds": self.stats.sheds,
-            "preempted": self.stats.preempted,
-            "partial_answers": self.stats.partial_answers,
-            "retries": self.stats.retries,
-            "pool_rebuilds": self.stats.pool_rebuilds,
             "stats": self.stats.as_dict(),
             "metrics": _metrics.snapshot(),
         }

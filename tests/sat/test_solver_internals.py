@@ -201,11 +201,13 @@ def test_profile_mode_records_phase_times():
     assert not solver.solve().is_sat
     phase_times = solver.stats.phase_times
     assert phase_times is not None
-    assert set(phase_times) == {"propagate", "analyze", "reduce", "inprocess"}
+    assert set(phase_times) == {
+        "propagate", "analyze", "reduce", "inprocess", "bve", "vivify"
+    }
     assert all(value >= 0.0 for value in phase_times.values())
     counters = solver.stats.as_dict()
     for key in ("time_propagate", "time_analyze", "time_reduce",
-                "time_inprocess"):
+                "time_inprocess", "time_bve", "time_vivify"):
         assert key in counters
     assert counters["time_propagate"] > 0.0
 
